@@ -1,0 +1,247 @@
+//! Traffic generators for the experiments.
+
+use stripe_netsim::{DetRng, SimDuration};
+
+/// A packet-size distribution.
+#[derive(Debug, Clone)]
+pub enum SizeDist {
+    /// Every packet the same size.
+    Fixed(usize),
+    /// Uniform in `[lo, hi]`.
+    Uniform(usize, usize),
+    /// Small with probability `p_small`, else large — the Figure 15
+    /// "random mixture of small and large packets".
+    Bimodal {
+        /// Small packet size.
+        small: usize,
+        /// Large packet size.
+        large: usize,
+        /// Probability of a small packet.
+        p_small: f64,
+    },
+}
+
+impl SizeDist {
+    /// Draw one size.
+    pub fn draw(&self, rng: &mut DetRng) -> usize {
+        match *self {
+            SizeDist::Fixed(s) => s,
+            SizeDist::Uniform(lo, hi) => rng.range_usize(lo, hi + 1),
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_small,
+            } => {
+                if rng.chance(p_small) {
+                    small
+                } else {
+                    large
+                }
+            }
+        }
+    }
+
+    /// The largest size the distribution can produce (the `Max` of
+    /// Theorem 3.2; quanta must be at least this).
+    pub fn max(&self) -> usize {
+        match *self {
+            SizeDist::Fixed(s) => s,
+            SizeDist::Uniform(_, hi) => hi,
+            SizeDist::Bimodal { small, large, .. } => small.max(large),
+        }
+    }
+}
+
+/// Backlogged source: always has the next packet ready — the throughput
+/// workload of §3.3's fairness definition and Figure 15.
+#[derive(Debug, Clone)]
+pub struct Backlogged {
+    dist: SizeDist,
+    rng: DetRng,
+    next_id: u64,
+}
+
+impl Backlogged {
+    /// A backlogged source drawing sizes from `dist`.
+    pub fn new(dist: SizeDist, seed: u64) -> Self {
+        Self {
+            dist,
+            rng: DetRng::new(seed),
+            next_id: 0,
+        }
+    }
+
+    /// The next packet as `(id, len)`.
+    pub fn next_packet(&mut self) -> (u64, usize) {
+        let id = self.next_id;
+        self.next_id += 1;
+        (id, self.dist.draw(&mut self.rng))
+    }
+}
+
+/// The §6.2 adversary: "packets were sent in deterministic fashion, with
+/// the bigger (1000 byte) packets alternating with the smaller (200 byte)
+/// ones" — the pattern that collapses GRR to one hot channel.
+#[derive(Debug, Clone)]
+pub struct AlternatingSizes {
+    big: usize,
+    small: usize,
+    next_id: u64,
+}
+
+impl AlternatingSizes {
+    /// Alternate `big, small, big, small, ...` starting with `big`.
+    pub fn new(big: usize, small: usize) -> Self {
+        Self {
+            big,
+            small,
+            next_id: 0,
+        }
+    }
+
+    /// The paper's exact parameters: 1000-byte and 200-byte packets.
+    pub fn paper() -> Self {
+        Self::new(1000, 200)
+    }
+
+    /// The next packet as `(id, len)`.
+    pub fn next_packet(&mut self) -> (u64, usize) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let len = if id.is_multiple_of(2) { self.big } else { self.small };
+        (id, len)
+    }
+}
+
+/// The Figure 15 workload: a random mixture of small and large packets,
+/// 50/50 by default.
+#[derive(Debug, Clone)]
+pub struct RandomMix {
+    inner: Backlogged,
+}
+
+impl RandomMix {
+    /// 200-byte and 1000-byte packets mixed 50/50 — matching the §6.2
+    /// packet sizes.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            inner: Backlogged::new(
+                SizeDist::Bimodal {
+                    small: 200,
+                    large: 1000,
+                    p_small: 0.5,
+                },
+                seed,
+            ),
+        }
+    }
+
+    /// The next packet as `(id, len)`.
+    pub fn next_packet(&mut self) -> (u64, usize) {
+        self.inner.next_packet()
+    }
+}
+
+/// Poisson arrivals with a size distribution — open-loop datagram traffic
+/// for the §6.3 studies.
+#[derive(Debug, Clone)]
+pub struct PoissonSource {
+    dist: SizeDist,
+    mean_gap: SimDuration,
+    rng: DetRng,
+    next_id: u64,
+}
+
+impl PoissonSource {
+    /// Arrivals at `rate_pps` packets/second on average.
+    ///
+    /// # Panics
+    /// Panics if `rate_pps` is zero.
+    pub fn new(rate_pps: u64, dist: SizeDist, seed: u64) -> Self {
+        assert!(rate_pps > 0);
+        Self {
+            dist,
+            mean_gap: SimDuration::from_nanos(1_000_000_000 / rate_pps),
+            rng: DetRng::new(seed),
+            next_id: 0,
+        }
+    }
+
+    /// The next packet as `(id, len, gap-after-previous)`.
+    pub fn next_packet(&mut self) -> (u64, usize, SimDuration) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let gap = self.rng.exp_duration(self.mean_gap);
+        (id, self.dist.draw(&mut self.rng), gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_dist_is_fixed() {
+        let mut rng = DetRng::new(1);
+        let d = SizeDist::Fixed(999);
+        assert!((0..100).all(|_| d.draw(&mut rng) == 999));
+        assert_eq!(d.max(), 999);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = DetRng::new(2);
+        let d = SizeDist::Uniform(100, 1500);
+        for _ in 0..10_000 {
+            let s = d.draw(&mut rng);
+            assert!((100..=1500).contains(&s));
+        }
+        assert_eq!(d.max(), 1500);
+    }
+
+    #[test]
+    fn bimodal_mix_ratio() {
+        let mut rng = DetRng::new(3);
+        let d = SizeDist::Bimodal {
+            small: 200,
+            large: 1000,
+            p_small: 0.5,
+        };
+        let smalls = (0..100_000).filter(|_| d.draw(&mut rng) == 200).count();
+        assert!((48_000..=52_000).contains(&smalls), "{smalls}");
+    }
+
+    #[test]
+    fn backlogged_ids_are_sequential() {
+        let mut g = Backlogged::new(SizeDist::Fixed(100), 1);
+        for expect in 0..50u64 {
+            assert_eq!(g.next_packet().0, expect);
+        }
+    }
+
+    #[test]
+    fn alternating_matches_paper_pattern() {
+        let mut g = AlternatingSizes::paper();
+        let lens: Vec<usize> = (0..6).map(|_| g.next_packet().1).collect();
+        assert_eq!(lens, vec![1000, 200, 1000, 200, 1000, 200]);
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut g = PoissonSource::new(10_000, SizeDist::Fixed(500), 7);
+        let n = 50_000;
+        let total_ns: u64 = (0..n).map(|_| g.next_packet().2.as_nanos()).sum();
+        let mean = total_ns / n;
+        // Mean gap should be ~100us.
+        assert!((95_000..=105_000).contains(&mean), "{mean}ns");
+    }
+
+    #[test]
+    fn generators_are_reproducible() {
+        let mut a = RandomMix::paper(42);
+        let mut b = RandomMix::paper(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_packet(), b.next_packet());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # stripe-apps
+//!
+//! Application-level workloads and measurement for the striping
+//! experiments:
+//!
+//! - [`gen`] — the traffic patterns the paper's evaluation uses: backlogged
+//!   bulk transfer with a "random mixture of small and large packets"
+//!   (Figure 15), the deterministic alternating big/small adversary that
+//!   separates SRR from GRR (§6.2), and Poisson/trace workloads for the
+//!   transport-layer studies.
+//! - [`metrics`] — reordering measurement: out-of-order delivery counts,
+//!   displacement, longest in-order runs, and post-loss recovery checks —
+//!   the §6.3 dependent variables.
+//! - [`video`] — an NV-like video-conferencing model: frame generation,
+//!   packetization, and a playback evaluator that scores a received packet
+//!   sequence, used to reproduce the finding that quasi-FIFO reordering is
+//!   imperceptible next to loss until ~40% loss rates.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod metrics;
+pub mod video;
+
+pub use gen::{AlternatingSizes, Backlogged, PoissonSource, RandomMix, SizeDist};
+pub use metrics::ReorderMetrics;
+pub use video::{PlaybackReport, VideoReceiver, VideoTrace};

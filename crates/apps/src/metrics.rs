@@ -1,0 +1,189 @@
+//! Reordering measurement — the §6.3 dependent variables.
+//!
+//! The transport-layer experiments all report *out-of-order deliveries*:
+//! how often the receiver hands up a packet whose send-order id is smaller
+//! than one already delivered. This module computes that and several
+//! sharper views (displacement, longest in-order run, and the
+//! post-recovery check behind Theorem 5.1's "FIFO delivery after t").
+
+/// Streaming reorder statistics over a delivered id sequence.
+///
+/// Feed delivered send-order ids with [`record`](Self::record); ids are
+/// unique (losses simply never appear).
+#[derive(Debug, Clone, Default)]
+pub struct ReorderMetrics {
+    delivered: u64,
+    max_seen: Option<u64>,
+    ooo: u64,
+    total_displacement: u64,
+    max_displacement: u64,
+    current_run: u64,
+    longest_run: u64,
+    last_id: Option<u64>,
+    /// Delivery index of the most recent out-of-order delivery.
+    last_ooo_at: Option<u64>,
+}
+
+impl ReorderMetrics {
+    /// Fresh metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the next delivered id.
+    pub fn record(&mut self, id: u64) {
+        self.delivered += 1;
+        match self.max_seen {
+            Some(max) if id < max => {
+                // Out of order: a larger id was already delivered.
+                self.ooo += 1;
+                self.last_ooo_at = Some(self.delivered - 1);
+                let disp = max - id;
+                self.total_displacement += disp;
+                self.max_displacement = self.max_displacement.max(disp);
+            }
+            _ => {
+                self.max_seen = Some(id);
+            }
+        }
+        // In-order run bookkeeping (strictly ascending adjacent ids).
+        match self.last_id {
+            Some(prev) if id > prev => self.current_run += 1,
+            _ => self.current_run = 1,
+        }
+        if self.last_id.is_none() {
+            self.current_run = 1;
+        }
+        self.longest_run = self.longest_run.max(self.current_run);
+        self.last_id = Some(id);
+    }
+
+    /// Total deliveries recorded.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Out-of-order deliveries (the paper's §6.3 metric).
+    pub fn out_of_order(&self) -> u64 {
+        self.ooo
+    }
+
+    /// Fraction of deliveries that were out of order.
+    pub fn ooo_fraction(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.ooo as f64 / self.delivered as f64
+    }
+
+    /// Mean displacement (id distance behind the max already seen) of the
+    /// out-of-order deliveries.
+    pub fn mean_displacement(&self) -> f64 {
+        if self.ooo == 0 {
+            return 0.0;
+        }
+        self.total_displacement as f64 / self.ooo as f64
+    }
+
+    /// Worst single displacement.
+    pub fn max_displacement(&self) -> u64 {
+        self.max_displacement
+    }
+
+    /// Longest strictly ascending run of adjacent deliveries.
+    pub fn longest_in_order_run(&self) -> u64 {
+        self.longest_run
+    }
+
+    /// Delivery index (0-based) of the last out-of-order delivery, if any —
+    /// everything after it arrived in order. The Theorem 5.1 check: after
+    /// losses stop and markers arrive, this index stops advancing.
+    pub fn last_ooo_index(&self) -> Option<u64> {
+        self.last_ooo_at
+    }
+}
+
+/// Convenience: metrics over a complete delivered sequence.
+pub fn analyze(ids: &[u64]) -> ReorderMetrics {
+    let mut m = ReorderMetrics::new();
+    for &id in ids {
+        m.record(id);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_sequence_is_clean() {
+        let m = analyze(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(m.out_of_order(), 0);
+        assert_eq!(m.ooo_fraction(), 0.0);
+        assert_eq!(m.longest_in_order_run(), 6);
+        assert_eq!(m.last_ooo_index(), None);
+    }
+
+    #[test]
+    fn gaps_are_not_reordering() {
+        // Losses leave gaps but order is preserved: not OOO.
+        let m = analyze(&[0, 1, 5, 6, 9]);
+        assert_eq!(m.out_of_order(), 0);
+        assert_eq!(m.longest_in_order_run(), 5);
+    }
+
+    #[test]
+    fn single_swap_counts_once() {
+        let m = analyze(&[0, 2, 1, 3, 4]);
+        assert_eq!(m.out_of_order(), 1);
+        assert_eq!(m.max_displacement(), 1);
+        assert_eq!(m.last_ooo_index(), Some(2));
+    }
+
+    #[test]
+    fn persistent_misorder_counts_every_pair() {
+        // The §4 round-robin failure: 2,1,4,3,6,5...
+        let m = analyze(&[2, 1, 4, 3, 6, 5, 8, 7]);
+        assert_eq!(m.out_of_order(), 4);
+        assert!((m.ooo_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(m.mean_displacement(), 1.0);
+    }
+
+    #[test]
+    fn displacement_tracks_distance() {
+        let m = analyze(&[10, 0]);
+        assert_eq!(m.out_of_order(), 1);
+        assert_eq!(m.max_displacement(), 10);
+        assert_eq!(m.mean_displacement(), 10.0);
+    }
+
+    #[test]
+    fn recovery_freezes_last_ooo_index() {
+        // Misordered early, clean tail: last_ooo_index points into the
+        // early region.
+        let mut ids = vec![3, 1, 2];
+        ids.extend(10..100u64);
+        let m = analyze(&ids);
+        assert!(m.last_ooo_index().unwrap() <= 2);
+        assert!(m.longest_in_order_run() >= 90);
+    }
+
+    #[test]
+    fn runs_reset_on_inversion() {
+        let m = analyze(&[0, 1, 2, 1000, 3, 4, 5, 6, 7]);
+        // 0,1,2,1000 ascends (run 4); 3 breaks it; 3..=7 rebuilds a run of
+        // 5. One early packet (1000) makes all five that trail it count as
+        // out-of-order — that is the metric's intended semantics.
+        assert_eq!(m.out_of_order(), 5);
+        assert_eq!(m.longest_in_order_run(), 5);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let m = analyze(&[]);
+        assert_eq!(m.delivered(), 0);
+        assert_eq!(m.ooo_fraction(), 0.0);
+        assert_eq!(m.mean_displacement(), 0.0);
+    }
+}

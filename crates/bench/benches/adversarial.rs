@@ -1,0 +1,71 @@
+//! The §6.2 adversarial experiment: SRR vs GRR under deterministic
+//! alternating packet sizes.
+//!
+//! The paper: "The rate of the PVC was set to 7.6 Mbps, so that the ATM
+//! interface gave the same throughput as the Ethernet (6 Mbps). Note that
+//! in this case GRR reduces to RR. Then packets were sent in deterministic
+//! fashion, with the bigger (1000 byte) packets alternating with the
+//! smaller (200 byte) ones. With SRR, the packet arrival sequence did not
+//! have any effect on throughput, yielding a striped throughput of 11.2
+//! Mbps. With GRR, the bigger packets are all sent on one interface, and
+//! the smaller packets on the other, so the throughput drops dramatically
+//! to 6.8 Mbps."
+
+use stripe_bench::table::{f2, Table};
+use stripe_bench::tcplab::{run, Scheme, TcpLabConfig};
+use stripe_transport::tcp::SegmentSizer;
+
+fn main() {
+    // The paper pinned the PVC so the two interfaces had *equal effective
+    // throughput* (their 7.6 Mbps PVC matched their ~6 Mbps Ethernet; GRR
+    // then "reduces to RR"). Our simulated Ethernet delivers ~9.4 Mbps of
+    // this workload, which an AAL5 PVC matches at ~10.9 Mbps line rate.
+    let atm = 10.9;
+    let alternating = SegmentSizer::Alternating {
+        big: 1000,
+        small: 200,
+    };
+
+    // Report the calibration: both single-interface throughputs.
+    let mut bound = TcpLabConfig::paper(atm, Scheme::SumBound);
+    bound.sizer = alternating;
+    let b = run(&bound);
+    println!(
+        "Single-interface sum at PVC {atm} Mbps: {:.2} Mbps (two roughly equal legs)",
+        b.mbps
+    );
+
+    let mut t = Table::new(&["scheme", "workload", "Mbps", "fast rtx"]);
+    for (scheme, grr_ratio, label) in [
+        (Scheme::SrrLr, None, "SRR + LR"),
+        // The paper's GRR at matched effective rates "reduces to RR" = 1:1.
+        (Scheme::GrrLr, Some((1i64, 1i64)), "GRR(1:1) + LR"),
+    ] {
+        for (sizer, wl) in [
+            (alternating, "alternating 1000/200"),
+            (
+                SegmentSizer::Mix {
+                    small: 200,
+                    large: 1000,
+                    seed: 17,
+                },
+                "random mix",
+            ),
+        ] {
+            let mut cfg = TcpLabConfig::paper(atm, scheme);
+            cfg.sizer = sizer;
+            cfg.grr_ratio = grr_ratio;
+            let r = run(&cfg);
+            t.row_owned(vec![
+                label.to_string(),
+                wl.to_string(),
+                f2(r.mbps),
+                r.fast_retransmits.to_string(),
+            ]);
+        }
+    }
+    t.print("§6.2 adversarial workload — SRR vs GRR (paper: SRR 11.2 Mbps, GRR 6.8 Mbps)");
+
+    println!("\nPaper shape check: SRR is insensitive to the arrival pattern;");
+    println!("GRR collapses on the alternating workload (all big packets on one link).");
+}

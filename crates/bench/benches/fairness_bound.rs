@@ -1,0 +1,79 @@
+//! Ablation: the Theorem 3.2 / Lemma 3.3 fairness bound in practice.
+//!
+//! Two questions the design section raises:
+//! 1. How tight is `Max + 2·Quantum` on real executions? (Sweep the
+//!    quantum and measure the worst observed deviation.)
+//! 2. How fast does RR's byte imbalance grow without surplus accounting?
+//!    (The motivating failure — compare spreads at increasing run lengths.)
+
+use stripe_bench::table::Table;
+use stripe_core::fairness::{srr_bound, ByteAccountant};
+use stripe_core::sched::{CausalScheduler, Srr};
+use stripe_netsim::DetRng;
+
+fn worst_deviation(quantum: i64, packets: u64, seed: u64) -> (i64, i64) {
+    let quanta = [quantum, quantum];
+    let mut s = Srr::weighted(&quanta);
+    let mut acct = ByteAccountant::new(2);
+    let mut rng = DetRng::new(seed);
+    let mut worst = 0i64;
+    let max_pkt = 1500usize;
+    for _ in 0..packets {
+        let len = if rng.chance(0.5) {
+            200
+        } else {
+            rng.range_usize(201, max_pkt + 1)
+        };
+        acct.record(s.current(), len as u64);
+        s.advance(len);
+        // Deviation from entitlement at every step, using completed rounds.
+        let k = (s.round() - 1) as i64;
+        for c in 0..2 {
+            let dev = (acct.bytes(c) as i64 - k * quantum).abs();
+            worst = worst.max(dev);
+        }
+    }
+    (worst, srr_bound(max_pkt as i64, quantum))
+}
+
+fn main() {
+    let mut t = Table::new(&[
+        "quantum (bytes)",
+        "worst observed |deviation|",
+        "bound Max+2Q",
+        "within bound",
+    ]);
+    for quantum in [1500i64, 3000, 6000, 12000, 24000] {
+        let (worst, bound) = worst_deviation(quantum, 200_000, 9);
+        t.row_owned(vec![
+            quantum.to_string(),
+            worst.to_string(),
+            bound.to_string(),
+            if worst <= bound { "yes".into() } else { "NO".to_string() },
+        ]);
+        assert!(worst <= bound, "Lemma 3.3 violated at quantum {quantum}");
+    }
+    t.print("Lemma 3.3 — observed SRR deviation vs the Max+2*Quantum bound (200k packets)");
+
+    // RR spread growth: the reason SRR exists.
+    let mut t2 = Table::new(&["packets", "SRR byte spread", "RR byte spread"]);
+    for packets in [1_000u64, 10_000, 100_000, 1_000_000] {
+        let spread = |mut s: Srr| {
+            let mut acct = ByteAccountant::new(2);
+            for i in 0..packets {
+                let len = if i % 2 == 0 { 1500u64 } else { 200 };
+                acct.record(s.current(), len);
+                s.advance(len as usize);
+            }
+            acct.byte_spread()
+        };
+        t2.row_owned(vec![
+            packets.to_string(),
+            spread(Srr::equal(2, 1500)).to_string(),
+            spread(Srr::rr(2)).to_string(),
+        ]);
+    }
+    t2.print("SRR vs RR — byte spread growth on the alternating adversary");
+    println!("\nShape check: the SRR column stays O(1) (= bound), the RR column grows");
+    println!("linearly with the run — unbounded unfairness.");
+}

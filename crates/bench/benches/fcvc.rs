@@ -1,0 +1,54 @@
+//! §6.3, finding 4: "a simple credit based flow control scheme proposed by
+//! Kung et al. proved very effective in eliminating packet loss due to
+//! channel congestion... the credits could be piggybacked on the periodic
+//! marker packets."
+//!
+//! An overdriven striped datagram path into a slow consumer with small
+//! receive buffers, with and without FCVC credits.
+
+use stripe_bench::table::Table;
+use stripe_bench::udplab::{run, UdpLabConfig};
+use stripe_netsim::SimDuration;
+
+fn main() {
+    let mut t = Table::new(&[
+        "flow control",
+        "delivered",
+        "congestion drops",
+        "sender stalls",
+        "OOO deliveries",
+    ]);
+    let mut base = UdpLabConfig::baseline();
+    base.packets = 4000;
+    base.rx_buffer = 16; // small kernel socket buffers
+    base.pace = SimDuration::from_micros(100); // offered >> drain
+    base.consumer_tick = Some(SimDuration::from_micros(300)); // slow app
+
+    let without = run(&base);
+    t.row_owned(vec![
+        "none (raw UDP)".into(),
+        without.delivered.len().to_string(),
+        without.rx_overflow_drops.to_string(),
+        "0".into(),
+        without.metrics.out_of_order().to_string(),
+    ]);
+
+    let mut with_cfg = base.clone();
+    with_cfg.credit_window = Some(16 * base.packet_len as u32);
+    let with = run(&with_cfg);
+    t.row_owned(vec![
+        "FCVC credits".into(),
+        with.delivered.len().to_string(),
+        with.rx_overflow_drops.to_string(),
+        with.credit_stalls.to_string(),
+        with.metrics.out_of_order().to_string(),
+    ]);
+
+    t.print("§6.3 FCVC — credit flow control on an overdriven striped path");
+
+    println!("\nPaper shape check: congestion drops collapse to zero with credits; the");
+    println!("sender absorbs the mismatch as stalls instead, and every packet is delivered.");
+    assert!(without.rx_overflow_drops > 0);
+    assert_eq!(with.rx_overflow_drops, 0);
+    assert_eq!(with.delivered.len() as u64, with_cfg.packets);
+}

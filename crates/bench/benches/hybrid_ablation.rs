@@ -1,0 +1,149 @@
+//! Hybrid (logical reception + sequence confirmation) vs sequence-only —
+//! §4's "avoid such sorting" claim, quantified.
+//!
+//! Both schemes add a sequence header and guarantee FIFO. The difference
+//! is *where the ordering work happens*: sequence-only resequencing (the
+//! MPPP / hardware-sorter architecture of [McA93]) pushes every skewed
+//! arrival through the sorting structure, while the hybrid lets logical
+//! reception pre-order arrivals so the sorter is touched only around
+//! losses.
+//!
+//! Metrics per run: how many packets crossed the sorting structure, and
+//! its maximum occupancy (the hardware the sorter would need).
+
+use stripe_bench::table::{f3, Table};
+use stripe_core::hybrid::{HybridReceiver, HybridSender};
+use stripe_core::sched::Srr;
+use stripe_core::sender::{MarkerConfig, StripingSender};
+use stripe_core::seqno::SeqResequencer;
+use stripe_core::types::{TestPacket, WireLen};
+use stripe_netsim::{DetRng, EventQueue, SimDuration, SimTime};
+
+const CHANNELS: usize = 3;
+const PACKETS: u64 = 10_000;
+
+/// Build the arrival schedule once: (arrival_time, channel, seq, packet).
+fn arrivals(loss: f64, seed: u64) -> Vec<(SimTime, usize, u64, TestPacket)> {
+    let sched = Srr::equal(CHANNELS, 1500);
+    let mut stx = StripingSender::new(sched, MarkerConfig::every_rounds(4));
+    let mut htx = HybridSender::new();
+    let mut rng = DetRng::new(seed);
+    let mut q: EventQueue<(usize, u64, TestPacket)> = EventQueue::new();
+    // Per-channel static skews plus jitter: the §2 channel model.
+    let skews = [0u64, 350, 800];
+    let mut now = SimTime::ZERO;
+    let mut markers = Vec::new();
+    for id in 0..PACKETS {
+        now += SimDuration::from_micros(120);
+        let len = 200 + (id as usize * 131) % 1200;
+        let wrapped = htx.wrap(TestPacket::new(id, len));
+        let d = stx.send(wrapped.wire_len());
+        if !rng.chance(loss) {
+            let at = now + SimDuration::from_micros(skews[d.channel] + rng.range_u64(0, 60));
+            q.push(at, (d.channel, wrapped.seq, wrapped.inner));
+        }
+        for (c, mk) in d.markers {
+            markers.push((now + SimDuration::from_micros(skews[c]), c, mk));
+        }
+    }
+    // Merge data into time order (markers handled by the hybrid run only,
+    // threaded through the same schedule).
+    let mut out = Vec::new();
+    while let Some((at, (c, seq, p))) = q.pop() {
+        out.push((at, c, seq, p));
+    }
+    out
+}
+
+fn main() {
+    let mut t = Table::new(&[
+        "loss",
+        "scheme",
+        "sorted (crossed the resequencer)",
+        "max sorter occupancy",
+        "delivered",
+    ]);
+
+    for loss in [0.0, 0.02, 0.10] {
+        // ---- Sequence-only: every arrival goes through the sorter. ----
+        let sched_arrivals = arrivals(loss, 99);
+        let mut reseq: SeqResequencer<TestPacket> = SeqResequencer::new(1 << 12);
+        let mut max_occ = 0usize;
+        let mut delivered = 0u64;
+        for (_, _, seq, p) in &sched_arrivals {
+            delivered += reseq.push(*seq, *p).len() as u64;
+            max_occ = max_occ.max(reseq.buffered());
+        }
+        delivered += reseq.flush().len() as u64;
+        t.row_owned(vec![
+            f3(loss),
+            "sequence-only (sorter)".into(),
+            sched_arrivals.len().to_string(), // every arrival is sorted
+            max_occ.to_string(),
+            delivered.to_string(),
+        ]);
+
+        // ---- Hybrid: logical reception pre-orders; sorter is backstop. --
+        // Rebuild with the same seed so losses and skews are identical,
+        // this time routing markers too.
+        let sched = Srr::equal(CHANNELS, 1500);
+        let mut stx = StripingSender::new(sched.clone(), MarkerConfig::every_rounds(4));
+        let mut htx = HybridSender::new();
+        let mut rx: HybridReceiver<Srr, TestPacket> = HybridReceiver::new(sched, 1 << 14, 64);
+        let mut rng = DetRng::new(99);
+        let mut q: EventQueue<(usize, Item)> = EventQueue::new();
+        #[derive(Debug)]
+        enum Item {
+            Data(stripe_core::hybrid::SequencedPacket<TestPacket>),
+            Marker(stripe_core::Marker),
+        }
+        let skews = [0u64, 350, 800];
+        let mut now = SimTime::ZERO;
+        for id in 0..PACKETS {
+            now += SimDuration::from_micros(120);
+            let len = 200 + (id as usize * 131) % 1200;
+            let wrapped = htx.wrap(TestPacket::new(id, len));
+            let d = stx.send(wrapped.wire_len());
+            if !rng.chance(loss) {
+                let at = now + SimDuration::from_micros(skews[d.channel] + rng.range_u64(0, 60));
+                q.push(at, (d.channel, Item::Data(wrapped)));
+            }
+            for (c, mk) in d.markers {
+                // Markers follow the data that triggered them on the same
+                // channel: schedule at the jitter ceiling so they can never
+                // overtake it (the FIFO channel contract).
+                q.push(
+                    now + SimDuration::from_micros(skews[c] + 60),
+                    (c, Item::Marker(mk)),
+                );
+            }
+        }
+        let mut delivered = 0u64;
+        while let Some((_, (c, item))) = q.pop() {
+            match item {
+                Item::Data(p) => {
+                    rx.push_data(c, p);
+                }
+                Item::Marker(mk) => {
+                    rx.push_marker(c, mk);
+                }
+            }
+            delivered += rx.poll_all().len() as u64;
+        }
+        delivered += rx.flush().len() as u64;
+        let st = rx.stats();
+        t.row_owned(vec![
+            f3(loss),
+            "hybrid (LR + confirmation)".into(),
+            st.resequenced.to_string(),
+            st.max_parked.to_string(),
+            delivered.to_string(),
+        ]);
+    }
+    t.print("§4 hybrid ablation — sorting work with and without logical reception");
+
+    println!("\nPaper shape check: at zero loss the hybrid sorts *nothing* (the sequence");
+    println!("number is pure confirmation), and under loss it sorts only around the gaps,");
+    println!("with a far smaller maximum sorter occupancy — the hardware [McA93] needed");
+    println!("for sorting is replaced by per-channel FIFOs.");
+}

@@ -1,0 +1,73 @@
+//! §6.3, finding 3: "for a given loss rate, the position of the marker
+//! packet within a round had an effect on the number of out of order
+//! deliveries, with the minimum occurring when the marker was sent either
+//! at the beginning or end of the round."
+//!
+//! Fixed loss and marker period; sweep the emission point across the round
+//! (start, after channel k for k = 0..N-1; after the last channel is the
+//! round boundary, i.e. "end of round" — which coincides with "start").
+
+use stripe_bench::table::{f3, Table};
+use stripe_bench::udplab::{run, UdpLabConfig};
+use stripe_core::sender::MarkerPosition;
+
+fn main() {
+    let channels = 4usize;
+    let mut t = Table::new(&["marker position", "OOO deliveries", "OOO fraction"]);
+    let mut results: Vec<(String, u64)> = Vec::new();
+
+    let mut positions: Vec<(String, MarkerPosition)> =
+        vec![("start of round".to_string(), MarkerPosition::StartOfRound)];
+    for k in 0..channels {
+        let name = if k == channels - 1 {
+            format!("after ch{k} (= end of round)")
+        } else {
+            format!("after ch{k} (mid-round)")
+        };
+        positions.push((name, MarkerPosition::AfterChannel(k)));
+    }
+
+    // Average over many seeds so the verdict is not one loss pattern's
+    // accident.
+    let seeds: Vec<u64> = (0..10).map(|i| 7 + 97 * i).collect();
+    for (name, pos) in positions {
+        let mut total = 0u64;
+        let mut frac = 0.0;
+        for &seed in &seeds {
+            let mut cfg = UdpLabConfig::baseline();
+            cfg.channels = channels;
+            cfg.loss_rate = 0.20;
+            cfg.packets = 6000;
+            cfg.marker_period = 8;
+            cfg.marker_position = pos;
+            cfg.seed = seed;
+            let r = run(&cfg);
+            total += r.metrics.out_of_order();
+            frac += r.metrics.ooo_fraction();
+        }
+        t.row_owned(vec![
+            name.clone(),
+            total.to_string(),
+            f3(frac / seeds.len() as f64),
+        ]);
+        results.push((name, total));
+    }
+    t.print("§6.3 marker position — OOO deliveries vs position within the round (10-seed sums)");
+
+    let min = results.iter().map(|&(_, v)| v).min().unwrap();
+    let max = results.iter().map(|&(_, v)| v).max().unwrap();
+    let boundary: u64 = results
+        .iter()
+        .filter(|(n, _)| n.contains("start") || n.contains("end of round"))
+        .map(|&(_, v)| v)
+        .min()
+        .unwrap();
+    println!(
+        "\nSpread across positions: {:.1}% (min {min}, max {max}); best boundary = {boundary}.",
+        100.0 * (max - min) as f64 / min as f64
+    );
+    println!("Paper found the minimum at the round boundary. In this reproduction the");
+    println!("position effect is small (a few percent): our markers carry *exact*");
+    println!("state predictions wherever they are emitted, so only the loss-to-marker");
+    println!("distance varies with position — see EXPERIMENTS.md for the discussion.");
+}

@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks: the per-packet cost of each striping
+//! decision.
+//!
+//! The paper's implementability claim: "SRR requires only a few extra
+//! instructions to increment the Deficit Counter and do a comparison"
+//! relative to round robin, and logical reception is a per-packet
+//! simulation step of the same cost. These benches measure the Rust
+//! equivalents directly.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stripe_core::baselines::{LoadAwareSelector, RandomSelect, SelectCtx, Sqf};
+use stripe_core::receiver::{Arrival, LogicalReceiver};
+use stripe_core::sched::{CausalScheduler, Rfq, Srr};
+use stripe_core::types::TestPacket;
+
+fn scheduler_decisions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per-packet-decision");
+    let lens: Vec<usize> = (0..1024).map(|i| 64 + (i * 131) % 1400).collect();
+
+    g.bench_function("rr (packet counting)", |b| {
+        let mut s = Srr::rr(4);
+        let mut i = 0;
+        b.iter(|| {
+            let ch = s.current();
+            s.advance(lens[i & 1023]);
+            i += 1;
+            black_box(ch)
+        })
+    });
+
+    g.bench_function("srr (byte deficit)", |b| {
+        let mut s = Srr::equal(4, 1500);
+        let mut i = 0;
+        b.iter(|| {
+            let ch = s.current();
+            s.advance(lens[i & 1023]);
+            i += 1;
+            black_box(ch)
+        })
+    });
+
+    g.bench_function("wsrr (weighted)", |b| {
+        let mut s = Srr::weighted(&[1500, 3000, 4500, 6000]);
+        let mut i = 0;
+        b.iter(|| {
+            let ch = s.current();
+            s.advance(lens[i & 1023]);
+            i += 1;
+            black_box(ch)
+        })
+    });
+
+    g.bench_function("rfq (seeded random)", |b| {
+        let mut s = Rfq::new(4, 42);
+        let mut i = 0;
+        b.iter(|| {
+            let ch = s.current();
+            s.advance(lens[i & 1023]);
+            i += 1;
+            black_box(ch)
+        })
+    });
+
+    g.bench_function("sqf (queue scan)", |b| {
+        let mut s = Sqf::new(4);
+        let queues = [1000u64, 2000, 500, 1500];
+        let mut i = 0;
+        b.iter(|| {
+            let ctx = SelectCtx {
+                queue_bytes: &queues,
+                pkt_len: lens[i & 1023],
+                flow_hash: 0,
+            };
+            i += 1;
+            black_box(s.pick(&ctx))
+        })
+    });
+
+    g.bench_function("random-select", |b| {
+        let mut s = RandomSelect::new(4, 7);
+        b.iter(|| {
+            let ctx = SelectCtx {
+                queue_bytes: &[],
+                pkt_len: 512,
+                flow_hash: 0,
+            };
+            black_box(s.pick(&ctx))
+        })
+    });
+    g.finish();
+}
+
+fn logical_reception(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logical-reception");
+    // Steady-state push+poll cycle: the receiver's per-packet cost.
+    g.bench_function("push+poll (in sync)", |b| {
+        let sched = Srr::equal(4, 1500);
+        let mut tx = stripe_core::sender::StripingSender::new(
+            sched.clone(),
+            stripe_core::sender::MarkerConfig::disabled(),
+        );
+        let mut rx = LogicalReceiver::new(sched, 1024);
+        let mut id = 0u64;
+        b.iter(|| {
+            let len = 64 + (id as usize * 131) % 1400;
+            let d = tx.send(len);
+            rx.push(d.channel, Arrival::Data(TestPacket::new(id, len)));
+            id += 1;
+            black_box(rx.poll())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, scheduler_decisions, logical_reception);
+criterion_main!(benches);

@@ -1,0 +1,291 @@
+//! Table 1: the feature matrix of channel striping schemes, regenerated
+//! empirically.
+//!
+//! The paper's table is qualitative; we make each cell measurable:
+//!
+//! - **FIFO delivery** — stripe a stream over channels with different
+//!   static skews (lossless), merge arrivals in time order, and count
+//!   out-of-order deliveries after each scheme's own receiver processing.
+//! - **Load sharing with variable length packets** — run the §6.2
+//!   alternating-size adversary and report the byte spread between
+//!   channels (bounded = Good, growing with the run = Poor).
+
+
+use stripe_apps::metrics::analyze;
+use stripe_bench::table::Table;
+use stripe_core::baselines::{
+    AddrHash, Bonding, BondingRx, LoadAwareSelector, Mppp, MpppRx, RandomSelect, SelectCtx, Sqf,
+};
+use stripe_core::receiver::{Arrival, LogicalReceiver};
+use stripe_core::sched::{CausalScheduler, Srr};
+use stripe_core::sender::{MarkerConfig, StripingSender};
+use stripe_core::types::TestPacket;
+
+const N: usize = 2;
+const PACKETS: u64 = 20_000;
+
+/// Byte spread between two channels under the alternating adversary, for a
+/// channel-picking function.
+fn spread_of(mut pick: impl FnMut(u64, usize) -> usize) -> u64 {
+    let mut bytes = [0u64; N];
+    for id in 0..PACKETS {
+        let len = if id % 2 == 0 { 1000 } else { 200 };
+        let c = pick(id, len);
+        bytes[c] += len as u64;
+    }
+    bytes[0].abs_diff(bytes[1])
+}
+
+/// Out-of-order fraction under pure skew (channel 1 delayed by `skew`
+/// packet slots), merging arrivals by time, for a scheme with a
+/// sender-side channel choice and an optional receiver.
+fn skew_ooo(scheme: &str) -> f64 {
+    // Build the per-channel send sequences.
+    let mut per_chan: Vec<Vec<TestPacket>> = vec![Vec::new(); N];
+    let mut srr_tx = StripingSender::new(Srr::equal(N, 1500), MarkerConfig::disabled());
+    let mut rr = Srr::rr(N);
+    let mut sqf = Sqf::new(N);
+    let mut rnd = RandomSelect::new(N, 99);
+    let mut hash = AddrHash::new(N);
+    let mut queue_bytes = [0u64; N];
+    let mut mppp_tx = Mppp::new(N);
+    let mut mppp_chans: Vec<Vec<stripe_core::baselines::SeqPacket<TestPacket>>> =
+        vec![Vec::new(); N];
+
+    for id in 0..2000u64 {
+        let len = 200 + (id as usize * 131) % 1200;
+        let pkt = TestPacket::new(id, len);
+        let c = match scheme {
+            "SRR" => srr_tx.send(len).channel,
+            "RR" => {
+                let c = rr.current();
+                rr.advance(len);
+                c
+            }
+            "SQF" => {
+                let ctx = SelectCtx {
+                    queue_bytes: &queue_bytes,
+                    pkt_len: len,
+                    flow_hash: 0,
+                };
+                let c = sqf.pick(&ctx);
+                queue_bytes[c] += len as u64;
+                for b in &mut queue_bytes {
+                    *b = b.saturating_sub(430);
+                }
+                c
+            }
+            "Random" => rnd.pick(&SelectCtx {
+                queue_bytes: &[],
+                pkt_len: len,
+                flow_hash: 0,
+            }),
+            "AddrHash" => hash.pick(&SelectCtx {
+                queue_bytes: &[],
+                pkt_len: len,
+                flow_hash: id % 16, // 16 distinct destinations
+            }),
+            "MPPP" => {
+                let (c, tagged) = mppp_tx.send(pkt);
+                mppp_chans[c].push(tagged);
+                per_chan[c].push(pkt);
+                continue;
+            }
+            _ => unreachable!(),
+        };
+        per_chan[c].push(pkt);
+    }
+
+    // Skew merge: channel k's i-th packet "arrives" at time i*N + k + skew_k
+    // with skew_1 large enough to interleave badly.
+    let skews = [0usize, 7];
+    let mut arrivals: Vec<(usize, usize, TestPacket)> = Vec::new();
+    for (c, pkts) in per_chan.iter().enumerate() {
+        for (i, &p) in pkts.iter().enumerate() {
+            arrivals.push((i * N + skews[c], c, p));
+        }
+    }
+    arrivals.sort_by_key(|&(t, c, _)| (t, c));
+
+    let delivered: Vec<u64> = match scheme {
+        "SRR" => {
+            // Logical reception restores order.
+            let mut rx = LogicalReceiver::new(Srr::equal(N, 1500), 1 << 16);
+            let mut out = Vec::new();
+            for (_, c, p) in arrivals {
+                rx.push(c, Arrival::Data(p));
+                while let Some(d) = rx.poll() {
+                    out.push(d.id);
+                }
+            }
+            out
+        }
+        "MPPP" => {
+            // Resequence by header. Rebuild arrivals from tagged packets.
+            let mut tagged: Vec<(usize, stripe_core::baselines::SeqPacket<TestPacket>)> =
+                Vec::new();
+            for (c, pkts) in mppp_chans.into_iter().enumerate() {
+                for (i, t) in pkts.into_iter().enumerate() {
+                    tagged.push((i * N + skews[c], t));
+                }
+            }
+            tagged.sort_by_key(|&(t, ref p)| (t, p.seq));
+            let mut rx = MpppRx::new(1 << 12);
+            let mut out = Vec::new();
+            for (_, t) in tagged {
+                out.extend(rx.push(t).into_iter().map(|p| p.id));
+            }
+            out.extend(rx.flush().into_iter().map(|p| p.id));
+            out
+        }
+        // Everything else delivers in raw arrival order.
+        _ => arrivals.iter().map(|&(_, _, p)| p.id).collect(),
+    };
+    analyze(&delivered).ooo_fraction()
+}
+
+fn main() {
+    let mut t = Table::new(&[
+        "Scheme",
+        "FIFO under skew (OOO frac)",
+        "Load sharing (byte spread, alternating)",
+        "Modifies packets?",
+        "Paper's Table 1 verdict",
+    ]);
+
+    // Load-sharing spreads.
+    let mut srr = Srr::equal(N, 1500);
+    let srr_spread = spread_of(|_, len| {
+        let c = srr.current();
+        srr.advance(len);
+        c
+    });
+    let mut rr = Srr::rr(N);
+    let rr_spread = spread_of(|_, len| {
+        let c = rr.current();
+        rr.advance(len);
+        c
+    });
+    let mut sqf = Sqf::new(N);
+    let mut qb = [0u64; N];
+    let sqf_spread = spread_of(|_, len| {
+        let c = sqf.pick(&SelectCtx {
+            queue_bytes: &qb,
+            pkt_len: len,
+            flow_hash: 0,
+        });
+        qb[c] += len as u64;
+        // Drain at a rate incommensurate with the packet sizes, like real
+        // links would; an exact divisor creates a tie-break resonance that
+        // pins every large packet to channel 0.
+        for b in &mut qb {
+            *b = b.saturating_sub(430);
+        }
+        c
+    });
+    let mut rnd = RandomSelect::new(N, 5);
+    let rnd_spread = spread_of(|_, len| {
+        rnd.pick(&SelectCtx {
+            queue_bytes: &[],
+            pkt_len: len,
+            flow_hash: 0,
+        })
+    });
+    let mut hash = AddrHash::new(N);
+    let hash_spread = spread_of(|id, len| {
+        hash.pick(&SelectCtx {
+            queue_bytes: &[],
+            pkt_len: len,
+            flow_hash: id % 16,
+        })
+    });
+    let mut mppp = Mppp::new(N);
+    let mppp_spread = spread_of(|id, len| mppp.send(TestPacket::new(id, len)).0);
+
+    // BONDING: fixed frames are trivially byte-fair; FIFO needs bounded
+    // skew. Demonstrate both directly.
+    let mut bonding = Bonding::new(N, 512);
+    let mut bond_bytes = [0u64; N];
+    for (c, f) in bonding.push_bytes(&vec![0u8; 512 * 2000]) {
+        bond_bytes[c] += f.payload.len() as u64;
+    }
+    let bond_spread = bond_bytes[0].abs_diff(bond_bytes[1]);
+    let mut bond_rx = BondingRx::new(N, 4);
+    let mut bond_tx2 = Bonding::new(N, 512);
+    let frames = bond_tx2.push_bytes(&vec![0u8; 512 * 100]);
+    // Excess skew: feed all of channel 1 first.
+    for (c, f) in frames.into_iter().filter(|(c, _)| *c == 1) {
+        bond_rx.push(c, f);
+    }
+    let bond_fifo = if bond_rx.is_broken() {
+        "breaks beyond window".to_string()
+    } else {
+        "0.000".to_string()
+    };
+
+    let rows: Vec<(&str, String, u64, &str, &str)> = vec![
+        (
+            "RR, no header",
+            format!("{:.3}", skew_ooo("RR")),
+            rr_spread,
+            "no",
+            "may be non-FIFO / poor",
+        ),
+        (
+            "RR + header (MPPP)",
+            format!("{:.3}", skew_ooo("MPPP")),
+            mppp_spread,
+            "YES (seq header)",
+            "guaranteed FIFO / poor",
+        ),
+        (
+            "BONDING",
+            bond_fifo,
+            bond_spread,
+            "YES (framing hw)",
+            "FIFO / good, serial only",
+        ),
+        (
+            "SQF (Linux EQL)",
+            format!("{:.3}", skew_ooo("SQF")),
+            sqf_spread,
+            "no",
+            "non-FIFO / good",
+        ),
+        (
+            "Random selection",
+            format!("{:.3}", skew_ooo("Random")),
+            rnd_spread,
+            "no",
+            "non-FIFO / expected-good",
+        ),
+        (
+            "Address hashing",
+            format!("{:.3}", skew_ooo("AddrHash")),
+            hash_spread,
+            "no",
+            "FIFO per addr / none per addr",
+        ),
+        (
+            "SRR + logical reception",
+            format!("{:.3}", skew_ooo("SRR")),
+            srr_spread,
+            "no",
+            "quasi-FIFO / good",
+        ),
+    ];
+    for (name, fifo, spread, modifies, verdict) in rows {
+        t.row_owned(vec![
+            name.to_string(),
+            fifo,
+            spread.to_string(),
+            modifies.to_string(),
+            verdict.to_string(),
+        ]);
+    }
+    t.print("Table 1 — striping schemes, measured (20k alternating packets; 2 skewed channels)");
+
+    println!("\nReading: spread bounded (<4500 = Max+2*Quantum) means fair; ~8,000,000 means");
+    println!("all big packets on one channel. OOO 0.000 with no header modification is the");
+    println!("paper's contribution (bottom row).");
+}

@@ -1,0 +1,99 @@
+//! A heterogeneous link wrapper: one striped path mixing Ethernet and ATM
+//! members, as in the paper's testbed.
+
+use stripe_link::{AtmPvc, EthLink, FifoLink, TxResult};
+use stripe_netsim::{Bandwidth, SimTime};
+
+/// Either kind of testbed link.
+#[derive(Debug)]
+pub enum Link {
+    /// An Ethernet member.
+    Eth(EthLink),
+    /// An ATM PVC member.
+    Atm(AtmPvc),
+}
+
+impl Link {
+    /// The link's configured rate.
+    pub fn rate(&self) -> Bandwidth {
+        match self {
+            Link::Eth(l) => l.rate(),
+            Link::Atm(l) => l.rate(),
+        }
+    }
+
+    /// Transmit-queue backlog in bytes.
+    pub fn backlog_bytes(&self, now: SimTime) -> usize {
+        match self {
+            Link::Eth(l) => l.backlog_bytes(now),
+            Link::Atm(l) => l.backlog_bytes(now),
+        }
+    }
+}
+
+impl FifoLink for Link {
+    fn transmit(&mut self, now: SimTime, wire_len: usize) -> TxResult {
+        match self {
+            Link::Eth(l) => l.transmit(now, wire_len),
+            Link::Atm(l) => l.transmit(now, wire_len),
+        }
+    }
+
+    fn mtu(&self) -> usize {
+        match self {
+            Link::Eth(l) => l.mtu(),
+            Link::Atm(l) => l.mtu(),
+        }
+    }
+
+    fn busy_until(&self) -> SimTime {
+        match self {
+            Link::Eth(l) => l.busy_until(),
+            Link::Atm(l) => l.busy_until(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stripe_link::loss::LossModel;
+    use stripe_netsim::SimDuration;
+
+    #[test]
+    fn dispatch_covers_both_variants() {
+        let mut eth = Link::Eth(EthLink::classic_10mbps(1));
+        let mut atm = Link::Atm(AtmPvc::lossless(Bandwidth::mbps(20), 2));
+        assert_eq!(eth.mtu(), 1500);
+        assert_eq!(atm.mtu(), 1500);
+        assert!(eth.transmit(SimTime::ZERO, 1000).is_ok());
+        assert!(atm.transmit(SimTime::ZERO, 1000).is_ok());
+        assert!(eth.busy_until() > SimTime::ZERO);
+        assert!(atm.busy_until() > SimTime::ZERO);
+        assert_eq!(eth.rate(), Bandwidth::mbps(10));
+    }
+
+    #[test]
+    fn atm_is_slower_per_payload_byte_at_equal_rate() {
+        // Equal line rates, equal payload: the cell tax makes ATM's
+        // serialization longer.
+        let mut eth = Link::Eth(EthLink::new(
+            Bandwidth::mbps(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            LossModel::None,
+            1,
+        ));
+        let mut atm = Link::Atm(AtmPvc::new(
+            Bandwidth::mbps(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            LossModel::None,
+            1500,
+            1,
+        ));
+        let te = eth.transmit(SimTime::ZERO, 1500).unwrap();
+        let ta = atm.transmit(SimTime::ZERO, 1500).unwrap();
+        assert!(ta > te, "ATM {ta} vs Eth {te}");
+    }
+}

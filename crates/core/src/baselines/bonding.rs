@@ -1,0 +1,244 @@
+//! BONDING-style synchronous inverse multiplexing (§2.1).
+//!
+//! The BONDING consortium standard combines N×56/64 kbps circuit-switched
+//! channels using a fixed frame structure: the byte stream is cut into
+//! equal-size frames, dealt round-robin, and the receiver *delay-compensates*
+//! — it measures per-channel skew during a training phase and thereafter
+//! reads channels in lockstep, buffering up to a fixed skew window.
+//!
+//! Two properties the paper holds against it, both modeled here:
+//!
+//! - it requires **bounded skew**: a frame delayed beyond the compensation
+//!   window is unrecoverable (see `skew_beyond_window_breaks_stream`);
+//! - it requires **special framing hardware** at both ends and only works
+//!   over synchronous serial channels — here that surfaces as the scheme
+//!   operating on a raw byte stream rather than on packets.
+
+use std::collections::VecDeque;
+
+use crate::types::ChannelId;
+
+/// One fixed-size BONDING frame: a slice of the byte stream plus the frame
+/// sequence number the standard's frame structure carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BondingFrame {
+    /// Frame sequence number (per stream, shared across channels).
+    pub seq: u64,
+    /// Payload bytes (exactly `frame_len`, zero-padded at stream end).
+    pub payload: Vec<u8>,
+}
+
+/// Sender: cuts a byte stream into frames and deals them round-robin.
+#[derive(Debug, Clone)]
+pub struct Bonding {
+    n: usize,
+    frame_len: usize,
+    next_seq: u64,
+    residue: Vec<u8>,
+}
+
+impl Bonding {
+    /// An inverse multiplexer over `n` channels with `frame_len`-byte
+    /// frames.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `frame_len == 0`.
+    pub fn new(n: usize, frame_len: usize) -> Self {
+        assert!(n > 0 && frame_len > 0);
+        Self {
+            n,
+            frame_len,
+            next_seq: 0,
+            residue: Vec::new(),
+        }
+    }
+
+    /// Feed stream bytes; returns complete frames with their channel
+    /// assignment (frame `seq` goes on channel `seq % n` — pure round
+    /// robin, which is byte-fair because frames are fixed-size).
+    pub fn push_bytes(&mut self, data: &[u8]) -> Vec<(ChannelId, BondingFrame)> {
+        self.residue.extend_from_slice(data);
+        let mut out = Vec::new();
+        while self.residue.len() >= self.frame_len {
+            let payload: Vec<u8> = self.residue.drain(..self.frame_len).collect();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            out.push((
+                (seq % self.n as u64) as ChannelId,
+                BondingFrame { seq, payload },
+            ));
+        }
+        out
+    }
+
+    /// Pad and emit any trailing partial frame (end of stream).
+    pub fn flush(&mut self) -> Option<(ChannelId, BondingFrame)> {
+        if self.residue.is_empty() {
+            return None;
+        }
+        let mut payload = std::mem::take(&mut self.residue);
+        payload.resize(self.frame_len, 0);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some((
+            (seq % self.n as u64) as ChannelId,
+            BondingFrame { seq, payload },
+        ))
+    }
+}
+
+/// Receiver: lockstep reader with a bounded skew-compensation buffer.
+#[derive(Debug)]
+pub struct BondingRx {
+    n: usize,
+    /// Per-channel arrival buffers (frames in channel FIFO order).
+    bufs: Vec<VecDeque<BondingFrame>>,
+    /// Next frame sequence expected.
+    next_seq: u64,
+    /// Maximum frames a channel may run ahead — the skew window. Beyond it
+    /// the stream is declared broken.
+    window: usize,
+    broken: bool,
+}
+
+impl BondingRx {
+    /// A receiver for `n` channels tolerating `window` frames of skew.
+    pub fn new(n: usize, window: usize) -> Self {
+        assert!(n > 0 && window > 0);
+        Self {
+            n,
+            bufs: vec![VecDeque::new(); n],
+            next_seq: 0,
+            window,
+            broken: false,
+        }
+    }
+
+    /// Physical arrival of a frame on channel `c`.
+    pub fn push(&mut self, c: ChannelId, f: BondingFrame) {
+        self.bufs[c].push_back(f);
+        // A buffer deeper than the skew window means a slower channel has
+        // fallen farther behind than the hardware can compensate.
+        if self.bufs[c].len() > self.window {
+            self.broken = true;
+        }
+    }
+
+    /// Read reconstructed stream bytes in order. Returns `None` once the
+    /// stream is broken (unbounded skew or a lost frame) — synchronous
+    /// inverse muxes cannot resynchronize without retraining.
+    pub fn read(&mut self) -> Option<Vec<u8>> {
+        if self.broken {
+            return None;
+        }
+        let mut out = Vec::new();
+        loop {
+            let c = (self.next_seq % self.n as u64) as usize;
+            match self.bufs[c].front() {
+                Some(f) if f.seq == self.next_seq => {
+                    let f = self.bufs[c].pop_front().expect("front checked");
+                    out.extend_from_slice(&f.payload);
+                    self.next_seq += 1;
+                }
+                Some(_) => {
+                    // Head frame is not the expected one: a frame vanished
+                    // on a synchronous channel — unrecoverable.
+                    self.broken = true;
+                    return None;
+                }
+                None => break,
+            }
+        }
+        Some(out)
+    }
+
+    /// Whether the stream has been declared unrecoverable.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_without_skew() {
+        let mut tx = Bonding::new(4, 16);
+        let mut rx = BondingRx::new(4, 8);
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        for (c, f) in tx.push_bytes(&data) {
+            rx.push(c, f);
+        }
+        assert_eq!(rx.read().unwrap(), data);
+    }
+
+    #[test]
+    fn fixed_frames_are_byte_fair_by_construction() {
+        let mut tx = Bonding::new(2, 64);
+        let mut bytes = [0u64; 2];
+        for (c, f) in tx.push_bytes(&vec![0u8; 64 * 1000]) {
+            bytes[c] += f.payload.len() as u64;
+        }
+        assert_eq!(bytes[0], bytes[1]);
+    }
+
+    #[test]
+    fn bounded_skew_is_compensated() {
+        let mut tx = Bonding::new(2, 8);
+        let mut rx = BondingRx::new(2, 8);
+        let data: Vec<u8> = (0..128u32).map(|i| i as u8).collect();
+        let frames = tx.push_bytes(&data);
+        // Channel 1 delivers promptly, channel 0 lags a few frames: feed
+        // all of channel 1 interleaved window-safe, then channel 0.
+        let (ch0, ch1): (Vec<_>, Vec<_>) = frames.into_iter().partition(|(c, _)| *c == 0);
+        let mut got = Vec::new();
+        for (c, f) in ch1 {
+            rx.push(c, f);
+        }
+        for (c, f) in ch0 {
+            rx.push(c, f);
+            got.extend(rx.read().unwrap());
+        }
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn skew_beyond_window_breaks_stream() {
+        let mut tx = Bonding::new(2, 8);
+        let mut rx = BondingRx::new(2, 4);
+        // 40 frames: channel 1 gets all its 20 up front => its buffer
+        // exceeds the 4-frame window while channel 0 is silent.
+        let frames = tx.push_bytes(&vec![7u8; 8 * 40]);
+        for (c, f) in frames.into_iter().filter(|(c, _)| *c == 1) {
+            rx.push(c, f);
+        }
+        assert!(rx.is_broken());
+        assert_eq!(rx.read(), None);
+    }
+
+    #[test]
+    fn lost_frame_is_unrecoverable() {
+        let mut tx = Bonding::new(2, 8);
+        let mut rx = BondingRx::new(2, 16);
+        let frames = tx.push_bytes(&[1u8; 8 * 10]);
+        for (i, (c, f)) in frames.into_iter().enumerate() {
+            if i == 2 {
+                continue; // frame vanishes
+            }
+            rx.push(c, f);
+        }
+        let _ = rx.read();
+        assert!(rx.is_broken());
+    }
+
+    #[test]
+    fn flush_pads_final_frame() {
+        let mut tx = Bonding::new(2, 8);
+        assert!(tx.push_bytes(&[1, 2, 3]).is_empty());
+        let (_, f) = tx.flush().unwrap();
+        assert_eq!(f.payload.len(), 8);
+        assert_eq!(&f.payload[..3], &[1, 2, 3]);
+        assert!(tx.flush().is_none());
+    }
+}

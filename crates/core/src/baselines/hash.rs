@@ -1,0 +1,92 @@
+//! Address-based hashing — the per-destination pinning scheme (§2.1).
+
+use super::{LoadAwareSelector, SelectCtx};
+use crate::types::ChannelId;
+
+/// Route every packet of a flow (e.g. every packet to one destination
+/// address) over the same channel, chosen by hashing the flow identity.
+///
+/// This gives FIFO delivery *per flow* for free — a flow never changes
+/// channels — but zero load sharing within a flow: a single heavy
+/// destination saturates one channel while others idle. Table 1's
+/// "provides FIFO per address, no load sharing per address" row.
+#[derive(Debug, Clone)]
+pub struct AddrHash {
+    n: usize,
+}
+
+impl AddrHash {
+    /// A hashing selector over `n` channels.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one channel");
+        Self { n }
+    }
+
+    /// A simple 64-bit mix (SplitMix64 finalizer) so adjacent addresses
+    /// spread across channels.
+    pub fn mix(h: u64) -> u64 {
+        let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl LoadAwareSelector for AddrHash {
+    fn channels(&self) -> usize {
+        self.n
+    }
+
+    fn pick(&mut self, ctx: &SelectCtx<'_>) -> ChannelId {
+        (Self::mix(ctx.flow_hash) % self.n as u64) as ChannelId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(flow: u64) -> SelectCtx<'static> {
+        SelectCtx {
+            queue_bytes: &[],
+            pkt_len: 100,
+            flow_hash: flow,
+        }
+    }
+
+    #[test]
+    fn same_flow_always_same_channel() {
+        let mut s = AddrHash::new(4);
+        let first = s.pick(&ctx(0xABCD));
+        for _ in 0..100 {
+            assert_eq!(s.pick(&ctx(0xABCD)), first);
+        }
+    }
+
+    #[test]
+    fn many_flows_spread_over_channels() {
+        let mut s = AddrHash::new(4);
+        let mut hist = [0u32; 4];
+        for flow in 0..4000u64 {
+            hist[s.pick(&ctx(flow))] += 1;
+        }
+        for &h in &hist {
+            assert!((800..=1200).contains(&h), "{hist:?}");
+        }
+    }
+
+    /// The Table 1 weakness: one flow gets exactly one channel's worth of
+    /// capacity no matter how many channels exist.
+    #[test]
+    fn single_flow_uses_single_channel() {
+        let mut s = AddrHash::new(8);
+        let mut used = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            used.insert(s.pick(&ctx(42)));
+        }
+        assert_eq!(used.len(), 1);
+    }
+}

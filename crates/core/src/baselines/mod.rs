@@ -1,0 +1,61 @@
+//! The competing striping schemes of §2.1 and Table 1.
+//!
+//! The paper positions its CFQ-derived schemes against the existing
+//! landscape; to reproduce Table 1 and the Figure 15 comparisons we
+//! implement that landscape:
+//!
+//! - [`Sqf`] — *Shortest Queue First*, the Linux EQL serial-line driver's
+//!   policy: good load sharing, no FIFO delivery.
+//! - [`RandomSelect`] — Bay Networks' random channel assignment: expected
+//!   load sharing, no FIFO delivery.
+//! - [`AddrHash`] — Bay Networks' address-based hashing: per-destination
+//!   FIFO, but no load sharing within a destination.
+//! - [`Mppp`] — RFC 1717 Multilink PPP style: round-robin striping *with a
+//!   sequence-number header added to every packet*, resequenced at the
+//!   receiver. Guaranteed FIFO, poor byte fairness, and it modifies packets.
+//! - [`Bonding`] — BONDING-consortium style synchronous inverse
+//!   multiplexing: fixed-size framing with skew compensation; works only
+//!   while the inter-channel skew stays inside the compensation window.
+//!
+//! The first three are *load-aware* selectors: their channel choice depends
+//! on instantaneous queue state the receiver cannot observe, which is
+//! precisely why they are **not causal** and cannot support logical
+//! reception. They implement [`LoadAwareSelector`] rather than
+//! [`crate::sched::CausalScheduler`]; the type split encodes the paper's
+//! taxonomy.
+
+mod bonding;
+mod hash;
+mod mppp;
+mod random;
+mod sqf;
+
+pub use bonding::{Bonding, BondingFrame, BondingRx};
+pub use hash::AddrHash;
+pub use mppp::{Mppp, MpppRx, SeqPacket};
+pub use random::RandomSelect;
+pub use sqf::Sqf;
+
+use crate::types::ChannelId;
+
+/// Context a load-aware selector may consult when placing a packet.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectCtx<'a> {
+    /// Bytes currently queued (unsent) on each channel.
+    pub queue_bytes: &'a [u64],
+    /// Wire length of the packet being placed.
+    pub pkt_len: usize,
+    /// A hash of the packet's flow identity (e.g. destination address);
+    /// meaningful only to [`AddrHash`].
+    pub flow_hash: u64,
+}
+
+/// A striping policy whose decision may depend on state the receiver cannot
+/// reconstruct — queue depths, random draws, packet addresses. Non-causal in
+/// the paper's sense: usable at the sender only.
+pub trait LoadAwareSelector: std::fmt::Debug {
+    /// Number of channels.
+    fn channels(&self) -> usize;
+    /// Choose the channel for the next packet.
+    fn pick(&mut self, ctx: &SelectCtx<'_>) -> ChannelId;
+}

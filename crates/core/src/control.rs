@@ -1,0 +1,207 @@
+//! Control-message framing: markers, resets, and quantum updates on one
+//! codepoint.
+//!
+//! The base protocol needs only markers, but §5's fault model adds two
+//! more control exchanges:
+//!
+//! - **Reset** — "we deal with sender or receiver node crashes by doing a
+//!   reset": an epoch-stamped request/acknowledge handshake that
+//!   reinitializes both ends to `s0` (see [`crate::reset`]).
+//! - **Quantum update** — §3.5 generalizes SRR to channels of different
+//!   rated bandwidths via per-channel quanta; when rates change at run
+//!   time (a modem retrain, a PVC renegotiation), both ends must switch
+//!   quanta *at the same round* or the receiver's simulation diverges.
+//!   [`Control::QuantumUpdate`] carries the new quanta and the round at
+//!   which they take effect.
+//!
+//! Like markers, control messages ride their own codepoint and never
+//! modify data packets. The wire format is a type byte followed by the
+//! message body; everything is fixed-layout big-endian, so both ends can
+//! be different architectures.
+
+use crate::marker::{Marker, MARKER_WIRE_LEN};
+
+/// Epoch counter for reset generations. Wraps are harmless: epochs only
+/// need to distinguish "newer than mine".
+pub type Epoch = u32;
+
+/// A control message on a striped channel group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Control {
+    /// A synchronization marker (§5).
+    Marker(Marker),
+    /// Sender asks the receiver to reinitialize to `s0` under `epoch`.
+    ResetRequest {
+        /// The new epoch being established.
+        epoch: Epoch,
+    },
+    /// Receiver confirms it has flushed and reinitialized under `epoch`.
+    /// Travels on the reverse path.
+    ResetAck {
+        /// The epoch being acknowledged.
+        epoch: Epoch,
+    },
+    /// Both ends switch to `quanta` when their global round reaches
+    /// `effective_round`.
+    QuantumUpdate {
+        /// Round at which the new quanta take effect.
+        effective_round: u64,
+        /// New per-channel quanta (≤ 16 channels on the wire).
+        quanta: Vec<i64>,
+    },
+}
+
+const TYPE_MARKER: u8 = 1;
+const TYPE_RESET_REQ: u8 = 2;
+const TYPE_RESET_ACK: u8 = 3;
+const TYPE_QUANTUM: u8 = 4;
+
+/// Largest encoded control message (quantum update for 16 channels).
+pub const CONTROL_MAX_WIRE_LEN: usize = 1 + 8 + 1 + 16 * 8;
+
+impl Control {
+    /// Encode to wire bytes.
+    ///
+    /// # Panics
+    /// Panics if a `QuantumUpdate` carries more than 16 channels — the
+    /// wire format reserves 4 bits of count.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Control::Marker(m) => {
+                let mut v = Vec::with_capacity(1 + MARKER_WIRE_LEN);
+                v.push(TYPE_MARKER);
+                v.extend_from_slice(&m.encode());
+                v
+            }
+            Control::ResetRequest { epoch } => {
+                let mut v = vec![TYPE_RESET_REQ];
+                v.extend_from_slice(&epoch.to_be_bytes());
+                v
+            }
+            Control::ResetAck { epoch } => {
+                let mut v = vec![TYPE_RESET_ACK];
+                v.extend_from_slice(&epoch.to_be_bytes());
+                v
+            }
+            Control::QuantumUpdate {
+                effective_round,
+                quanta,
+            } => {
+                assert!(quanta.len() <= 16, "wire format caps at 16 channels");
+                let mut v = vec![TYPE_QUANTUM];
+                v.extend_from_slice(&effective_round.to_be_bytes());
+                v.push(quanta.len() as u8);
+                for q in quanta {
+                    v.extend_from_slice(&q.to_be_bytes());
+                }
+                v
+            }
+        }
+    }
+
+    /// Decode from wire bytes; `None` on anything malformed (corrupt
+    /// control traffic is dropped like corrupt data, §5).
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let (&t, rest) = buf.split_first()?;
+        match t {
+            TYPE_MARKER => Marker::decode(rest).map(Control::Marker),
+            TYPE_RESET_REQ => {
+                let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
+                Some(Control::ResetRequest { epoch })
+            }
+            TYPE_RESET_ACK => {
+                let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
+                Some(Control::ResetAck { epoch })
+            }
+            TYPE_QUANTUM => {
+                let effective_round = u64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+                let n = *rest.get(8)? as usize;
+                if n > 16 {
+                    return None;
+                }
+                let mut quanta = Vec::with_capacity(n);
+                for i in 0..n {
+                    let off = 9 + i * 8;
+                    let q = i64::from_be_bytes(rest.get(off..off + 8)?.try_into().ok()?);
+                    if q <= 0 {
+                        return None; // a zero quantum would wedge the scan
+                    }
+                    quanta.push(q);
+                }
+                Some(Control::QuantumUpdate {
+                    effective_round,
+                    quanta,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::ChannelMark;
+
+    #[test]
+    fn marker_roundtrip() {
+        let c = Control::Marker(Marker::sync(2, ChannelMark { round: 77, dc: -3 }));
+        assert_eq!(Control::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn reset_roundtrips() {
+        for c in [
+            Control::ResetRequest { epoch: 0 },
+            Control::ResetRequest { epoch: u32::MAX },
+            Control::ResetAck { epoch: 12345 },
+        ] {
+            assert_eq!(Control::decode(&c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn quantum_update_roundtrips() {
+        let c = Control::QuantumUpdate {
+            effective_round: 1 << 40,
+            quanta: vec![1500, 4500, 9000],
+        };
+        assert_eq!(Control::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Control::decode(&[]), None);
+        assert_eq!(Control::decode(&[99, 1, 2, 3]), None);
+        assert_eq!(Control::decode(&[TYPE_RESET_REQ, 1]), None); // short
+        // Quantum update with a non-positive quantum is rejected.
+        let mut bad = Control::QuantumUpdate {
+            effective_round: 5,
+            quanta: vec![1500],
+        }
+        .encode();
+        let n = bad.len();
+        bad[n - 8..].copy_from_slice(&0i64.to_be_bytes());
+        assert_eq!(Control::decode(&bad), None);
+    }
+
+    #[test]
+    fn truncated_quanta_rejected() {
+        let c = Control::QuantumUpdate {
+            effective_round: 5,
+            quanta: vec![1500, 3000],
+        };
+        let enc = c.encode();
+        assert_eq!(Control::decode(&enc[..enc.len() - 1]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 channels")]
+    fn too_many_channels_panics_on_encode() {
+        let _ = Control::QuantumUpdate {
+            effective_round: 0,
+            quanta: vec![1; 17],
+        }
+        .encode();
+    }
+}

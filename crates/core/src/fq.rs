@@ -1,0 +1,169 @@
+//! Running a causal scheduler in its *original* direction: fair queuing.
+//!
+//! §3 of the paper observes that load sharing is the "time reversal" of fair
+//! queuing: where an FQ algorithm pulls packets from many queues onto one
+//! channel, the transformed algorithm pushes packets from one queue onto
+//! many channels — same state machine, same `f`/`g`, opposite data flow.
+//!
+//! This module runs a [`CausalScheduler`] as a backlogged fair-queuing
+//! server. It exists for three reasons:
+//!
+//! 1. it reproduces the paper's Figure 2/Figure 5 examples;
+//! 2. it is the proof vehicle for Theorem 3.1 — the
+//!    [`duality_check`] function verifies on concrete executions that
+//!    feeding a load-sharing output back through the FQ direction
+//!    reconstructs the original input;
+//! 3. the receiver's logical reception (§4) *is* this FQ direction, so
+//!    testing it independently isolates bugs.
+
+use std::collections::VecDeque;
+
+use crate::sched::CausalScheduler;
+use crate::sender::{MarkerConfig, StripingSender};
+use crate::types::{ChannelId, WireLen};
+
+/// Serve packets from `queues` in backlogged FQ order until some queue that
+/// the scheduler selects is empty (the backlogged assumption breaks) or all
+/// queues are drained. Returns the service order as `(queue, packet)` pairs.
+///
+/// The scheduler must be fresh (initial state `s0`); queues correspond to
+/// its channels 1:1.
+///
+/// # Panics
+/// Panics if `queues.len()` differs from the scheduler's channel count.
+pub fn service_backlogged<S, P>(sched: &mut S, queues: &mut [VecDeque<P>]) -> Vec<(ChannelId, P)>
+where
+    S: CausalScheduler,
+    P: WireLen,
+{
+    assert_eq!(
+        queues.len(),
+        sched.channels(),
+        "one queue per scheduler channel"
+    );
+    let mut served = Vec::new();
+    loop {
+        let q = sched.current();
+        match queues[q].pop_front() {
+            None => break, // backlog exhausted on the selected queue
+            Some(p) => {
+                sched.advance(p.wire_len());
+                served.push((q, p));
+            }
+        }
+    }
+    served
+}
+
+/// Concrete verification of the Theorem 3.1 correspondence on one execution:
+///
+/// 1. stripe `input` with a load-sharing instance of the scheduler,
+///    producing per-channel output sequences;
+/// 2. load those sequences as the *queues* of a fresh FQ instance;
+/// 3. serve backlogged — the FQ output must equal the original input.
+///
+/// Returns `true` iff the reconstruction is exact.
+pub fn duality_check<S, P>(make_sched: impl Fn() -> S, input: &[P]) -> bool
+where
+    S: CausalScheduler,
+    P: WireLen + Clone + PartialEq,
+{
+    let sched = make_sched();
+    let mut tx = StripingSender::new(sched, MarkerConfig::disabled());
+    let n = tx.scheduler().channels();
+    let mut queues: Vec<VecDeque<P>> = vec![VecDeque::new(); n];
+    for p in input {
+        let d = tx.send(p.wire_len());
+        queues[d.channel].push_back(p.clone());
+    }
+    let mut fq = make_sched();
+    let served = service_backlogged(&mut fq, &mut queues);
+    served.len() == input.len() && served.iter().map(|(_, p)| p).eq(input.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Rfq, Srr};
+    use crate::types::TestPacket;
+
+    fn fig2_queues() -> Vec<VecDeque<TestPacket>> {
+        // Queue 1: a(550), b(150), c(300); Queue 2: d(200), e(400), f(400).
+        let q1 = [(0u64, 550), (1, 150), (2, 300)];
+        let q2 = [(3u64, 200), (4, 400), (5, 400)];
+        vec![
+            q1.iter().map(|&(id, len)| TestPacket::new(id, len)).collect(),
+            q2.iter().map(|&(id, len)| TestPacket::new(id, len)).collect(),
+        ]
+    }
+
+    /// Figure 5: SRR fair queuing over the {a..f} example serves
+    /// a, d, e, b, c, f (queues 1,2,2,1,1,2).
+    #[test]
+    fn figure5_service_order() {
+        let mut sched = Srr::equal(2, 500);
+        let mut queues = fig2_queues();
+        let served = service_backlogged(&mut sched, &mut queues);
+        let order: Vec<(usize, u64)> = served.iter().map(|(q, p)| (*q, p.id)).collect();
+        // ids: a=0 b=1 c=2 d=3 e=4 f=5
+        assert_eq!(order, vec![(0, 0), (1, 3), (1, 4), (0, 1), (0, 2), (1, 5)]);
+    }
+
+    /// Figure 2/3 duality on the exact paper example.
+    #[test]
+    fn figure23_duality() {
+        // The load-sharing input is the FQ output order: a d e b c f.
+        let input = [
+            TestPacket::new(0, 550),
+            TestPacket::new(3, 200),
+            TestPacket::new(4, 400),
+            TestPacket::new(1, 150),
+            TestPacket::new(2, 300),
+            TestPacket::new(5, 400),
+        ];
+        assert!(duality_check(|| Srr::equal(2, 500), &input));
+    }
+
+    #[test]
+    fn duality_holds_for_rr_and_grr() {
+        let input: Vec<TestPacket> = (0..200)
+            .map(|i| TestPacket::new(i, 40 + (i as usize * 77) % 1400))
+            .collect();
+        assert!(duality_check(|| Srr::rr(3), &input));
+        assert!(duality_check(|| Srr::grr(&[3, 2, 1]), &input));
+    }
+
+    #[test]
+    fn duality_holds_for_randomized_scheduler() {
+        let input: Vec<TestPacket> = (0..200)
+            .map(|i| TestPacket::new(i, 40 + (i as usize * 311) % 1400))
+            .collect();
+        assert!(duality_check(|| Rfq::new(3, 0xBEEF), &input));
+    }
+
+    #[test]
+    fn service_stops_when_selected_queue_empties() {
+        let mut sched = Srr::rr(2);
+        // Queue 0 has 1 packet, queue 1 has 3: RR will serve 0,1 then find
+        // queue 0 empty and stop (backlogged assumption broken).
+        let mut queues = vec![
+            VecDeque::from([TestPacket::new(0, 100)]),
+            VecDeque::from([
+                TestPacket::new(1, 100),
+                TestPacket::new(2, 100),
+                TestPacket::new(3, 100),
+            ]),
+        ];
+        let served = service_backlogged(&mut sched, &mut queues);
+        assert_eq!(served.len(), 2);
+        assert_eq!(queues[1].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one queue per scheduler channel")]
+    fn queue_count_mismatch_panics() {
+        let mut sched = Srr::rr(2);
+        let mut queues: Vec<VecDeque<TestPacket>> = vec![VecDeque::new()];
+        let _ = service_backlogged(&mut sched, &mut queues);
+    }
+}

@@ -1,0 +1,131 @@
+//! Marker packets — the synchronization-recovery vehicle of §5.
+//!
+//! Markers are *control* packets the receiver can distinguish from data by a
+//! lower-layer codepoint (an Ethernet type field, an ATM OAM cell, ...).
+//! Crucially they do not modify data packets in any way — the defining
+//! constraint of the whole protocol.
+//!
+//! A marker sent on channel `c` carries the implicit packet number
+//! `(round, dc)` of the *next data packet the sender will emit on `c`*
+//! (see [`ChannelMark`]), plus the sender's channel number so both ends
+//! agree on channel ordering (condition C2 of §5). Markers may also
+//! piggyback flow-control credit, the §6.3 FCVC integration.
+
+use crate::sched::ChannelMark;
+use crate::types::ChannelId;
+
+/// Magic prefix of an encoded marker, so misrouted frames fail decode loudly.
+const MAGIC: u16 = 0x53A3;
+
+/// Wire size of an encoded marker in bytes.
+pub const MARKER_WIRE_LEN: usize = 24;
+
+/// A synchronization marker for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Marker {
+    /// The sender's number for the channel this marker travels on.
+    pub channel: ChannelId,
+    /// Implicit number of the next data packet on this channel.
+    pub mark: ChannelMark,
+    /// Optional piggybacked FCVC credit grant, in bytes (§6.3): used on the
+    /// *reverse* path by a receiver granting buffer space to the sender.
+    pub credit: Option<u32>,
+}
+
+impl Marker {
+    /// A plain synchronization marker with no piggybacked credit.
+    pub fn sync(channel: ChannelId, mark: ChannelMark) -> Self {
+        Self {
+            channel,
+            mark,
+            credit: None,
+        }
+    }
+
+    /// Encode to the fixed 24-byte wire format (big-endian):
+    /// magic(2) channel(2) round(8) dc(8) credit(4, `u32::MAX` = none).
+    pub fn encode(&self) -> [u8; MARKER_WIRE_LEN] {
+        let mut b = [0u8; MARKER_WIRE_LEN];
+        b[0..2].copy_from_slice(&MAGIC.to_be_bytes());
+        b[2..4].copy_from_slice(&(self.channel as u16).to_be_bytes());
+        b[4..12].copy_from_slice(&self.mark.round.to_be_bytes());
+        b[12..20].copy_from_slice(&self.mark.dc.to_be_bytes());
+        let credit = self.credit.unwrap_or(u32::MAX);
+        b[20..24].copy_from_slice(&credit.to_be_bytes());
+        b
+    }
+
+    /// Decode from wire format. Returns `None` on short input or bad magic —
+    /// a corrupted marker is simply dropped, like any corrupted packet (§5
+    /// assumes detectable corruption).
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < MARKER_WIRE_LEN {
+            return None;
+        }
+        let magic = u16::from_be_bytes([buf[0], buf[1]]);
+        if magic != MAGIC {
+            return None;
+        }
+        let channel = u16::from_be_bytes([buf[2], buf[3]]) as ChannelId;
+        let round = u64::from_be_bytes(buf[4..12].try_into().ok()?);
+        let dc = i64::from_be_bytes(buf[12..20].try_into().ok()?);
+        let credit_raw = u32::from_be_bytes(buf[20..24].try_into().ok()?);
+        Some(Self {
+            channel,
+            mark: ChannelMark { round, dc },
+            credit: (credit_raw != u32::MAX).then_some(credit_raw),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_plain() {
+        let m = Marker::sync(3, ChannelMark { round: 912, dc: -47 });
+        let enc = m.encode();
+        assert_eq!(Marker::decode(&enc), Some(m));
+    }
+
+    #[test]
+    fn roundtrip_with_credit() {
+        let m = Marker {
+            channel: 0,
+            mark: ChannelMark {
+                round: u64::MAX / 3,
+                dc: i64::MIN / 7,
+            },
+            credit: Some(65_536),
+        };
+        assert_eq!(Marker::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        let m = Marker::sync(1, ChannelMark { round: 5, dc: 5 });
+        let enc = m.encode();
+        assert_eq!(Marker::decode(&enc[..MARKER_WIRE_LEN - 1]), None);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let m = Marker::sync(1, ChannelMark { round: 5, dc: 5 });
+        let mut enc = m.encode();
+        enc[0] ^= 0xFF;
+        assert_eq!(Marker::decode(&enc), None);
+    }
+
+    #[test]
+    fn credit_sentinel_roundtrips_as_none() {
+        // u32::MAX is reserved as "no credit"; a marker must never encode a
+        // real credit of that value, so None survives the trip.
+        let m = Marker {
+            channel: 2,
+            mark: ChannelMark { round: 1, dc: 1 },
+            credit: None,
+        };
+        assert_eq!(Marker::decode(&m.encode()).unwrap().credit, None);
+    }
+}

@@ -1,0 +1,408 @@
+//! Logical reception — the resequencing engine of §4 and §5.
+//!
+//! The receiver separates *physical* reception (a packet arrives on a
+//! channel and is appended to that channel's buffer) from *logical*
+//! reception (the packet is removed from a buffer and delivered upward).
+//! Logical reception is driven by a simulation of the sender's causal
+//! scheduler: the receiver always knows which channel the next packet
+//! *logically* arrives on, blocks on that channel's buffer, and services it
+//! exactly as the sender's scheduler did. With no loss this reproduces the
+//! sender's input order bit-for-bit (Theorem 4.1) — whatever the skew
+//! between channels.
+//!
+//! Loss desynchronizes the simulation; the receiver then delivers a
+//! shifted — possibly misordered — sequence until a marker arrives. The §5
+//! recovery rule implemented here:
+//!
+//! - A marker on channel `c` carries `(r, d)`: the round and DC of the next
+//!   data packet the sender put on `c` after the marker. The receiver
+//!   records it as channel `c`'s *pending mark* (the paper's `r_c`).
+//! - **Condition C1**: while `r_c` exceeds the receiver's global round `G`,
+//!   the receiver has arrived at `c` "too early" (it lost packets and ran
+//!   ahead); it skips `c` in the scan until `G` catches up, then adopts `d`
+//!   as the channel's DC and resumes normal service.
+
+use std::collections::VecDeque;
+
+use crate::marker::Marker;
+use crate::sched::CausalScheduler;
+use crate::types::{ChannelId, WireLen};
+
+/// What physically arrives on a channel: an unmodified data packet or a
+/// marker (distinguished by a lower-layer codepoint, never by touching the
+/// data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arrival<P> {
+    /// An application data packet.
+    Data(P),
+    /// A synchronization marker.
+    Marker(Marker),
+}
+
+/// Counters exposed for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// Data packets delivered upward.
+    pub delivered: u64,
+    /// Markers observed (popped from channel buffers).
+    pub markers_seen: u64,
+    /// Marks adopted into the scheduler state.
+    pub marks_applied: u64,
+    /// Channel visits skipped under condition C1.
+    pub skips: u64,
+    /// Arrivals dropped because a channel buffer was full.
+    pub overflow_drops: u64,
+}
+
+/// The logical-reception resequencer.
+///
+/// `push` arrivals as they physically appear on each channel (in per-channel
+/// FIFO order — the channel contract), then `poll` until it returns `None`
+/// to drain every packet that is logically deliverable so far.
+#[derive(Debug, Clone)]
+pub struct LogicalReceiver<S: CausalScheduler, P> {
+    sched: S,
+    bufs: Vec<VecDeque<Arrival<P>>>,
+    /// Pending mark per channel: the paper's `r_c` (plus the DC to adopt).
+    pending: Vec<Option<crate::sched::ChannelMark>>,
+    cap_per_channel: usize,
+    stats: ReceiverStats,
+}
+
+impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
+    /// Create a receiver simulating `sched` (which must be an identically
+    /// configured, fresh copy of the sender's scheduler), with at most
+    /// `cap_per_channel` buffered arrivals per channel.
+    pub fn new(sched: S, cap_per_channel: usize) -> Self {
+        assert!(cap_per_channel > 0, "buffers must hold at least one packet");
+        let n = sched.channels();
+        Self {
+            sched,
+            bufs: (0..n).map(|_| VecDeque::new()).collect(),
+            pending: vec![None; n],
+            cap_per_channel,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Physical reception: append an arrival to channel `c`'s buffer.
+    ///
+    /// Returns `false` (and drops the arrival) if the buffer is full —
+    /// finite buffers are part of the channel model; the §6.3 credit scheme
+    /// exists to prevent exactly this.
+    pub fn push(&mut self, c: ChannelId, a: Arrival<P>) -> bool {
+        if self.bufs[c].len() >= self.cap_per_channel {
+            self.stats.overflow_drops += 1;
+            return false;
+        }
+        self.bufs[c].push_back(a);
+        true
+    }
+
+    /// Logical reception: deliver the next in-order packet, or `None` if the
+    /// receiver is blocked waiting for an arrival on the expected channel.
+    pub fn poll(&mut self) -> Option<P> {
+        loop {
+            let c = self.sched.current();
+
+            // Condition C1: honour a pending mark for the expected channel.
+            if let Some(m) = self.pending[c] {
+                if m.round > self.sched.round() {
+                    // Arrived too early at `c` (losses made us run ahead):
+                    // skip it this round.
+                    self.sched.skip_current();
+                    self.stats.skips += 1;
+                    continue;
+                }
+                self.sched.apply_mark(c, m);
+                self.pending[c] = None;
+                self.stats.marks_applied += 1;
+            }
+
+            match self.bufs[c].front() {
+                None => return None, // block on the expected channel
+                Some(Arrival::Marker(_)) => {
+                    let Some(Arrival::Marker(mk)) = self.bufs[c].pop_front() else {
+                        unreachable!("front() said marker");
+                    };
+                    self.stats.markers_seen += 1;
+                    // Newest marker wins: it reflects fresher sender state.
+                    self.pending[c] = Some(mk.mark);
+                }
+                Some(Arrival::Data(_)) => {
+                    let Some(Arrival::Data(p)) = self.bufs[c].pop_front() else {
+                        unreachable!("front() said data");
+                    };
+                    self.sched.advance(p.wire_len());
+                    self.stats.delivered += 1;
+                    return Some(p);
+                }
+            }
+        }
+    }
+
+    /// Which channel the receiver is currently blocked on (the next logical
+    /// arrival), useful for diagnostics.
+    pub fn expected_channel(&self) -> ChannelId {
+        self.sched.current()
+    }
+
+    /// Number of arrivals buffered on channel `c` awaiting logical
+    /// reception.
+    pub fn buffered(&self, c: ChannelId) -> usize {
+        self.bufs[c].len()
+    }
+
+    /// Total arrivals buffered across all channels.
+    pub fn buffered_total(&self) -> usize {
+        self.bufs.iter().map(VecDeque::len).sum()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// The simulation scheduler (read-only).
+    pub fn scheduler(&self) -> &S {
+        &self.sched
+    }
+
+    /// Apply a received quantum renegotiation: the simulation switches
+    /// quanta at the same round the sender does (from a
+    /// [`Control::QuantumUpdate`](crate::control::Control::QuantumUpdate)).
+    /// Safe to call as soon as the message arrives — the round gate inside
+    /// the scheduler handles the timing.
+    pub fn schedule_quanta(&mut self, effective_round: u64, quanta: &[i64]) {
+        self.sched.schedule_quanta(effective_round, quanta);
+    }
+
+    /// Reset to initial state, discarding buffers (endpoint restart, §5).
+    pub fn reset(&mut self) {
+        self.sched.reset();
+        for b in &mut self.bufs {
+            b.clear();
+        }
+        for p in &mut self.pending {
+            *p = None;
+        }
+        self.stats = ReceiverStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Srr;
+    use crate::sender::{MarkerConfig, StripingSender};
+    use crate::types::TestPacket;
+
+    fn pump<S: CausalScheduler + Clone>(
+        sched: S,
+        cfg: MarkerConfig,
+        lens: impl IntoIterator<Item = usize>,
+        lose: impl Fn(u64, ChannelId) -> bool,
+    ) -> (Vec<u64>, ReceiverStats) {
+        let mut tx = StripingSender::new(sched.clone(), cfg);
+        let mut rx = LogicalReceiver::new(sched, 4096);
+        let mut out = Vec::new();
+        for (id, len) in lens.into_iter().enumerate() {
+            let id = id as u64;
+            let d = tx.send(len);
+            if !lose(id, d.channel) {
+                rx.push(d.channel, Arrival::Data(TestPacket::new(id, len)));
+            }
+            for (c, mk) in d.markers {
+                rx.push(c, Arrival::Marker(mk));
+            }
+            while let Some(p) = rx.poll() {
+                out.push(p.id);
+            }
+        }
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+        (out, rx.stats())
+    }
+
+    /// Theorem 4.1: without loss, output order equals input order, whatever
+    /// the sizes.
+    #[test]
+    fn lossless_delivery_is_fifo() {
+        let lens = (0..500).map(|i| 40 + (i * 97) % 1460);
+        let (out, _) = pump(
+            Srr::equal(3, 1500),
+            MarkerConfig::disabled(),
+            lens,
+            |_, _| false,
+        );
+        assert_eq!(out, (0..500).collect::<Vec<_>>());
+    }
+
+    /// Theorem 4.1 holds for weighted channels too.
+    #[test]
+    fn lossless_fifo_with_weighted_channels() {
+        let lens = (0..500).map(|i| 64 + (i * 131) % 1400);
+        let (out, _) = pump(
+            Srr::weighted(&[1500, 4500, 3000]),
+            MarkerConfig::disabled(),
+            lens,
+            |_, _| false,
+        );
+        assert_eq!(out, (0..500).collect::<Vec<_>>());
+    }
+
+    /// The round-robin loss example of §4: with packet 1 lost and no
+    /// markers, delivery is permanently shifted on the lossy channel.
+    #[test]
+    fn single_loss_without_markers_misorders_forever() {
+        // RR over 2 channels; lose the very first packet (id 0, channel 0).
+        let (out, _) = pump(
+            Srr::rr(2),
+            MarkerConfig::disabled(),
+            std::iter::repeat_n(100, 12),
+            |id, _| id == 0,
+        );
+        // Receiver pairs packet 2 with channel 0's next arrival: sequence
+        // becomes 2,1,4,3,... exactly the paper's permanent reordering.
+        assert_eq!(out, vec![2, 1, 4, 3, 6, 5, 8, 7, 10, 9]);
+    }
+
+    /// Figures 8–13: two equal channels, unit-size packets, packet 7 (our
+    /// id 6) lost; a marker restores synchronization and FIFO delivery.
+    #[test]
+    fn figure_8_to_13_walkthrough() {
+        let (out, stats) = pump(
+            Srr::rr(2),
+            MarkerConfig::every_rounds(3),
+            std::iter::repeat_n(100, 24),
+            |id, _| id == 6,
+        );
+        // Deliveries eventually return to consecutive order.
+        let tail = &out[out.len() - 8..];
+        let first = tail[0];
+        let expect: Vec<u64> = (first..first + 8).collect();
+        assert_eq!(tail, &expect[..], "full delivery: {out:?}");
+        assert!(stats.skips >= 1, "C1 skip must have fired");
+        assert!(stats.marks_applied >= 1);
+    }
+
+    /// After losses stop and one marker per channel arrives, delivery is
+    /// FIFO again (Theorem 5.1) — bursty loss case.
+    #[test]
+    fn marker_recovery_after_burst_loss() {
+        let lens = (0..2000).map(|i| 60 + (i * 53) % 1200);
+        let (out, stats) = pump(
+            Srr::equal(4, 1500),
+            MarkerConfig::every_rounds(4),
+            lens,
+            |id, _| (300..420).contains(&id), // a 120-packet burst vanishes
+        );
+        // The tail after recovery must be strictly consecutive.
+        assert!(out.len() > 1700);
+        let tail = &out[out.len() - 1000..];
+        for w in tail.windows(2) {
+            assert_eq!(w[1], w[0] + 1, "tail not FIFO: ...{w:?}...");
+        }
+        assert!(stats.skips > 0);
+    }
+
+    /// Losing *everything* on one channel for a while must not deadlock the
+    /// receiver: markers unblock it.
+    #[test]
+    fn dead_channel_does_not_deadlock() {
+        let lens = std::iter::repeat_n(500, 2000);
+        let (out, _) = pump(
+            Srr::equal(2, 1500),
+            MarkerConfig::every_rounds(2),
+            lens,
+            |id, ch| ch == 1 && id < 1000, // channel 1 black-holes early on
+        );
+        // Everything sent after the blackout must eventually be delivered.
+        assert!(out.iter().any(|&id| id >= 1995), "delivered: {}", out.len());
+        let tail = &out[out.len() - 200..];
+        for w in tail.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn buffer_overflow_drops_and_counts() {
+        let mut rx: LogicalReceiver<_, TestPacket> = LogicalReceiver::new(Srr::rr(2), 2);
+        assert!(rx.push(1, Arrival::Data(TestPacket::new(0, 10))));
+        assert!(rx.push(1, Arrival::Data(TestPacket::new(1, 10))));
+        assert!(!rx.push(1, Arrival::Data(TestPacket::new(2, 10))));
+        assert_eq!(rx.stats().overflow_drops, 1);
+    }
+
+    #[test]
+    fn blocked_receiver_reports_expected_channel() {
+        let mut rx: LogicalReceiver<_, TestPacket> = LogicalReceiver::new(Srr::rr(2), 8);
+        // Data waiting on channel 1, but channel 0 is logically next.
+        rx.push(1, Arrival::Data(TestPacket::new(1, 100)));
+        assert_eq!(rx.poll(), None);
+        assert_eq!(rx.expected_channel(), 0);
+        assert_eq!(rx.buffered(1), 1);
+        // The expected packet arrives: both drain in order.
+        rx.push(0, Arrival::Data(TestPacket::new(0, 100)));
+        assert_eq!(rx.poll().map(|p| p.id), Some(0));
+        assert_eq!(rx.poll().map(|p| p.id), Some(1));
+        assert_eq!(rx.poll(), None);
+    }
+
+    /// Quantum renegotiation mid-stream: both ends switch at the same
+    /// round and FIFO delivery holds throughout — no loss, no reorder.
+    #[test]
+    fn fifo_across_quantum_renegotiation() {
+        let sched = Srr::weighted(&[1500, 1500]);
+        let mut tx = StripingSender::new(sched.clone(), MarkerConfig::every_rounds(8));
+        let mut rx = LogicalReceiver::new(sched, 4096);
+        let mut out = Vec::new();
+        let mut announced = false;
+        for id in 0..2000u64 {
+            let len = 100 + (id as usize * 97) % 1300;
+            // Partway in, channel 1's rate "triples": renegotiate.
+            if !announced && tx.scheduler().round() == 20 {
+                announced = true;
+                let round = tx.scheduler().round() + 4;
+                for (_, ctl) in tx.announce_quanta(round, &[1500, 4500]) {
+                    let crate::control::Control::QuantumUpdate {
+                        effective_round,
+                        quanta,
+                    } = ctl
+                    else {
+                        panic!("wrong control type")
+                    };
+                    rx.schedule_quanta(effective_round, &quanta);
+                }
+            }
+            let d = tx.send(len);
+            rx.push(d.channel, Arrival::Data(TestPacket::new(id, len)));
+            for (c, mk) in d.markers {
+                rx.push(c, Arrival::Marker(mk));
+            }
+            while let Some(p) = rx.poll() {
+                out.push(p.id);
+            }
+        }
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+        assert!(announced, "renegotiation never triggered");
+        assert_eq!(out, (0..2000).collect::<Vec<_>>());
+        // And the shares did shift: channel 1 carried ~3x after the change.
+        let acct = tx.accountant();
+        assert!(acct.bytes(1) > 2 * acct.bytes(0), "{:?}", acct);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut rx: LogicalReceiver<_, TestPacket> = LogicalReceiver::new(Srr::rr(2), 8);
+        rx.push(0, Arrival::Data(TestPacket::new(0, 100)));
+        rx.poll();
+        rx.reset();
+        assert_eq!(rx.stats(), ReceiverStats::default());
+        assert_eq!(rx.buffered_total(), 0);
+        assert_eq!(rx.expected_channel(), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The striping sender engine: channel selection plus marker emission.
+//!
+//! [`StripingSender`] wraps any [`CausalScheduler`] and drives it in the
+//! load-sharing direction (§3.2): for each outgoing packet it applies `f(s)`
+//! to pick the channel, then `g(s, p)` to update state. It also implements
+//! the sender half of the §5 synchronization protocol: every
+//! `period_rounds` rounds, at a configurable position within the round, it
+//! emits one [`Marker`] per channel carrying that channel's implicit
+//! next-packet number.
+//!
+//! The marker *position* matters empirically (§6.3 found the fewest
+//! out-of-order deliveries with markers at the beginning or end of a round);
+//! the `marker_position` bench sweeps it.
+
+use crate::fairness::ByteAccountant;
+use crate::marker::Marker;
+use crate::sched::CausalScheduler;
+use crate::types::ChannelId;
+
+/// Where within a round the periodic markers are emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerPosition {
+    /// At the round boundary, before any channel is served — the paper's
+    /// "beginning of the round" (equivalently the end of the previous one).
+    StartOfRound,
+    /// Immediately after channel `k`'s service completes within the round.
+    /// `AfterChannel(N-1)` coincides with the next round's start.
+    AfterChannel(ChannelId),
+}
+
+/// Marker emission policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerConfig {
+    /// Emit markers every this many rounds. `0` disables markers entirely
+    /// (pure logical reception — FIFO only until the first loss).
+    pub period_rounds: u64,
+    /// Position within the due round.
+    pub position: MarkerPosition,
+}
+
+impl MarkerConfig {
+    /// Markers at the start of every `period`-th round (the paper's
+    /// recommended position).
+    pub fn every_rounds(period: u64) -> Self {
+        Self {
+            period_rounds: period,
+            position: MarkerPosition::StartOfRound,
+        }
+    }
+
+    /// No markers at all.
+    pub fn disabled() -> Self {
+        Self {
+            period_rounds: 0,
+            position: MarkerPosition::StartOfRound,
+        }
+    }
+}
+
+/// The outcome of handing one packet to the sender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendDecision {
+    /// Channel the data packet must be transmitted on.
+    pub channel: ChannelId,
+    /// Markers to transmit *after* the data packet, each on its own channel.
+    /// A marker describes the sender state at this instant, so it must not
+    /// overtake the data packet on `channel` (FIFO channels guarantee the
+    /// rest).
+    pub markers: Vec<(ChannelId, Marker)>,
+}
+
+/// Sender-side striping engine.
+#[derive(Debug, Clone)]
+pub struct StripingSender<S: CausalScheduler> {
+    sched: S,
+    cfg: MarkerConfig,
+    /// Linearized scan index (`round * N + channel`) at which the next
+    /// marker batch is due.
+    next_marker_at: Option<u64>,
+    acct: ByteAccountant,
+    markers_sent: u64,
+}
+
+impl<S: CausalScheduler> StripingSender<S> {
+    /// Create a sender around a scheduler in its initial state. The receiver
+    /// must be constructed from an identically configured scheduler.
+    pub fn new(sched: S, cfg: MarkerConfig) -> Self {
+        let n = sched.channels();
+        let mut s = Self {
+            acct: ByteAccountant::new(n),
+            sched,
+            cfg,
+            next_marker_at: None,
+            markers_sent: 0,
+        };
+        s.next_marker_at = s.first_marker_target();
+        s
+    }
+
+    /// Linearized position of the scan: monotone non-decreasing across the
+    /// life of the scheduler.
+    fn lin(&self) -> u64 {
+        self.sched.round() * self.sched.channels() as u64 + self.sched.current() as u64
+    }
+
+    fn target_for_round(&self, round: u64) -> u64 {
+        let n = self.sched.channels() as u64;
+        match self.cfg.position {
+            MarkerPosition::StartOfRound => round * n,
+            MarkerPosition::AfterChannel(k) => round * n + (k as u64 + 1),
+        }
+    }
+
+    fn first_marker_target(&self) -> Option<u64> {
+        if self.cfg.period_rounds == 0 {
+            return None;
+        }
+        // First batch is due in round (start_round + period).
+        Some(self.target_for_round(self.sched.round() + self.cfg.period_rounds))
+    }
+
+    /// Stripe one packet of `wire_len` bytes. Returns the channel to send it
+    /// on plus any markers that fall due.
+    pub fn send(&mut self, wire_len: usize) -> SendDecision {
+        let channel = self.sched.current();
+        self.acct.record(channel, wire_len as u64);
+        self.sched.advance(wire_len);
+
+        let mut markers = Vec::new();
+        if let Some(due) = self.next_marker_at {
+            if self.lin() >= due {
+                markers = self.make_markers();
+                // Schedule the next batch `period` rounds after the round
+                // the due point belonged to (not after the current round, so
+                // a long jump cannot silently stretch the period).
+                let n = self.sched.channels() as u64;
+                let due_round = due / n;
+                let mut next_round = due_round + self.cfg.period_rounds;
+                // If the scan has already passed several periods (bursty
+                // advance), catch up without emitting duplicate batches.
+                while self.target_for_round(next_round) <= self.lin() {
+                    next_round += self.cfg.period_rounds;
+                }
+                self.next_marker_at = Some(self.target_for_round(next_round));
+            }
+        }
+        SendDecision { channel, markers }
+    }
+
+    /// Build a full marker batch (one per channel) describing the current
+    /// state. Exposed so callers can also emit markers on a *timer* during
+    /// idle periods, when no data is flowing to trigger the round-based
+    /// schedule.
+    pub fn make_markers(&mut self) -> Vec<(ChannelId, Marker)> {
+        let n = self.sched.channels();
+        self.markers_sent += n as u64;
+        (0..n)
+            .map(|c| (c, Marker::sync(c, self.sched.mark_for(c))))
+            .collect()
+    }
+
+    /// The underlying scheduler (read-only).
+    pub fn scheduler(&self) -> &S {
+        &self.sched
+    }
+
+    /// Bytes sent per channel so far — the fairness ledger.
+    pub fn accountant(&self) -> &ByteAccountant {
+        &self.acct
+    }
+
+    /// Total markers emitted (overhead accounting for the benches).
+    pub fn markers_sent(&self) -> u64 {
+        self.markers_sent
+    }
+
+    /// Reset to the initial state (endpoint restart, §5).
+    pub fn reset(&mut self) {
+        self.sched.reset();
+        self.acct.reset();
+        self.next_marker_at = self.first_marker_target();
+    }
+
+    /// Renegotiate channel quanta (rates changed): schedules the change
+    /// locally for `effective_round` and returns the
+    /// [`Control::QuantumUpdate`](crate::control::Control::QuantumUpdate)
+    /// to transmit on every channel so the receiver switches at the same
+    /// round. `effective_round` must be far enough ahead for the messages
+    /// to arrive — a couple of marker periods is a safe margin.
+    ///
+    /// Note: markers emitted between now and the effective round predict
+    /// with the *old* quanta; if the change lands mid-prediction the next
+    /// marker batch repairs any residual skew, exactly like a loss.
+    pub fn announce_quanta(
+        &mut self,
+        effective_round: u64,
+        quanta: &[i64],
+    ) -> Vec<(ChannelId, crate::control::Control)> {
+        self.sched.schedule_quanta(effective_round, quanta);
+        (0..self.sched.channels())
+            .map(|c| {
+                (
+                    c,
+                    crate::control::Control::QuantumUpdate {
+                        effective_round,
+                        quanta: quanta.to_vec(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Srr;
+
+    #[test]
+    fn assigns_channels_like_the_bare_scheduler() {
+        let mut tx = StripingSender::new(Srr::equal(2, 500), MarkerConfig::disabled());
+        let mut bare = Srr::equal(2, 500);
+        for len in [550usize, 200, 400, 150, 300, 400] {
+            let expect = bare.current();
+            bare.advance(len);
+            assert_eq!(tx.send(len).channel, expect);
+        }
+    }
+
+    #[test]
+    fn no_markers_when_disabled() {
+        let mut tx = StripingSender::new(Srr::equal(2, 500), MarkerConfig::disabled());
+        for i in 0..1000 {
+            assert!(tx.send(100 + i % 700).markers.is_empty());
+        }
+        assert_eq!(tx.markers_sent(), 0);
+    }
+
+    #[test]
+    fn markers_emitted_once_per_period() {
+        // RR over 2 channels, unit quanta: each packet is one scan step, a
+        // round is 2 packets. Period 5 rounds => markers every 10 packets.
+        let mut tx = StripingSender::new(Srr::rr(2), MarkerConfig::every_rounds(5));
+        let mut batches = Vec::new();
+        for i in 0..60 {
+            let d = tx.send(100);
+            if !d.markers.is_empty() {
+                assert_eq!(d.markers.len(), 2, "one marker per channel");
+                batches.push(i);
+            }
+        }
+        // Start round is 1; batches due at rounds 6, 11, 16, ... which the
+        // scan reaches after 10, 20, 30, ... packets (0-indexed: 9, 19, ...).
+        assert_eq!(batches, vec![9, 19, 29, 39, 49, 59]);
+    }
+
+    #[test]
+    fn marker_describes_channel_it_travels_on() {
+        let mut tx = StripingSender::new(Srr::equal(3, 1500), MarkerConfig::every_rounds(1));
+        for _ in 0..200 {
+            let d = tx.send(900);
+            for (ch, mk) in &d.markers {
+                assert_eq!(*ch, mk.channel);
+            }
+        }
+    }
+
+    #[test]
+    fn after_channel_position_shifts_emission_point() {
+        // With AfterChannel(0) on RR/2, the batch fires right after channel
+        // 0's packet of the due round, i.e. one packet earlier than
+        // StartOfRound of the following round.
+        let cfg = MarkerConfig {
+            period_rounds: 5,
+            position: MarkerPosition::AfterChannel(0),
+        };
+        let mut tx = StripingSender::new(Srr::rr(2), cfg);
+        let mut first_batch = None;
+        for i in 0..40 {
+            if !tx.send(100).markers.is_empty() && first_batch.is_none() {
+                first_batch = Some(i);
+            }
+        }
+        assert_eq!(first_batch, Some(10)); // round 6's channel-0 packet
+    }
+
+    #[test]
+    fn accountant_tracks_bytes_per_channel() {
+        let mut tx = StripingSender::new(Srr::equal(2, 500), MarkerConfig::disabled());
+        for _ in 0..100 {
+            tx.send(250);
+        }
+        let a = tx.accountant();
+        assert_eq!(a.total_bytes(), 25_000);
+        // Equal quanta, equal sizes: perfectly balanced.
+        assert_eq!(a.bytes(0), a.bytes(1));
+    }
+
+    #[test]
+    fn reset_restarts_marker_schedule() {
+        let mut tx = StripingSender::new(Srr::rr(2), MarkerConfig::every_rounds(5));
+        for _ in 0..15 {
+            tx.send(100);
+        }
+        tx.reset();
+        let mut first = None;
+        for i in 0..40 {
+            if !tx.send(100).markers.is_empty() {
+                first = Some(i);
+                break;
+            }
+        }
+        assert_eq!(first, Some(9), "schedule identical to a fresh sender");
+    }
+}

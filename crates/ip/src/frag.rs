@@ -1,0 +1,372 @@
+//! IPv4 fragmentation and reassembly — the "differing MTU sizes" subtlety
+//! §6.1 defers.
+//!
+//! strIPe clamps the virtual interface's MTU to the minimum member MTU,
+//! which §6.2 shows costs real throughput when one member could carry
+//! 8 KB packets. The alternative the paper alludes to ("any striping
+//! algorithm that does not internally fragment and reassemble packets")
+//! is IP fragmentation: let IP send large packets and fragment them to
+//! each member's MTU. This module implements RFC 791 fragmentation so the
+//! `mtu_ablation` bench can quantify the trade:
+//!
+//! - fragmentation recovers the large-MTU member's efficiency, but
+//! - every fragment loss kills the whole packet (the classic
+//!   fragmentation fragility), and reassembly needs per-ident buffers.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+use crate::header::{Ipv4Header, IPV4_HEADER_LEN};
+
+/// One IP fragment: a real header (with offset/MF encoded in the payload
+/// model below) plus its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Packet identification (shared by all fragments of one packet).
+    pub ident: u16,
+    /// Fragment offset in 8-byte units, per RFC 791.
+    pub offset_units: u16,
+    /// More-fragments flag.
+    pub more: bool,
+    /// Fragment payload (transport bytes, no IP header).
+    pub payload: Bytes,
+}
+
+impl Fragment {
+    /// Byte offset within the original payload.
+    pub fn offset(&self) -> usize {
+        self.offset_units as usize * 8
+    }
+
+    /// Wire length: header + payload.
+    pub fn wire_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.payload.len()
+    }
+}
+
+/// Split a packet's transport payload into fragments that fit `mtu`
+/// (header included). Offsets are in 8-byte units, so every fragment
+/// except the last carries a multiple of 8 payload bytes.
+///
+/// # Panics
+/// Panics if `mtu` cannot carry the header plus at least 8 payload bytes.
+pub fn fragment(ident: u16, payload: &[u8], mtu: usize) -> Vec<Fragment> {
+    assert!(
+        mtu >= IPV4_HEADER_LEN + 8,
+        "mtu {mtu} cannot carry a fragment"
+    );
+    let max_frag_payload = ((mtu - IPV4_HEADER_LEN) / 8) * 8;
+    if payload.len() + IPV4_HEADER_LEN <= mtu {
+        return vec![Fragment {
+            ident,
+            offset_units: 0,
+            more: false,
+            payload: Bytes::copy_from_slice(payload),
+        }];
+    }
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < payload.len() {
+        let remaining = payload.len() - off;
+        let take = remaining.min(max_frag_payload);
+        let more = off + take < payload.len();
+        out.push(Fragment {
+            ident,
+            offset_units: (off / 8) as u16,
+            more,
+            payload: Bytes::copy_from_slice(&payload[off..off + take]),
+        });
+        off += take;
+    }
+    out
+}
+
+/// Reassembly outcome for one arriving fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReassemblyEvent {
+    /// Fragment absorbed; packet still incomplete.
+    Pending,
+    /// The packet is complete: here is its full payload.
+    Complete(Bytes),
+    /// The fragment was discarded (overlap/duplicate or table pressure).
+    Discarded,
+}
+
+/// A bounded reassembly table.
+///
+/// Packets are evicted least-recently-touched when more than
+/// `max_packets` are simultaneously incomplete — the count-based stand-in
+/// for the reassembly timer, keeping simulations deterministic.
+#[derive(Debug)]
+pub struct Reassembler {
+    max_packets: usize,
+    table: HashMap<u16, PartialPacket>,
+    /// Monotone touch counter for LRU eviction.
+    clock: u64,
+    completed: u64,
+    evicted: u64,
+}
+
+#[derive(Debug)]
+struct PartialPacket {
+    /// (offset, payload) pieces, non-overlapping, sorted on completion.
+    pieces: Vec<(usize, Bytes)>,
+    /// Total payload length, known once the last fragment (more=false)
+    /// arrives.
+    total_len: Option<usize>,
+    received: usize,
+    last_touch: u64,
+}
+
+impl Reassembler {
+    /// A table holding at most `max_packets` incomplete packets.
+    ///
+    /// # Panics
+    /// Panics if `max_packets == 0`.
+    pub fn new(max_packets: usize) -> Self {
+        assert!(max_packets > 0);
+        Self {
+            max_packets,
+            table: HashMap::new(),
+            clock: 0,
+            completed: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Absorb one fragment.
+    pub fn push(&mut self, f: Fragment) -> ReassemblyEvent {
+        self.clock += 1;
+        let entry = self.table.entry(f.ident).or_insert(PartialPacket {
+            pieces: Vec::new(),
+            total_len: None,
+            received: 0,
+            last_touch: 0,
+        });
+        entry.last_touch = self.clock;
+
+        let off = f.offset();
+        // Reject duplicates/overlaps (simplified: exact-duplicate and any
+        // overlap are both discarded; correct reassembly never needs them).
+        let end = off + f.payload.len();
+        if entry
+            .pieces
+            .iter()
+            .any(|(o, p)| off < o + p.len() && *o < end)
+        {
+            return ReassemblyEvent::Discarded;
+        }
+        if !f.more {
+            entry.total_len = Some(end);
+        }
+        entry.received += f.payload.len();
+        entry.pieces.push((off, f.payload));
+
+        if entry.total_len == Some(entry.received) {
+            // All bytes present and contiguous by construction.
+            let mut entry = self.table.remove(&f.ident).expect("present");
+            entry.pieces.sort_by_key(|&(o, _)| o);
+            let mut buf = BytesMut::with_capacity(entry.received);
+            for (_, p) in entry.pieces {
+                buf.put_slice(&p);
+            }
+            self.completed += 1;
+            return ReassemblyEvent::Complete(buf.freeze());
+        }
+
+        // Table pressure: evict the stalest incomplete packet.
+        if self.table.len() > self.max_packets {
+            let stalest = self
+                .table
+                .iter()
+                .min_by_key(|(_, p)| p.last_touch)
+                .map(|(&id, _)| id)
+                .expect("non-empty");
+            self.table.remove(&stalest);
+            self.evicted += 1;
+        }
+        ReassemblyEvent::Pending
+    }
+
+    /// Packets fully reassembled.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Incomplete packets evicted (fragment loss, in effect).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Incomplete packets currently held.
+    pub fn pending(&self) -> usize {
+        self.table.len()
+    }
+}
+
+/// Convenience: encode a full IP packet (header + payload) for one
+/// fragment, producing real wire bytes with correct offset/MF fields.
+pub fn encode_fragment(h: &Ipv4Header, f: &Fragment) -> Bytes {
+    // Encode the base header, then patch length, flags/offset, checksum.
+    let mut hdr = Ipv4Header {
+        total_len: (IPV4_HEADER_LEN + f.payload.len()) as u16,
+        ident: f.ident,
+        ..*h
+    }
+    .encode()
+    .to_vec();
+    let flags_frag: u16 = (if f.more { 0x2000 } else { 0 }) | (f.offset_units & 0x1FFF);
+    hdr[6..8].copy_from_slice(&flags_frag.to_be_bytes());
+    // Re-checksum after patching.
+    hdr[10] = 0;
+    hdr[11] = 0;
+    let sum = crate::header::checksum(&hdr);
+    hdr[10..12].copy_from_slice(&sum.to_be_bytes());
+    let mut b = BytesMut::with_capacity(hdr.len() + f.payload.len());
+    b.put_slice(&hdr);
+    b.put_slice(&f.payload);
+    b.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31) as u8).collect()
+    }
+
+    #[test]
+    fn small_packet_is_one_fragment() {
+        let p = payload(100);
+        let frags = fragment(1, &p, 1500);
+        assert_eq!(frags.len(), 1);
+        assert!(!frags[0].more);
+        assert_eq!(frags[0].payload, &p[..]);
+    }
+
+    #[test]
+    fn offsets_are_eight_byte_aligned() {
+        let p = payload(8000);
+        let frags = fragment(2, &p, 1500);
+        assert!(frags.len() >= 6);
+        for f in &frags[..frags.len() - 1] {
+            assert_eq!(f.payload.len() % 8, 0);
+            assert!(f.more);
+            assert!(f.wire_len() <= 1500);
+        }
+        assert!(!frags.last().unwrap().more);
+        // Coverage is exact and contiguous.
+        let mut expected_off = 0;
+        for f in &frags {
+            assert_eq!(f.offset(), expected_off);
+            expected_off += f.payload.len();
+        }
+        assert_eq!(expected_off, 8000);
+    }
+
+    #[test]
+    fn reassembly_roundtrip_in_order() {
+        let p = payload(8000);
+        let mut r = Reassembler::new(16);
+        let frags = fragment(3, &p, 1500);
+        let n = frags.len();
+        for (i, f) in frags.into_iter().enumerate() {
+            match r.push(f) {
+                ReassemblyEvent::Complete(full) => {
+                    assert_eq!(i, n - 1);
+                    assert_eq!(&full[..], &p[..]);
+                }
+                ReassemblyEvent::Pending => assert!(i < n - 1),
+                ReassemblyEvent::Discarded => panic!("discarded fragment {i}"),
+            }
+        }
+        assert_eq!(r.completed(), 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_roundtrip_reversed_order() {
+        let p = payload(5000);
+        let mut r = Reassembler::new(16);
+        let mut frags = fragment(4, &p, 1500);
+        frags.reverse();
+        let mut complete = None;
+        for f in frags {
+            if let ReassemblyEvent::Complete(full) = r.push(f) {
+                complete = Some(full);
+            }
+        }
+        assert_eq!(&complete.expect("completed")[..], &p[..]);
+    }
+
+    #[test]
+    fn interleaved_packets_reassemble_independently() {
+        let pa = payload(4000);
+        let pb: Vec<u8> = payload(4000).iter().map(|b| b ^ 0xFF).collect();
+        let fa = fragment(10, &pa, 1500);
+        let fb = fragment(11, &pb, 1500);
+        let mut r = Reassembler::new(16);
+        let mut done = 0;
+        for (a, b) in fa.into_iter().zip(fb) {
+            for f in [a, b] {
+                if let ReassemblyEvent::Complete(full) = r.push(f) {
+                    done += 1;
+                    assert_eq!(full.len(), 4000);
+                }
+            }
+        }
+        assert_eq!(done, 2);
+    }
+
+    #[test]
+    fn duplicate_fragment_discarded() {
+        let p = payload(3000);
+        let frags = fragment(5, &p, 1500);
+        let mut r = Reassembler::new(16);
+        assert_eq!(r.push(frags[0].clone()), ReassemblyEvent::Pending);
+        assert_eq!(r.push(frags[0].clone()), ReassemblyEvent::Discarded);
+    }
+
+    #[test]
+    fn lost_fragment_leaves_packet_pending_until_evicted() {
+        let mut r = Reassembler::new(2);
+        // Three packets each missing a fragment: table overflows, stalest
+        // evicted.
+        for ident in 0..3u16 {
+            let p = payload(3000);
+            let frags = fragment(ident, &p, 1500);
+            r.push(frags[0].clone()); // drop the rest
+        }
+        assert_eq!(r.evicted(), 1);
+        assert_eq!(r.pending(), 2);
+    }
+
+    #[test]
+    fn encoded_fragment_is_valid_ip() {
+        let h = Ipv4Header {
+            total_len: 0, // patched per fragment
+            ident: 42,
+            ttl: 64,
+            protocol: crate::header::proto::UDP,
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.0.2".parse().unwrap(),
+        };
+        let p = payload(4000);
+        for f in fragment(42, &p, 1500) {
+            let wire = encode_fragment(&h, &f);
+            // Header checksum verifies (decode ignores frag fields).
+            assert!(
+                Ipv4Header::decode(&wire).is_some(),
+                "fragment header invalid"
+            );
+            assert!(wire.len() <= 1500);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot carry")]
+    fn tiny_mtu_rejected() {
+        let _ = fragment(1, &[0u8; 100], IPV4_HEADER_LEN + 4);
+    }
+}

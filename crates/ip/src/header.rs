@@ -1,0 +1,156 @@
+//! An RFC 791-faithful IPv4 header codec.
+//!
+//! strIPe never *modifies* data packets, but it does have to carry real IP
+//! packets across the member links; the experiments and examples therefore
+//! need an honest header with the ones'-complement checksum, so corruption
+//! and verification behave like the real stack the paper embedded into.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Fixed IPv4 header length (no options), in bytes.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers used by the experiments.
+pub mod proto {
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// A minimal-but-real IPv4 header (IHL fixed at 5, no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Total length: header + payload, in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Protocol number (see [`proto`]).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Serialize with a correct checksum.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(IPV4_HEADER_LEN);
+        b.put_u8(0x45); // version 4, IHL 5
+        b.put_u8(0); // DSCP/ECN
+        b.put_u16(self.total_len);
+        b.put_u16(self.ident);
+        b.put_u16(0); // flags/fragment offset: never fragmented here
+        b.put_u8(self.ttl);
+        b.put_u8(self.protocol);
+        b.put_u16(0); // checksum placeholder
+        b.put_slice(&self.src.octets());
+        b.put_slice(&self.dst.octets());
+        let sum = checksum(&b);
+        b[10..12].copy_from_slice(&sum.to_be_bytes());
+        b.freeze()
+    }
+
+    /// Parse and verify. Returns `None` on short input, wrong version/IHL,
+    /// or a bad checksum — the §5 assumption that corruption is detectable
+    /// and the packet discarded.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < IPV4_HEADER_LEN || buf[0] != 0x45 {
+            return None;
+        }
+        if checksum(&buf[..IPV4_HEADER_LEN]) != 0 {
+            return None;
+        }
+        Some(Self {
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+        })
+    }
+}
+
+/// The Internet checksum (RFC 1071): ones'-complement sum of 16-bit words.
+/// Over a header whose checksum field is zero this yields the value to
+/// store; over a header containing a correct checksum it yields zero.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr() -> Ipv4Header {
+        Ipv4Header {
+            total_len: 1500,
+            ident: 0xBEEF,
+            ttl: 64,
+            protocol: proto::TCP,
+            src: Ipv4Addr::new(10, 0, 1, 2),
+            dst: Ipv4Addr::new(10, 0, 2, 2),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = hdr();
+        assert_eq!(Ipv4Header::decode(&h.encode()), Some(h));
+    }
+
+    #[test]
+    fn checksum_verifies_to_zero() {
+        let enc = hdr().encode();
+        assert_eq!(checksum(&enc), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let enc = hdr().encode();
+        // Flip one bit anywhere: decode must fail.
+        for byte in 0..IPV4_HEADER_LEN {
+            let mut bad = enc.to_vec();
+            bad[byte] ^= 0x04;
+            assert_eq!(Ipv4Header::decode(&bad), None, "bit flip at {byte} undetected");
+        }
+    }
+
+    #[test]
+    fn rejects_short_and_wrong_version() {
+        assert_eq!(Ipv4Header::decode(&[0x45; 10]), None);
+        let mut enc = hdr().encode().to_vec();
+        enc[0] = 0x65; // IPv6 version nibble
+        assert_eq!(Ipv4Header::decode(&enc), None);
+    }
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example sequence from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x0001+0xf203+0xf4f5+0xf6f7 = 0x2ddf0 -> 0xddf2 -> !0xddf2.
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        // Trailing byte is padded with zero per RFC 1071.
+        assert_eq!(checksum(&[0xFF]), !0xFF00);
+    }
+}

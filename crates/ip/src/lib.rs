@@ -1,0 +1,39 @@
+//! # stripe-ip
+//!
+//! The strIPe architecture of §6.1: transparent IP striping over multiple
+//! data-link interfaces.
+//!
+//! The paper's framework inserts a *virtual IP interface* — the strIPe
+//! layer — between IP and the real data-link interfaces to be striped
+//! over. Striping is invisible to IP and everything above it:
+//!
+//! - **outbound**: host-specific routes for each of the receiver's
+//!   per-interface addresses point at the strIPe interface (host routes
+//!   override network routes, which is ordinary longest-prefix matching);
+//!   the strIPe layer runs the SRR striping algorithm and emits frames on
+//!   the member interfaces with a dedicated link-layer codepoint;
+//! - **inbound**: the data links demultiplex on that codepoint and hand
+//!   striped frames to the strIPe layer, which resequences them by logical
+//!   reception before injecting them into normal IP input;
+//! - the strIPe interface's MTU is clamped to the minimum member MTU.
+//!
+//! Modules: [`header`] (an RFC 791-faithful IPv4 header codec),
+//! [`route`] (longest-prefix-match routing table), [`neighbor`] (ARP-like
+//! address resolution, the "convergence layer" function), and
+//! [`stripe_if`] (the virtual interface itself plus a two-host harness).
+
+#![warn(missing_docs)]
+
+pub mod frag;
+pub mod header;
+pub mod neighbor;
+pub mod node;
+pub mod route;
+pub mod stripe_if;
+
+pub use frag::{fragment, Fragment, Reassembler};
+pub use header::Ipv4Header;
+pub use neighbor::NeighborTable;
+pub use node::{IpNode, PlainInterface};
+pub use route::{Route, RouteTarget, RoutingTable};
+pub use stripe_if::{StripeInterface, StripeRxInterface};

@@ -1,0 +1,128 @@
+//! ARP-like neighbor resolution — the convergence-layer duty of §6.1.
+//!
+//! "The convergence layer is responsible for mapping IP addresses to data
+//! link addresses, and encapsulating the IP packet in a data link frame.
+//! For example, for Ethernet interfaces, the convergence layer performs
+//! ARP." The strIPe layer *is* such a convergence layer, so it needs this
+//! mapping per member interface.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use stripe_link::eth::MacAddr;
+
+/// The outcome of an outbound resolution attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Known mapping: frame can be sent to this MAC now.
+    Resolved(MacAddr),
+    /// Unknown: an ARP request must be broadcast; the packet should be
+    /// parked until the reply installs the mapping.
+    NeedsRequest,
+}
+
+/// A per-interface neighbor (ARP) table.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    entries: HashMap<Ipv4Addr, MacAddr>,
+    /// Addresses with an outstanding request (suppress duplicates).
+    pending: HashMap<Ipv4Addr, u32>,
+    requests_sent: u64,
+}
+
+impl NeighborTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statically install a mapping (a configured or learned entry).
+    pub fn insert(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.entries.insert(ip, mac);
+        self.pending.remove(&ip);
+    }
+
+    /// Resolve `ip` for transmission. A `NeedsRequest` result also marks
+    /// the address pending so repeated lookups do not flood requests;
+    /// callers should broadcast a request only when this returns
+    /// `NeedsRequest`.
+    pub fn resolve(&mut self, ip: Ipv4Addr) -> Resolution {
+        if let Some(mac) = self.entries.get(&ip) {
+            return Resolution::Resolved(*mac);
+        }
+        let count = self.pending.entry(ip).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.requests_sent += 1;
+            Resolution::NeedsRequest
+        } else {
+            // Request already outstanding: park quietly.
+            Resolution::NeedsRequest
+        }
+    }
+
+    /// Handle an ARP reply (or a gratuitous announcement).
+    pub fn on_reply(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.insert(ip, mac);
+    }
+
+    /// Whether a request for `ip` is outstanding.
+    pub fn is_pending(&self, ip: Ipv4Addr) -> bool {
+        self.pending.contains_key(&ip)
+    }
+
+    /// Requests broadcast so far.
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// Known mappings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no mappings are known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    const MAC_B: MacAddr = [0, 1, 2, 3, 4, 5];
+
+    #[test]
+    fn static_entry_resolves() {
+        let mut t = NeighborTable::new();
+        t.insert(ip("10.0.0.2"), MAC_B);
+        assert_eq!(t.resolve(ip("10.0.0.2")), Resolution::Resolved(MAC_B));
+        assert_eq!(t.requests_sent(), 0);
+    }
+
+    #[test]
+    fn unknown_address_needs_one_request() {
+        let mut t = NeighborTable::new();
+        assert_eq!(t.resolve(ip("10.0.0.9")), Resolution::NeedsRequest);
+        // Further lookups while pending do not multiply requests.
+        assert_eq!(t.resolve(ip("10.0.0.9")), Resolution::NeedsRequest);
+        assert_eq!(t.requests_sent(), 1);
+        assert!(t.is_pending(ip("10.0.0.9")));
+    }
+
+    #[test]
+    fn reply_installs_and_clears_pending() {
+        let mut t = NeighborTable::new();
+        t.resolve(ip("10.0.0.9"));
+        t.on_reply(ip("10.0.0.9"), MAC_B);
+        assert!(!t.is_pending(ip("10.0.0.9")));
+        assert_eq!(t.resolve(ip("10.0.0.9")), Resolution::Resolved(MAC_B));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

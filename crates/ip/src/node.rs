@@ -1,0 +1,360 @@
+//! A simulated IP host: interfaces, routing, neighbor resolution, and the
+//! strIPe layer, assembled the way §6.1's NetBSD hosts were.
+//!
+//! [`IpNode`] is the library form of what the `ip_stripe` example wires by
+//! hand: IP output consults the routing table (host routes override via
+//! LPM), resolves the next hop per interface through the convergence
+//! layer, and either emits a plain frame on one interface or hands the
+//! packet to the strIPe group. Inbound frames demultiplex by codepoint —
+//! striped traffic through logical reception, everything else straight to
+//! IP input.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+use stripe_core::sender::MarkerConfig;
+use stripe_link::eth::{EtherFrame, EtherType, MacAddr};
+use stripe_link::{EthLink, FifoLink};
+use stripe_netsim::SimTime;
+
+use crate::header::Ipv4Header;
+use crate::neighbor::{NeighborTable, Resolution};
+use crate::route::{RouteTarget, RoutingTable};
+use crate::stripe_if::{FrameTx, Member, StripeInterface, StripeRxInterface, StripedIpPacket};
+
+/// A plain (non-striped) interface: link + addressing + ARP state.
+#[derive(Debug)]
+pub struct PlainInterface {
+    /// The physical link.
+    pub link: EthLink,
+    /// Our MAC.
+    pub mac: MacAddr,
+    /// Our IP on this network.
+    pub addr: Ipv4Addr,
+    /// Convergence-layer neighbor table.
+    pub neighbors: NeighborTable,
+    /// Packets parked awaiting ARP resolution.
+    pending: VecDeque<(Ipv4Addr, StripedIpPacket)>,
+}
+
+impl PlainInterface {
+    /// A plain interface with the given link and addressing.
+    pub fn new(link: EthLink, mac: MacAddr, addr: Ipv4Addr) -> Self {
+        Self {
+            link,
+            mac,
+            addr,
+            neighbors: NeighborTable::new(),
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+/// Everything a node can emit in response to one output/input call.
+#[derive(Debug, Default)]
+pub struct NodeOutput {
+    /// Frames transmitted on plain interfaces: `(interface index, frame,
+    /// arrival time if delivered)`.
+    pub plain: Vec<(usize, EtherFrame, Option<SimTime>)>,
+    /// Frames transmitted by the strIPe group.
+    pub striped: Vec<FrameTx>,
+    /// IP packets delivered locally (inbound path).
+    pub delivered: Vec<(Ipv4Header, StripedIpPacket)>,
+}
+
+/// A host with plain interfaces and one optional strIPe group.
+#[derive(Debug)]
+pub struct IpNode {
+    /// Plain interfaces, indexed by `RouteTarget::Interface`.
+    pub interfaces: Vec<PlainInterface>,
+    /// The strIPe group (`RouteTarget::Stripe(0)`), if configured.
+    pub stripe: Option<StripeInterface>,
+    /// Inbound resequencer for the strIPe group.
+    pub stripe_rx: Option<StripeRxInterface>,
+    /// The routing table.
+    pub routes: RoutingTable,
+    /// Packets dropped for lack of a route.
+    pub no_route_drops: u64,
+}
+
+impl IpNode {
+    /// A node with the given plain interfaces and routing table.
+    pub fn new(interfaces: Vec<PlainInterface>, routes: RoutingTable) -> Self {
+        Self {
+            interfaces,
+            stripe: None,
+            stripe_rx: None,
+            routes,
+            no_route_drops: 0,
+        }
+    }
+
+    /// Attach a strIPe group (and its receiver half, for symmetric nodes).
+    pub fn attach_stripe(&mut self, members: Vec<Member>, marker_cfg: MarkerConfig) {
+        let stripe = StripeInterface::new(members, marker_cfg);
+        self.stripe_rx = Some(stripe.make_receiver(4096));
+        self.stripe = Some(stripe);
+    }
+
+    /// IP output: route `packet` (whose header is already encoded in its
+    /// bytes) toward `dst` at time `now`.
+    pub fn output(&mut self, now: SimTime, dst: Ipv4Addr, packet: StripedIpPacket) -> NodeOutput {
+        let mut out = NodeOutput::default();
+        match self.routes.lookup(dst) {
+            None => self.no_route_drops += 1,
+            Some(RouteTarget::Stripe(_)) => {
+                if let Some(stripe) = self.stripe.as_mut() {
+                    out.striped = stripe.output(now, packet);
+                } else {
+                    self.no_route_drops += 1;
+                }
+            }
+            Some(RouteTarget::Interface(i)) => {
+                let ifc = &mut self.interfaces[i];
+                match ifc.neighbors.resolve(dst) {
+                    Resolution::Resolved(mac) => {
+                        let frame = EtherFrame {
+                            dst: mac,
+                            src: ifc.mac,
+                            ethertype: EtherType::Ipv4,
+                            payload: packet.bytes,
+                        };
+                        let arrival = ifc.link.transmit(now, 14 + frame.payload.len()).ok();
+                        out.plain.push((i, frame, arrival));
+                    }
+                    Resolution::NeedsRequest => {
+                        // Park the packet and broadcast a request.
+                        ifc.pending.push_back((dst, packet));
+                        let req = EtherFrame {
+                            dst: [0xFF; 6],
+                            src: ifc.mac,
+                            ethertype: EtherType::Arp,
+                            payload: Bytes::copy_from_slice(&dst.octets()),
+                        };
+                        let arrival = ifc.link.transmit(now, 14 + 4).ok();
+                        out.plain.push((i, req, arrival));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// An ARP reply arrived on interface `i`: install the mapping and
+    /// flush any parked packets toward it.
+    pub fn on_arp_reply(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        ip: Ipv4Addr,
+        mac: MacAddr,
+    ) -> NodeOutput {
+        let mut out = NodeOutput::default();
+        self.interfaces[i].neighbors.on_reply(ip, mac);
+        let parked: Vec<(Ipv4Addr, StripedIpPacket)> =
+            std::mem::take(&mut self.interfaces[i].pending)
+                .into_iter()
+                .collect();
+        for (dst, pkt) in parked {
+            if dst == ip {
+                let sub = self.output(now, dst, pkt);
+                out.plain.extend(sub.plain);
+                out.striped.extend(sub.striped);
+            } else {
+                self.interfaces[i].pending.push_back((dst, pkt));
+            }
+        }
+        out
+    }
+
+    /// A frame physically arrived on strIPe member channel `c`.
+    pub fn stripe_input(&mut self, c: usize, frame: EtherFrame) -> NodeOutput {
+        let mut out = NodeOutput::default();
+        if let Some(rx) = self.stripe_rx.as_mut() {
+            match rx.input(c, frame) {
+                Ok(()) => {
+                    while let Some((h, p)) = rx.poll() {
+                        out.delivered.push((h, p));
+                    }
+                }
+                Err(frame) => {
+                    // Not striped traffic: normal IP input.
+                    if frame.ethertype == EtherType::Ipv4 {
+                        if let Some(h) = Ipv4Header::decode(&frame.payload) {
+                            out.delivered.push((
+                                h,
+                                StripedIpPacket {
+                                    bytes: frame.payload,
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A frame arrived on plain interface `i`.
+    pub fn plain_input(&mut self, _i: usize, frame: EtherFrame) -> NodeOutput {
+        let mut out = NodeOutput::default();
+        if frame.ethertype == EtherType::Ipv4 {
+            if let Some(h) = Ipv4Header::decode(&frame.payload) {
+                out.delivered.push((
+                    h,
+                    StripedIpPacket {
+                        bytes: frame.payload,
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::proto;
+    use bytes::{BufMut, BytesMut};
+    use stripe_link::loss::LossModel;
+    use stripe_netsim::{Bandwidth, EventQueue, SimDuration};
+
+    const MAC_A0: MacAddr = [0xA, 0, 0, 0, 0, 0];
+    const MAC_A1: MacAddr = [0xA, 0, 0, 0, 0, 1];
+    const MAC_B0: MacAddr = [0xB, 0, 0, 0, 0, 0];
+    const MAC_B1: MacAddr = [0xB, 0, 0, 0, 0, 1];
+    const MAC_C: MacAddr = [0xC, 0, 0, 0, 0, 0];
+
+    fn eth(seed: u64) -> EthLink {
+        EthLink::new(
+            Bandwidth::mbps(10),
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(20),
+            LossModel::None,
+            seed,
+        )
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn packet(ident: u16, dst: Ipv4Addr, len: usize) -> StripedIpPacket {
+        let h = Ipv4Header {
+            total_len: (20 + len) as u16,
+            ident,
+            ttl: 64,
+            protocol: proto::UDP,
+            src: ip("10.1.0.1"),
+            dst,
+        };
+        let mut b = BytesMut::new();
+        b.put_slice(&h.encode());
+        b.put_bytes(0xEE, len);
+        StripedIpPacket { bytes: b.freeze() }
+    }
+
+    fn node_a() -> IpNode {
+        let mut routes = RoutingTable::new();
+        routes.add(ip("10.1.0.0"), 24, RouteTarget::Interface(0));
+        routes.add(ip("10.2.0.0"), 24, RouteTarget::Interface(1));
+        routes.add_host(ip("10.1.0.2"), RouteTarget::Stripe(0));
+        routes.add_host(ip("10.2.0.2"), RouteTarget::Stripe(0));
+        let mut n = IpNode::new(
+            vec![
+                PlainInterface::new(eth(1), MAC_A0, ip("10.1.0.1")),
+                PlainInterface::new(eth(2), MAC_A1, ip("10.2.0.1")),
+            ],
+            routes,
+        );
+        n.attach_stripe(
+            vec![
+                Member {
+                    link: eth(3),
+                    local_mac: MAC_A0,
+                    peer_mac: MAC_B0,
+                },
+                Member {
+                    link: eth(4),
+                    local_mac: MAC_A1,
+                    peer_mac: MAC_B1,
+                },
+            ],
+            MarkerConfig::every_rounds(8),
+        );
+        n
+    }
+
+    /// The full two-node path: A stripes to B's addresses, B resequences
+    /// and delivers in order; plain traffic to a third host goes out one
+    /// interface after ARP.
+    #[test]
+    fn end_to_end_node_striping() {
+        let mut a = node_a();
+        let mut b = node_a(); // same shape; only its stripe_rx is used
+        let mut q: EventQueue<(usize, EtherFrame)> = EventQueue::new();
+        let mut now = SimTime::ZERO;
+        for i in 0..300u16 {
+            now += SimDuration::from_micros(1400);
+            let out = a.output(now, ip("10.1.0.2"), packet(i, ip("10.1.0.2"), 400));
+            assert!(out.plain.is_empty());
+            for ftx in out.striped {
+                if let Some(at) = ftx.arrival {
+                    q.push(at, (ftx.channel, ftx.frame));
+                }
+            }
+        }
+        let mut idents = Vec::new();
+        while let Some((_, (c, frame))) = q.pop() {
+            for (h, _) in b.stripe_input(c, frame).delivered {
+                idents.push(h.ident);
+            }
+        }
+        assert_eq!(idents, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn arp_parks_and_flushes() {
+        let mut a = node_a();
+        let dst = ip("10.1.0.99");
+        let out = a.output(SimTime::ZERO, dst, packet(7, dst, 100));
+        // First output is the ARP request, not the data.
+        assert_eq!(out.plain.len(), 1);
+        assert_eq!(out.plain[0].1.ethertype, EtherType::Arp);
+        // Reply arrives: the parked packet flushes as IPv4.
+        let out2 = a.on_arp_reply(SimTime::from_micros(500), 0, dst, MAC_C);
+        assert_eq!(out2.plain.len(), 1);
+        assert_eq!(out2.plain[0].1.ethertype, EtherType::Ipv4);
+        assert_eq!(out2.plain[0].1.dst, MAC_C);
+    }
+
+    #[test]
+    fn unroutable_is_counted() {
+        let mut a = node_a();
+        let dst = ip("192.168.9.9");
+        let out = a.output(SimTime::ZERO, dst, packet(1, dst, 100));
+        assert!(out.plain.is_empty() && out.striped.is_empty());
+        assert_eq!(a.no_route_drops, 1);
+    }
+
+    #[test]
+    fn plain_input_delivers_valid_ip_only() {
+        let mut a = node_a();
+        let good = EtherFrame {
+            dst: MAC_A0,
+            src: MAC_C,
+            ethertype: EtherType::Ipv4,
+            payload: packet(3, ip("10.1.0.1"), 64).bytes,
+        };
+        assert_eq!(a.plain_input(0, good).delivered.len(), 1);
+        let junk = EtherFrame {
+            dst: MAC_A0,
+            src: MAC_C,
+            ethertype: EtherType::Ipv4,
+            payload: Bytes::from_static(b"not an ip packet at all....."),
+        };
+        assert!(a.plain_input(0, junk).delivered.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Longest-prefix-match routing — the mechanism strIPe rides on.
+//!
+//! §6.1: "it is possible for host specific routes to override network
+//! specific routes. Thus, if the two ethernets are on IP networks Net1 and
+//! Net2, and the receiving host's two IP addresses are Net1.B and Net2.B,
+//! we simply make entries in the sending host's routing table, asking it to
+//! route packets to Net1.B and Net2.B to interface C, the strIPe
+//! interface." Host routes are just /32 prefixes, so ordinary LPM gives
+//! the override for free.
+
+use std::net::Ipv4Addr;
+
+/// Where a route points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTarget {
+    /// A real data-link interface, by index.
+    Interface(usize),
+    /// The strIPe virtual interface, by striping-group id.
+    Stripe(usize),
+}
+
+/// One routing table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Network prefix.
+    pub prefix: Ipv4Addr,
+    /// Prefix length in bits (0..=32).
+    pub len: u8,
+    /// Outgoing target.
+    pub target: RouteTarget,
+}
+
+impl Route {
+    fn mask(&self) -> u32 {
+        if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        }
+    }
+
+    fn matches(&self, addr: Ipv4Addr) -> bool {
+        let a = u32::from(addr);
+        let p = u32::from(self.prefix);
+        (a & self.mask()) == (p & self.mask())
+    }
+}
+
+/// A longest-prefix-match routing table.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    routes: Vec<Route>,
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a network route.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn add(&mut self, prefix: Ipv4Addr, len: u8, target: RouteTarget) {
+        assert!(len <= 32, "prefix length {len} > 32");
+        self.routes.push(Route {
+            prefix,
+            len,
+            target,
+        });
+    }
+
+    /// Install a host (/32) route — the strIPe override of §6.1.
+    pub fn add_host(&mut self, host: Ipv4Addr, target: RouteTarget) {
+        self.add(host, 32, target);
+    }
+
+    /// Longest-prefix lookup. Ties on length resolve to the most recently
+    /// installed route.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<RouteTarget> {
+        self.routes
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.matches(dst))
+            .max_by_key(|(i, r)| (r.len, *i))
+            .map(|(_, r)| r.target)
+    }
+
+    /// Remove every route to the given target (interface teardown).
+    pub fn remove_target(&mut self, target: RouteTarget) {
+        self.routes.retain(|r| r.target != target);
+    }
+
+    /// Number of installed routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn network_route_matches_subnet() {
+        let mut t = RoutingTable::new();
+        t.add(ip("10.1.0.0"), 16, RouteTarget::Interface(0));
+        assert_eq!(t.lookup(ip("10.1.2.3")), Some(RouteTarget::Interface(0)));
+        assert_eq!(t.lookup(ip("10.2.2.3")), None);
+    }
+
+    /// The §6.1 configuration: network routes to real interfaces, host
+    /// routes to the strIPe interface; the host routes must win.
+    #[test]
+    fn host_routes_override_network_routes() {
+        let mut t = RoutingTable::new();
+        t.add(ip("10.1.0.0"), 24, RouteTarget::Interface(0)); // Net1
+        t.add(ip("10.2.0.0"), 24, RouteTarget::Interface(1)); // Net2
+        t.add_host(ip("10.1.0.2"), RouteTarget::Stripe(0)); // Net1.B
+        t.add_host(ip("10.2.0.2"), RouteTarget::Stripe(0)); // Net2.B
+
+        // The receiver's addresses go to the stripe group...
+        assert_eq!(t.lookup(ip("10.1.0.2")), Some(RouteTarget::Stripe(0)));
+        assert_eq!(t.lookup(ip("10.2.0.2")), Some(RouteTarget::Stripe(0)));
+        // ...while other hosts on the same nets use the plain interfaces.
+        assert_eq!(t.lookup(ip("10.1.0.7")), Some(RouteTarget::Interface(0)));
+        assert_eq!(t.lookup(ip("10.2.0.9")), Some(RouteTarget::Interface(1)));
+    }
+
+    #[test]
+    fn longest_prefix_wins_across_lengths() {
+        let mut t = RoutingTable::new();
+        t.add(ip("0.0.0.0"), 0, RouteTarget::Interface(9)); // default
+        t.add(ip("10.0.0.0"), 8, RouteTarget::Interface(1));
+        t.add(ip("10.1.0.0"), 16, RouteTarget::Interface(2));
+        assert_eq!(t.lookup(ip("10.1.5.5")), Some(RouteTarget::Interface(2)));
+        assert_eq!(t.lookup(ip("10.9.5.5")), Some(RouteTarget::Interface(1)));
+        assert_eq!(t.lookup(ip("192.168.1.1")), Some(RouteTarget::Interface(9)));
+    }
+
+    #[test]
+    fn equal_length_ties_prefer_newest() {
+        let mut t = RoutingTable::new();
+        t.add(ip("10.0.0.0"), 8, RouteTarget::Interface(1));
+        t.add(ip("10.0.0.0"), 8, RouteTarget::Interface(2));
+        assert_eq!(t.lookup(ip("10.3.4.5")), Some(RouteTarget::Interface(2)));
+    }
+
+    #[test]
+    fn remove_target_uninstalls() {
+        let mut t = RoutingTable::new();
+        t.add(ip("10.0.0.0"), 8, RouteTarget::Interface(1));
+        t.add_host(ip("10.0.0.2"), RouteTarget::Stripe(0));
+        t.remove_target(RouteTarget::Stripe(0));
+        assert_eq!(t.lookup(ip("10.0.0.2")), Some(RouteTarget::Interface(1)));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "> 32")]
+    fn oversized_prefix_rejected() {
+        RoutingTable::new().add(ip("10.0.0.0"), 33, RouteTarget::Interface(0));
+    }
+}

@@ -1,0 +1,405 @@
+//! The strIPe virtual interface: IP in, striped link frames out — and the
+//! reverse.
+//!
+//! Outbound, the interface is an IP convergence layer (§6.1): it
+//! encapsulates each IP packet in a link frame whose *type field* is the
+//! striped-data codepoint, picks the member interface with the SRR striping
+//! algorithm, and periodically emits marker frames (marker codepoint) that
+//! never touch data packets. Inbound, frames demultiplexed by codepoint are
+//! resequenced by logical reception before entering IP input.
+
+use bytes::Bytes;
+use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverStats};
+use stripe_core::sched::Srr;
+use stripe_core::sender::{MarkerConfig, StripingSender};
+use stripe_core::types::{ChannelId, WireLen};
+use stripe_core::Marker;
+use stripe_link::eth::{EtherFrame, EtherType, MacAddr};
+use stripe_link::{EthLink, FifoLink, TxError};
+use stripe_netsim::SimTime;
+
+use crate::header::Ipv4Header;
+
+/// An encapsulated IP packet as carried across a member link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripedIpPacket {
+    /// The full IP packet (header + payload).
+    pub bytes: Bytes,
+}
+
+impl WireLen for StripedIpPacket {
+    fn wire_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// One member of a striping group: the link plus the MACs the convergence
+/// layer resolved for it.
+#[derive(Debug)]
+pub struct Member {
+    /// The physical link.
+    pub link: EthLink,
+    /// Our MAC on this link.
+    pub local_mac: MacAddr,
+    /// The peer's MAC on this link (resolved via
+    /// [`crate::neighbor::NeighborTable`] at configuration time).
+    pub peer_mac: MacAddr,
+}
+
+/// A frame transmission produced by the interface.
+#[derive(Debug, Clone)]
+pub struct FrameTx {
+    /// Member index the frame went out on.
+    pub channel: ChannelId,
+    /// Arrival time, or `None` if lost.
+    pub arrival: Option<SimTime>,
+    /// The frame itself (as the far end would receive it).
+    pub frame: EtherFrame,
+    /// Loss cause if lost.
+    pub error: Option<TxError>,
+}
+
+/// Sending side of the strIPe virtual interface.
+#[derive(Debug)]
+pub struct StripeInterface {
+    members: Vec<Member>,
+    tx: StripingSender<Srr>,
+    sent: u64,
+    lost: u64,
+}
+
+impl StripeInterface {
+    /// Build a striping group. The scheduler is SRR with quanta
+    /// proportional to the member link rates (weighted SRR, §3.5), quantum
+    /// scale = one MTU per 10 Mbps of rate, floored at one MTU.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<Member>, marker_cfg: MarkerConfig) -> Self {
+        assert!(!members.is_empty(), "need at least one member link");
+        let mtu = members.iter().map(|m| m.link.mtu()).min().expect("non-empty") as i64;
+        let quanta: Vec<i64> = members
+            .iter()
+            .map(|m| {
+                let units = (m.link.rate().as_bps() / 10_000_000).max(1) as i64;
+                units * mtu
+            })
+            .collect();
+        let sched = Srr::weighted(&quanta);
+        Self {
+            members,
+            tx: StripingSender::new(sched, marker_cfg),
+            sent: 0,
+            lost: 0,
+        }
+    }
+
+    /// The interface MTU: minimum member MTU (§6.1).
+    pub fn mtu(&self) -> usize {
+        self.members
+            .iter()
+            .map(|m| m.link.mtu())
+            .min()
+            .expect("non-empty")
+    }
+
+    /// A fresh receiver configured to simulate this sender. Must be created
+    /// before any packet is sent (both ends start from `s0`).
+    pub fn make_receiver(&self, buffer_per_channel: usize) -> StripeRxInterface {
+        StripeRxInterface {
+            rx: LogicalReceiver::new(self.tx.scheduler().clone(), buffer_per_channel),
+        }
+    }
+
+    /// Stripe one IP packet (header already encoded into `packet`) at
+    /// `now`. Returns the frames transmitted: the data frame first, then
+    /// any due marker frames.
+    ///
+    /// # Panics
+    /// Panics if the packet exceeds the interface MTU — IP must fragment
+    /// or clamp to [`mtu`](Self::mtu) first, exactly as the paper requires.
+    pub fn output(&mut self, now: SimTime, packet: StripedIpPacket) -> Vec<FrameTx> {
+        assert!(
+            packet.wire_len() <= self.mtu(),
+            "packet {} exceeds strIPe MTU {}",
+            packet.wire_len(),
+            self.mtu()
+        );
+        let decision = self.tx.send(packet.wire_len());
+        let mut out = Vec::with_capacity(1 + decision.markers.len());
+        self.sent += 1;
+
+        let frame = self.make_frame(decision.channel, EtherType::StripeData, packet.bytes.clone());
+        out.push(self.transmit(now, decision.channel, frame));
+
+        for (c, mk) in decision.markers {
+            let frame = self.make_frame(c, EtherType::StripeMarker, Bytes::copy_from_slice(&mk.encode()));
+            out.push(self.transmit(now, c, frame));
+        }
+        out
+    }
+
+    fn make_frame(&self, c: ChannelId, ethertype: EtherType, payload: Bytes) -> EtherFrame {
+        EtherFrame {
+            dst: self.members[c].peer_mac,
+            src: self.members[c].local_mac,
+            ethertype,
+            payload,
+        }
+    }
+
+    fn transmit(&mut self, now: SimTime, c: ChannelId, frame: EtherFrame) -> FrameTx {
+        let wire_len = 14 + frame.payload.len();
+        let (arrival, error) = match self.members[c].link.transmit(now, wire_len) {
+            Ok(t) => (Some(t), None),
+            Err(e) => {
+                self.lost += 1;
+                (None, Some(e))
+            }
+        };
+        FrameTx {
+            channel: c,
+            arrival,
+            frame,
+            error,
+        }
+    }
+
+    /// IP packets handed to the interface so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Frames lost (data + markers).
+    pub fn frames_lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// The member links.
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+}
+
+/// Receiving side: codepoint demux plus logical reception.
+#[derive(Debug)]
+pub struct StripeRxInterface {
+    rx: LogicalReceiver<Srr, StripedIpPacket>,
+}
+
+impl StripeRxInterface {
+    /// A frame physically arrived on member `channel`. Non-striped
+    /// codepoints are returned to the caller untouched (`Err`) — they
+    /// belong to normal IP input, not to the strIPe layer.
+    pub fn input(&mut self, channel: ChannelId, frame: EtherFrame) -> Result<(), EtherFrame> {
+        match frame.ethertype {
+            EtherType::StripeData => {
+                self.rx.push(
+                    channel,
+                    Arrival::Data(StripedIpPacket {
+                        bytes: frame.payload,
+                    }),
+                );
+                Ok(())
+            }
+            EtherType::StripeMarker => {
+                // A corrupt marker is dropped like any corrupt packet.
+                if let Some(mk) = Marker::decode(&frame.payload) {
+                    self.rx.push(channel, Arrival::Marker(mk));
+                }
+                Ok(())
+            }
+            _ => Err(frame),
+        }
+    }
+
+    /// Deliver the next in-order IP packet, parsed and checksum-verified.
+    /// Packets whose header fails verification are silently dropped
+    /// (detectable corruption, §5).
+    pub fn poll(&mut self) -> Option<(Ipv4Header, StripedIpPacket)> {
+        while let Some(pkt) = self.rx.poll() {
+            if let Some(h) = Ipv4Header::decode(&pkt.bytes) {
+                return Some((h, pkt));
+            }
+        }
+        None
+    }
+
+    /// Resequencer counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.rx.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::proto;
+    use bytes::{BufMut, BytesMut};
+    use std::net::Ipv4Addr;
+    use stripe_link::loss::LossModel;
+    use stripe_netsim::{Bandwidth, EventQueue, SimDuration};
+
+    const MAC_A0: MacAddr = [0xA, 0, 0, 0, 0, 0];
+    const MAC_A1: MacAddr = [0xA, 0, 0, 0, 0, 1];
+    const MAC_B0: MacAddr = [0xB, 0, 0, 0, 0, 0];
+    const MAC_B1: MacAddr = [0xB, 0, 0, 0, 0, 1];
+
+    fn member(rate_mbps: u64, seed: u64, local: MacAddr, peer: MacAddr) -> Member {
+        Member {
+            link: EthLink::new(
+                Bandwidth::mbps(rate_mbps),
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(25),
+                LossModel::None,
+                seed,
+            ),
+            local_mac: local,
+            peer_mac: peer,
+        }
+    }
+
+    fn ip_packet(ident: u16, payload_len: usize) -> StripedIpPacket {
+        let h = Ipv4Header {
+            total_len: (20 + payload_len) as u16,
+            ident,
+            ttl: 64,
+            protocol: proto::UDP,
+            src: Ipv4Addr::new(10, 1, 0, 1),
+            dst: Ipv4Addr::new(10, 1, 0, 2),
+        };
+        let mut b = BytesMut::new();
+        b.put_slice(&h.encode());
+        b.put_bytes(ident as u8, payload_len);
+        StripedIpPacket { bytes: b.freeze() }
+    }
+
+    fn group() -> StripeInterface {
+        StripeInterface::new(
+            vec![
+                member(10, 1, MAC_A0, MAC_B0),
+                member(10, 2, MAC_A1, MAC_B1),
+            ],
+            MarkerConfig::every_rounds(8),
+        )
+    }
+
+    /// End-to-end: IP packets out one host's strIPe interface, frames over
+    /// skewed links, resequenced and checksum-verified at the other —
+    /// transparent FIFO delivery.
+    #[test]
+    fn transparent_fifo_ip_delivery() {
+        let mut tx_if = group();
+        let mut rx_if = tx_if.make_receiver(4096);
+        let mut q: EventQueue<(usize, EtherFrame)> = EventQueue::new();
+
+        let mut now = SimTime::ZERO;
+        for i in 0..200u16 {
+            now += SimDuration::from_micros(1400);
+            for ftx in tx_if.output(now, ip_packet(i, 256 + (i as usize * 53) % 1000)) {
+                if let Some(at) = ftx.arrival {
+                    q.push(at, (ftx.channel, ftx.frame));
+                }
+            }
+        }
+        let mut idents = Vec::new();
+        while let Some((_, (c, frame))) = q.pop() {
+            assert!(rx_if.input(c, frame).is_ok());
+            while let Some((h, _)) = rx_if.poll() {
+                idents.push(h.ident);
+            }
+        }
+        assert_eq!(idents, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn markers_use_their_own_codepoint_and_never_touch_data() {
+        let mut tx_if = group();
+        let mut data_frames = 0;
+        let mut marker_frames = 0;
+        let mut now = SimTime::ZERO;
+        for i in 0..100u16 {
+            now += SimDuration::from_micros(1500);
+            for ftx in tx_if.output(now, ip_packet(i, 800)) {
+                match ftx.frame.ethertype {
+                    EtherType::StripeData => {
+                        data_frames += 1;
+                        // Data payload is the *unmodified* IP packet.
+                        assert!(Ipv4Header::decode(&ftx.frame.payload).is_some());
+                    }
+                    EtherType::StripeMarker => {
+                        marker_frames += 1;
+                        assert!(Marker::decode(&ftx.frame.payload).is_some());
+                    }
+                    other => panic!("unexpected codepoint {other:?}"),
+                }
+            }
+        }
+        assert_eq!(data_frames, 100);
+        assert!(marker_frames > 0, "markers must flow");
+    }
+
+    #[test]
+    fn non_striped_frames_are_handed_back() {
+        let tx_if = group();
+        let mut rx_if = tx_if.make_receiver(64);
+        let arp = EtherFrame {
+            dst: MAC_B0,
+            src: MAC_A0,
+            ethertype: EtherType::Arp,
+            payload: Bytes::from_static(b"who-has"),
+        };
+        let back = rx_if.input(0, arp.clone());
+        assert_eq!(back, Err(arp));
+    }
+
+    #[test]
+    fn corrupted_ip_header_is_dropped_not_delivered() {
+        let mut tx_if = group();
+        let mut rx_if = tx_if.make_receiver(64);
+        let mut pkt = ip_packet(1, 100);
+        let mut raw = pkt.bytes.to_vec();
+        raw[8] ^= 0xFF; // mangle TTL: checksum now fails
+        pkt.bytes = Bytes::from(raw);
+        for ftx in tx_if.output(SimTime::from_micros(10), pkt) {
+            if ftx.arrival.is_some() {
+                let _ = rx_if.input(ftx.channel, ftx.frame);
+            }
+        }
+        assert!(rx_if.poll().is_none());
+    }
+
+    #[test]
+    fn weighted_quanta_follow_member_rates() {
+        let tx_if = StripeInterface::new(
+            vec![
+                member(10, 1, MAC_A0, MAC_B0),
+                member(30, 2, MAC_A1, MAC_B1),
+            ],
+            MarkerConfig::disabled(),
+        );
+        let sched = tx_if.tx.scheduler();
+        assert_eq!(sched.quantum(1), 3 * sched.quantum(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds strIPe MTU")]
+    fn oversized_packet_panics() {
+        let mut tx_if = group();
+        let _ = tx_if.output(SimTime::ZERO, ip_packet(0, 1500));
+    }
+
+    #[test]
+    fn corrupt_marker_is_ignored() {
+        let tx_if = group();
+        let mut rx_if = tx_if.make_receiver(64);
+        let junk = EtherFrame {
+            dst: MAC_B0,
+            src: MAC_A0,
+            ethertype: EtherType::StripeMarker,
+            payload: Bytes::from_static(b"garbage!!"),
+        };
+        assert!(rx_if.input(0, junk).is_ok());
+        assert_eq!(rx_if.stats().markers_seen, 0);
+    }
+}

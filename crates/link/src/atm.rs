@@ -1,0 +1,278 @@
+//! An ATM permanent virtual circuit with AAL5 segmentation — the
+//! rate-settable leg of the Figure 15 testbed.
+//!
+//! The paper's PVC had its bandwidth "modified in hardware"; here the rate
+//! is a constructor parameter swept by the benches. Two pieces of ATM
+//! realism matter to the experiments:
+//!
+//! - **the cell tax**: AAL5 pads the payload (+8-byte trailer) to a
+//!   multiple of 48 bytes and ships 53-byte cells, so goodput is at most
+//!   48/53 of line rate and small packets pay proportionally more;
+//! - **reassembly failure**: one lost cell destroys the whole packet —
+//!   burst behaviour quite unlike Ethernet's per-frame loss.
+//!
+//! Markers travel as single OAM-style cells (`transmit_marker`), the
+//! paper's own suggestion ("it appears feasible to implement markers using
+//! OAM cells sent on the same VC"), so data cells are never touched.
+
+use stripe_netsim::{Bandwidth, DetRng, SimDuration, SimTime};
+
+use crate::loss::LossModel;
+use crate::wire::Wire;
+use crate::{FifoLink, TxError, TxResult};
+
+/// Bytes per ATM cell on the wire.
+pub const CELL_SIZE: usize = 53;
+/// Payload bytes per cell.
+pub const CELL_PAYLOAD: usize = 48;
+/// AAL5 trailer (pad-length, CPI, length, CRC-32).
+pub const AAL5_TRAILER: usize = 8;
+
+/// Number of cells AAL5 needs for `len` payload bytes.
+pub fn aal5_cells(len: usize) -> usize {
+    (len + AAL5_TRAILER).div_ceil(CELL_PAYLOAD)
+}
+
+/// Wire bytes consumed by `len` payload bytes after segmentation.
+pub fn aal5_wire_bytes(len: usize) -> usize {
+    aal5_cells(len) * CELL_SIZE
+}
+
+/// The PVC model.
+#[derive(Debug, Clone)]
+pub struct AtmPvc {
+    wire: Wire,
+    cell_loss: LossModel,
+    loss_rng: DetRng,
+    mtu: usize,
+    packets_lost: u64,
+    packets_delivered: u64,
+    cells_sent: u64,
+    cells_lost: u64,
+}
+
+impl AtmPvc {
+    /// A PVC at `rate` (cell line rate) with propagation `prop`, per-packet
+    /// jitter up to `jitter_max`, a *per-cell* loss process, MTU `mtu`, and
+    /// a deterministic seed. The paper used 8 KB "large MTU" experiments,
+    /// so the MTU is a parameter rather than a constant.
+    pub fn new(
+        rate: Bandwidth,
+        prop: SimDuration,
+        jitter_max: SimDuration,
+        cell_loss: LossModel,
+        mtu: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(mtu > 0);
+        let mut rng = DetRng::new(seed);
+        let wire_seed = rng.next_u64();
+        Self {
+            wire: Wire::new(rate, prop, jitter_max, 128 * 1024, wire_seed),
+            cell_loss,
+            loss_rng: rng,
+            mtu,
+            packets_lost: 0,
+            packets_delivered: 0,
+            cells_sent: 0,
+            cells_lost: 0,
+        }
+    }
+
+    /// The Figure 15 sweep leg: lossless PVC at `rate`, Ethernet-matched
+    /// MTU so striping MTU clamping is a non-issue.
+    pub fn lossless(rate: Bandwidth, seed: u64) -> Self {
+        Self::new(
+            rate,
+            SimDuration::from_micros(120),
+            SimDuration::from_micros(15),
+            LossModel::None,
+            crate::ETH_MTU,
+            seed,
+        )
+    }
+
+    /// Send a marker as a single OAM cell: one 53-byte cell, subject to the
+    /// same cell-loss process, never touching data framing.
+    pub fn transmit_marker(&mut self, now: SimTime) -> TxResult {
+        let (_, arrival) = self.wire.push(now, CELL_SIZE)?;
+        self.cells_sent += 1;
+        if self.cell_loss.lose(&mut self.loss_rng) {
+            self.cells_lost += 1;
+            return Err(TxError::LostInFlight);
+        }
+        Ok(arrival)
+    }
+
+    /// Packets lost to reassembly failure.
+    pub fn packets_lost(&self) -> u64 {
+        self.packets_lost
+    }
+
+    /// Packets delivered whole.
+    pub fn packets_delivered(&self) -> u64 {
+        self.packets_delivered
+    }
+
+    /// Total cells sent (data + OAM).
+    pub fn cells_sent(&self) -> u64 {
+        self.cells_sent
+    }
+
+    /// Cells lost in flight.
+    pub fn cells_lost(&self) -> u64 {
+        self.cells_lost
+    }
+
+    /// The cell line rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.wire.rate()
+    }
+
+    /// Transmit-queue backlog in bytes at `now`.
+    pub fn backlog_bytes(&self, now: SimTime) -> usize {
+        self.wire.backlog_bytes(now)
+    }
+}
+
+impl FifoLink for AtmPvc {
+    fn transmit(&mut self, now: SimTime, wire_len: usize) -> TxResult {
+        if wire_len > self.mtu {
+            return Err(TxError::TooBig);
+        }
+        let cells = aal5_cells(wire_len);
+        let (_, arrival) = self.wire.push(now, cells * CELL_SIZE)?;
+        self.cells_sent += cells as u64;
+        // Independent fate per cell; any loss is a reassembly failure.
+        let mut doomed = false;
+        for _ in 0..cells {
+            if self.cell_loss.lose(&mut self.loss_rng) {
+                self.cells_lost += 1;
+                doomed = true;
+            }
+        }
+        if doomed {
+            self.packets_lost += 1;
+            return Err(TxError::LostInFlight);
+        }
+        self.packets_delivered += 1;
+        Ok(arrival)
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    fn busy_until(&self) -> SimTime {
+        self.wire.busy_until()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aal5_cell_math() {
+        assert_eq!(aal5_cells(1), 1); // 9 <= 48
+        assert_eq!(aal5_cells(40), 1); // 48 exactly
+        assert_eq!(aal5_cells(41), 2); // 49 > 48
+        assert_eq!(aal5_cells(1500), 32); // 1508/48 = 31.4 -> 32
+        assert_eq!(aal5_wire_bytes(1500), 32 * 53);
+    }
+
+    #[test]
+    fn cell_tax_visible_in_goodput() {
+        let mut pvc = AtmPvc::new(
+            Bandwidth::mbps(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            LossModel::None,
+            1500,
+            1,
+        );
+        let mut sent = 0u64;
+        let mut last = SimTime::ZERO;
+        for _ in 0..200 {
+            let now = pvc.busy_until();
+            if let Ok(arr) = pvc.transmit(now, 1500) {
+                sent += 1500;
+                last = arr;
+            }
+        }
+        let goodput = sent as f64 * 8.0 / last.as_secs_f64() / 1e6;
+        let expect = 10.0 * 1500.0 / (32.0 * 53.0);
+        assert!((goodput - expect).abs() < 0.1, "{goodput} vs {expect}");
+    }
+
+    #[test]
+    fn one_lost_cell_kills_the_packet() {
+        // Periodic loss of exactly 1 cell in 64: a 32-cell packet dies
+        // whenever its window covers the loss slot.
+        let mut pvc = AtmPvc::new(
+            Bandwidth::mbps(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            LossModel::periodic(64, 1),
+            1500,
+            1,
+        );
+        let mut delivered = 0;
+        let mut lost = 0;
+        for _ in 0..100 {
+            let now = pvc.busy_until();
+            match pvc.transmit(now, 1500) {
+                Ok(_) => delivered += 1,
+                Err(TxError::LostInFlight) => lost += 1,
+                Err(e) => panic!("{e:?}"),
+            }
+        }
+        // Every other 32-cell packet covers a loss slot of the 64-cycle.
+        assert_eq!(lost, 50, "delivered {delivered}, lost {lost}");
+        assert_eq!(pvc.packets_lost(), 50);
+    }
+
+    #[test]
+    fn small_packets_pay_higher_tax() {
+        // 40-byte payload = 1 cell = 53 wire bytes: tax > 24%.
+        let w40 = aal5_wire_bytes(40) as f64 / 40.0;
+        let w1500 = aal5_wire_bytes(1500) as f64 / 1500.0;
+        assert!(w40 > w1500);
+        assert!(w40 > 1.3);
+    }
+
+    #[test]
+    fn marker_rides_one_cell() {
+        let mut pvc = AtmPvc::lossless(Bandwidth::mbps(10), 1);
+        let before = pvc.cells_sent();
+        pvc.transmit_marker(SimTime::ZERO).unwrap();
+        assert_eq!(pvc.cells_sent() - before, 1);
+    }
+
+    #[test]
+    fn mtu_is_configurable() {
+        let mut pvc = AtmPvc::new(
+            Bandwidth::mbps(100),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            LossModel::None,
+            8192, // the paper's large-MTU configuration
+            1,
+        );
+        assert!(pvc.transmit(SimTime::ZERO, 8192).is_ok());
+        assert_eq!(pvc.transmit(SimTime::ZERO, 8193), Err(TxError::TooBig));
+    }
+
+    #[test]
+    fn fifo_holds_across_cells() {
+        let mut pvc = AtmPvc::lossless(Bandwidth::mbps(25), 3);
+        let mut last = SimTime::ZERO;
+        for i in 0..200 {
+            let now = SimTime::from_micros(40 * i);
+            if let Ok(arr) = pvc.transmit(now, 64 + (i as usize * 97) % 1400) {
+                assert!(arr >= last);
+                last = arr;
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Cell-level striping across ATM PVCs — the alternative §7 argues
+//! *against*.
+//!
+//! "When striping end-to-end across ATM circuits, it seems advisable to
+//! stripe at the packet layer. Striping cells across channels would mean
+//! that AAL boundaries are unavailable within the ATM networks; however,
+//! these boundaries are needed in order to implement early discard
+//! policies."
+//!
+//! This module implements the rejected design so the `cell_vs_packet`
+//! bench can quantify the paper's argument:
+//!
+//! - a packet's AAL5 cells are dealt round-robin across N PVCs, so *every*
+//!   PVC carries a share of *every* packet;
+//! - reassembly needs every cell from every PVC — one lost cell anywhere
+//!   kills the packet, and the per-packet cell count is what multiplies
+//!   the loss (identical exponent to single-PVC AAL5, but now the packet
+//!   is also hostage to the *slowest* PVC's skew);
+//! - inside the network no PVC sees AAL frame boundaries, so Early Packet
+//!   Discard (dropping whole frames under congestion instead of random
+//!   cells) cannot operate — modeled here by the `epd` flag on the
+//!   congestion model.
+
+use stripe_netsim::{Bandwidth, DetRng, SimDuration, SimTime};
+
+use crate::atm::{aal5_cells, CELL_SIZE};
+use crate::loss::LossModel;
+use crate::wire::Wire;
+
+/// Outcome of sending one packet through a striped-cell group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStripeOutcome {
+    /// All cells arrived; the packet completes at this instant (the
+    /// latest arrival across PVCs — the slowest leg gates the packet).
+    Delivered(SimTime),
+    /// At least one cell was lost: reassembly failure.
+    Lost,
+}
+
+/// A group of PVCs carrying cell-striped traffic.
+#[derive(Debug)]
+pub struct CellStripedGroup {
+    wires: Vec<Wire>,
+    cell_loss: LossModel,
+    rng: DetRng,
+    next_pvc: usize,
+    packets_delivered: u64,
+    packets_lost: u64,
+    cells_sent: u64,
+}
+
+impl CellStripedGroup {
+    /// `n` PVCs at `rate` each, with per-cell loss.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(
+        n: usize,
+        rate: Bandwidth,
+        prop: SimDuration,
+        jitter_max: SimDuration,
+        cell_loss: LossModel,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0);
+        let mut rng = DetRng::new(seed);
+        let wires = (0..n)
+            .map(|_| {
+                let ws = rng.next_u64();
+                Wire::new(rate, prop, jitter_max, 128 * 1024, ws)
+            })
+            .collect();
+        Self {
+            wires,
+            cell_loss,
+            rng,
+            next_pvc: 0,
+            packets_delivered: 0,
+            packets_lost: 0,
+            cells_sent: 0,
+        }
+    }
+
+    /// Stripe one packet's cells round-robin across the PVCs.
+    pub fn transmit(&mut self, now: SimTime, payload_len: usize) -> CellStripeOutcome {
+        let cells = aal5_cells(payload_len);
+        let mut latest = SimTime::ZERO;
+        let mut doomed = false;
+        for _ in 0..cells {
+            let pvc = self.next_pvc;
+            self.next_pvc = (self.next_pvc + 1) % self.wires.len();
+            self.cells_sent += 1;
+            match self.wires[pvc].push(now, CELL_SIZE) {
+                Ok((_, arrival)) => {
+                    if self.cell_loss.lose(&mut self.rng) {
+                        doomed = true;
+                    } else if arrival > latest {
+                        latest = arrival;
+                    }
+                }
+                Err(_) => doomed = true, // queue overrun on one PVC
+            }
+        }
+        if doomed {
+            self.packets_lost += 1;
+            CellStripeOutcome::Lost
+        } else {
+            self.packets_delivered += 1;
+            CellStripeOutcome::Delivered(latest)
+        }
+    }
+
+    /// When every PVC transmitter is idle (for pacing).
+    pub fn busy_until(&self) -> SimTime {
+        self.wires
+            .iter()
+            .map(|w| w.busy_until())
+            .max()
+            .expect("non-empty")
+    }
+
+    /// Packets delivered whole.
+    pub fn packets_delivered(&self) -> u64 {
+        self.packets_delivered
+    }
+
+    /// Packets lost to any-cell loss.
+    pub fn packets_lost(&self) -> u64 {
+        self.packets_lost
+    }
+
+    /// Total cells pushed onto wires.
+    pub fn cells_sent(&self) -> u64 {
+        self.cells_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: usize, loss: LossModel) -> CellStripedGroup {
+        CellStripedGroup::new(
+            n,
+            Bandwidth::mbps(10),
+            SimDuration::from_micros(100),
+            SimDuration::ZERO,
+            loss,
+            7,
+        )
+    }
+
+    #[test]
+    fn lossless_delivery_parallelizes_cells() {
+        let mut g1 = group(1, LossModel::None);
+        let mut g4 = group(4, LossModel::None);
+        let t1 = match g1.transmit(SimTime::ZERO, 8000) {
+            CellStripeOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        let t4 = match g4.transmit(SimTime::ZERO, 8000) {
+            CellStripeOutcome::Delivered(t) => t,
+            other => panic!("{other:?}"),
+        };
+        // Four PVCs serialize a quarter of the cells each.
+        assert!(t4 < t1, "striping cells must cut serialization: {t4} vs {t1}");
+    }
+
+    #[test]
+    fn one_lost_cell_anywhere_kills_the_packet() {
+        // Deterministic: lose exactly 1 cell in 200.
+        let mut g = group(4, LossModel::periodic(200, 1));
+        let mut lost = 0;
+        for i in 0..50 {
+            let now = SimTime::from_millis(10 * (i + 1));
+            if matches!(g.transmit(now, 1500), CellStripeOutcome::Lost) {
+                lost += 1;
+            }
+        }
+        // 32 cells/packet, loss slot every 200 cells: ~every 6th packet.
+        assert!((6..=10).contains(&lost), "{lost}");
+        assert_eq!(g.packets_lost(), lost);
+    }
+
+    #[test]
+    fn loss_compounds_with_packet_size() {
+        // At fixed cell-loss rate, larger packets die more often.
+        let rate = 0.005;
+        let mut small = group(4, LossModel::bernoulli(rate));
+        let mut large = group(4, LossModel::bernoulli(rate));
+        let mut small_lost = 0u32;
+        let mut large_lost = 0u32;
+        for i in 0..2000u64 {
+            let now = SimTime::from_millis(i + 1);
+            if matches!(small.transmit(now, 200), CellStripeOutcome::Lost) {
+                small_lost += 1;
+            }
+            if matches!(large.transmit(now, 8000), CellStripeOutcome::Lost) {
+                large_lost += 1;
+            }
+        }
+        // ~1-p^5 vs ~1-p^168: the large packets die far more often.
+        assert!(
+            large_lost > 10 * small_lost.max(1),
+            "large {large_lost} vs small {small_lost}"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! An Ethernet-like link: framing, type-field codepoints, and the link
+//! model used as the fixed 10 Mbps leg of the Figure 15 testbed.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use stripe_netsim::{Bandwidth, DetRng, SimDuration, SimTime};
+
+use crate::loss::LossModel;
+use crate::wire::Wire;
+use crate::{FifoLink, TxError, TxResult};
+
+/// Standard Ethernet payload MTU.
+pub const ETH_MTU: usize = 1500;
+
+/// Per-frame wire overhead: 14-byte header + 4-byte FCS + 8-byte preamble
+/// + 12-byte minimum inter-frame gap, expressed in byte times.
+pub const ETH_OVERHEAD: usize = 38;
+
+/// Ethernet type-field codepoints.
+///
+/// §5's only requirement on the lower layer is "a distinct codepoint for
+/// the marker packets"; on Ethernet that is literally a different type
+/// field, which "does not alter ordinary data packets or link packet
+/// formats in any way".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// Ordinary IPv4.
+    Ipv4,
+    /// ARP.
+    Arp,
+    /// IP striped across a group (strIPe data).
+    StripeData,
+    /// strIPe synchronization marker.
+    StripeMarker,
+    /// Anything else (carried verbatim).
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::StripeData => 0x88B5,
+            EtherType::StripeMarker => 0x88B6,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parse a 16-bit wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x88B5 => EtherType::StripeData,
+            0x88B6 => EtherType::StripeMarker,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A MAC address.
+pub type MacAddr = [u8; 6];
+
+/// An Ethernet frame (header + payload; FCS is implied by the overhead
+/// constant and corruption is modeled by the loss process).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EtherFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Type-field codepoint.
+    pub ethertype: EtherType,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl EtherFrame {
+    /// Serialize to bytes (14-byte header + payload).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(14 + self.payload.len());
+        b.put_slice(&self.dst);
+        b.put_slice(&self.src);
+        b.put_u16(self.ethertype.to_u16());
+        b.put_slice(&self.payload);
+        b.freeze()
+    }
+
+    /// Parse from bytes; `None` if shorter than a header.
+    pub fn decode(mut buf: Bytes) -> Option<Self> {
+        if buf.len() < 14 {
+            return None;
+        }
+        let mut dst = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        let mut src = [0u8; 6];
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
+        let payload = buf.split_off(14);
+        Some(Self {
+            dst,
+            src,
+            ethertype,
+            payload,
+        })
+    }
+}
+
+/// The Ethernet link model: a [`Wire`] plus framing overhead and a loss
+/// process.
+#[derive(Debug, Clone)]
+pub struct EthLink {
+    wire: Wire,
+    loss: LossModel,
+    loss_rng: DetRng,
+    mtu: usize,
+    lost: u64,
+    delivered: u64,
+}
+
+impl EthLink {
+    /// A link at `rate` with propagation delay `prop`, per-packet jitter up
+    /// to `jitter_max`, a 64 KiB transmit queue, the given loss model, and
+    /// a deterministic seed.
+    pub fn new(
+        rate: Bandwidth,
+        prop: SimDuration,
+        jitter_max: SimDuration,
+        loss: LossModel,
+        seed: u64,
+    ) -> Self {
+        let mut rng = DetRng::new(seed);
+        let wire_seed = rng.next_u64();
+        Self {
+            wire: Wire::new(rate, prop, jitter_max, 64 * 1024, wire_seed),
+            loss,
+            loss_rng: rng,
+            mtu: ETH_MTU,
+            lost: 0,
+            delivered: 0,
+        }
+    }
+
+    /// The classic 10 Mbps shared-LAN leg of the paper's testbed: 100 us
+    /// propagation, modest jitter, no loss.
+    pub fn classic_10mbps(seed: u64) -> Self {
+        Self::new(
+            Bandwidth::mbps(10),
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(20),
+            LossModel::None,
+            seed,
+        )
+    }
+
+    /// Packets lost in flight so far.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The link rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.wire.rate()
+    }
+
+    /// Transmit-queue backlog in bytes at `now`.
+    pub fn backlog_bytes(&self, now: SimTime) -> usize {
+        self.wire.backlog_bytes(now)
+    }
+}
+
+impl FifoLink for EthLink {
+    fn transmit(&mut self, now: SimTime, wire_len: usize) -> TxResult {
+        if wire_len > self.mtu {
+            return Err(TxError::TooBig);
+        }
+        let (_end, arrival) = self.wire.push(now, wire_len + ETH_OVERHEAD)?;
+        if self.loss.lose(&mut self.loss_rng) {
+            self.lost += 1;
+            return Err(TxError::LostInFlight);
+        }
+        self.delivered += 1;
+        Ok(arrival)
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    fn busy_until(&self) -> SimTime {
+        self.wire.busy_until()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethertype_roundtrip() {
+        for t in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::StripeData,
+            EtherType::StripeMarker,
+            EtherType::Other(0x1234),
+        ] {
+            assert_eq!(EtherType::from_u16(t.to_u16()), t);
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = EtherFrame {
+            dst: [1, 2, 3, 4, 5, 6],
+            src: [7, 8, 9, 10, 11, 12],
+            ethertype: EtherType::StripeMarker,
+            payload: Bytes::from_static(b"hello stripe"),
+        };
+        assert_eq!(EtherFrame::decode(f.encode()), Some(f));
+    }
+
+    #[test]
+    fn decode_rejects_runt() {
+        assert_eq!(EtherFrame::decode(Bytes::from_static(b"short")), None);
+    }
+
+    #[test]
+    fn mtu_enforced() {
+        let mut l = EthLink::classic_10mbps(1);
+        assert_eq!(l.transmit(SimTime::ZERO, ETH_MTU + 1), Err(TxError::TooBig));
+        assert!(l.transmit(SimTime::ZERO, ETH_MTU).is_ok());
+    }
+
+    #[test]
+    fn effective_throughput_below_line_rate() {
+        // Framing overhead means 10 Mbps of wire carries < 10 Mbps of
+        // payload: check goodput for back-to-back 1500-byte frames.
+        let mut l = EthLink::new(
+            Bandwidth::mbps(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            LossModel::None,
+            1,
+        );
+        let mut sent = 0u64;
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            let now = l.busy_until(); // pace to the wire
+            if let Ok(arr) = l.transmit(now, 1500) {
+                sent += 1500;
+                last = arr;
+            }
+        }
+        let goodput = sent as f64 * 8.0 / last.as_secs_f64() / 1e6;
+        let expect = 10.0 * 1500.0 / (1500.0 + ETH_OVERHEAD as f64);
+        assert!((goodput - expect).abs() < 0.1, "{goodput} vs {expect}");
+    }
+
+    #[test]
+    fn loss_counted_but_time_consumed() {
+        let mut l = EthLink::new(
+            Bandwidth::mbps(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            LossModel::bernoulli(1.0),
+            1,
+        );
+        let before = l.busy_until();
+        assert_eq!(l.transmit(SimTime::ZERO, 1000), Err(TxError::LostInFlight));
+        assert!(l.busy_until() > before, "lost packet still used the wire");
+        assert_eq!(l.lost(), 1);
+        assert_eq!(l.delivered(), 0);
+    }
+
+    #[test]
+    fn queue_full_surfaces() {
+        let mut l = EthLink::classic_10mbps(1);
+        let mut stuffed = 0;
+        loop {
+            match l.transmit(SimTime::ZERO, 1500) {
+                Ok(_) => stuffed += 1,
+                Err(TxError::QueueFull) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+            assert!(stuffed < 1000, "queue never filled");
+        }
+        // 64 KiB of queue / ~1538 wire bytes ≈ 42 frames.
+        assert!((30..=50).contains(&stuffed), "{stuffed}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Receive-side host CPU model: per-packet and per-interrupt costs with
+//! interrupt coalescing.
+//!
+//! Figure 15's two host effects, in the paper's words:
+//!
+//! 1. "the throughput upper bound increases linearly before starting to
+//!    fall, as the CPU cannot keep up with the network at higher speeds" —
+//!    a per-packet CPU cost saturates the receiver;
+//! 2. "with a single interface under heavy load, multiple packets can be
+//!    received in a single interrupt routine. This effect is less
+//!    pronounced with striping... consequently there is a significant
+//!    increase in the number of interrupts" — interrupt coalescing is
+//!    per interface, so spreading the same packet rate over two NICs
+//!    halves the batching and inflates per-packet interrupt overhead.
+//!
+//! The model: each NIC batches packets into an interrupt while the CPU has
+//! not yet serviced that NIC's previous interrupt; a packet arriving at an
+//! idle NIC raises a fresh interrupt (cost `per_interrupt`), and every
+//! packet costs `per_packet`. The CPU is a single serial resource.
+
+use stripe_netsim::{SimDuration, SimTime};
+
+/// The host CPU model. One instance per receiving host.
+#[derive(Debug, Clone)]
+pub struct HostModel {
+    per_packet: SimDuration,
+    per_interrupt: SimDuration,
+    /// CPU busy-until (single serial execution resource).
+    cpu_free: SimTime,
+    /// Per-NIC: the time until which an already-raised interrupt keeps
+    /// batching arrivals.
+    nic_batch_until: Vec<SimTime>,
+    interrupts: u64,
+    packets: u64,
+}
+
+impl HostModel {
+    /// A host with `nics` interfaces and the given costs.
+    ///
+    /// # Panics
+    /// Panics if `nics == 0`.
+    pub fn new(nics: usize, per_packet: SimDuration, per_interrupt: SimDuration) -> Self {
+        assert!(nics > 0);
+        Self {
+            per_packet,
+            per_interrupt,
+            cpu_free: SimTime::ZERO,
+            nic_batch_until: vec![SimTime::ZERO; nics],
+            interrupts: 0,
+            packets: 0,
+        }
+    }
+
+    /// The paper-era workstation profile: ~20 us of protocol processing per
+    /// packet, ~35 us interrupt entry/exit. At these numbers a single CPU
+    /// tops out around 25-30 Mbps of 1500-byte packets with batching, which
+    /// is where Figure 15's upper bound bends.
+    pub fn pentium_class(nics: usize) -> Self {
+        Self::new(
+            nics,
+            SimDuration::from_micros(20),
+            SimDuration::from_micros(35),
+        )
+    }
+
+    /// A packet arrives on `nic` at time `t` (wire arrival). Returns when
+    /// the host has finished processing it — the instant it is visible to
+    /// the application/transport.
+    pub fn process(&mut self, nic: usize, t: SimTime) -> SimTime {
+        self.packets += 1;
+        let mut cost = self.per_packet;
+        if t >= self.nic_batch_until[nic] {
+            // NIC was quiescent: raise a fresh interrupt.
+            self.interrupts += 1;
+            cost = cost + self.per_interrupt;
+        }
+        let start = self.cpu_free.max(t);
+        let done = start + cost;
+        self.cpu_free = done;
+        // Until the CPU drains this NIC's work, further arrivals on the
+        // same NIC ride the same interrupt.
+        self.nic_batch_until[nic] = done;
+        done
+    }
+
+    /// Interrupts taken so far.
+    pub fn interrupts(&self) -> u64 {
+        self.interrupts
+    }
+
+    /// Packets processed so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Mean packets per interrupt (the batching factor).
+    pub fn batch_factor(&self) -> f64 {
+        if self.interrupts == 0 {
+            return 0.0;
+        }
+        self.packets as f64 / self.interrupts as f64
+    }
+
+    /// When the CPU next goes idle.
+    pub fn cpu_free(&self) -> SimTime {
+        self.cpu_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(nics: usize) -> HostModel {
+        HostModel::new(
+            nics,
+            SimDuration::from_micros(20),
+            SimDuration::from_micros(35),
+        )
+    }
+
+    #[test]
+    fn idle_packet_pays_full_interrupt() {
+        let mut h = host(1);
+        let done = h.process(0, SimTime::from_millis(1));
+        assert_eq!(done, SimTime::from_millis(1) + SimDuration::from_micros(55));
+        assert_eq!(h.interrupts(), 1);
+    }
+
+    #[test]
+    fn back_to_back_packets_batch() {
+        let mut h = host(1);
+        let t = SimTime::from_millis(1);
+        h.process(0, t);
+        // Second packet lands while the CPU is still busy with the first:
+        // same interrupt, only the per-packet cost.
+        let done2 = h.process(0, t + SimDuration::from_micros(10));
+        assert_eq!(h.interrupts(), 1);
+        assert_eq!(done2, t + SimDuration::from_micros(55 + 20));
+    }
+
+    #[test]
+    fn widely_spaced_packets_each_interrupt() {
+        let mut h = host(1);
+        for i in 0..10 {
+            h.process(0, SimTime::from_millis(10 * (i + 1)));
+        }
+        assert_eq!(h.interrupts(), 10);
+        assert!((h.batch_factor() - 1.0).abs() < 1e-9);
+    }
+
+    /// The paper's striping penalty: the same aggregate arrival process
+    /// split across two NICs takes more interrupts than on one NIC.
+    #[test]
+    fn striping_over_two_nics_costs_more_interrupts() {
+        let spacing = SimDuration::from_micros(30); // faster than CPU drain
+        let mut single = host(1);
+        let mut striped = host(2);
+        let mut t = SimTime::ZERO;
+        for i in 0..1000u64 {
+            single.process(0, t);
+            striped.process((i % 2) as usize, t);
+            t += spacing;
+        }
+        assert!(
+            striped.interrupts() > single.interrupts(),
+            "striped {} vs single {}",
+            striped.interrupts(),
+            single.interrupts()
+        );
+        assert!(striped.batch_factor() < single.batch_factor());
+    }
+
+    /// Saturation: offered faster than the CPU drains, completion time
+    /// falls behind arrival time without bound — the Figure 15 roll-off.
+    #[test]
+    fn cpu_saturates_under_overload() {
+        let mut h = host(1);
+        let spacing = SimDuration::from_micros(10); // < 20us per-packet cost
+        let mut t = SimTime::ZERO;
+        let mut done = SimTime::ZERO;
+        for _ in 0..10_000 {
+            done = h.process(0, t);
+            t += spacing;
+        }
+        let lag = done.saturating_since(t);
+        // Backlog grows ~10us per packet => ~100ms after 10k packets.
+        assert!(lag > SimDuration::from_millis(50), "lag {lag}");
+    }
+
+    #[test]
+    fn batch_factor_zero_before_any_packet() {
+        let h = host(1);
+        assert_eq!(h.batch_factor(), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! # stripe-link
+//!
+//! Link-layer channel models for the striping testbed.
+//!
+//! The paper's channel definition (§2) is deliberately broad: *any* logical
+//! FIFO path that can lose or corrupt packets and whose end-to-end skew
+//! varies per packet. This crate provides concrete instances matching the
+//! paper's own testbed and application domains:
+//!
+//! - [`eth::EthLink`] — a 10 Mbps-class Ethernet: 1500-byte MTU, 18 bytes of
+//!   framing + preamble/IFG overhead, a distinct *type field* codepoint for
+//!   markers (exactly the paper's suggestion for marker demultiplexing).
+//! - [`atm::AtmPvc`] — a rate-settable ATM permanent virtual circuit with
+//!   real AAL5 segmentation: 53-byte cells, 48-byte payloads, 8-byte
+//!   trailer; one lost cell kills the whole packet; markers travel as
+//!   OAM-style single cells, leaving data cells untouched.
+//! - [`serial::SerialLink`] — a low-rate synchronous serial line with HDLC
+//!   flag/escape byte stuffing, the natural habitat of BONDING-style
+//!   inverse multiplexers.
+//! - [`loss::LossModel`] — Bernoulli, Gilbert–Elliott burst, and periodic
+//!   deterministic loss processes.
+//! - [`host::HostModel`] — per-packet + per-interrupt receive CPU costs with
+//!   interrupt coalescing, reproducing the Figure 15 observation that the
+//!   upper bound rolls off when "the CPU cannot keep up", and that striping
+//!   pays extra interrupt overhead relative to a single hot interface.
+//!
+//! All links share one contract, [`FifoLink`]: `transmit(now, wire_len)`
+//! returns when (and whether) the packet arrives, with FIFO delivery
+//! enforced even under per-packet jitter — the jitter reorders *spacing*,
+//! never packets, exactly the paper's channel model.
+
+#![warn(missing_docs)]
+
+pub mod atm;
+pub mod cellstripe;
+pub mod eth;
+pub mod host;
+pub mod loss;
+pub mod wire;
+pub mod serial;
+
+pub use atm::AtmPvc;
+pub use cellstripe::CellStripedGroup;
+pub use eth::{EthLink, EtherType, ETH_MTU, ETH_OVERHEAD};
+pub use host::HostModel;
+pub use loss::LossModel;
+pub use serial::SerialLink;
+
+use stripe_netsim::SimTime;
+
+/// Why a transmission did not arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// The transmit queue had no room — the packet never entered the wire.
+    QueueFull,
+    /// The packet exceeded the link MTU.
+    TooBig,
+    /// The packet (or one of its cells) was lost or corrupted in flight —
+    /// it consumed wire time but never arrives.
+    LostInFlight,
+}
+
+/// Result of offering one packet to a link.
+pub type TxResult = Result<SimTime, TxError>;
+
+/// The channel contract of §2: a FIFO path with loss and per-packet skew.
+///
+/// `transmit` is an *analytic* model: it immediately computes the arrival
+/// instant from queue state, serialization time, propagation and jitter,
+/// enforcing that arrivals on one link are non-decreasing in time. The
+/// experiment's event queue then schedules the arrival event.
+pub trait FifoLink {
+    /// Offer `wire_len` payload bytes at time `now`. On success returns the
+    /// arrival time at the far end.
+    fn transmit(&mut self, now: SimTime, wire_len: usize) -> TxResult;
+
+    /// Largest payload the link accepts.
+    fn mtu(&self) -> usize;
+
+    /// The instant the transmitter becomes idle (for pacing senders).
+    fn busy_until(&self) -> SimTime;
+}

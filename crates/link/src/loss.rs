@@ -1,0 +1,226 @@
+//! Packet/cell loss processes.
+//!
+//! §2 allows channels to lose and corrupt packets, and explicitly models
+//! channels that "occasionally deviate from FIFO delivery" as having burst
+//! errors — hence the Gilbert–Elliott model alongside simple Bernoulli
+//! loss. §6.3 drives loss rates all the way to 80%, so the models must stay
+//! well-behaved at extreme rates.
+
+use stripe_netsim::DetRng;
+
+/// A loss process: each call to [`LossModel::lose`] decides the fate of one
+/// packet (or cell), mutating internal channel state.
+#[derive(Debug, Clone)]
+pub enum LossModel {
+    /// Never lose anything.
+    None,
+    /// Independent loss with probability `p` per packet.
+    Bernoulli {
+        /// Loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott burst model: a Good state with loss
+    /// `p_good` and a Bad state with loss `p_bad`, switching with the given
+    /// transition probabilities per packet.
+    GilbertElliott {
+        /// P(Good -> Bad) per packet.
+        p_g2b: f64,
+        /// P(Bad -> Good) per packet.
+        p_b2g: f64,
+        /// Loss probability while Good.
+        p_good: f64,
+        /// Loss probability while Bad.
+        p_bad: f64,
+        /// Current state: `true` = Bad.
+        in_bad: bool,
+    },
+    /// Deterministically lose `burst` consecutive packets out of every
+    /// `period` — reproducible loss placement for the walkthrough tests.
+    Periodic {
+        /// Cycle length in packets.
+        period: u64,
+        /// Packets lost at the start of each cycle.
+        burst: u64,
+        /// Packets seen so far.
+        count: u64,
+    },
+}
+
+impl LossModel {
+    /// Independent (Bernoulli) loss at rate `p`.
+    pub fn bernoulli(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        LossModel::Bernoulli { p }
+    }
+
+    /// A Gilbert–Elliott channel starting in the Good state.
+    pub fn gilbert_elliott(p_g2b: f64, p_b2g: f64, p_good: f64, p_bad: f64) -> Self {
+        for v in [p_g2b, p_b2g, p_good, p_bad] {
+            assert!((0.0..=1.0).contains(&v), "probability {v} out of range");
+        }
+        LossModel::GilbertElliott {
+            p_g2b,
+            p_b2g,
+            p_good,
+            p_bad,
+            in_bad: false,
+        }
+    }
+
+    /// Lose the first `burst` of every `period` packets.
+    ///
+    /// # Panics
+    /// Panics if `period == 0` or `burst > period`.
+    pub fn periodic(period: u64, burst: u64) -> Self {
+        assert!(period > 0 && burst <= period);
+        LossModel::Periodic {
+            period,
+            burst,
+            count: 0,
+        }
+    }
+
+    /// Decide the fate of the next packet: `true` means lost.
+    pub fn lose(&mut self, rng: &mut DetRng) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.chance(*p),
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                p_good,
+                p_bad,
+                in_bad,
+            } => {
+                // State transition first, then the loss draw in the new
+                // state (order is a convention; it only shifts bursts by
+                // one packet).
+                if *in_bad {
+                    if rng.chance(*p_b2g) {
+                        *in_bad = false;
+                    }
+                } else if rng.chance(*p_g2b) {
+                    *in_bad = true;
+                }
+                rng.chance(if *in_bad { *p_bad } else { *p_good })
+            }
+            LossModel::Periodic {
+                period,
+                burst,
+                count,
+            } => {
+                let lost = *count % *period < *burst;
+                *count += 1;
+                lost
+            }
+        }
+    }
+
+    /// Long-run expected loss rate (exact for the stationary models; for
+    /// Gilbert–Elliott, derived from the stationary state distribution).
+    pub fn expected_rate(&self) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { p } => *p,
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                p_good,
+                p_bad,
+                ..
+            } => {
+                if *p_g2b == 0.0 && *p_b2g == 0.0 {
+                    return *p_good; // stuck in the initial Good state
+                }
+                let pi_bad = p_g2b / (p_g2b + p_b2g);
+                pi_bad * p_bad + (1.0 - pi_bad) * p_good
+            }
+            LossModel::Periodic { period, burst, .. } => *burst as f64 / *period as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_loses() {
+        let mut m = LossModel::None;
+        let mut rng = DetRng::new(1);
+        assert!((0..1000).all(|_| !m.lose(&mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_rate_converges() {
+        let mut m = LossModel::bernoulli(0.2);
+        let mut rng = DetRng::new(2);
+        let lost = (0..100_000).filter(|_| m.lose(&mut rng)).count();
+        assert!((19_000..=21_000).contains(&lost), "{lost}");
+    }
+
+    #[test]
+    fn bernoulli_extreme_rates() {
+        let mut rng = DetRng::new(3);
+        let mut zero = LossModel::bernoulli(0.0);
+        let mut one = LossModel::bernoulli(1.0);
+        assert!(!(zero.lose(&mut rng)));
+        assert!(one.lose(&mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bernoulli_rejects_bad_probability() {
+        let _ = LossModel::bernoulli(1.5);
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursts() {
+        // Mostly good, but bad spells lose everything: losses must clump.
+        let mut m = LossModel::gilbert_elliott(0.01, 0.2, 0.0, 1.0);
+        let mut rng = DetRng::new(4);
+        let outcomes: Vec<bool> = (0..200_000).map(|_| m.lose(&mut rng)).collect();
+        let losses = outcomes.iter().filter(|&&l| l).count();
+        // Stationary loss = (0.01/0.21) ≈ 4.8%.
+        let rate = losses as f64 / outcomes.len() as f64;
+        assert!((0.035..=0.065).contains(&rate), "{rate}");
+        // Burstiness: P(loss | previous loss) must far exceed the base rate.
+        let mut pairs = 0;
+        let mut after_loss = 0;
+        for w in outcomes.windows(2) {
+            if w[0] {
+                pairs += 1;
+                if w[1] {
+                    after_loss += 1;
+                }
+            }
+        }
+        let cond = after_loss as f64 / pairs as f64;
+        assert!(cond > 4.0 * rate, "cond {cond} vs rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_rate_formula() {
+        let m = LossModel::gilbert_elliott(0.01, 0.2, 0.0, 1.0);
+        let expect = 0.01 / 0.21;
+        assert!((m.expected_rate() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_is_deterministic() {
+        let mut m = LossModel::periodic(5, 2);
+        let mut rng = DetRng::new(5);
+        let fate: Vec<bool> = (0..10).map(|_| m.lose(&mut rng)).collect();
+        assert_eq!(
+            fate,
+            vec![true, true, false, false, false, true, true, false, false, false]
+        );
+        assert_eq!(m.expected_rate(), 0.4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn periodic_burst_cannot_exceed_period() {
+        let _ = LossModel::periodic(3, 4);
+    }
+}

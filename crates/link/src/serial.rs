@@ -1,0 +1,191 @@
+//! A synchronous serial line with HDLC-style framing — the 56/64 kbps
+//! circuit-switched channel class the BONDING standard targets (§2.1).
+//!
+//! Framing is real: flag delimiters and byte stuffing, so the wire length
+//! of a frame depends on its contents. This matters for inverse-mux
+//! experiments because stuffing makes even "fixed-size" frames variable on
+//! the wire — one of the practical annoyances synchronous schemes hide in
+//! hardware.
+
+use stripe_netsim::{Bandwidth, DetRng, SimDuration, SimTime};
+
+use crate::loss::LossModel;
+use crate::wire::Wire;
+use crate::{FifoLink, TxError, TxResult};
+
+/// HDLC flag byte delimiting frames.
+pub const FLAG: u8 = 0x7E;
+/// HDLC control-escape byte.
+pub const ESC: u8 = 0x7D;
+/// XOR mask applied to escaped bytes.
+pub const ESC_XOR: u8 = 0x20;
+
+/// Byte-stuff a payload: escape every `FLAG`/`ESC` occurrence and bracket
+/// with flags.
+pub fn hdlc_stuff(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 2);
+    out.push(FLAG);
+    for &b in payload {
+        if b == FLAG || b == ESC {
+            out.push(ESC);
+            out.push(b ^ ESC_XOR);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(FLAG);
+    out
+}
+
+/// Undo [`hdlc_stuff`]. Returns `None` on malformed input (missing flags,
+/// dangling escape, or an invalid escape sequence).
+pub fn hdlc_unstuff(wire: &[u8]) -> Option<Vec<u8>> {
+    if wire.len() < 2 || wire[0] != FLAG || wire[wire.len() - 1] != FLAG {
+        return None;
+    }
+    let body = &wire[1..wire.len() - 1];
+    let mut out = Vec::with_capacity(body.len());
+    let mut iter = body.iter().copied();
+    while let Some(b) = iter.next() {
+        match b {
+            FLAG => return None, // an unescaped flag mid-frame
+            ESC => {
+                let nxt = iter.next()?;
+                let orig = nxt ^ ESC_XOR;
+                if orig != FLAG && orig != ESC {
+                    return None; // only FLAG/ESC may be escaped
+                }
+                out.push(orig);
+            }
+            _ => out.push(b),
+        }
+    }
+    Some(out)
+}
+
+/// The serial link model.
+#[derive(Debug, Clone)]
+pub struct SerialLink {
+    wire: Wire,
+    loss: LossModel,
+    loss_rng: DetRng,
+    mtu: usize,
+}
+
+impl SerialLink {
+    /// A serial line at `rate` with propagation `prop`. Queue capacity is
+    /// small (8 KiB), as befits a low-rate line card.
+    pub fn new(rate: Bandwidth, prop: SimDuration, loss: LossModel, seed: u64) -> Self {
+        let mut rng = DetRng::new(seed);
+        let wire_seed = rng.next_u64();
+        Self {
+            wire: Wire::new(rate, prop, SimDuration::ZERO, 8 * 1024, wire_seed),
+            loss,
+            loss_rng: rng,
+            mtu: 1500,
+        }
+    }
+
+    /// A 64 kbps circuit — the BONDING building block.
+    pub fn circuit_64k(seed: u64) -> Self {
+        Self::new(
+            Bandwidth::kbps(64),
+            SimDuration::from_millis(5),
+            LossModel::None,
+            seed,
+        )
+    }
+
+    /// Transmit a concrete byte frame: the wire cost is the *stuffed*
+    /// length, computed from the actual bytes.
+    pub fn transmit_frame(&mut self, now: SimTime, payload: &[u8]) -> TxResult {
+        if payload.len() > self.mtu {
+            return Err(TxError::TooBig);
+        }
+        let stuffed = hdlc_stuff(payload);
+        let (_, arrival) = self.wire.push(now, stuffed.len())?;
+        if self.loss.lose(&mut self.loss_rng) {
+            return Err(TxError::LostInFlight);
+        }
+        Ok(arrival)
+    }
+}
+
+impl FifoLink for SerialLink {
+    /// Length-only transmission assumes worst-case-free payloads: cost is
+    /// `wire_len + 2` flags. Use [`SerialLink::transmit_frame`] when the
+    /// real bytes are available.
+    fn transmit(&mut self, now: SimTime, wire_len: usize) -> TxResult {
+        if wire_len > self.mtu {
+            return Err(TxError::TooBig);
+        }
+        let (_, arrival) = self.wire.push(now, wire_len + 2)?;
+        if self.loss.lose(&mut self.loss_rng) {
+            return Err(TxError::LostInFlight);
+        }
+        Ok(arrival)
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    fn busy_until(&self) -> SimTime {
+        self.wire.busy_until()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuff_unstuff_roundtrip_plain() {
+        let p = b"hello world".to_vec();
+        assert_eq!(hdlc_unstuff(&hdlc_stuff(&p)), Some(p));
+    }
+
+    #[test]
+    fn stuff_unstuff_roundtrip_pathological() {
+        // All flags and escapes: worst-case doubling.
+        let p = vec![FLAG, ESC, FLAG, ESC, 0x00, 0xFF];
+        let wire = hdlc_stuff(&p);
+        assert_eq!(wire.len(), 2 + 4 * 2 + 2); // 2 flags + 4 escaped + 2 plain
+        assert_eq!(hdlc_unstuff(&wire), Some(p));
+    }
+
+    #[test]
+    fn unstuff_rejects_malformed() {
+        assert_eq!(hdlc_unstuff(&[]), None);
+        assert_eq!(hdlc_unstuff(&[FLAG]), None);
+        assert_eq!(hdlc_unstuff(&[0x00, 0x01, FLAG]), None); // no opening flag
+        assert_eq!(hdlc_unstuff(&[FLAG, ESC, FLAG]), None); // dangling escape
+        assert_eq!(hdlc_unstuff(&[FLAG, ESC, 0x00, FLAG]), None); // bad escape
+        assert_eq!(hdlc_unstuff(&[FLAG, FLAG, 0x01, FLAG]), None); // mid-frame flag
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        assert_eq!(hdlc_unstuff(&hdlc_stuff(&[])), Some(vec![]));
+    }
+
+    #[test]
+    fn stuffing_inflates_wire_time() {
+        let mut clean = SerialLink::circuit_64k(1);
+        let mut dirty = SerialLink::circuit_64k(1);
+        let plain = vec![0u8; 100];
+        let flags = vec![FLAG; 100];
+        let a = clean.transmit_frame(SimTime::ZERO, &plain).unwrap();
+        let b = dirty.transmit_frame(SimTime::ZERO, &flags).unwrap();
+        assert!(b > a, "escaped frame must take longer on the wire");
+    }
+
+    #[test]
+    fn circuit_64k_rate() {
+        // 800 bytes (stuffed 802) at 64 kbps ≈ 100 ms serialize + 5 ms prop.
+        let mut l = SerialLink::circuit_64k(1);
+        let arr = l.transmit(SimTime::ZERO, 800).unwrap();
+        let ms = arr.as_secs_f64() * 1e3;
+        assert!((105.0..=106.0).contains(&ms), "{ms}ms");
+    }
+}

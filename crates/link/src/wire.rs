@@ -1,0 +1,199 @@
+//! Shared wire mechanics: transmit queue, serialization, propagation,
+//! jitter, and FIFO enforcement. Every concrete link wraps one of these.
+
+use stripe_netsim::{Bandwidth, DetRng, SimDuration, SimTime};
+
+use crate::TxError;
+
+/// The analytic core of a FIFO link.
+///
+/// Models a byte-bounded transmit queue drained at the link rate, followed
+/// by a fixed propagation delay plus bounded uniform jitter. Jitter varies
+/// the *skew* per packet (the §2 channel model) but arrivals are clamped to
+/// be non-decreasing, preserving the FIFO channel contract.
+#[derive(Debug, Clone)]
+pub struct Wire {
+    rate: Bandwidth,
+    prop: SimDuration,
+    jitter_max: SimDuration,
+    queue_cap_bytes: usize,
+    busy_until: SimTime,
+    last_arrival: SimTime,
+    rng: DetRng,
+}
+
+impl Wire {
+    /// A wire with the given rate, propagation delay, maximum per-packet
+    /// jitter, transmit queue capacity (in bytes) and RNG seed.
+    ///
+    /// # Panics
+    /// Panics if `queue_cap_bytes == 0`.
+    pub fn new(
+        rate: Bandwidth,
+        prop: SimDuration,
+        jitter_max: SimDuration,
+        queue_cap_bytes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(queue_cap_bytes > 0, "queue capacity must be positive");
+        Self {
+            rate,
+            prop,
+            jitter_max,
+            queue_cap_bytes,
+            busy_until: SimTime::ZERO,
+            last_arrival: SimTime::ZERO,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Bytes currently occupying the transmit queue at `now` (unserialized
+    /// backlog).
+    pub fn backlog_bytes(&self, now: SimTime) -> usize {
+        self.rate.bytes_in(self.busy_until.saturating_since(now)) as usize
+    }
+
+    /// Offer `wire_len` bytes at `now`. Returns `(departure_complete,
+    /// arrival)` or `QueueFull`.
+    pub fn push(&mut self, now: SimTime, wire_len: usize) -> Result<(SimTime, SimTime), TxError> {
+        if self.backlog_bytes(now) + wire_len > self.queue_cap_bytes {
+            return Err(TxError::QueueFull);
+        }
+        let start = self.busy_until.max(now);
+        let end = start + self.rate.tx_time(wire_len);
+        self.busy_until = end;
+        let jitter = if self.jitter_max == SimDuration::ZERO {
+            SimDuration::ZERO
+        } else {
+            self.rng
+                .uniform_duration(SimDuration::ZERO, self.jitter_max)
+        };
+        let mut arrival = end + self.prop + jitter;
+        // FIFO clamp: jitter shifts spacing, never ordering.
+        if arrival < self.last_arrival {
+            arrival = self.last_arrival;
+        }
+        self.last_arrival = arrival;
+        Ok((end, arrival))
+    }
+
+    /// The instant the transmitter goes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// The configured link rate.
+    pub fn rate(&self) -> Bandwidth {
+        self.rate
+    }
+
+    /// The configured one-way propagation delay.
+    pub fn prop(&self) -> SimDuration {
+        self.prop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire_10mbps() -> Wire {
+        Wire::new(
+            Bandwidth::mbps(10),
+            SimDuration::from_micros(100),
+            SimDuration::ZERO,
+            64 * 1024,
+            1,
+        )
+    }
+
+    #[test]
+    fn first_packet_timing() {
+        let mut w = wire_10mbps();
+        // 1250 bytes at 10 Mbps = 1 ms serialize; +100us prop.
+        let (end, arr) = w.push(SimTime::ZERO, 1250).unwrap();
+        assert_eq!(end, SimTime::from_millis(1));
+        assert_eq!(arr, SimTime::from_micros(1100));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut w = wire_10mbps();
+        w.push(SimTime::ZERO, 1250).unwrap();
+        let (end2, _) = w.push(SimTime::ZERO, 1250).unwrap();
+        assert_eq!(end2, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut w = wire_10mbps();
+        w.push(SimTime::ZERO, 1250).unwrap();
+        // Arrive long after the first drained: serialization starts at now.
+        let (end2, _) = w.push(SimTime::from_millis(10), 1250).unwrap();
+        assert_eq!(end2, SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn queue_overflow_rejected() {
+        let mut w = Wire::new(
+            Bandwidth::mbps(10),
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            2000,
+            1,
+        );
+        assert!(w.push(SimTime::ZERO, 1500).is_ok());
+        // 1500 of backlog + 1500 > 2000.
+        assert_eq!(w.push(SimTime::ZERO, 1500), Err(TxError::QueueFull));
+        // But after the backlog drains it fits again.
+        assert!(w.push(SimTime::from_millis(2), 1500).is_ok());
+    }
+
+    #[test]
+    fn backlog_accounting() {
+        let mut w = wire_10mbps();
+        w.push(SimTime::ZERO, 1250).unwrap();
+        w.push(SimTime::ZERO, 1250).unwrap();
+        let b = w.backlog_bytes(SimTime::ZERO);
+        assert!((2400..=2500).contains(&b), "{b}");
+        assert_eq!(w.backlog_bytes(SimTime::from_millis(2)), 0);
+    }
+
+    #[test]
+    fn jitter_never_reorders() {
+        let mut w = Wire::new(
+            Bandwidth::mbps(10),
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(500), // jitter comparable to spacing
+            1 << 20,
+            7,
+        );
+        let mut last = SimTime::ZERO;
+        let mut t = SimTime::ZERO;
+        for i in 0..500 {
+            let (_, arr) = w.push(t, 100 + (i % 900)).unwrap();
+            assert!(arr >= last, "reordered at packet {i}");
+            last = arr;
+            t += SimDuration::from_micros(50);
+        }
+    }
+
+    #[test]
+    fn jitter_varies_skew() {
+        let mut w = Wire::new(
+            Bandwidth::mbps(100),
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(50),
+            1 << 20,
+            9,
+        );
+        // Widely spaced packets: arrival - (departure+prop) is the jitter.
+        let mut skews = std::collections::HashSet::new();
+        for i in 0..50u64 {
+            let now = SimTime::from_millis(10 * (i + 1));
+            let (end, arr) = w.push(now, 100).unwrap();
+            skews.insert((arr - end).as_nanos());
+        }
+        assert!(skews.len() > 10, "jitter not varying: {skews:?}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # stripe-netsim
+//!
+//! A small, deterministic discrete-event simulation kernel.
+//!
+//! The paper's measurements ran on a NetBSD testbed (two Pentium hosts, a
+//! 10 Mbps Ethernet and a rate-settable ATM PVC). This crate is the
+//! substitute substrate: everything the striping algorithms can observe —
+//! transmission time, propagation skew, queueing, loss — is reproduced by
+//! simulation, and every run is exactly repeatable from a seed.
+//!
+//! Design follows the smoltcp school: event-driven, no heap-allocated
+//! callback soup, no type tricks. The kernel is a time-ordered event queue
+//! generic over the experiment's own event type; experiments own their
+//! state and match on events in a plain loop:
+//!
+//! ```
+//! use stripe_netsim::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Arrive(u32), TimerFired }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_micros(50), Ev::Arrive(1));
+//! q.push(SimTime::from_micros(10), Ev::TimerFired);
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_micros(10), Ev::TimerFired));
+//! ```
+//!
+//! Modules:
+//! - [`time`] — nanosecond [`SimTime`]/[`SimDuration`] and [`Bandwidth`]
+//!   (bits/second with exact serialization-time arithmetic).
+//! - [`event`] — the [`EventQueue`] with deterministic FIFO tie-breaking.
+//! - [`rng`] — seeded RNG helpers for loss, jitter and size draws.
+//! - [`stats`] — throughput meters, time series, histograms.
+//! - [`queue`] — byte-bounded drop-tail FIFO.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use queue::DropTailQueue;
+pub use rng::DetRng;
+pub use stats::{Histogram, ThroughputMeter, TimeSeries};
+pub use time::{Bandwidth, SimDuration, SimTime};

@@ -1,0 +1,143 @@
+//! Byte-bounded drop-tail FIFO — the interface transmit queue model.
+
+use std::collections::VecDeque;
+
+/// A FIFO queue bounded in *bytes* (like a driver transmit ring), dropping
+/// at the tail when full.
+///
+/// Each entry carries its wire length alongside the payload so occupancy is
+/// tracked without consulting the payload type.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue<T> {
+    items: VecDeque<(usize, T)>,
+    bytes: usize,
+    capacity_bytes: usize,
+    drops: u64,
+    enqueued: u64,
+}
+
+impl<T> DropTailQueue<T> {
+    /// A queue holding at most `capacity_bytes` of payload.
+    ///
+    /// # Panics
+    /// Panics if `capacity_bytes == 0` — a zero-capacity queue drops
+    /// everything and always signals a misconfigured experiment.
+    pub fn new(capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        Self {
+            items: VecDeque::new(),
+            bytes: 0,
+            capacity_bytes,
+            drops: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Enqueue `item` of `len` bytes; returns `false` (dropping it) if it
+    /// does not fit.
+    pub fn push(&mut self, len: usize, item: T) -> bool {
+        if self.bytes + len > self.capacity_bytes {
+            self.drops += 1;
+            return false;
+        }
+        self.bytes += len;
+        self.enqueued += 1;
+        self.items.push_back((len, item));
+        true
+    }
+
+    /// Dequeue the head.
+    pub fn pop(&mut self) -> Option<(usize, T)> {
+        let (len, item) = self.items.pop_front()?;
+        self.bytes -= len;
+        Some((len, item))
+    }
+
+    /// Peek at the head's length without dequeuing.
+    pub fn peek_len(&self) -> Option<usize> {
+        self.items.front().map(|(l, _)| *l)
+    }
+
+    /// Bytes currently queued.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Tail drops so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Successful enqueues so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Remaining byte headroom.
+    pub fn headroom(&self) -> usize {
+        self.capacity_bytes - self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTailQueue::new(10_000);
+        q.push(100, "a");
+        q.push(200, "b");
+        assert_eq!(q.pop(), Some((100, "a")));
+        assert_eq!(q.pop(), Some((200, "b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut q = DropTailQueue::new(1000);
+        q.push(300, ());
+        q.push(400, ());
+        assert_eq!(q.bytes(), 700);
+        assert_eq!(q.headroom(), 300);
+        q.pop();
+        assert_eq!(q.bytes(), 400);
+    }
+
+    #[test]
+    fn overfull_push_drops_and_counts() {
+        let mut q = DropTailQueue::new(500);
+        assert!(q.push(300, 1));
+        assert!(!q.push(300, 2)); // 600 > 500
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.len(), 1);
+        // Exactly filling is allowed.
+        assert!(q.push(200, 3));
+        assert_eq!(q.bytes(), 500);
+    }
+
+    #[test]
+    fn peek_len_matches_head() {
+        let mut q = DropTailQueue::new(1000);
+        assert_eq!(q.peek_len(), None);
+        q.push(42, ());
+        assert_eq!(q.peek_len(), Some(42));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: DropTailQueue<()> = DropTailQueue::new(0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Measurement instruments: throughput meters, time series, histograms.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Measures application-level throughput over an interval, the quantity on
+/// Figure 15's y-axis.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    start: SimTime,
+    last: SimTime,
+    bytes: u64,
+    packets: u64,
+}
+
+impl ThroughputMeter {
+    /// Start measuring at `start`.
+    pub fn new(start: SimTime) -> Self {
+        Self {
+            start,
+            last: start,
+            bytes: 0,
+            packets: 0,
+        }
+    }
+
+    /// Record `len` delivered bytes at time `t`.
+    pub fn record(&mut self, t: SimTime, len: usize) {
+        self.bytes += len as u64;
+        self.packets += 1;
+        if t > self.last {
+            self.last = t;
+        }
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total packets recorded.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Mean rate in Mbps between the start time and the given end time.
+    /// Returns 0.0 for an empty or zero-length interval.
+    pub fn mbps(&self, end: SimTime) -> f64 {
+        let dt = end.saturating_since(self.start).as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / dt / 1e6
+    }
+
+    /// Mean rate using the last recorded delivery as the interval end.
+    pub fn mbps_to_last(&self) -> f64 {
+        self.mbps(self.last)
+    }
+}
+
+/// An append-only `(time, value)` series for plotting sweep results.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample. Samples should be pushed in time order; the series
+    /// does not sort.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// The collected samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Mean of the values (NaN if empty — let the caller decide how to
+    /// render a hole in a table).
+    pub fn mean(&self) -> f64 {
+        let n = self.points.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        self.points.iter().map(|(_, v)| v).sum::<f64>() / n as f64
+    }
+
+    /// Largest value (None if empty).
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .max_by(|a, b| a.partial_cmp(b).expect("no NaN samples"))
+    }
+}
+
+/// A latency histogram with fixed-width buckets plus an overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    width: SimDuration,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    total_ns: u128,
+    max: SimDuration,
+}
+
+impl Histogram {
+    /// `n` buckets of `width` each; samples beyond `n*width` land in the
+    /// overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or `n == 0`.
+    pub fn new(width: SimDuration, n: usize) -> Self {
+        assert!(width > SimDuration::ZERO && n > 0);
+        Self {
+            width,
+            buckets: vec![0; n],
+            overflow: 0,
+            count: 0,
+            total_ns: 0,
+            max: SimDuration::ZERO,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let idx = (d.as_nanos() / self.width.as_nanos()) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.total_ns += d.as_nanos() as u128;
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// The `q`-quantile (0.0..=1.0) to bucket resolution.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return SimDuration::from_nanos((i as u64 + 1) * self.width.as_nanos());
+            }
+        }
+        self.max
+    }
+
+    /// Samples that exceeded the bucketed range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_meter_basic() {
+        let mut m = ThroughputMeter::new(SimTime::ZERO);
+        // 1250 bytes over 1 ms = 10 Mbps.
+        m.record(SimTime::from_millis(1), 1250);
+        assert!((m.mbps(SimTime::from_millis(1)) - 10.0).abs() < 1e-9);
+        assert_eq!(m.packets(), 1);
+        assert_eq!(m.bytes(), 1250);
+    }
+
+    #[test]
+    fn throughput_meter_zero_interval() {
+        let m = ThroughputMeter::new(SimTime::from_secs(1));
+        assert_eq!(m.mbps(SimTime::from_secs(1)), 0.0);
+        assert_eq!(m.mbps(SimTime::ZERO), 0.0); // end before start
+    }
+
+    #[test]
+    fn mbps_to_last_uses_final_delivery() {
+        let mut m = ThroughputMeter::new(SimTime::ZERO);
+        m.record(SimTime::from_millis(2), 2500);
+        assert!((m.mbps_to_last() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_series_stats() {
+        let mut s = TimeSeries::new();
+        assert!(s.mean().is_nan());
+        s.push(SimTime::from_secs(1), 2.0);
+        s.push(SimTime::from_secs(2), 4.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.points().len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(SimDuration::from_micros(10), 10);
+        for us in [5u64, 15, 15, 25, 95, 200] {
+            h.record(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.overflow(), 1); // the 200us sample
+        assert_eq!(h.max(), SimDuration::from_micros(200));
+        // Median falls in the second bucket (10-20us) -> reported as 20us.
+        assert_eq!(h.quantile(0.5), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new(SimDuration::from_micros(1), 100);
+        h.record(SimDuration::from_micros(10));
+        h.record(SimDuration::from_micros(20));
+        assert_eq!(h.mean(), SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new(SimDuration::from_micros(1), 4);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.99), SimDuration::ZERO);
+    }
+}

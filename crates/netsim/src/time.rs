@@ -1,0 +1,273 @@
+//! Simulation time, durations, and bandwidth arithmetic.
+//!
+//! Time is a `u64` nanosecond count from simulation start — fine enough to
+//! resolve single ATM cells on multi-gigabit links, wide enough for ~584
+//! simulated years. All arithmetic is integer and therefore exactly
+//! reproducible across platforms.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point seconds (for reporting only — never feed back into
+    /// simulation arithmetic).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero rather than
+    /// panicking, because meters are often asked "how long since?" across
+    /// a reset.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point seconds (reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Integer scaling.
+    pub const fn mul(self, k: u64) -> Self {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics on negative spans — a reversed subtraction in an experiment
+    /// is a bug worth catching loudly.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction went negative"),
+        )
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0 + d.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A link rate in bits per second.
+///
+/// The central operation is [`Bandwidth::tx_time`]: how long `len` bytes
+/// occupy the wire. Computed as `len * 8e9 / bps` in u128 to stay exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// From bits per second.
+    ///
+    /// # Panics
+    /// Panics on a zero rate (a zero-rate link would produce infinite
+    /// transmission times).
+    pub const fn bps(bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "bandwidth must be positive");
+        Bandwidth(bits_per_sec)
+    }
+
+    /// From kilobits per second (10^3).
+    pub const fn kbps(k: u64) -> Self {
+        Self::bps(k * 1_000)
+    }
+
+    /// From megabits per second (10^6).
+    pub const fn mbps(m: u64) -> Self {
+        Self::bps(m * 1_000_000)
+    }
+
+    /// From a fractional Mbps figure, e.g. the paper's 7.6 Mbps PVC.
+    pub fn mbps_f64(m: f64) -> Self {
+        assert!(m > 0.0);
+        Self::bps((m * 1e6).round() as u64)
+    }
+
+    /// Bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.0
+    }
+
+    /// Serialization delay for `len` bytes, rounded up to the next
+    /// nanosecond (never zero for a non-empty packet).
+    pub fn tx_time(self, len: usize) -> SimDuration {
+        let bits = len as u128 * 8 * 1_000_000_000;
+        let ns = bits.div_ceil(self.0 as u128);
+        SimDuration(ns as u64)
+    }
+
+    /// Bytes deliverable in `d` — the inverse of [`tx_time`](Self::tx_time),
+    /// rounded down.
+    pub fn bytes_in(self, d: SimDuration) -> u64 {
+        (d.0 as u128 * self.0 as u128 / (8 * 1_000_000_000)) as u64
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} Mbps", self.0 as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimDuration::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_micros(10) + SimDuration::from_micros(5);
+        assert_eq!(t, SimTime::from_micros(15));
+        assert_eq!(t - SimTime::from_micros(10), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn reversed_subtraction_panics() {
+        let _ = SimTime::from_micros(1) - SimTime::from_micros(2);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let d = SimTime::from_micros(1).saturating_since(SimTime::from_micros(5));
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tx_time_exact_cases() {
+        // 1500 bytes at 10 Mbps = 1.2 ms.
+        assert_eq!(
+            Bandwidth::mbps(10).tx_time(1500),
+            SimDuration::from_micros(1200)
+        );
+        // One ATM cell (53 bytes) at 155.52 Mbps ≈ 2.726 us.
+        let t = Bandwidth::bps(155_520_000).tx_time(53);
+        assert_eq!(t.as_nanos(), 2_727); // ceil(424e9/155.52e6)
+    }
+
+    #[test]
+    fn tx_time_rounds_up_and_never_zero() {
+        let t = Bandwidth::bps(u32::MAX as u64 * 1000).tx_time(1);
+        assert!(t.as_nanos() >= 1);
+    }
+
+    #[test]
+    fn bytes_in_inverts_tx_time() {
+        let bw = Bandwidth::mbps(10);
+        let d = bw.tx_time(100_000);
+        let b = bw.bytes_in(d);
+        assert!((99_999..=100_001).contains(&b), "{b}");
+    }
+
+    #[test]
+    fn fractional_mbps() {
+        assert_eq!(Bandwidth::mbps_f64(7.6).as_bps(), 7_600_000);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Bandwidth::mbps(10)), "10.000 Mbps");
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500000s");
+    }
+}

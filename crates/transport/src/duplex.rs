@@ -1,0 +1,331 @@
+//! Full-duplex striping — §2's "for simplicity, we consider traffic in
+//! only one direction; the same analysis and algorithms apply for the
+//! reverse direction", made concrete.
+//!
+//! A [`DuplexEndpoint`] owns a striping **sender** for its outbound
+//! direction and a logical-reception **receiver** for its inbound
+//! direction, over the same set of bidirectional channels. The two
+//! directions are protocol-independent (separate schedulers, separate
+//! markers), but the reverse path is what makes two §6.3 features
+//! practical:
+//!
+//! - **credit piggybacking**: FCVC grants for the *inbound* direction ride
+//!   the markers of the *outbound* direction ([`stripe_core::Marker`]'s
+//!   `credit` field), so flow control costs no extra packets;
+//! - **reset acks** travel as reverse-path control traffic.
+//!
+//! The endpoint is sans-IO like everything else: `send` produces
+//! transmissions for the experiment's channels, `on_arrival` consumes
+//! them, `poll` yields in-order inbound packets.
+
+use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverStats};
+use stripe_core::sched::CausalScheduler;
+use stripe_core::sender::{MarkerConfig, StripingSender};
+use stripe_core::types::{ChannelId, WireLen};
+use stripe_core::Marker;
+
+use crate::credit::{CreditReceiver, CreditSender};
+
+/// What one `send` produced: the data assignment plus any outbound
+/// markers (which may carry inbound credit grants).
+#[derive(Debug, Clone)]
+pub struct DuplexSend<P> {
+    /// Channel for the data packet, or `None` if the send was refused for
+    /// lack of credit (the packet is handed back).
+    pub data: Result<ChannelId, P>,
+    /// Markers to transmit after the data, each on its own channel.
+    pub markers: Vec<(ChannelId, Marker)>,
+}
+
+/// One end of a full-duplex striped connection.
+#[derive(Debug)]
+pub struct DuplexEndpoint<S: CausalScheduler, P> {
+    tx: StripingSender<S>,
+    rx: LogicalReceiver<S, P>,
+    /// Flow control for the packets we *send* (granted by the peer).
+    credit_out: Option<CreditSender>,
+    /// Flow control for the packets we *receive* (we grant to the peer).
+    credit_in: Option<CreditReceiver>,
+}
+
+impl<S: CausalScheduler, P: WireLen> DuplexEndpoint<S, P> {
+    /// Build one endpoint. Both endpoints must be constructed from
+    /// identically configured scheduler pairs: this end's `tx_sched` must
+    /// match the peer's receiver scheduler and vice versa (they may be
+    /// different configurations per direction — asymmetric links are
+    /// fine).
+    pub fn new(
+        tx_sched: S,
+        rx_sched: S,
+        marker_cfg: MarkerConfig,
+        rx_buffer: usize,
+        credit_window: Option<u32>,
+    ) -> Self {
+        Self {
+            tx: StripingSender::new(tx_sched, marker_cfg),
+            rx: LogicalReceiver::new(rx_sched, rx_buffer),
+            credit_out: credit_window.map(CreditSender::new),
+            credit_in: credit_window.map(CreditReceiver::new),
+        }
+    }
+
+    /// Stripe one outbound packet. If credit flow control is on and the
+    /// balance is short, the packet is handed back in `data: Err(..)` —
+    /// retry after grants arrive. Outbound markers automatically carry any
+    /// pending inbound grant.
+    pub fn send(&mut self, pkt: P) -> DuplexSend<P> {
+        if let Some(ct) = self.credit_out.as_mut() {
+            if !ct.consume(pkt.wire_len()) {
+                return DuplexSend {
+                    data: Err(pkt),
+                    markers: Vec::new(),
+                };
+            }
+        }
+        let d = self.tx.send(pkt.wire_len());
+        let markers = self.attach_grants(d.markers);
+        DuplexSend {
+            data: Ok(d.channel),
+            markers,
+        }
+    }
+
+    /// Emit a marker batch without data (idle keepalive / grant carrier).
+    pub fn send_markers(&mut self) -> Vec<(ChannelId, Marker)> {
+        let markers = self.tx.make_markers();
+        self.attach_grants(markers)
+    }
+
+    /// Piggyback any pending inbound credit grant on the first marker of
+    /// a batch (one grant per batch is enough; grants are cumulative).
+    fn attach_grants(&mut self, mut markers: Vec<(ChannelId, Marker)>) -> Vec<(ChannelId, Marker)> {
+        if let (Some(ci), Some((_, first))) = (self.credit_in.as_mut(), markers.first_mut()) {
+            if let Some(g) = ci.take_grant() {
+                first.credit = Some(g);
+            }
+        }
+        markers
+    }
+
+    /// An arrival on inbound channel `c`. Markers may carry credit grants
+    /// for our outbound direction; data is subject to our inbound window.
+    pub fn on_arrival(&mut self, c: ChannelId, a: Arrival<P>) {
+        match a {
+            Arrival::Marker(mk) => {
+                if let (Some(co), Some(g)) = (self.credit_out.as_mut(), mk.credit) {
+                    co.on_grant(g);
+                }
+                self.rx.push(c, Arrival::Marker(mk));
+            }
+            Arrival::Data(p) => {
+                if let Some(ci) = self.credit_in.as_mut() {
+                    if !ci.on_packet(p.wire_len()) {
+                        // Window violation: drop (a credit-respecting peer
+                        // never triggers this).
+                        return;
+                    }
+                }
+                self.rx.push(c, Arrival::Data(p));
+            }
+        }
+    }
+
+    /// Deliver the next in-order inbound packet, releasing its buffer
+    /// credit (to be granted back on our next outbound marker batch).
+    pub fn poll(&mut self) -> Option<P> {
+        let p = self.rx.poll()?;
+        if let Some(ci) = self.credit_in.as_mut() {
+            ci.on_deliver(p.wire_len());
+        }
+        Some(p)
+    }
+
+    /// Whether inbound credit is waiting for a carrier. When true and no
+    /// outbound data is flowing (so no data-driven markers), call
+    /// [`send_markers`](Self::send_markers) on a timer — otherwise two
+    /// credit-gated peers that stall simultaneously deadlock: each holds
+    /// the grants the other needs, with no marker to carry them.
+    pub fn has_pending_grant(&self) -> bool {
+        self.credit_in
+            .as_ref()
+            .is_some_and(|c| c.pending_grant() > 0)
+    }
+
+    /// Whether an outbound packet of `len` bytes would be accepted now.
+    pub fn can_send(&self, len: usize) -> bool {
+        self.credit_out.as_ref().is_none_or(|c| c.can_send(len))
+    }
+
+    /// Inbound receiver statistics.
+    pub fn rx_stats(&self) -> ReceiverStats {
+        self.rx.stats()
+    }
+
+    /// Outbound sender (fairness ledger etc.).
+    pub fn sender(&self) -> &StripingSender<S> {
+        &self.tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use stripe_core::sched::Srr;
+    use stripe_core::types::TestPacket;
+
+    /// Two endpoints joined by in-memory FIFO channel pairs.
+    struct Pair {
+        a: DuplexEndpoint<Srr, TestPacket>,
+        b: DuplexEndpoint<Srr, TestPacket>,
+        /// a->b wires and b->a wires, per channel.
+        ab: Vec<VecDeque<Arrival<TestPacket>>>,
+        ba: Vec<VecDeque<Arrival<TestPacket>>>,
+    }
+
+    impl Pair {
+        fn new(n: usize, credit: Option<u32>) -> Self {
+            let mk = || Srr::equal(n, 1500);
+            Pair {
+                a: DuplexEndpoint::new(mk(), mk(), MarkerConfig::every_rounds(4), 1 << 12, credit),
+                b: DuplexEndpoint::new(mk(), mk(), MarkerConfig::every_rounds(4), 1 << 12, credit),
+                ab: (0..n).map(|_| VecDeque::new()).collect(),
+                ba: (0..n).map(|_| VecDeque::new()).collect(),
+            }
+        }
+
+        fn a_send(&mut self, p: TestPacket) -> bool {
+            match self.a.send(p) {
+                DuplexSend { data: Ok(c), markers } => {
+                    self.ab[c].push_back(Arrival::Data(p));
+                    for (mc, mk) in markers {
+                        self.ab[mc].push_back(Arrival::Marker(mk));
+                    }
+                    true
+                }
+                DuplexSend { data: Err(_), .. } => false,
+            }
+        }
+
+        fn b_send(&mut self, p: TestPacket) -> bool {
+            match self.b.send(p) {
+                DuplexSend { data: Ok(c), markers } => {
+                    self.ba[c].push_back(Arrival::Data(p));
+                    for (mc, mk) in markers {
+                        self.ba[mc].push_back(Arrival::Marker(mk));
+                    }
+                    true
+                }
+                DuplexSend { data: Err(_), .. } => false,
+            }
+        }
+
+        /// Move everything across both directions; return (a_received,
+        /// b_received) ids.
+        fn pump(&mut self) -> (Vec<u64>, Vec<u64>) {
+            let mut got_a = Vec::new();
+            let mut got_b = Vec::new();
+            loop {
+                let mut moved = false;
+                for c in 0..self.ab.len() {
+                    if let Some(item) = self.ab[c].pop_front() {
+                        self.b.on_arrival(c, item);
+                        moved = true;
+                    }
+                    if let Some(item) = self.ba[c].pop_front() {
+                        self.a.on_arrival(c, item);
+                        moved = true;
+                    }
+                }
+                while let Some(p) = self.a.poll() {
+                    got_a.push(p.id);
+                }
+                while let Some(p) = self.b.poll() {
+                    got_b.push(p.id);
+                }
+                if !moved {
+                    break;
+                }
+            }
+            (got_a, got_b)
+        }
+    }
+
+    #[test]
+    fn both_directions_are_fifo_and_independent() {
+        let mut pair = Pair::new(3, None);
+        for id in 0..500u64 {
+            assert!(pair.a_send(TestPacket::new(id, 200 + (id as usize * 97) % 1200)));
+            // B sends its own stream with different sizes (independent
+            // schedulers must not interfere).
+            assert!(pair.b_send(TestPacket::new(id, 1500 - (id as usize * 53) % 1300)));
+        }
+        let (got_a, got_b) = pair.pump();
+        assert_eq!(got_a, (0..500).collect::<Vec<_>>(), "b->a direction");
+        assert_eq!(got_b, (0..500).collect::<Vec<_>>(), "a->b direction");
+    }
+
+    #[test]
+    fn credit_gates_sender_and_grants_flow_back_on_markers() {
+        let window = 8 * 1024u32;
+        let mut pair = Pair::new(2, Some(window));
+        let mut sent = 0u64;
+        let mut refused = 0u64;
+        let mut id = 0u64;
+        // Send in bursts without draining: credit must run out.
+        for _ in 0..40 {
+            if pair.a_send(TestPacket::new(id, 1000)) {
+                sent += 1;
+                id += 1;
+            } else {
+                refused += 1;
+                break;
+            }
+        }
+        assert!(refused > 0, "window must exhaust ({sent} sent)");
+        assert!(sent <= (window / 1000) as u64 + 1);
+
+        // B drains and (on its next outbound markers) grants credit back.
+        let (_, got_b) = pair.pump();
+        assert_eq!(got_b.len() as u64, sent);
+        // B must *originate* traffic (or at least markers) for grants to
+        // travel: send B's idle marker batch.
+        let markers = pair.b.send_markers();
+        assert!(
+            markers.iter().any(|(_, m)| m.credit.is_some()),
+            "grant must ride a reverse marker"
+        );
+        for (c, mk) in markers {
+            pair.ba[c].push_back(Arrival::Marker(mk));
+        }
+        pair.pump();
+        assert!(pair.a.can_send(1000), "credit replenished");
+        assert!(pair.a_send(TestPacket::new(id, 1000)));
+    }
+
+    #[test]
+    fn refused_send_returns_the_packet() {
+        let mut pair = Pair::new(2, Some(1000));
+        assert!(pair.a_send(TestPacket::new(0, 900)));
+        match pair.a.send(TestPacket::new(1, 900)) {
+            DuplexSend { data: Err(p), markers } => {
+                assert_eq!(p.id, 1);
+                assert!(markers.is_empty());
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_violating_peer_is_dropped_not_buffered() {
+        let n = 2;
+        let mk = || Srr::equal(n, 1500);
+        let mut ep: DuplexEndpoint<Srr, TestPacket> =
+            DuplexEndpoint::new(mk(), mk(), MarkerConfig::disabled(), 64, Some(1500));
+        // Two 1000-byte packets exceed the 1500-byte window we advertised.
+        ep.on_arrival(0, Arrival::Data(TestPacket::new(0, 1000)));
+        ep.on_arrival(1, Arrival::Data(TestPacket::new(1, 1000)));
+        assert_eq!(ep.poll().map(|p| p.id), Some(0));
+        assert_eq!(ep.poll(), None, "second packet violated the window");
+    }
+}

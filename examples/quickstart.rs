@@ -1,0 +1,65 @@
+//! Quickstart: stripe a packet stream over three channels and get it back
+//! in FIFO order — the paper's two core ideas in thirty lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use stripe::core::receiver::{Arrival, LogicalReceiver};
+use stripe::core::sched::Srr;
+use stripe::core::sender::{MarkerConfig, StripingSender};
+use stripe::core::types::TestPacket;
+
+fn main() {
+    // 1. A Surplus Round Robin scheduler: 3 channels, 1500-byte quanta.
+    //    This is the "causal fair queuing algorithm run in reverse" of §3.
+    let sched = Srr::equal(3, 1500);
+
+    // 2. Sender: picks a channel per packet, emits markers every 8 rounds.
+    let mut tx = StripingSender::new(sched.clone(), MarkerConfig::every_rounds(8));
+
+    // 3. Receiver: simulates the sender to know which channel the next
+    //    packet logically arrives on (§4, logical reception).
+    let mut rx = LogicalReceiver::new(sched, 1024);
+
+    // Simulate per-channel queues with wildly different skews: channel 0
+    // delivers immediately, 1 lags 5 packets, 2 lags 11.
+    let skews = [0usize, 5, 11];
+    let mut in_flight: Vec<Vec<(usize, Arrival<TestPacket>)>> = vec![Vec::new(); 3];
+
+    let mut delivered = Vec::new();
+    let mut clock = 0usize;
+    for id in 0..30u64 {
+        let len = if id % 2 == 0 { 1200 } else { 300 };
+        let d = tx.send(len);
+        println!("send  pkt {id:>2} ({len:>4} B) -> channel {}", d.channel);
+        in_flight[d.channel].push((clock + skews[d.channel], Arrival::Data(TestPacket::new(id, len))));
+        for (c, mk) in d.markers {
+            in_flight[c].push((clock + skews[c], Arrival::Marker(mk)));
+        }
+        clock += 1;
+
+        // Deliver whatever has "arrived" by now, per channel, in order.
+        for (c, q) in in_flight.iter_mut().enumerate() {
+            while !q.is_empty() && q[0].0 <= clock {
+                let (_, item) = q.remove(0);
+                rx.push(c, item);
+            }
+        }
+        while let Some(p) = rx.poll() {
+            println!("      deliver pkt {:>2}  <- in order", p.id);
+            delivered.push(p.id);
+        }
+    }
+    // Drain the stragglers.
+    for (c, q) in in_flight.into_iter().enumerate() {
+        for (_, item) in q {
+            rx.push(c, item);
+        }
+    }
+    while let Some(p) = rx.poll() {
+        println!("      deliver pkt {:>2}  <- in order (drain)", p.id);
+        delivered.push(p.id);
+    }
+
+    assert_eq!(delivered, (0..30).collect::<Vec<_>>());
+    println!("\nFIFO order preserved across 3 channels with skews {skews:?} — Theorem 4.1.");
+}

@@ -1,0 +1,98 @@
+//! Video over a lossy striped path — the §6.3 NV experiment as a demo.
+//!
+//! An NV-like trace is striped over three channels with 15% loss. Markers
+//! keep the receiver quasi-FIFO, the playback evaluator scores the result,
+//! and we compare against the same loss with no striping (pure loss, no
+//! reordering). The point the paper makes: quasi-FIFO's residual
+//! reordering costs almost nothing next to the loss itself.
+//!
+//! Run with: `cargo run --example video_over_stripe`
+
+use stripe_apps::video::{VideoReceiver, VideoTrace};
+use stripe::core::receiver::{Arrival, LogicalReceiver};
+use stripe::core::sched::Srr;
+use stripe::core::sender::{MarkerConfig, StripingSender};
+use stripe::core::types::TestPacket;
+use stripe_netsim::{DetRng, EventQueue, SimDuration, SimTime};
+
+fn main() {
+    let trace = VideoTrace::nv_default(99);
+    let loss = 0.15;
+    println!(
+        "NV-like trace: {} frames, {} packets",
+        trace.frames,
+        trace.packets.len()
+    );
+
+    // --- Striped over 3 channels with loss -------------------------------
+    let sched = Srr::equal(3, 1500);
+    let mut tx = StripingSender::new(sched.clone(), MarkerConfig::every_rounds(4));
+    let mut rx = LogicalReceiver::new(sched, 1 << 14);
+    let mut q: EventQueue<(usize, Arrival<TestPacket>)> = EventQueue::new();
+    let mut rng = DetRng::new(7);
+    let skew = [0u64, 180, 390];
+
+    let mut now = SimTime::ZERO;
+    for p in &trace.packets {
+        now += SimDuration::from_micros(280);
+        let d = tx.send(p.len);
+        if !rng.chance(loss) {
+            q.push(
+                now + SimDuration::from_micros(skew[d.channel]),
+                (d.channel, Arrival::Data(TestPacket::new(p.id, p.len))),
+            );
+        }
+        for (c, mk) in d.markers {
+            if !rng.chance(loss) {
+                q.push(now + SimDuration::from_micros(skew[c]), (c, Arrival::Marker(mk)));
+            }
+        }
+    }
+    let mut player = VideoReceiver::new(&trace, 48);
+    let mut inversions = 0u64;
+    let mut prev: Option<u64> = None;
+    while let Some((_, (c, item))) = q.pop() {
+        rx.push(c, item);
+        while let Some(p) = rx.poll() {
+            if let Some(pr) = prev {
+                if p.id < pr {
+                    inversions += 1;
+                }
+            }
+            prev = Some(p.id);
+            player.on_packet(trace.packets[p.id as usize]);
+        }
+    }
+    let striped = player.report(trace.packets.len() as u64);
+
+    // --- Pure loss, no striping ------------------------------------------
+    let mut rng = DetRng::new(8);
+    let mut player = VideoReceiver::new(&trace, 48);
+    for p in &trace.packets {
+        if !rng.chance(loss) {
+            player.on_packet(*p);
+        }
+    }
+    let pure = player.report(trace.packets.len() as u64);
+
+    println!("\nat {:.0}% loss:", loss * 100.0);
+    println!(
+        "  striped (loss + quasi-FIFO reorder): quality {:.3}, {} lost, {} unusable, {} inversions",
+        striped.quality(),
+        striped.packets_lost,
+        striped.packets_unusable,
+        inversions
+    );
+    println!(
+        "  pure loss (no reordering):           quality {:.3}, {} lost",
+        pure.quality(),
+        pure.packets_lost
+    );
+    let gap = (striped.quality() - pure.quality()).abs();
+    println!("  quality gap attributable to reordering: {gap:.3}");
+    assert!(
+        gap < 0.08,
+        "reordering cost {gap:.3} should be small next to loss"
+    );
+    println!("\nquasi-FIFO reordering is a rounding error next to the loss itself: OK");
+}

@@ -1,0 +1,30 @@
+//! # stripe
+//!
+//! A reproduction of **"A Reliable and Scalable Striping Protocol"**
+//! (Adiseshu, Parulkar, Varghese — SIGCOMM 1996): Surplus Round Robin
+//! load sharing, logical reception, marker-based resynchronization, and
+//! the strIPe transparent-IP-striping architecture, together with the
+//! full simulation substrate used to regenerate the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`core`] (`stripe-core`) — the striping algorithms themselves.
+//! - [`netsim`] (`stripe-netsim`) — the deterministic event simulator.
+//! - [`link`] (`stripe-link`) — Ethernet / ATM-AAL5 / serial link models.
+//! - [`ip`] (`stripe-ip`) — the strIPe virtual-interface architecture.
+//! - [`transport`] (`stripe-transport`) — TCP-lite, FCVC credits, and the
+//!   striped-path glue.
+//! - [`apps`] (`stripe-apps`) — workloads, reorder metrics, the NV video
+//!   model.
+//!
+//! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub use stripe_apps as apps;
+pub use stripe_core as core;
+pub use stripe_ip as ip;
+pub use stripe_link as link;
+pub use stripe_netsim as netsim;
+pub use stripe_transport as transport;

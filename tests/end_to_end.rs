@@ -1,0 +1,206 @@
+//! Cross-crate integration: the full stack assembled the way the paper's
+//! testbed was — strIPe over simulated links, TCP over striped paths,
+//! credits over markers.
+
+use stripe::core::receiver::{Arrival, LogicalReceiver};
+use stripe::core::sched::Srr;
+use stripe::core::sender::MarkerConfig;
+use stripe::core::types::TestPacket;
+use stripe::link::loss::LossModel;
+use stripe::link::{AtmPvc, EthLink};
+use stripe::netsim::{Bandwidth, EventQueue, SimDuration, SimTime};
+use stripe::transport::stripe_conn::StripedPath;
+use stripe_bench::links::Link;
+use stripe_bench::tcplab::{run, Scheme, TcpLabConfig};
+
+/// The paper's exact testbed pair — one Ethernet, one ATM PVC — striped
+/// with weighted SRR, lossless: delivery must be exactly FIFO despite the
+/// entirely different link technologies and cell-tax timing.
+#[test]
+fn eth_plus_atm_striping_is_fifo() {
+    let eth = Link::Eth(EthLink::new(
+        Bandwidth::mbps(10),
+        SimDuration::from_micros(100),
+        SimDuration::from_micros(40),
+        LossModel::None,
+        1,
+    ));
+    let atm = Link::Atm(AtmPvc::lossless(Bandwidth::mbps_f64(7.6), 2));
+    let sched = Srr::weighted(&[1500, 1140]); // ~rate-proportional
+    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(8), vec![eth, atm]);
+    let mut rx = LogicalReceiver::new(sched, 1 << 14);
+    let mut q: EventQueue<(usize, Arrival<TestPacket>)> = EventQueue::new();
+
+    let mut now = SimTime::ZERO;
+    for id in 0..1000u64 {
+        now += SimDuration::from_micros(900);
+        for t in path.send(now, TestPacket::new(id, 200 + (id as usize * 89) % 1200)) {
+            if let Some(at) = t.arrival {
+                q.push(at, (t.channel, t.item));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    while let Some((_, (c, item))) = q.pop() {
+        rx.push(c, item);
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+    }
+    assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    assert_eq!(path.stats().data_lost, 0);
+    assert_eq!(path.stats().data_queue_drops, 0);
+}
+
+/// ATM cell loss (reassembly failure) desynchronizes; markers riding
+/// single OAM-sized cells recover FIFO for the tail.
+#[test]
+fn atm_cell_loss_recovered_by_markers() {
+    let mk_links = || {
+        vec![
+            Link::Atm(AtmPvc::new(
+                Bandwidth::mbps(10),
+                SimDuration::from_micros(120),
+                SimDuration::from_micros(20),
+                LossModel::periodic(997, 1), // ~0.1% cell loss
+                1500,
+                7,
+            )),
+            Link::Atm(AtmPvc::lossless(Bandwidth::mbps(10), 8)),
+        ]
+    };
+    let sched = Srr::equal(2, 1500);
+    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(4), mk_links());
+    let mut rx = LogicalReceiver::new(sched, 1 << 14);
+    let mut q: EventQueue<(usize, Arrival<TestPacket>)> = EventQueue::new();
+    let total = 4000u64;
+    let mut now = SimTime::ZERO;
+    for id in 0..total {
+        now += SimDuration::from_micros(1300);
+        for t in path.send(now, TestPacket::new(id, 1000)) {
+            if let Some(at) = t.arrival {
+                q.push(at, (t.channel, t.item));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    while let Some((_, (c, item))) = q.pop() {
+        rx.push(c, item);
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+    }
+    assert!(path.stats().data_lost > 0, "cell loss must have bitten");
+    assert!(out.len() as u64 > total * 9 / 10);
+    // Quasi-FIFO: adjacent inversions rare relative to deliveries.
+    let inversions = out.windows(2).filter(|w| w[1] < w[0]).count();
+    assert!(
+        (inversions as f64) < 0.02 * out.len() as f64,
+        "{inversions} inversions in {}",
+        out.len()
+    );
+}
+
+/// TCP over the striped path: logical reception must dominate
+/// no-resequencing in both throughput and duplicate-ACK pressure, and
+/// striping must beat the faster single link.
+#[test]
+fn tcp_logical_reception_beats_raw_arrival_order() {
+    let mut cfg = TcpLabConfig::paper(16.0, Scheme::SrrLr);
+    cfg.duration = SimDuration::from_secs(2);
+    let lr = run(&cfg);
+    cfg.scheme = Scheme::SrrNoLr;
+    let no_lr = run(&cfg);
+    assert!(
+        lr.mbps > no_lr.mbps,
+        "LR {} Mbps should beat no-LR {} Mbps",
+        lr.mbps,
+        no_lr.mbps
+    );
+    assert!(lr.mbps > 11.0, "striped TCP only reached {} Mbps", lr.mbps);
+    assert!(no_lr.dup_acks > lr.dup_acks);
+}
+
+/// The Figure 15 left edge: RR's throughput is ~2x the slower link, so it
+/// *rises* with the PVC rate while the PVC is the bottleneck (the paper's
+/// "initial increase in RR throughput" observation) — and sits well below
+/// SRR, which uses both links fully.
+#[test]
+fn rr_is_twice_the_slower_link_at_low_pvc_rates() {
+    let mut cfg = TcpLabConfig::paper(3.8, Scheme::RrLr);
+    cfg.duration = SimDuration::from_secs(2);
+    let rr_low = run(&cfg);
+    // 2x the 3.8 Mbps PVC's goodput (~3.2 after the cell tax): 5.5-7.6.
+    assert!(
+        (5.0..=7.8).contains(&rr_low.mbps),
+        "RR at 3.8 Mbps PVC gave {} Mbps, expected ~2x PVC goodput",
+        rr_low.mbps
+    );
+    // Raising the PVC raises RR while the PVC is still the slower link.
+    cfg.atm_mbps = 6.3;
+    let rr_mid = run(&cfg);
+    assert!(
+        rr_mid.mbps > rr_low.mbps + 1.0,
+        "RR should rise with PVC rate below the crossover: {} -> {}",
+        rr_low.mbps,
+        rr_mid.mbps
+    );
+}
+
+/// Large packets fragmented to the striped MTU, striped, resequenced, and
+/// reassembled: the frag module composes with logical reception (the
+/// alternative to the §6.1 MTU clamp, quantified in the mtu_ablation
+/// bench).
+#[test]
+fn fragmentation_composes_with_striping() {
+    use stripe::ip::frag::{fragment, Reassembler, ReassemblyEvent};
+
+    let sched = Srr::equal(2, 1500);
+    let mut path = StripedPath::new(
+        sched.clone(),
+        MarkerConfig::every_rounds(8),
+        vec![
+            Link::Eth(stripe::link::EthLink::classic_10mbps(5)),
+            Link::Eth(stripe::link::EthLink::classic_10mbps(6)),
+        ],
+    );
+    let mut rx = LogicalReceiver::new(sched, 1 << 14);
+    let mut reasm = Reassembler::new(16);
+    let mut q: EventQueue<(usize, Arrival<FragPkt>)> = EventQueue::new();
+
+    let mut now = SimTime::ZERO;
+    let total_packets = 60u16;
+    for ident in 0..total_packets {
+        // An 8 KB application packet fragmented to the 1500-byte clamp.
+        let payload: Vec<u8> = (0..8000).map(|i| (i as u16 ^ ident) as u8).collect();
+        for f in fragment(ident, &payload, 1500) {
+            now = now + SimDuration::from_micros(1400);
+            for t in path.send(now, FragPkt(ident, f.clone())) {
+                if let Some(at) = t.arrival {
+                    q.push(at, (t.channel, t.item));
+                }
+            }
+        }
+    }
+    let mut complete = 0u32;
+    while let Some((_, (c, item))) = q.pop() {
+        rx.push(c, item);
+        while let Some(FragPkt(_, fr)) = rx.poll() {
+            if let ReassemblyEvent::Complete(full) = reasm.push(fr) {
+                assert_eq!(full.len(), 8000);
+                complete += 1;
+            }
+        }
+    }
+    assert_eq!(complete as u16, total_packets);
+}
+
+/// Helper packet type: an IP fragment traveling the striped path.
+#[derive(Debug, Clone)]
+struct FragPkt(u16, stripe::ip::frag::Fragment);
+
+impl stripe::core::types::WireLen for FragPkt {
+    fn wire_len(&self) -> usize {
+        self.1.wire_len()
+    }
+}

@@ -1,0 +1,203 @@
+//! Property tests for §4 (logical reception, Theorem 4.1) and the
+//! structural invariants of quasi-FIFO delivery.
+
+use proptest::prelude::*;
+
+use stripe::core::receiver::{Arrival, LogicalReceiver};
+use stripe::core::sched::{CausalScheduler, Srr};
+use stripe::core::sender::{MarkerConfig, StripingSender};
+use stripe::core::types::{ChannelId, TestPacket};
+
+/// Drive a sender/receiver pair with per-packet loss decisions and an
+/// arbitrary (per-channel-FIFO-preserving) interleaving of arrivals,
+/// returning the delivery order.
+fn pump(
+    sched: Srr,
+    marker_cfg: MarkerConfig,
+    lens: &[usize],
+    lose: impl Fn(u64) -> bool,
+    interleave: &[usize], // drain schedule: which channel to deliver from next
+) -> Vec<u64> {
+    let n = sched.channels();
+    let mut tx = StripingSender::new(sched.clone(), marker_cfg);
+    let mut rx: LogicalReceiver<Srr, TestPacket> = LogicalReceiver::new(sched, 1 << 16);
+    // Per-channel "wires": FIFO queues between sender and receiver.
+    let mut wires: Vec<std::collections::VecDeque<Arrival<TestPacket>>> =
+        (0..n).map(|_| Default::default()).collect();
+    for (id, &len) in lens.iter().enumerate() {
+        let id = id as u64;
+        let d = tx.send(len);
+        if !lose(id) {
+            wires[d.channel].push_back(Arrival::Data(TestPacket::new(id, len)));
+        }
+        for (c, mk) in d.markers {
+            wires[c].push_back(Arrival::Marker(mk));
+        }
+    }
+    // End-of-stream idle markers: the real sender's markers are periodic
+    // in time, so they keep flowing after the last data packet; without
+    // them, losses in the stream's tail could leave the receiver blocked
+    // forever on a dead channel.
+    if marker_cfg.period_rounds != 0 {
+        for (c, mk) in tx.make_markers() {
+            wires[c].push_back(Arrival::Marker(mk));
+        }
+    }
+    let mut out = Vec::new();
+    // Deliver per the interleave pattern, then drain round robin.
+    let mut deliver = |c: ChannelId, wires: &mut Vec<std::collections::VecDeque<_>>| {
+        if let Some(item) = wires[c].pop_front() {
+            rx.push(c, item);
+        }
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+    };
+    for &c in interleave {
+        deliver(c % n, &mut wires);
+    }
+    loop {
+        let mut moved = false;
+        for c in 0..n {
+            if !wires[c].is_empty() {
+                deliver(c, &mut wires);
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Theorem 4.1: with no loss, any arrival interleaving (channels are
+    /// FIFO, cross-channel timing arbitrary) delivers in exact send order.
+    #[test]
+    fn lossless_is_fifo(
+        lens in prop::collection::vec(40usize..=1500, 1..500),
+        n in 2usize..5,
+        interleave in prop::collection::vec(0usize..5, 0..600),
+    ) {
+        let out = pump(Srr::equal(n, 1500), MarkerConfig::disabled(),
+                       &lens, |_| false, &interleave);
+        let expect: Vec<u64> = (0..lens.len() as u64).collect();
+        prop_assert_eq!(out, expect);
+    }
+
+    /// Structural soundness under arbitrary loss: no duplication, no
+    /// invented packets, and only lost ids are missing at the end of a
+    /// marker-assisted run.
+    #[test]
+    fn no_duplication_no_invention(
+        lens in prop::collection::vec(40usize..=1500, 1..400),
+        loss_mask in prop::collection::vec(any::<bool>(), 400),
+        interleave in prop::collection::vec(0usize..4, 0..400),
+    ) {
+        let out = pump(
+            Srr::equal(3, 1500),
+            MarkerConfig::every_rounds(2),
+            &lens,
+            |id| loss_mask[id as usize % loss_mask.len()],
+            &interleave,
+        );
+        let total = lens.len() as u64;
+        let mut seen = std::collections::HashSet::new();
+        for &id in &out {
+            prop_assert!(id < total, "invented id {id}");
+            prop_assert!(seen.insert(id), "duplicated id {id}");
+        }
+        // Every non-lost id is delivered (buffers are drained; markers
+        // unblock every channel).
+        let expected: std::collections::HashSet<u64> = (0..total)
+            .filter(|&id| !loss_mask[id as usize % loss_mask.len()])
+            .collect();
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// Theorem 5.1 (probabilistic form): loss confined to a prefix of the
+    /// stream; once it stops and markers flow, the delivery tail is in
+    /// exact order.
+    #[test]
+    fn recovery_after_losses_stop(
+        seed: u64,
+        loss_rate in 0.05f64..0.8,
+        n in 2usize..5,
+    ) {
+        let total = 3000u64;
+        let stop = 1500u64;
+        let lens: Vec<usize> = (0..total).map(|i| 40 + (i as usize * 131) % 1400).collect();
+        let mut rng = stripe::netsim::DetRng::new(seed);
+        let fate: Vec<bool> = (0..total)
+            .map(|id| id < stop && rng.chance(loss_rate))
+            .collect();
+        let out = pump(
+            Srr::equal(n, 1500),
+            MarkerConfig::every_rounds(4),
+            &lens,
+            |id| fate[id as usize],
+            &[],
+        );
+        // Find the tail: everything delivered after (stop + recovery
+        // margin) must be strictly ascending.
+        let margin = 8 * n as u64 + stop;
+        let pos = out.iter().position(|&id| id >= margin);
+        prop_assert!(pos.is_some(), "nothing delivered after recovery point");
+        let tail = &out[pos.unwrap()..];
+        for w in tail.windows(2) {
+            prop_assert!(w[0] < w[1], "tail inversion {w:?}");
+        }
+        // And the tail reaches the end of the stream.
+        prop_assert_eq!(*tail.last().unwrap(), total - 1);
+    }
+
+    /// Per-channel arrival order is never violated by the resequencer:
+    /// the subsequence of delivered ids that traveled one channel appears
+    /// in that channel's send order (channels are FIFO; logical reception
+    /// only ever pops heads).
+    #[test]
+    fn per_channel_order_preserved(
+        lens in prop::collection::vec(40usize..=1500, 1..300),
+        loss_mask in prop::collection::vec(any::<bool>(), 300),
+    ) {
+        let sched = Srr::equal(2, 1500);
+        let mut tx = StripingSender::new(sched.clone(), MarkerConfig::every_rounds(3));
+        let mut rx = LogicalReceiver::new(sched, 1 << 16);
+        let mut chan_of = std::collections::HashMap::new();
+        let mut per_chan_sent: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        let mut out = Vec::new();
+        for (id, &len) in lens.iter().enumerate() {
+            let id = id as u64;
+            let d = tx.send(len);
+            if !loss_mask[id as usize % loss_mask.len()] {
+                chan_of.insert(id, d.channel);
+                per_chan_sent[d.channel].push(id);
+                rx.push(d.channel, Arrival::Data(TestPacket::new(id, len)));
+            }
+            for (c, mk) in d.markers {
+                rx.push(c, Arrival::Marker(mk));
+            }
+            while let Some(p) = rx.poll() {
+                out.push(p.id);
+            }
+        }
+        // End-of-stream idle markers (see `pump`): unblock tail losses.
+        for (c, mk) in tx.make_markers() {
+            rx.push(c, Arrival::Marker(mk));
+        }
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..2 {
+            let delivered_on_c: Vec<u64> = out
+                .iter()
+                .copied()
+                .filter(|id| chan_of.get(id) == Some(&c))
+                .collect();
+            prop_assert_eq!(&delivered_on_c, &per_chan_sent[c],
+                "channel {} order violated", c);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Self-stabilization: from *any* corrupted receiver state, the
+//! detector + reset pipeline restores FIFO delivery — the §5 closing
+//! claim ("robust against any error in the state by periodically running
+//! a snapshot and then doing a reset; we deal with sender or receiver
+//! node crashes by doing a reset").
+
+use stripe::core::control::Control;
+use stripe::core::receiver::{Arrival, LogicalReceiver};
+use stripe::core::reset::{DesyncDetector, ResetProgress, ResetResponder, ResetSender, ResponderAction};
+use stripe::core::sched::{CausalScheduler, Srr};
+use stripe::core::sender::{MarkerConfig, StripingSender};
+use stripe::core::types::TestPacket;
+use stripe::netsim::DetRng;
+
+const N: usize = 3;
+
+/// A full closed loop: data flows; at a chosen point the receiver's state
+/// is corrupted in a way markers *cannot* heal — its scheduler quanta are
+/// silently replaced, so its simulation of the sender diverges afresh
+/// every round no matter how many markers arrive (markers pin the DC at
+/// one instant; wrong quanta rebuild the divergence immediately). The
+/// detector notices sustained disorder and triggers the reset handshake
+/// (whose control messages themselves suffer loss); both ends
+/// reinitialize; delivery returns to exact FIFO.
+fn run_with_corruption(corrupt_at: u64, control_loss: f64, seed: u64) {
+    let quanta = vec![1500i64; N];
+    let mut tx = StripingSender::new(Srr::weighted(&quanta), MarkerConfig::every_rounds(4));
+    let mut rx = LogicalReceiver::new(Srr::weighted(&quanta), 1 << 14);
+    let mut detector = DesyncDetector::new(64, 0.35, 3);
+    let mut reset_tx = ResetSender::new(N);
+    let mut reset_rx = ResetResponder::new();
+    let mut rng = DetRng::new(seed);
+
+    let mut delivered: Vec<u64> = Vec::new();
+    let mut resets = 0u64;
+    // Offset of the first delivery after the last completed reset.
+    let mut clean_from = 0usize;
+
+    let total = 6000u64;
+    let mut id = 0u64;
+    while id < total {
+        // A reset handshake pauses data (the §5 protocol).
+        if reset_tx.in_progress() {
+            // Control messages may be lost; retransmit until complete.
+            for (c, msg) in reset_tx.retransmit() {
+                if rng.chance(control_loss) {
+                    continue; // request lost
+                }
+                let Control::ResetRequest { epoch } = msg else {
+                    panic!("unexpected control type")
+                };
+                match reset_rx.on_request(c, epoch) {
+                    ResponderAction::FlushAndAck { channel, ack }
+                    | ResponderAction::AckOnly { channel, ack } => {
+                        // Receiver reinitializes exactly once per epoch.
+                        if reset_rx.flushes() > resets {
+                            rx.reset();
+                            detector.acknowledge_reset();
+                        }
+                        if rng.chance(control_loss) {
+                            continue; // ack lost; retransmit will retry
+                        }
+                        let Control::ResetAck { epoch } = ack else {
+                            panic!("unexpected ack type")
+                        };
+                        if reset_tx.on_ack(channel, epoch) == ResetProgress::Complete {
+                            resets += 1;
+                            tx.reset();
+                            clean_from = delivered.len();
+                        }
+                    }
+                    ResponderAction::Ignore => {}
+                }
+            }
+            continue;
+        }
+
+        let len = 100 + (id as usize * 131) % 1300;
+        let d = tx.send(len);
+        rx.push(d.channel, Arrival::Data(TestPacket::new(id, len)));
+        for (c, mk) in d.markers {
+            rx.push(c, Arrival::Marker(mk));
+        }
+
+        // The fault: at `corrupt_at`, the receiver's scheduler quanta are
+        // silently corrupted (a memory error in the config, in fault-model
+        // terms). Markers cannot repair this — only a reset can.
+        if id == corrupt_at {
+            let round = rx.scheduler().round() + 1;
+            // Severely wrong quanta (alternating far-low / far-high), so
+            // the corruption is unambiguous — a near-miss draw would be a
+            // mild fault the detector rightly tolerates.
+            let garbage: Vec<i64> = (0..N)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        200 + rng.range_u64(0, 100) as i64
+                    } else {
+                        4000 + rng.range_u64(0, 1000) as i64
+                    }
+                })
+                .collect();
+            rx.schedule_quanta(round, &garbage);
+        }
+
+        while let Some(p) = rx.poll() {
+            let backlog = rx.buffered_total() as u64;
+            if detector.observe(p.id, backlog) && !reset_tx.in_progress() {
+                let _ = reset_tx.start_reset();
+            }
+            delivered.push(p.id);
+        }
+        id += 1;
+    }
+    // Drain with end-of-stream markers.
+    for (c, mk) in tx.make_markers() {
+        rx.push(c, Arrival::Marker(mk));
+    }
+    while let Some(p) = rx.poll() {
+        delivered.push(p.id);
+    }
+
+    assert!(resets >= 1, "corruption must have triggered a reset");
+    // The post-reset suffix must be strictly FIFO: the receiver was
+    // rebuilt from s0, the sender restarted its scheduler, so logical
+    // reception is exact again.
+    let tail = &delivered[clean_from..];
+    assert!(
+        tail.len() > 500,
+        "too little delivered after reset: {}",
+        tail.len()
+    );
+    for w in tail.windows(2) {
+        assert!(w[0] < w[1], "post-reset inversion {w:?}");
+    }
+}
+
+#[test]
+fn recovers_from_forged_marker_state() {
+    run_with_corruption(1000, 0.0, 7);
+}
+
+#[test]
+fn recovers_with_lossy_control_channel() {
+    // Even the reset handshake itself runs over lossy channels.
+    run_with_corruption(1500, 0.3, 21);
+}
+
+#[test]
+fn recovers_regardless_of_when_corruption_strikes() {
+    for (at, seed) in [(100u64, 1u64), (2500, 2), (4000, 3)] {
+        run_with_corruption(at, 0.1, seed);
+    }
+}
+
+/// The detector alone must not fire on healthy traffic with ordinary loss
+/// (markers handle that); resets are for *state* errors.
+#[test]
+fn no_spurious_resets_under_ordinary_loss() {
+    let quanta = vec![1500i64; N];
+    let mut tx = StripingSender::new(Srr::weighted(&quanta), MarkerConfig::every_rounds(4));
+    let mut rx = LogicalReceiver::new(Srr::weighted(&quanta), 1 << 14);
+    let mut detector = DesyncDetector::new(64, 0.35, 3);
+    let mut rng = DetRng::new(5);
+    let mut trips = 0;
+    for id in 0..6000u64 {
+        let len = 100 + (id as usize * 131) % 1300;
+        let d = tx.send(len);
+        if !rng.chance(0.03) {
+            rx.push(d.channel, Arrival::Data(TestPacket::new(id, len)));
+        }
+        for (c, mk) in d.markers {
+            rx.push(c, Arrival::Marker(mk));
+        }
+        while let Some(p) = rx.poll() {
+            let backlog = rx.buffered_total() as u64;
+            if detector.observe(p.id, backlog) {
+                trips += 1;
+            }
+        }
+    }
+    assert_eq!(
+        trips, 0,
+        "3% loss with markers every 4 rounds must not look like corruption"
+    );
+}
