@@ -108,7 +108,11 @@ impl AlternatingSizes {
     pub fn next_packet(&mut self) -> (u64, usize) {
         let id = self.next_id;
         self.next_id += 1;
-        let len = if id.is_multiple_of(2) { self.big } else { self.small };
+        let len = if id.is_multiple_of(2) {
+            self.big
+        } else {
+            self.small
+        };
         (id, len)
     }
 }

@@ -47,14 +47,25 @@ impl VideoTrace {
     ///
     /// # Panics
     /// Panics if any size parameter is zero.
-    pub fn generate(frames: u32, i_interval: u32, i_bytes: usize, p_bytes: usize, mtu: usize, seed: u64) -> Self {
+    pub fn generate(
+        frames: u32,
+        i_interval: u32,
+        i_bytes: usize,
+        p_bytes: usize,
+        mtu: usize,
+        seed: u64,
+    ) -> Self {
         assert!(frames > 0 && i_interval > 0 && i_bytes > 0 && p_bytes > 0 && mtu > 0);
         let mut rng = DetRng::new(seed);
         let mut packets = Vec::new();
         let mut frame_sizes = Vec::new();
         let mut id = 0u64;
         for f in 0..frames {
-            let base = if f % i_interval == 0 { i_bytes } else { p_bytes };
+            let base = if f % i_interval == 0 {
+                i_bytes
+            } else {
+                p_bytes
+            };
             let jitter = rng.range_usize(0, base / 2 + 1);
             let mut remaining = (3 * base / 4 + jitter).max(1);
             let mut count = 0u32;

@@ -111,7 +111,7 @@ fn main() {
     // sweep, over-capacity for the congestion case.
     let wire_per_pkt = aal5_wire_bytes(PKT) as f64; // 1696
     let under_us = (wire_per_pkt * 8.0 / (0.8 * 4.0 * 10.0)) as u64; // 80% load
-    
+
     let mut t = Table::new(&[
         "cell loss",
         "packet-striping delivery",
@@ -201,7 +201,12 @@ fn main() {
         }
     }
 
-    let mut t2 = Table::new(&["bottleneck policy", "frames offered", "frames delivered", "goodput fraction"]);
+    let mut t2 = Table::new(&[
+        "bottleneck policy",
+        "frames offered",
+        "frames delivered",
+        "goodput fraction",
+    ]);
     t2.row_owned(vec![
         "EPD (packet striping: AAL frames visible)".into(),
         offered.to_string(),
@@ -219,7 +224,10 @@ fn main() {
     let epd_frac = delivered_epd as f64 / offered as f64;
     let cell_frac = delivered_cell as f64 / offered_cell as f64;
     println!("\nPaper shape check: with frame boundaries (packet striping) the switch sheds");
-    println!("whole frames and goodput tracks capacity (~{:.0}%); frame-blind cell drops", 100.0 * capacity_cells_per_tick as f64 / cells_per_pkt as f64);
+    println!(
+        "whole frames and goodput tracks capacity (~{:.0}%); frame-blind cell drops",
+        100.0 * capacity_cells_per_tick as f64 / cells_per_pkt as f64
+    );
     println!("ruin partially-admitted packets and goodput collapses.");
     assert!(
         epd_frac > 1.5 * cell_frac,

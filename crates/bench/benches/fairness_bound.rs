@@ -49,7 +49,11 @@ fn main() {
             quantum.to_string(),
             worst.to_string(),
             bound.to_string(),
-            if worst <= bound { "yes".into() } else { "NO".to_string() },
+            if worst <= bound {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
         assert!(worst <= bound, "Lemma 3.3 violated at quantum {quantum}");
     }

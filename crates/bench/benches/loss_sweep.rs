@@ -29,7 +29,11 @@ fn main() {
             r.injected_losses.to_string(),
             r.metrics.out_of_order().to_string(),
             r.tail_ooo.to_string(),
-            if r.resynced { "yes".into() } else { "NO".into() },
+            if r.resynced {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
         assert!(
             r.resynced,

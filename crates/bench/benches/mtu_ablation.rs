@@ -89,7 +89,10 @@ fn main() {
     t.print("§6.2 MTU ablation — the cost of clamping to the smallest member MTU (PVC 70 Mbps)");
 
     println!("\nPaper shape check: the large-MTU single interface beats the two-link striped");
-    println!("pair ({atm_big:.2} vs {:.2} Mbps) because the CPU pays per packet — the paper's", s.mbps);
+    println!(
+        "pair ({atm_big:.2} vs {:.2} Mbps) because the CPU pays per packet — the paper's",
+        s.mbps
+    );
     println!("recommendation to stripe links of similar MTU.");
     assert!(
         atm_big > s.mbps,

@@ -45,8 +45,10 @@ fn main() {
     t.print("Figures 8-13 — marker recovery walkthrough (packet 7 lost)");
 
     let st = rx.stats();
-    println!("\nreceiver: {} delivered, {} markers seen, {} marks applied, {} C1 skips",
-        st.delivered, st.markers_seen, st.marks_applied, st.skips);
+    println!(
+        "\nreceiver: {} delivered, {} markers seen, {} marks applied, {} C1 skips",
+        st.delivered, st.markers_seen, st.marks_applied, st.skips
+    );
     println!("Paper shape check: after the first marker following the loss, the receiver");
     println!("skips the lossy channel for one round and the delivery column returns to");
     println!("consecutive order — the paper's Figure 13.");

@@ -10,7 +10,6 @@
 //!   alternating-size adversary and report the byte spread between
 //!   channels (bounded = Good, growing with the run = Poor).
 
-
 use stripe_apps::metrics::analyze;
 use stripe_bench::table::Table;
 use stripe_core::baselines::{

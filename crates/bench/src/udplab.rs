@@ -285,8 +285,7 @@ pub fn run(cfg: &UdpLabConfig) -> UdpLabResult {
             // after the stop. Three periods of slack also absorb the
             // in-flight tail of pre-stop packets.
             let per_visit = (cfg.quantum as u64).div_ceil(cfg.packet_len as u64).max(1);
-            let period_packets =
-                cfg.marker_period.max(1) * cfg.channels as u64 * per_visit;
+            let period_packets = cfg.marker_period.max(1) * cfg.channels as u64 * per_visit;
             let margin = 3 * period_packets + 16;
             let cut_id = stop + margin;
             match delivered.iter().position(|&id| id >= cut_id) {

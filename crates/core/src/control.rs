@@ -21,9 +21,17 @@
 
 use crate::marker::{Marker, MARKER_WIRE_LEN};
 
-/// Epoch counter for reset generations. Wraps are harmless: epochs only
-/// need to distinguish "newer than mine".
+/// Epoch counter for reset and membership generations. Wraps are harmless:
+/// epochs only need to distinguish "newer than mine".
 pub type Epoch = u32;
+
+/// Whether `candidate` is a strictly newer epoch than `current` under
+/// wrapping arithmetic: the forward distance is smaller than the backward
+/// one. Shared by the reset and membership handshakes so both age stale
+/// control traffic identically.
+pub fn epoch_newer(candidate: Epoch, current: Epoch) -> bool {
+    candidate.wrapping_sub(current) != 0 && candidate.wrapping_sub(current) < u32::MAX / 2
+}
 
 /// A control message on a striped channel group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,12 +57,49 @@ pub enum Control {
         /// New per-channel quanta (≤ 16 channels on the wire).
         quanta: Vec<i64>,
     },
+    /// Sender-side liveness probe; the receiver echoes the nonce back on
+    /// the reverse path of the same channel. Probes are how a sender
+    /// distinguishes a quiet channel from a dead one.
+    Probe {
+        /// Opaque nonce echoed in the matching [`Control::ProbeAck`]; the
+        /// liveness layer encodes the channel id in the top bits so a
+        /// misrouted ack cannot revive the wrong channel.
+        nonce: u64,
+    },
+    /// Receiver's echo of a [`Control::Probe`].
+    ProbeAck {
+        /// The echoed nonce.
+        nonce: u64,
+    },
+    /// Both ends shrink or grow the striping set to `live_mask` when their
+    /// global round reaches `effective_round` — the dynamic-membership
+    /// analogue of [`Control::QuantumUpdate`]. Epoch-stamped so duplicated
+    /// or reordered announcements are harmless.
+    Membership {
+        /// The membership generation being established.
+        epoch: Epoch,
+        /// Bit `c` set ⇔ channel `c` stays in the striping set (≤ 16
+        /// channels on the wire, matching the quantum-update cap).
+        live_mask: u16,
+        /// Round at which the new membership takes effect.
+        effective_round: u64,
+    },
+    /// Receiver confirms it has scheduled the membership change for
+    /// `epoch`. Travels on the reverse path.
+    MembershipAck {
+        /// The epoch being acknowledged.
+        epoch: Epoch,
+    },
 }
 
 const TYPE_MARKER: u8 = 1;
 const TYPE_RESET_REQ: u8 = 2;
 const TYPE_RESET_ACK: u8 = 3;
 const TYPE_QUANTUM: u8 = 4;
+const TYPE_PROBE: u8 = 5;
+const TYPE_PROBE_ACK: u8 = 6;
+const TYPE_MEMBERSHIP: u8 = 7;
+const TYPE_MEMBERSHIP_ACK: u8 = 8;
 
 /// Largest encoded control message (quantum update for 16 channels).
 pub const CONTROL_MAX_WIRE_LEN: usize = 1 + 8 + 1 + 16 * 8;
@@ -96,6 +141,33 @@ impl Control {
                 }
                 v
             }
+            Control::Probe { nonce } => {
+                let mut v = vec![TYPE_PROBE];
+                v.extend_from_slice(&nonce.to_be_bytes());
+                v
+            }
+            Control::ProbeAck { nonce } => {
+                let mut v = vec![TYPE_PROBE_ACK];
+                v.extend_from_slice(&nonce.to_be_bytes());
+                v
+            }
+            Control::Membership {
+                epoch,
+                live_mask,
+                effective_round,
+            } => {
+                assert!(*live_mask != 0, "membership must keep at least one channel");
+                let mut v = vec![TYPE_MEMBERSHIP];
+                v.extend_from_slice(&epoch.to_be_bytes());
+                v.extend_from_slice(&live_mask.to_be_bytes());
+                v.extend_from_slice(&effective_round.to_be_bytes());
+                v
+            }
+            Control::MembershipAck { epoch } => {
+                let mut v = vec![TYPE_MEMBERSHIP_ACK];
+                v.extend_from_slice(&epoch.to_be_bytes());
+                v
+            }
         }
     }
 
@@ -132,6 +204,31 @@ impl Control {
                     effective_round,
                     quanta,
                 })
+            }
+            TYPE_PROBE => {
+                let nonce = u64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+                Some(Control::Probe { nonce })
+            }
+            TYPE_PROBE_ACK => {
+                let nonce = u64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+                Some(Control::ProbeAck { nonce })
+            }
+            TYPE_MEMBERSHIP => {
+                let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
+                let live_mask = u16::from_be_bytes(rest.get(4..6)?.try_into().ok()?);
+                if live_mask == 0 {
+                    return None; // an empty membership would wedge both ends
+                }
+                let effective_round = u64::from_be_bytes(rest.get(6..14)?.try_into().ok()?);
+                Some(Control::Membership {
+                    epoch,
+                    live_mask,
+                    effective_round,
+                })
+            }
+            TYPE_MEMBERSHIP_ACK => {
+                let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
+                Some(Control::MembershipAck { epoch })
             }
             _ => None,
         }
@@ -170,11 +267,63 @@ mod tests {
     }
 
     #[test]
+    fn liveness_and_membership_roundtrip() {
+        for c in [
+            Control::Probe { nonce: 0 },
+            Control::Probe {
+                nonce: (3u64 << 48) | 7,
+            },
+            Control::ProbeAck { nonce: u64::MAX },
+            Control::Membership {
+                epoch: 9,
+                live_mask: 0b101,
+                effective_round: 1 << 33,
+            },
+            Control::MembershipAck { epoch: u32::MAX },
+        ] {
+            assert_eq!(Control::decode(&c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn empty_membership_rejected_on_decode() {
+        let mut enc = Control::Membership {
+            epoch: 1,
+            live_mask: 0b11,
+            effective_round: 4,
+        }
+        .encode();
+        enc[5] = 0; // zero the mask bytes
+        enc[6] = 0;
+        assert_eq!(Control::decode(&enc), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_membership_panics_on_encode() {
+        let _ = Control::Membership {
+            epoch: 1,
+            live_mask: 0,
+            effective_round: 4,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn epoch_newer_handles_wrap() {
+        assert!(epoch_newer(1, 0));
+        assert!(epoch_newer(0, u32::MAX)); // wrapped forward by one
+        assert!(!epoch_newer(0, 0));
+        assert!(!epoch_newer(u32::MAX, 0)); // one step backward, not newer
+        assert!(!epoch_newer(5, 9));
+    }
+
+    #[test]
     fn decode_rejects_garbage() {
         assert_eq!(Control::decode(&[]), None);
         assert_eq!(Control::decode(&[99, 1, 2, 3]), None);
         assert_eq!(Control::decode(&[TYPE_RESET_REQ, 1]), None); // short
-        // Quantum update with a non-positive quantum is rejected.
+                                                                 // Quantum update with a non-positive quantum is rejected.
         let mut bad = Control::QuantumUpdate {
             effective_round: 5,
             quanta: vec![1500],

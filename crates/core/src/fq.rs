@@ -92,8 +92,12 @@ mod tests {
         let q1 = [(0u64, 550), (1, 150), (2, 300)];
         let q2 = [(3u64, 200), (4, 400), (5, 400)];
         vec![
-            q1.iter().map(|&(id, len)| TestPacket::new(id, len)).collect(),
-            q2.iter().map(|&(id, len)| TestPacket::new(id, len)).collect(),
+            q1.iter()
+                .map(|&(id, len)| TestPacket::new(id, len))
+                .collect(),
+            q2.iter()
+                .map(|&(id, len)| TestPacket::new(id, len))
+                .collect(),
         ]
     }
 

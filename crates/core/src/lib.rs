@@ -82,7 +82,9 @@ pub mod control;
 pub mod fairness;
 pub mod fq;
 pub mod hybrid;
+pub mod liveness;
 pub mod marker;
+pub mod membership;
 pub mod receiver;
 pub mod reset;
 pub mod sched;

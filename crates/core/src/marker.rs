@@ -84,7 +84,13 @@ mod tests {
 
     #[test]
     fn roundtrip_plain() {
-        let m = Marker::sync(3, ChannelMark { round: 912, dc: -47 });
+        let m = Marker::sync(
+            3,
+            ChannelMark {
+                round: 912,
+                dc: -47,
+            },
+        );
         let enc = m.encode();
         assert_eq!(Marker::decode(&enc), Some(m));
     }

@@ -52,6 +52,25 @@ pub struct ReceiverStats {
     pub skips: u64,
     /// Arrivals dropped because a channel buffer was full.
     pub overflow_drops: u64,
+    /// Channel visits skipped because the channel is leaving the striping
+    /// set (membership announced, nothing buffered to serve).
+    pub membership_skips: u64,
+    /// Membership changes applied to the simulation.
+    pub memberships_applied: u64,
+    /// Data packets salvaged from a dead channel's buffer and delivered
+    /// out of simulation order.
+    pub drained_dead: u64,
+    /// Stall episodes reported by [`LogicalReceiver::stalled`].
+    pub stalls: u64,
+}
+
+/// Tracking for one stall episode: how long the receiver has been blocked
+/// on a starved channel while other channels have traffic waiting.
+#[derive(Debug, Clone, Copy)]
+struct StallState {
+    channel: ChannelId,
+    since_ns: u64,
+    reported: bool,
 }
 
 /// The logical-reception resequencer.
@@ -65,7 +84,14 @@ pub struct LogicalReceiver<S: CausalScheduler, P> {
     bufs: Vec<VecDeque<Arrival<P>>>,
     /// Pending mark per channel: the paper's `r_c` (plus the DC to adopt).
     pending: Vec<Option<crate::sched::ChannelMark>>,
+    /// The live mask last announced by the sender (`true` = staying in the
+    /// set). Leads the scheduler's own mask until the effective round.
+    target_live: Vec<bool>,
+    /// Packets salvaged from dead channels, awaiting delivery.
+    drained: VecDeque<P>,
     cap_per_channel: usize,
+    stall_timeout_ns: Option<u64>,
+    stall: Option<StallState>,
     stats: ReceiverStats,
 }
 
@@ -80,7 +106,11 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
             sched,
             bufs: (0..n).map(|_| VecDeque::new()).collect(),
             pending: vec![None; n],
+            target_live: vec![true; n],
+            drained: VecDeque::new(),
             cap_per_channel,
+            stall_timeout_ns: None,
+            stall: None,
             stats: ReceiverStats::default(),
         }
     }
@@ -101,9 +131,31 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
 
     /// Logical reception: deliver the next in-order packet, or `None` if the
     /// receiver is blocked waiting for an arrival on the expected channel.
+    ///
+    /// Packets salvaged from a channel the scheduler has masked out (see
+    /// [`LogicalReceiver::apply_membership`]) are delivered first — out of
+    /// simulation order, but quasi-FIFO tolerates that and it beats
+    /// dropping data that already arrived.
     pub fn poll(&mut self) -> Option<P> {
+        self.drain_dead();
+        if let Some(p) = self.drained.pop_front() {
+            self.stats.delivered += 1;
+            self.stall = None;
+            return Some(p);
+        }
         loop {
             let c = self.sched.current();
+
+            // Membership skip: the sender announced `c` is leaving the set,
+            // so its in-flight packets for the rounds before the mask takes
+            // effect are presumed lost with the channel. Anything already
+            // buffered is still served in order; an empty buffer is skipped
+            // instead of blocked on.
+            if !self.target_live[c] && self.bufs[c].is_empty() {
+                self.sched.skip_current();
+                self.stats.membership_skips += 1;
+                continue;
+            }
 
             // Condition C1: honour a pending mark for the expected channel.
             if let Some(m) = self.pending[c] {
@@ -135,9 +187,97 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
                     };
                     self.sched.advance(p.wire_len());
                     self.stats.delivered += 1;
+                    self.stall = None;
                     return Some(p);
                 }
             }
+        }
+    }
+
+    /// Move anything buffered on a channel the scheduler has masked out
+    /// into the salvage queue: its data will never be logically scheduled
+    /// again, so deliver it out of order rather than strand it. Stale
+    /// markers and pending marks for the channel are discarded.
+    fn drain_dead(&mut self) {
+        for c in 0..self.bufs.len() {
+            if self.sched.live(c) || self.bufs[c].is_empty() {
+                continue;
+            }
+            while let Some(a) = self.bufs[c].pop_front() {
+                match a {
+                    Arrival::Data(p) => {
+                        self.drained.push_back(p);
+                        self.stats.drained_dead += 1;
+                    }
+                    Arrival::Marker(_) => self.stats.markers_seen += 1,
+                }
+            }
+            self.pending[c] = None;
+        }
+    }
+
+    /// Apply a received membership change (from a
+    /// [`Control::Membership`](crate::control::Control::Membership)): from
+    /// `effective_round` the simulation visits exactly the channels with
+    /// `live[c] == true`, matching the sender's scheduler. Until that round
+    /// the departing channels' buffers are served if non-empty and skipped
+    /// if empty (their in-flight packets died with the channel). Safe to
+    /// call as soon as the message arrives.
+    pub fn apply_membership(&mut self, effective_round: u64, live: &[bool]) {
+        assert_eq!(
+            live.len(),
+            self.bufs.len(),
+            "membership update must cover every channel"
+        );
+        self.target_live = live.to_vec();
+        self.sched.schedule_mask(effective_round, live);
+        self.stats.memberships_applied += 1;
+    }
+
+    /// Arm the stall detector: [`LogicalReceiver::stalled`] reports a
+    /// channel once the receiver has been blocked on it for `timeout_ns`
+    /// while traffic waits on other channels.
+    pub fn set_stall_timeout(&mut self, timeout_ns: u64) {
+        self.stall_timeout_ns = Some(timeout_ns);
+    }
+
+    /// Liveness probe for the layer above: `Some(c)` when the receiver has
+    /// been blocked on channel `c`'s empty buffer for at least the
+    /// configured timeout *while other channels have arrivals waiting* —
+    /// the signature of a dead channel head-of-line blocking the stripe.
+    /// Returns `None` when no timeout is configured
+    /// ([`LogicalReceiver::set_stall_timeout`]), when delivery is flowing,
+    /// or when the whole stripe is simply idle.
+    ///
+    /// Call periodically with a monotone clock; each stall episode bumps
+    /// [`ReceiverStats::stalls`] once.
+    pub fn stalled(&mut self, now_ns: u64) -> Option<ChannelId> {
+        let timeout = self.stall_timeout_ns?;
+        let c = self.sched.current();
+        let starved = self.bufs[c].is_empty() && self.buffered_total() > 0;
+        if !starved {
+            self.stall = None;
+            return None;
+        }
+        let st = match &mut self.stall {
+            Some(st) if st.channel == c => st,
+            _ => {
+                self.stall = Some(StallState {
+                    channel: c,
+                    since_ns: now_ns,
+                    reported: false,
+                });
+                self.stall.as_mut().expect("just set")
+            }
+        };
+        if now_ns.saturating_sub(st.since_ns) >= timeout {
+            if !st.reported {
+                st.reported = true;
+                self.stats.stalls += 1;
+            }
+            Some(c)
+        } else {
+            None
         }
     }
 
@@ -186,6 +326,11 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
         for p in &mut self.pending {
             *p = None;
         }
+        for l in &mut self.target_live {
+            *l = true;
+        }
+        self.drained.clear();
+        self.stall = None;
         self.stats = ReceiverStats::default();
     }
 }
@@ -393,6 +538,156 @@ mod tests {
         // And the shares did shift: channel 1 carried ~3x after the change.
         let acct = tx.accountant();
         assert!(acct.bytes(1) > 2 * acct.bytes(0), "{:?}", acct);
+    }
+
+    /// Membership shrink mid-stream: channel 1 dies (all its packets are
+    /// lost), both ends apply the same mask at the same round, and
+    /// delivery continues on the survivors without deadlock — losing only
+    /// the in-flight packets that died with the channel.
+    #[test]
+    fn membership_shrink_degrades_without_deadlock() {
+        let sched = Srr::equal(3, 1500);
+        let mut tx = StripingSender::new(sched.clone(), MarkerConfig::every_rounds(4));
+        let mut rx = LogicalReceiver::new(sched, 4096);
+        let mut out = Vec::new();
+        let mut dead = false;
+        for id in 0..3000u64 {
+            let len = 80 + (id as usize * 61) % 1300;
+            // At round 30 the sender learns channel 1 died at round 25:
+            // everything on channel 1 since then was lost in flight.
+            if !dead && tx.scheduler().round() >= 30 {
+                dead = true;
+                let eff = tx.scheduler().round() + 2;
+                tx.schedule_mask(eff, &[true, false, true]);
+                rx.apply_membership(eff, &[true, false, true]);
+            }
+            let d = tx.send(len);
+            let lost = d.channel == 1 && dead;
+            // Model in-flight loss: once we decide ch1 is dying, its data
+            // and markers stop arriving (the scheduler still assigns to it
+            // until the mask's effective round).
+            if !lost {
+                rx.push(d.channel, Arrival::Data(TestPacket::new(id, len)));
+            }
+            for (c, mk) in d.markers {
+                if c != 1 || !dead {
+                    rx.push(c, Arrival::Marker(mk));
+                }
+            }
+            while let Some(p) = rx.poll() {
+                out.push(p.id);
+            }
+        }
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+        assert!(dead);
+        let stats = rx.stats();
+        assert!(stats.membership_skips > 0, "{stats:?}");
+        assert_eq!(stats.memberships_applied, 1);
+        // Everything not sent on the dead channel after the cut arrives.
+        assert!(out.contains(&2999), "delivered {} packets", out.len());
+        // The tail (after degradation settles) is strictly consecutive
+        // on the surviving channels: quasi-FIFO holds at N-1.
+        let tail = &out[out.len() - 500..];
+        for w in tail.windows(2) {
+            assert!(w[1] > w[0], "tail misordered: {w:?}");
+        }
+    }
+
+    /// Growing the set back: after a shrink, the same handshake with the
+    /// bit restored reintegrates the channel and exact FIFO resumes.
+    #[test]
+    fn membership_grow_reintegrates_channel() {
+        let sched = Srr::equal(2, 1000);
+        let mut tx = StripingSender::new(sched.clone(), MarkerConfig::every_rounds(4));
+        let mut rx = LogicalReceiver::new(sched, 4096);
+        // Shrink to channel 0 only, effective immediately-ish.
+        let eff = tx.scheduler().round() + 1;
+        tx.schedule_mask(eff, &[true, false]);
+        rx.apply_membership(eff, &[true, false]);
+        let mut out = Vec::new();
+        for id in 0..200u64 {
+            let d = tx.send(500);
+            rx.push(d.channel, Arrival::Data(TestPacket::new(id, 500)));
+            for (c, mk) in d.markers {
+                rx.push(c, Arrival::Marker(mk));
+            }
+            while let Some(p) = rx.poll() {
+                out.push(p.id);
+            }
+        }
+        assert!(out.iter().all(|&id| id < 200));
+        // Recover: grow back to both channels.
+        let eff = tx.scheduler().round() + 2;
+        tx.schedule_mask(eff, &[true, true]);
+        rx.apply_membership(eff, &[true, true]);
+        for id in 200..1200u64 {
+            let d = tx.send(500);
+            rx.push(d.channel, Arrival::Data(TestPacket::new(id, 500)));
+            for (c, mk) in d.markers {
+                rx.push(c, Arrival::Marker(mk));
+            }
+            while let Some(p) = rx.poll() {
+                out.push(p.id);
+            }
+        }
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+        // No loss anywhere in this run: exact FIFO end to end.
+        assert_eq!(out, (0..1200).collect::<Vec<_>>());
+        // And the reintegrated channel is actually carrying load again.
+        assert!(tx.accountant().bytes(1) > 0);
+    }
+
+    /// Data already buffered on a channel when its mask takes effect is
+    /// salvaged (delivered out of order), not stranded.
+    #[test]
+    fn dead_channel_buffer_is_drained_not_stranded() {
+        let mut rx: LogicalReceiver<_, TestPacket> = LogicalReceiver::new(Srr::rr(2), 8);
+        // Shrink to channel 0, effective immediately (round clamps
+        // internally); serving channel 0 past a wrap makes it bite.
+        rx.apply_membership(0, &[true, false]);
+        rx.push(0, Arrival::Data(TestPacket::new(0, 100)));
+        rx.push(0, Arrival::Data(TestPacket::new(1, 100)));
+        let mut out = Vec::new();
+        while let Some(p) = rx.poll() {
+            out.push(p.id);
+        }
+        assert_eq!(out, vec![0, 1]);
+        // A straggler arrives on the now-dead channel: salvaged, not
+        // stranded.
+        rx.push(1, Arrival::Data(TestPacket::new(7, 100)));
+        assert_eq!(rx.poll().map(|p| p.id), Some(7));
+        assert_eq!(rx.stats().drained_dead, 1);
+        assert_eq!(rx.buffered_total(), 0);
+    }
+
+    /// The stall probe: blocked on an empty channel while others queue up
+    /// reports after the timeout, once per episode, and clears on delivery.
+    #[test]
+    fn stalled_reports_starved_channel_after_timeout() {
+        let mut rx: LogicalReceiver<_, TestPacket> = LogicalReceiver::new(Srr::rr(2), 64);
+        // No timeout configured: never reports.
+        assert_eq!(rx.stalled(1_000_000), None);
+        rx.set_stall_timeout(1_000_000); // 1ms
+                                         // Idle stripe (nothing buffered anywhere): not a stall.
+        assert_eq!(rx.stalled(0), None);
+        assert_eq!(rx.stalled(5_000_000), None);
+        // Channel 0 is expected but silent; channel 1 queues up.
+        rx.push(1, Arrival::Data(TestPacket::new(1, 100)));
+        assert_eq!(rx.poll(), None);
+        assert_eq!(rx.stalled(10_000_000), None); // episode starts now
+        assert_eq!(rx.stalled(10_500_000), None); // not yet
+        assert_eq!(rx.stalled(11_000_000), Some(0)); // timed out
+        assert_eq!(rx.stalled(12_000_000), Some(0)); // still stalled
+        assert_eq!(rx.stats().stalls, 1, "one episode, one count");
+        // The missing packet shows up: stall clears.
+        rx.push(0, Arrival::Data(TestPacket::new(0, 100)));
+        assert!(rx.poll().is_some());
+        assert_eq!(rx.stalled(13_000_000), None);
+        assert_eq!(rx.stats().stalls, 1);
     }
 
     #[test]

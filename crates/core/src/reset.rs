@@ -22,7 +22,7 @@
 //!   threshold — arbitrary state corruption (not just loss) then leads to
 //!   a reset, which restores FIFO from *any* state: self-stabilization.
 
-use crate::control::{Control, Epoch};
+use crate::control::{epoch_newer, Control, Epoch};
 use crate::types::ChannelId;
 
 /// Sender-side reset coordinator.
@@ -169,11 +169,7 @@ impl ResetResponder {
 
     /// Handle a `ResetRequest` that arrived on `channel`.
     pub fn on_request(&mut self, channel: ChannelId, epoch: Epoch) -> ResponderAction {
-        // "Newer" under wrapping: the distance forward is smaller than
-        // backward. In practice epochs advance by single steps.
-        let newer = epoch.wrapping_sub(self.epoch) != 0
-            && epoch.wrapping_sub(self.epoch) < u32::MAX / 2;
-        if newer {
+        if epoch_newer(epoch, self.epoch) {
             self.epoch = epoch;
             self.flushes += 1;
             ResponderAction::FlushAndAck {

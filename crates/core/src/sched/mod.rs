@@ -101,6 +101,27 @@ pub trait CausalScheduler: std::fmt::Debug {
     fn schedule_quanta(&mut self, effective_round: u64, quanta: &[i64]) {
         let _ = (effective_round, quanta);
     }
+
+    /// Schedule a membership change: from the start of `effective_round`
+    /// the scan visits exactly the channels with `live[c] == true`,
+    /// skipping the rest entirely. Both ends must schedule the same change
+    /// at the same round — that is what the
+    /// [`crate::control::Control::Membership`] message carries. A channel
+    /// re-entering the set restarts from a zero deficit on both ends, so
+    /// the simulations stay in lockstep through shrink *and* grow.
+    ///
+    /// The default is a no-op for schedulers without membership support
+    /// (every channel stays live forever).
+    fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
+        let _ = (effective_round, live);
+    }
+
+    /// Whether channel `c` is in the current striping set. Schedulers
+    /// without membership support report every channel live.
+    fn live(&self, c: ChannelId) -> bool {
+        let _ = c;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,11 @@ pub struct Srr {
     /// renegotiation when channel rates change, see
     /// [`CausalScheduler::schedule_quanta`]).
     pending_quanta: Option<(u64, Vec<i64>)>,
+    /// Channels currently in the striping set; the scan never visits a
+    /// `false` entry (see [`CausalScheduler::schedule_mask`]).
+    live: Vec<bool>,
+    /// A membership change waiting for its effective round.
+    pending_mask: Option<(u64, Vec<bool>)>,
 }
 
 impl Srr {
@@ -82,6 +87,8 @@ impl Srr {
             initial_quantum: quanta.to_vec(),
             cost,
             pending_quanta: None,
+            live: vec![true; quanta.len()],
+            pending_mask: None,
         };
         // Enter channel 0: credit its first quantum.
         s.dc[0] += s.quantum[0];
@@ -138,19 +145,39 @@ impl Srr {
         }
     }
 
-    /// Move the scan to the next channel, crediting its quantum; bumps the
-    /// round counter on wrap, where any scheduled quantum change whose
-    /// effective round has arrived is applied (so the entire round runs
-    /// under one set of quanta at both ends).
+    /// Move the scan to the next *live* channel, crediting its quantum;
+    /// bumps the round counter on wrap, where any scheduled quantum or
+    /// membership change whose effective round has arrived is applied (so
+    /// the entire round runs under one set of quanta and one membership at
+    /// both ends).
     fn step(&mut self) {
-        self.cur = (self.cur + 1) % self.dc.len();
-        if self.cur == 0 {
-            self.g += 1;
-            if let Some((round, _)) = self.pending_quanta {
-                if self.g >= round {
-                    let (_, q) = self.pending_quanta.take().expect("just checked");
-                    self.quantum = q;
+        loop {
+            self.cur = (self.cur + 1) % self.dc.len();
+            if self.cur == 0 {
+                self.g += 1;
+                if let Some((round, _)) = self.pending_quanta {
+                    if self.g >= round {
+                        let (_, q) = self.pending_quanta.take().expect("just checked");
+                        self.quantum = q;
+                    }
                 }
+                if let Some((round, _)) = self.pending_mask {
+                    if self.g >= round {
+                        let (_, mask) = self.pending_mask.take().expect("just checked");
+                        // A channel re-entering the set restarts from zero
+                        // deficit — both ends agree by construction, which
+                        // keeps the simulations in lockstep across grows.
+                        for (c, &m) in mask.iter().enumerate() {
+                            if m && !self.live[c] {
+                                self.dc[c] = 0;
+                            }
+                        }
+                        self.live = mask;
+                    }
+                }
+            }
+            if self.live[self.cur] {
+                break;
             }
         }
         self.dc[self.cur] += self.quantum[self.cur];
@@ -222,6 +249,10 @@ impl CausalScheduler for Srr {
         self.g = 1;
         self.pending_quanta = None;
         self.quantum = self.initial_quantum.clone();
+        for l in &mut self.live {
+            *l = true;
+        }
+        self.pending_mask = None;
         for d in &mut self.dc {
             *d = 0;
         }
@@ -234,16 +265,35 @@ impl CausalScheduler for Srr {
             self.quantum.len(),
             "quantum update must cover every channel"
         );
-        assert!(
-            quanta.iter().all(|&q| q > 0),
-            "all quanta must be positive"
-        );
+        assert!(quanta.iter().all(|&q| q > 0), "all quanta must be positive");
         assert!(
             effective_round > self.g,
             "effective round {effective_round} not in the future (round {})",
             self.g
         );
         self.pending_quanta = Some((effective_round, quanta.to_vec()));
+    }
+
+    fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
+        assert_eq!(
+            live.len(),
+            self.dc.len(),
+            "membership update must cover every channel"
+        );
+        assert!(
+            live.iter().any(|&l| l),
+            "membership must keep at least one channel live"
+        );
+        // Unlike quanta, membership changes can race the scan (the
+        // announcing end may be several rounds ahead of the simulating
+        // one): a round already passed is clamped to the next boundary
+        // rather than rejected, and markers mop up any residual skew.
+        let round = effective_round.max(self.g + 1);
+        self.pending_mask = Some((round, live.to_vec()));
+    }
+
+    fn live(&self, c: ChannelId) -> bool {
+        self.live[c]
     }
 }
 
@@ -372,7 +422,7 @@ mod tests {
         assert_eq!(m, ChannelMark { round: 1, dc: 500 });
 
         s.advance(550); // ch0 -> -50; now ch1 current with dc 500
-        // ch0: k = (50/500)+1 = 1, first visit next round (0 < 1).
+                        // ch0: k = (50/500)+1 = 1, first visit next round (0 < 1).
         let m0 = s.mark_for(0);
         assert_eq!(m0, ChannelMark { round: 2, dc: 450 });
     }
@@ -442,7 +492,10 @@ mod tests {
             s.advance(400);
         }
         let served_start_dc = s.dc(1);
-        assert!(served_start_dc > 500, "new quantum visible: {served_start_dc}");
+        assert!(
+            served_start_dc > 500,
+            "new quantum visible: {served_start_dc}"
+        );
     }
 
     #[test]
@@ -459,6 +512,94 @@ mod tests {
         }
         assert_eq!(a, b);
         assert_eq!(a.quantum(1), 4500);
+    }
+
+    #[test]
+    fn scheduled_mask_applies_at_its_round() {
+        let mut s = Srr::equal(3, 500);
+        // Kill channel 1 from round 3.
+        s.schedule_mask(3, &[true, false, true]);
+        let mut visited_by_round: Vec<(u64, ChannelId)> = Vec::new();
+        for _ in 0..30 {
+            visited_by_round.push((s.round(), s.current()));
+            s.advance(500);
+        }
+        for (round, c) in visited_by_round {
+            if round >= 3 {
+                assert_ne!(c, 1, "dead channel visited in round {round}");
+            }
+        }
+        assert!(!CausalScheduler::live(&s, 1));
+        assert!(CausalScheduler::live(&s, 0));
+    }
+
+    #[test]
+    fn mask_grow_restarts_channel_at_zero_deficit() {
+        let mut a = Srr::equal(3, 500);
+        let mut b = Srr::equal(3, 500);
+        for s in [&mut a, &mut b] {
+            s.schedule_mask(3, &[true, false, true]);
+        }
+        let lens = [700usize, 300, 550, 420, 1100, 90];
+        for i in 0..40 {
+            a.advance(lens[i % lens.len()]);
+            b.advance(lens[i % lens.len()]);
+        }
+        // Reintegrate channel 1 at a common future round.
+        let round = a.round() + 2;
+        a.schedule_mask(round, &[true, true, true]);
+        b.schedule_mask(round, &[true, true, true]);
+        for i in 0..200 {
+            assert_eq!(a.current(), b.current(), "diverged at step {i}");
+            assert_eq!(a.round(), b.round());
+            a.advance(lens[i % lens.len()]);
+            b.advance(lens[i % lens.len()]);
+        }
+        assert_eq!(a, b);
+        assert!(CausalScheduler::live(&a, 1));
+    }
+
+    #[test]
+    fn mask_with_past_round_is_clamped_not_rejected() {
+        let mut s = Srr::equal(2, 500);
+        for _ in 0..20 {
+            s.advance(400);
+        }
+        let g = s.round();
+        s.schedule_mask(1, &[true, false]); // long past
+                                            // Applied at the next wrap, not never and not panicking.
+        while s.round() < g + 2 {
+            s.advance(400);
+        }
+        assert!(!CausalScheduler::live(&s, 1));
+        assert_eq!(s.current(), 0);
+    }
+
+    #[test]
+    fn reset_restores_full_membership() {
+        let mut s = Srr::equal(2, 500);
+        s.schedule_mask(2, &[true, false]);
+        while s.round() < 4 {
+            s.advance(400);
+        }
+        assert!(!CausalScheduler::live(&s, 1));
+        s.reset();
+        assert_eq!(s, Srr::equal(2, 500));
+        assert!(CausalScheduler::live(&s, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel live")]
+    fn all_dead_mask_rejected() {
+        let mut s = Srr::equal(2, 500);
+        s.schedule_mask(3, &[false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every channel")]
+    fn mask_must_cover_all_channels() {
+        let mut s = Srr::equal(3, 500);
+        s.schedule_mask(3, &[true, false]);
     }
 
     #[test]

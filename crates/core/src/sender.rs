@@ -153,10 +153,12 @@ impl<S: CausalScheduler> StripingSender<S> {
     /// schedule.
     pub fn make_markers(&mut self) -> Vec<(ChannelId, Marker)> {
         let n = self.sched.channels();
-        self.markers_sent += n as u64;
-        (0..n)
+        let batch: Vec<_> = (0..n)
+            .filter(|&c| self.sched.live(c))
             .map(|c| (c, Marker::sync(c, self.sched.mark_for(c))))
-            .collect()
+            .collect();
+        self.markers_sent += batch.len() as u64;
+        batch
     }
 
     /// The underlying scheduler (read-only).
@@ -208,6 +210,16 @@ impl<S: CausalScheduler> StripingSender<S> {
                 )
             })
             .collect()
+    }
+
+    /// Schedule a membership change on the local scheduler: from
+    /// `effective_round` the scan visits exactly the channels with
+    /// `live[c] == true`. The receiver must apply the identical change
+    /// (see [`crate::membership`] for the handshake that carries it);
+    /// markers for departing channels stop as soon as the mask takes
+    /// effect.
+    pub fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
+        self.sched.schedule_mask(effective_round, live);
     }
 }
 
@@ -294,6 +306,29 @@ mod tests {
         assert_eq!(a.total_bytes(), 25_000);
         // Equal quanta, equal sizes: perfectly balanced.
         assert_eq!(a.bytes(0), a.bytes(1));
+    }
+
+    /// Once a membership mask takes effect, marker batches cover only the
+    /// surviving channels — no point describing a channel nobody serves.
+    #[test]
+    fn markers_skip_masked_out_channels() {
+        let mut tx = StripingSender::new(Srr::equal(3, 500), MarkerConfig::every_rounds(2));
+        let eff = tx.scheduler().round() + 1;
+        tx.schedule_mask(eff, &[true, false, true]);
+        let mut saw_batch = false;
+        for _ in 0..60 {
+            let d = tx.send(400);
+            let settled = tx.scheduler().round() > eff;
+            if settled {
+                assert_ne!(d.channel, 1, "masked channel must not carry data");
+            }
+            if settled && !d.markers.is_empty() {
+                saw_batch = true;
+                let chans: Vec<_> = d.markers.iter().map(|(c, _)| *c).collect();
+                assert_eq!(chans, vec![0, 2], "markers only on live channels");
+            }
+        }
+        assert!(saw_batch);
     }
 
     #[test]

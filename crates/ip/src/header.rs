@@ -128,7 +128,11 @@ mod tests {
         for byte in 0..IPV4_HEADER_LEN {
             let mut bad = enc.to_vec();
             bad[byte] ^= 0x04;
-            assert_eq!(Ipv4Header::decode(&bad), None, "bit flip at {byte} undetected");
+            assert_eq!(
+                Ipv4Header::decode(&bad),
+                None,
+                "bit flip at {byte} undetected"
+            );
         }
     }
 

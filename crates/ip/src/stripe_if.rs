@@ -77,7 +77,11 @@ impl StripeInterface {
     /// Panics if `members` is empty.
     pub fn new(members: Vec<Member>, marker_cfg: MarkerConfig) -> Self {
         assert!(!members.is_empty(), "need at least one member link");
-        let mtu = members.iter().map(|m| m.link.mtu()).min().expect("non-empty") as i64;
+        let mtu = members
+            .iter()
+            .map(|m| m.link.mtu())
+            .min()
+            .expect("non-empty") as i64;
         let quanta: Vec<i64> = members
             .iter()
             .map(|m| {
@@ -129,11 +133,19 @@ impl StripeInterface {
         let mut out = Vec::with_capacity(1 + decision.markers.len());
         self.sent += 1;
 
-        let frame = self.make_frame(decision.channel, EtherType::StripeData, packet.bytes.clone());
+        let frame = self.make_frame(
+            decision.channel,
+            EtherType::StripeData,
+            packet.bytes.clone(),
+        );
         out.push(self.transmit(now, decision.channel, frame));
 
         for (c, mk) in decision.markers {
-            let frame = self.make_frame(c, EtherType::StripeMarker, Bytes::copy_from_slice(&mk.encode()));
+            let frame = self.make_frame(
+                c,
+                EtherType::StripeMarker,
+                Bytes::copy_from_slice(&mk.encode()),
+            );
             out.push(self.transmit(now, c, frame));
         }
         out
@@ -276,10 +288,7 @@ mod tests {
 
     fn group() -> StripeInterface {
         StripeInterface::new(
-            vec![
-                member(10, 1, MAC_A0, MAC_B0),
-                member(10, 2, MAC_A1, MAC_B1),
-            ],
+            vec![member(10, 1, MAC_A0, MAC_B0), member(10, 2, MAC_A1, MAC_B1)],
             MarkerConfig::every_rounds(8),
         )
     }
@@ -372,10 +381,7 @@ mod tests {
     #[test]
     fn weighted_quanta_follow_member_rates() {
         let tx_if = StripeInterface::new(
-            vec![
-                member(10, 1, MAC_A0, MAC_B0),
-                member(30, 2, MAC_A1, MAC_B1),
-            ],
+            vec![member(10, 1, MAC_A0, MAC_B0), member(30, 2, MAC_A1, MAC_B1)],
             MarkerConfig::disabled(),
         );
         let sched = tx_if.tx.scheduler();

@@ -163,7 +163,10 @@ mod tests {
             other => panic!("{other:?}"),
         };
         // Four PVCs serialize a quarter of the cells each.
-        assert!(t4 < t1, "striping cells must cut serialization: {t4} vs {t1}");
+        assert!(
+            t4 < t1,
+            "striping cells must cut serialization: {t4} vs {t1}"
+        );
     }
 
     #[test]

@@ -34,14 +34,16 @@
 pub mod atm;
 pub mod cellstripe;
 pub mod eth;
+pub mod fault;
 pub mod host;
 pub mod loss;
-pub mod wire;
 pub mod serial;
+pub mod wire;
 
 pub use atm::AtmPvc;
 pub use cellstripe::CellStripedGroup;
 pub use eth::{EthLink, EtherType, ETH_MTU, ETH_OVERHEAD};
+pub use fault::{FaultPlan, FaultyLink};
 pub use host::HostModel;
 pub use loss::LossModel;
 pub use serial::SerialLink;
@@ -58,10 +60,53 @@ pub enum TxError {
     /// The packet (or one of its cells) was lost or corrupted in flight —
     /// it consumed wire time but never arrives.
     LostInFlight,
+    /// The link is administratively or physically down: nothing enters the
+    /// wire and nothing arrives (see [`fault::FaultPlan`]).
+    LinkDown,
 }
 
 /// Result of offering one packet to a link.
 pub type TxResult = Result<SimTime, TxError>;
+
+/// One arrival at the far end, as reported by
+/// [`FifoLink::transmit_detailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the packet arrives.
+    pub arrival: SimTime,
+    /// Whether the payload was corrupted in flight. A corrupted packet
+    /// still consumes wire time and still arrives — whether the far end
+    /// can detect and discard it is the *receiver's* problem (checksums),
+    /// which is exactly why the striping protocol must tolerate it.
+    pub corrupted: bool,
+}
+
+/// Full fate of one transmission, distinguishing outcomes the plain
+/// [`TxResult`] collapses: corruption (arrives damaged) and duplication
+/// (arrives twice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxFate {
+    /// Nothing arrives.
+    Lost(TxError),
+    /// The packet arrives — possibly damaged, possibly twice.
+    Delivered {
+        /// The (first) arrival.
+        first: Delivery,
+        /// A duplicate arrival, when the fault layer duplicates the packet
+        /// (e.g. a retransmitting bridge). Always at or after `first`.
+        duplicate: Option<Delivery>,
+    },
+}
+
+impl TxFate {
+    /// The first arrival time, if anything arrives at all (damaged or not).
+    pub fn arrival(&self) -> Option<SimTime> {
+        match self {
+            TxFate::Lost(_) => None,
+            TxFate::Delivered { first, .. } => Some(first.arrival),
+        }
+    }
+}
 
 /// The channel contract of §2: a FIFO path with loss and per-packet skew.
 ///
@@ -79,4 +124,21 @@ pub trait FifoLink {
 
     /// The instant the transmitter becomes idle (for pacing senders).
     fn busy_until(&self) -> SimTime;
+
+    /// Like [`FifoLink::transmit`], but reporting the full fate of the
+    /// packet: corruption and duplication in addition to loss. The default
+    /// maps the plain result (clean single delivery or loss); only fault
+    /// layers (see [`fault::FaultyLink`]) report the richer outcomes.
+    fn transmit_detailed(&mut self, now: SimTime, wire_len: usize) -> TxFate {
+        match self.transmit(now, wire_len) {
+            Ok(arrival) => TxFate::Delivered {
+                first: Delivery {
+                    arrival,
+                    corrupted: false,
+                },
+                duplicate: None,
+            },
+            Err(e) => TxFate::Lost(e),
+        }
+    }
 }

@@ -49,7 +49,10 @@ pub enum LossModel {
 impl LossModel {
     /// Independent (Bernoulli) loss at rate `p`.
     pub fn bernoulli(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of range"
+        );
         LossModel::Bernoulli { p }
     }
 

@@ -196,7 +196,10 @@ mod tests {
 
         fn a_send(&mut self, p: TestPacket) -> bool {
             match self.a.send(p) {
-                DuplexSend { data: Ok(c), markers } => {
+                DuplexSend {
+                    data: Ok(c),
+                    markers,
+                } => {
                     self.ab[c].push_back(Arrival::Data(p));
                     for (mc, mk) in markers {
                         self.ab[mc].push_back(Arrival::Marker(mk));
@@ -209,7 +212,10 @@ mod tests {
 
         fn b_send(&mut self, p: TestPacket) -> bool {
             match self.b.send(p) {
-                DuplexSend { data: Ok(c), markers } => {
+                DuplexSend {
+                    data: Ok(c),
+                    markers,
+                } => {
                     self.ba[c].push_back(Arrival::Data(p));
                     for (mc, mk) in markers {
                         self.ba[mc].push_back(Arrival::Marker(mk));
@@ -308,7 +314,10 @@ mod tests {
         let mut pair = Pair::new(2, Some(1000));
         assert!(pair.a_send(TestPacket::new(0, 900)));
         match pair.a.send(TestPacket::new(1, 900)) {
-            DuplexSend { data: Err(p), markers } => {
+            DuplexSend {
+                data: Err(p),
+                markers,
+            } => {
                 assert_eq!(p.id, 1);
                 assert!(markers.is_empty());
             }

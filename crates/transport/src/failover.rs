@@ -1,0 +1,276 @@
+//! Failover orchestration: liveness-driven membership over a striped path.
+//!
+//! This is where the pieces meet. [`FailoverDriver`] sits beside the
+//! sender's [`StripedPath`] and owns the two control-plane state machines:
+//! the [`LivenessTracker`] (per-channel keepalives with exponential
+//! backoff) and the [`MembershipSender`] (the epoch'd shrink/grow
+//! handshake). [`StripedSink`] is its receiver-side counterpart: it feeds
+//! arrivals into the [`LogicalReceiver`], answers probes, and applies
+//! membership announcements through the [`MembershipResponder`].
+//!
+//! The failure lifecycle, end to end:
+//!
+//! 1. the driver probes every channel on a timer
+//!    ([`FailoverDriver::tick`]); a down link (see
+//!    [`stripe_link::FaultPlan`]) swallows probes, so their acks stop;
+//! 2. after [`LivenessConfig::dead_after_ns`] of silence the tracker
+//!    declares the channel dead; the driver announces a shrunken mask with
+//!    an effective round a little ahead of the scan
+//!    ([`FailoverConfig::announce_lead_rounds`]) and schedules the same
+//!    mask on the local scheduler — the path degrades to N−1 channels;
+//! 3. the receiver applies the announcement once per epoch, skips the dying
+//!    channel where it has nothing buffered, salvages what it does have,
+//!    and delivery continues — only packets in flight on the dead link are
+//!    lost;
+//! 4. probes keep flowing on the dead channel (backed off); the first ack
+//!    after the link comes back triggers the same handshake with the bit
+//!    restored, and the channel rejoins the stripe at zero deficit on both
+//!    ends.
+
+use stripe_core::control::Control;
+use stripe_core::liveness::{LivenessConfig, LivenessEvent, LivenessTracker};
+use stripe_core::membership::{MembershipAction, MembershipResponder, MembershipSender};
+use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverStats};
+use stripe_core::sched::CausalScheduler;
+use stripe_core::types::{ChannelId, WireLen};
+use stripe_link::FifoLink;
+use stripe_netsim::SimTime;
+
+use crate::stripe_conn::{ControlTransmission, StripedPath};
+
+/// Tuning for the failover driver.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverConfig {
+    /// Keepalive timing (probe interval, dead deadline, backoff cap).
+    pub liveness: LivenessConfig,
+    /// How many rounds ahead of the current scan a membership change takes
+    /// effect — enough for the announcement to cross the path. Too small
+    /// and the receiver applies it late (markers repair the skew); too
+    /// large and degradation is needlessly delayed.
+    pub announce_lead_rounds: u64,
+    /// Retransmit an unacked membership announcement this often.
+    pub retransmit_interval_ns: u64,
+}
+
+impl FailoverConfig {
+    /// A config derived from a probe interval: death after three silent
+    /// intervals, announcements two rounds ahead, retransmit every
+    /// interval.
+    pub fn with_probe_interval(probe_interval_ns: u64) -> Self {
+        Self {
+            liveness: LivenessConfig::with_interval(probe_interval_ns),
+            announce_lead_rounds: 2,
+            retransmit_interval_ns: probe_interval_ns,
+        }
+    }
+}
+
+/// Sender-side failover orchestrator. Call [`FailoverDriver::tick`] on a
+/// timer and [`FailoverDriver::on_control`] for every control message
+/// arriving on the reverse path; transmit every [`ControlTransmission`]
+/// either returns.
+#[derive(Debug)]
+pub struct FailoverDriver {
+    live: LivenessTracker,
+    membership: MembershipSender,
+    cfg: FailoverConfig,
+    last_retransmit_ns: u64,
+}
+
+impl FailoverDriver {
+    /// A driver for `channels` channels, all presumed live at `now`.
+    pub fn new(channels: usize, cfg: FailoverConfig, now: SimTime) -> Self {
+        Self {
+            live: LivenessTracker::new(channels, cfg.liveness, now.as_nanos()),
+            membership: MembershipSender::new(channels),
+            cfg,
+            last_retransmit_ns: now.as_nanos(),
+        }
+    }
+
+    fn announce_current_mask<S: CausalScheduler, L: FifoLink>(
+        &mut self,
+        path: &mut StripedPath<S, L>,
+        now: SimTime,
+    ) -> Vec<ControlTransmission> {
+        let mask = self.live.live_mask();
+        if !mask.iter().any(|&l| l) {
+            // Total outage: nothing can carry the announcement and no
+            // subset can serve traffic. Keep probing; reintegration of the
+            // first recovered channel will re-announce.
+            return Vec::new();
+        }
+        let eff = path.sender().scheduler().round() + self.cfg.announce_lead_rounds;
+        let msgs = self.membership.announce(&mask, eff);
+        path.sender_mut().schedule_mask(eff, &mask);
+        self.last_retransmit_ns = now.as_nanos();
+        msgs.into_iter()
+            .map(|(c, ctl)| path.transmit_control(now, c, ctl))
+            .collect()
+    }
+
+    /// Drive timers: emit due probes (dead channels included — that is how
+    /// recovery is noticed), declare deaths and announce the shrunken
+    /// mask, retransmit unacked announcements.
+    pub fn tick<S: CausalScheduler, L: FifoLink>(
+        &mut self,
+        path: &mut StripedPath<S, L>,
+        now: SimTime,
+    ) -> Vec<ControlTransmission> {
+        let mut out = Vec::new();
+        let mut died = false;
+        for ev in self.live.poll(now.as_nanos()) {
+            match ev {
+                LivenessEvent::ProbeDue { channel, nonce } => {
+                    out.push(path.transmit_control(now, channel, Control::Probe { nonce }));
+                }
+                LivenessEvent::ChannelDead(_) => died = true,
+                LivenessEvent::ChannelRecovered(_) => unreachable!("poll never recovers"),
+            }
+        }
+        if died {
+            out.extend(self.announce_current_mask(path, now));
+        } else if self.membership.in_progress()
+            && now.as_nanos().saturating_sub(self.last_retransmit_ns)
+                >= self.cfg.retransmit_interval_ns
+        {
+            self.last_retransmit_ns = now.as_nanos();
+            for (c, ctl) in self.membership.retransmit() {
+                out.push(path.transmit_control(now, c, ctl));
+            }
+        }
+        out
+    }
+
+    /// A control message arrived on the reverse path of `channel`.
+    pub fn on_control<S: CausalScheduler, L: FifoLink>(
+        &mut self,
+        path: &mut StripedPath<S, L>,
+        channel: ChannelId,
+        ctl: &Control,
+        now: SimTime,
+    ) -> Vec<ControlTransmission> {
+        match ctl {
+            Control::ProbeAck { nonce } => {
+                if let Some(LivenessEvent::ChannelRecovered(_)) =
+                    self.live.on_probe_ack(channel, *nonce, now.as_nanos())
+                {
+                    // Grow the set back: same handshake, bit restored.
+                    return self.announce_current_mask(path, now);
+                }
+                Vec::new()
+            }
+            Control::MembershipAck { epoch } => {
+                self.membership.on_ack(channel, *epoch);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// The liveness tracker (health inspection).
+    pub fn liveness(&self) -> &LivenessTracker {
+        &self.live
+    }
+
+    /// The membership sender (epoch/mask inspection).
+    pub fn membership(&self) -> &MembershipSender {
+        &self.membership
+    }
+}
+
+/// Receiver-side endpoint: logical reception plus the responder halves of
+/// the probe and membership protocols.
+#[derive(Debug)]
+pub struct StripedSink<S: CausalScheduler, P> {
+    rx: LogicalReceiver<S, P>,
+    membership: MembershipResponder,
+}
+
+impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
+    /// Wrap a logical receiver.
+    pub fn new(rx: LogicalReceiver<S, P>) -> Self {
+        Self {
+            rx,
+            membership: MembershipResponder::new(),
+        }
+    }
+
+    /// A data packet or marker arrived on `channel`.
+    pub fn on_arrival(&mut self, channel: ChannelId, a: Arrival<P>) -> bool {
+        self.rx.push(channel, a)
+    }
+
+    /// A control message arrived on `channel`; returns the replies to
+    /// transmit on the reverse path.
+    pub fn on_control(&mut self, channel: ChannelId, ctl: &Control) -> Vec<(ChannelId, Control)> {
+        match ctl {
+            Control::Marker(mk) => {
+                self.rx.push(channel, Arrival::Marker(*mk));
+                Vec::new()
+            }
+            Control::Probe { nonce } => {
+                vec![(channel, Control::ProbeAck { nonce: *nonce })]
+            }
+            Control::Membership {
+                epoch,
+                live_mask,
+                effective_round,
+            } => {
+                let n = self.rx.scheduler().channels();
+                match self.membership.on_membership(
+                    channel,
+                    *epoch,
+                    *live_mask,
+                    *effective_round,
+                    n,
+                ) {
+                    MembershipAction::Apply {
+                        channel,
+                        effective_round,
+                        live,
+                        ack,
+                    } => {
+                        self.rx.apply_membership(effective_round, &live);
+                        vec![(channel, ack)]
+                    }
+                    MembershipAction::AckOnly { channel, ack } => vec![(channel, ack)],
+                    MembershipAction::Ignore => Vec::new(),
+                }
+            }
+            Control::QuantumUpdate {
+                effective_round,
+                quanta,
+            } => {
+                self.rx.schedule_quanta(*effective_round, quanta);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Deliver the next in-order packet (see [`LogicalReceiver::poll`]).
+    pub fn poll(&mut self) -> Option<P> {
+        self.rx.poll()
+    }
+
+    /// The receiver-side stall probe (see [`LogicalReceiver::stalled`]).
+    pub fn stalled(&mut self, now: SimTime) -> Option<ChannelId> {
+        self.rx.stalled(now.as_nanos())
+    }
+
+    /// Receiver counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.rx.stats()
+    }
+
+    /// The wrapped receiver.
+    pub fn receiver(&self) -> &LogicalReceiver<S, P> {
+        &self.rx
+    }
+
+    /// Mutable access to the wrapped receiver.
+    pub fn receiver_mut(&mut self) -> &mut LogicalReceiver<S, P> {
+        &mut self.rx
+    }
+}

@@ -20,15 +20,21 @@
 //! - [`stripe_conn`] glues a `stripe-core` sender/receiver pair onto any
 //!   set of [`stripe_link::FifoLink`]s, producing the quasi-FIFO striped
 //!   datagram path the §6.3 experiments and the examples use.
+//! - [`failover`] drives channel liveness and dynamic membership over that
+//!   path: keepalive probes detect a dead member link, the striping set
+//!   shrinks to the survivors within one detection timeout, and the
+//!   recovered link is reintegrated by the same handshake.
 
 #![warn(missing_docs)]
 
 pub mod credit;
 pub mod duplex;
+pub mod failover;
 pub mod stripe_conn;
 pub mod tcp;
 
 pub use credit::{CreditReceiver, CreditSender};
 pub use duplex::{DuplexEndpoint, DuplexSend};
-pub use stripe_conn::{StripedPath, Transmission};
+pub use failover::{FailoverConfig, FailoverDriver, StripedSink};
+pub use stripe_conn::{ControlTransmission, StripedPath, Transmission};
 pub use tcp::{Segment, SegmentSizer, TcpReceiver, TcpSender};

@@ -9,12 +9,13 @@
 //! arrival. This is the configuration of every §6.3 transport-layer
 //! experiment and of the socket examples.
 
+use stripe_core::control::Control;
 use stripe_core::receiver::Arrival;
 use stripe_core::sched::CausalScheduler;
 use stripe_core::sender::{MarkerConfig, StripingSender};
 use stripe_core::types::{ChannelId, WireLen};
 use stripe_core::Marker;
-use stripe_link::{FifoLink, TxError};
+use stripe_link::{FifoLink, TxError, TxFate};
 use stripe_netsim::SimTime;
 
 /// One physical transmission produced by a send: where it went, whether it
@@ -42,10 +43,35 @@ pub struct PathStats {
     /// Data packets dropped at full transmit queues (congestion loss — the
     /// kind FCVC credit eliminates).
     pub data_queue_drops: u64,
+    /// Data packets delivered corrupted and therefore discarded by the far
+    /// end's checksum (a fault-layer outcome; counted separately from
+    /// clean in-flight loss).
+    pub data_corrupt_drops: u64,
+    /// Extra data deliveries produced by fault-layer duplication.
+    pub data_dups: u64,
     /// Markers transmitted.
     pub markers_sent: u64,
     /// Markers lost (in flight or queue).
     pub markers_lost: u64,
+    /// Control messages (probes, membership, resets) transmitted.
+    pub control_sent: u64,
+    /// Control messages lost (in flight, queue, or link down).
+    pub control_lost: u64,
+}
+
+/// One control-plane transmission: what was sent, where, and its fate.
+#[derive(Debug, Clone)]
+pub struct ControlTransmission {
+    /// Channel the message was transmitted on.
+    pub channel: ChannelId,
+    /// Arrival time at the far end, or `None` if lost (see `error`).
+    pub arrival: Option<SimTime>,
+    /// A duplicate arrival injected by the fault layer, if any.
+    pub duplicate: Option<SimTime>,
+    /// The carried message.
+    pub ctl: Control,
+    /// Why it was lost, if it was.
+    pub error: Option<TxError>,
 }
 
 /// A striping sender bound to its channels.
@@ -83,29 +109,53 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
     }
 
     /// Stripe one packet at `now`; returns every physical transmission
-    /// (the data packet first, then any markers).
-    pub fn send<P: WireLen>(&mut self, now: SimTime, pkt: P) -> Vec<Transmission<P>> {
+    /// (the data packet first — twice, if the fault layer duplicated it —
+    /// then any markers). A corrupted delivery is reported lost: the far
+    /// end's checksum discards it before the striping layer sees it.
+    pub fn send<P: WireLen + Clone>(&mut self, now: SimTime, pkt: P) -> Vec<Transmission<P>> {
         let wire_len = pkt.wire_len();
         let decision = self.tx.send(wire_len);
         let mut out = Vec::with_capacity(1 + decision.markers.len());
 
         self.stats.data_sent += 1;
-        let (arrival, error) = match self.links[decision.channel].transmit(now, wire_len) {
-            Ok(t) => (Some(t), None),
-            Err(e) => {
+        match self.links[decision.channel].transmit_detailed(now, wire_len) {
+            TxFate::Lost(e) => {
                 match e {
                     TxError::QueueFull => self.stats.data_queue_drops += 1,
                     _ => self.stats.data_lost += 1,
                 }
-                (None, Some(e))
+                out.push(Transmission {
+                    channel: decision.channel,
+                    arrival: None,
+                    item: Arrival::Data(pkt),
+                    error: Some(e),
+                });
             }
-        };
-        out.push(Transmission {
-            channel: decision.channel,
-            arrival,
-            item: Arrival::Data(pkt),
-            error,
-        });
+            TxFate::Delivered { first, duplicate } => {
+                let (arrival, error) = if first.corrupted {
+                    self.stats.data_corrupt_drops += 1;
+                    (None, Some(TxError::LostInFlight))
+                } else {
+                    (Some(first.arrival), None)
+                };
+                let dup_item = duplicate.map(|dup| Transmission {
+                    channel: decision.channel,
+                    arrival: Some(dup.arrival),
+                    item: Arrival::Data(pkt.clone()),
+                    error: None,
+                });
+                out.push(Transmission {
+                    channel: decision.channel,
+                    arrival,
+                    item: Arrival::Data(pkt),
+                    error,
+                });
+                if let Some(d) = dup_item {
+                    self.stats.data_dups += 1;
+                    out.push(d);
+                }
+            }
+        }
 
         for (c, mk) in decision.markers {
             out.push(self.transmit_marker(now, c, mk));
@@ -141,6 +191,53 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
         }
     }
 
+    /// Transmit one control message on channel `c` at `now`. Control
+    /// messages ride the same FIFO links as data (they are just another
+    /// codepoint, like markers) and are subject to the same faults —
+    /// corrupted control is dropped by the far end's checksum, so it is
+    /// reported lost here.
+    pub fn transmit_control(
+        &mut self,
+        now: SimTime,
+        c: ChannelId,
+        ctl: Control,
+    ) -> ControlTransmission {
+        self.stats.control_sent += 1;
+        let wire_len = ctl.encode().len();
+        match self.links[c].transmit_detailed(now, wire_len) {
+            TxFate::Lost(e) => {
+                self.stats.control_lost += 1;
+                ControlTransmission {
+                    channel: c,
+                    arrival: None,
+                    duplicate: None,
+                    ctl,
+                    error: Some(e),
+                }
+            }
+            TxFate::Delivered { first, duplicate } => {
+                if first.corrupted {
+                    self.stats.control_lost += 1;
+                    ControlTransmission {
+                        channel: c,
+                        arrival: None,
+                        duplicate: duplicate.map(|d| d.arrival),
+                        ctl,
+                        error: Some(TxError::LostInFlight),
+                    }
+                } else {
+                    ControlTransmission {
+                        channel: c,
+                        arrival: Some(first.arrival),
+                        duplicate: duplicate.map(|d| d.arrival),
+                        ctl,
+                        error: None,
+                    }
+                }
+            }
+        }
+    }
+
     /// Loss/overhead counters.
     pub fn stats(&self) -> PathStats {
         self.stats
@@ -151,9 +248,20 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
         &self.links
     }
 
+    /// Mutable access to the member links (e.g. to edit a
+    /// [`stripe_link::FaultPlan`] mid-experiment).
+    pub fn links_mut(&mut self) -> &mut [L] {
+        &mut self.links
+    }
+
     /// The sender engine (for fairness ledgers etc.).
     pub fn sender(&self) -> &StripingSender<S> {
         &self.tx
+    }
+
+    /// Mutable access to the sender engine (membership changes, resets).
+    pub fn sender_mut(&mut self) -> &mut StripingSender<S> {
+        &mut self.tx
     }
 }
 

@@ -330,11 +330,15 @@ impl TcpSender {
         self.send_times.remove(&self.snd_una);
         self.stats.segments_sent += 1;
         // Reproduce the original segment boundary at this offset.
-        let len = self.seg_lens.get(&self.snd_una).copied().unwrap_or_else(|| {
-            (self.mss as u64)
-                .min(self.app_limit.saturating_sub(self.snd_una))
-                .max(1) as usize
-        });
+        let len = self
+            .seg_lens
+            .get(&self.snd_una)
+            .copied()
+            .unwrap_or_else(|| {
+                (self.mss as u64)
+                    .min(self.app_limit.saturating_sub(self.snd_una))
+                    .max(1) as usize
+            });
         let _ = now;
         Segment {
             seq: self.snd_una,
@@ -346,11 +350,7 @@ impl TcpSender {
     fn sample_rtt(&mut self, ack: u64, now: SimTime) {
         // The newest fully acknowledged send time gives a sample; drop all
         // stamps below the ACK either way.
-        let covered: Vec<u64> = self
-            .send_times
-            .range(..ack)
-            .map(|(&s, _)| s)
-            .collect();
+        let covered: Vec<u64> = self.send_times.range(..ack).map(|(&s, _)| s).collect();
         let mut sample = None;
         for s in covered {
             if let Some(t) = self.send_times.remove(&s) {
@@ -397,8 +397,8 @@ impl TcpSender {
                     self.cwnd = self.ssthresh;
                 } else {
                     // Partial ACK: retransmit the next hole, stay in FR.
-                    self.cwnd = (self.cwnd - newly as f64 + self.mss as f64)
-                        .max((2 * self.mss) as f64);
+                    self.cwnd =
+                        (self.cwnd - newly as f64 + self.mss as f64).max((2 * self.mss) as f64);
                     self.rearm_rto(now);
                     return Some(self.retransmit_head(now));
                 }

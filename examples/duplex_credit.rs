@@ -23,13 +23,25 @@ const WINDOW: u32 = 16 * 1024;
 
 fn main() {
     let mk = || Srr::equal(CHANNELS, 1500);
-    let mut a: DuplexEndpoint<Srr, TestPacket> =
-        DuplexEndpoint::new(mk(), mk(), MarkerConfig::every_rounds(4), 1 << 12, Some(WINDOW));
-    let mut b: DuplexEndpoint<Srr, TestPacket> =
-        DuplexEndpoint::new(mk(), mk(), MarkerConfig::every_rounds(4), 1 << 12, Some(WINDOW));
+    let mut a: DuplexEndpoint<Srr, TestPacket> = DuplexEndpoint::new(
+        mk(),
+        mk(),
+        MarkerConfig::every_rounds(4),
+        1 << 12,
+        Some(WINDOW),
+    );
+    let mut b: DuplexEndpoint<Srr, TestPacket> = DuplexEndpoint::new(
+        mk(),
+        mk(),
+        MarkerConfig::every_rounds(4),
+        1 << 12,
+        Some(WINDOW),
+    );
 
-    let mut ab: Vec<VecDeque<Arrival<TestPacket>>> = (0..CHANNELS).map(|_| VecDeque::new()).collect();
-    let mut ba: Vec<VecDeque<Arrival<TestPacket>>> = (0..CHANNELS).map(|_| VecDeque::new()).collect();
+    let mut ab: Vec<VecDeque<Arrival<TestPacket>>> =
+        (0..CHANNELS).map(|_| VecDeque::new()).collect();
+    let mut ba: Vec<VecDeque<Arrival<TestPacket>>> =
+        (0..CHANNELS).map(|_| VecDeque::new()).collect();
 
     let mut a_next = 0u64; // next id A wants to send
     let mut b_next = 0u64;
@@ -51,7 +63,10 @@ fn main() {
             }
             let pkt = TestPacket::new(a_next, 700);
             match a.send(pkt) {
-                DuplexSend { data: Ok(c), markers } => {
+                DuplexSend {
+                    data: Ok(c),
+                    markers,
+                } => {
                     ab[c].push_back(Arrival::Data(pkt));
                     for (mc, mk) in markers {
                         ab[mc].push_back(Arrival::Marker(mk));
@@ -67,7 +82,11 @@ fn main() {
         // B offers gently (1 per tick).
         if b_next < PACKETS {
             let pkt = TestPacket::new(b_next, 500);
-            if let DuplexSend { data: Ok(c), markers } = b.send(pkt) {
+            if let DuplexSend {
+                data: Ok(c),
+                markers,
+            } = b.send(pkt)
+            {
                 ba[c].push_back(Arrival::Data(pkt));
                 for (mc, mk) in markers {
                     ba[mc].push_back(Arrival::Marker(mk));
@@ -102,7 +121,7 @@ fn main() {
         // mutual grant starvation — each holding the credits the other
         // needs. Real FCVC ships credit cells independently for exactly
         // this reason.
-        if ticks % 4 == 0 {
+        if ticks.is_multiple_of(4) {
             if a.has_pending_grant() {
                 for (c, mk) in a.send_markers() {
                     ab[c].push_back(Arrival::Marker(mk));
@@ -118,11 +137,17 @@ fn main() {
 
     println!("A sent {PACKETS} packets against a slow consumer behind a {WINDOW}-byte window:");
     println!("  credit stalls at A: {a_stalls}");
-    println!("  B received {} — in order: {}", got_at_b.len(),
-        got_at_b.windows(2).all(|w| w[0] < w[1]));
+    println!(
+        "  B received {} — in order: {}",
+        got_at_b.len(),
+        got_at_b.windows(2).all(|w| w[0] < w[1])
+    );
     println!("B sent {PACKETS} packets the other way:");
-    println!("  A received {} — in order: {}", got_at_a.len(),
-        got_at_a.windows(2).all(|w| w[0] < w[1]));
+    println!(
+        "  A received {} — in order: {}",
+        got_at_a.len(),
+        got_at_a.windows(2).all(|w| w[0] < w[1])
+    );
 
     assert_eq!(got_at_b.len() as u64, PACKETS);
     assert_eq!(got_at_a.len() as u64, PACKETS);

@@ -12,11 +12,11 @@
 use std::net::Ipv4Addr;
 
 use bytes::{BufMut, BytesMut};
+use stripe_core::sender::MarkerConfig;
 use stripe_ip::header::{proto, Ipv4Header};
 use stripe_ip::route::{RouteTarget, RoutingTable};
 use stripe_ip::stripe_if::{Member, StripeInterface, StripedIpPacket};
 use stripe_ip::NeighborTable;
-use stripe_core::sender::MarkerConfig;
 use stripe_link::eth::MacAddr;
 use stripe_link::loss::LossModel;
 use stripe_link::{EthLink, FifoLink};

@@ -31,7 +31,10 @@ fn main() {
         let len = if id % 2 == 0 { 1200 } else { 300 };
         let d = tx.send(len);
         println!("send  pkt {id:>2} ({len:>4} B) -> channel {}", d.channel);
-        in_flight[d.channel].push((clock + skews[d.channel], Arrival::Data(TestPacket::new(id, len))));
+        in_flight[d.channel].push((
+            clock + skews[d.channel],
+            Arrival::Data(TestPacket::new(id, len)),
+        ));
         for (c, mk) in d.markers {
             in_flight[c].push((clock + skews[c], Arrival::Marker(mk)));
         }

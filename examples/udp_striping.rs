@@ -119,9 +119,7 @@ fn main() -> std::io::Result<()> {
     let inversions = delivered.windows(2).filter(|w| w[1] < w[0]).count();
     let tail = &delivered[delivered.len().saturating_sub(50)..];
     let tail_sorted = tail.windows(2).all(|w| w[0] < w[1]);
-    println!(
-        "sent {PACKETS} datagrams over {CHANNELS} UDP channels, dropped {dropped} on purpose"
-    );
+    println!("sent {PACKETS} datagrams over {CHANNELS} UDP channels, dropped {dropped} on purpose");
     println!(
         "delivered {} — {} adjacent inversions (quasi-FIFO), final 50 in order: {}",
         delivered.len(),
@@ -129,7 +127,10 @@ fn main() -> std::io::Result<()> {
         tail_sorted
     );
     assert!(delivered.len() as u64 >= PACKETS - dropped - PACKETS / 10);
-    assert!(tail_sorted, "marker recovery should restore order by the tail");
+    assert!(
+        tail_sorted,
+        "marker recovery should restore order by the tail"
+    );
     println!("marker recovery on real sockets: OK");
     Ok(())
 }

@@ -8,11 +8,11 @@
 //!
 //! Run with: `cargo run --example video_over_stripe`
 
-use stripe_apps::video::{VideoReceiver, VideoTrace};
 use stripe::core::receiver::{Arrival, LogicalReceiver};
 use stripe::core::sched::Srr;
 use stripe::core::sender::{MarkerConfig, StripingSender};
 use stripe::core::types::TestPacket;
+use stripe_apps::video::{VideoReceiver, VideoTrace};
 use stripe_netsim::{DetRng, EventQueue, SimDuration, SimTime};
 
 fn main() {
@@ -44,7 +44,10 @@ fn main() {
         }
         for (c, mk) in d.markers {
             if !rng.chance(loss) {
-                q.push(now + SimDuration::from_micros(skew[c]), (c, Arrival::Marker(mk)));
+                q.push(
+                    now + SimDuration::from_micros(skew[c]),
+                    (c, Arrival::Marker(mk)),
+                );
             }
         }
     }

@@ -1,0 +1,130 @@
+//! Offline shim for the `criterion` crate: the subset this workspace's
+//! benches use (`Criterion`, benchmark groups, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros),
+//! implemented over `std::time::Instant` so the build needs no registry
+//! access. Reports a simple ns/iter figure — good enough for the relative
+//! comparisons the benches print, with none of criterion's statistics.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { _priv: () }
+    }
+
+    /// Run a single named benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, f);
+        self
+    }
+}
+
+/// A named set of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup {
+    _priv: (),
+}
+
+impl BenchmarkGroup {
+    /// Run a single named benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, f);
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over enough iterations for a stable ns/iter figure.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up, then scale the iteration count so the measured window is
+        // a few milliseconds regardless of per-call cost.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed().as_nanos().max(1);
+        let iters = (5_000_000 / once).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = iters;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        println!(
+            "  {name}: {} ns/iter ({} iters)",
+            b.elapsed_ns / b.iters as u128,
+            b.iters
+        );
+    } else {
+        println!("  {name}: no iterations recorded");
+    }
+}
+
+/// Collect benchmark functions under a group name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline shim for the `rand` crate: the subset this workspace uses
+//! (`rngs::SmallRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range`),
+//! implemented over a xorshift64* generator so the build needs no registry
+//! access. Deterministic for a given seed, like the real `SmallRng`.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Core random-number source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range-sampling extension, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw in `[range.start, range.end)`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                range.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small fast PRNG (xorshift64*), API-compatible with
+    /// `rand::rngs::SmallRng` for the operations this workspace uses.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15).max(1),
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = a.gen_range(0usize..5);
+            assert_eq!(x, b.gen_range(0usize..5));
+            assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn signed_ranges() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(-10i64..10);
+            assert!((-10..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.gen_range(0usize..4)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..=11_000).contains(&c), "{counts:?}");
+        }
+    }
+}

@@ -174,7 +174,7 @@ fn fragmentation_composes_with_striping() {
         // An 8 KB application packet fragmented to the 1500-byte clamp.
         let payload: Vec<u8> = (0..8000).map(|i| (i as u16 ^ ident) as u8).collect();
         for f in fragment(ident, &payload, 1500) {
-            now = now + SimDuration::from_micros(1400);
+            now += SimDuration::from_micros(1400);
             for t in path.send(now, FragPkt(ident, f.clone())) {
                 if let Some(at) = t.arrival {
                     q.push(at, (t.channel, t.item));
@@ -195,9 +195,10 @@ fn fragmentation_composes_with_striping() {
     assert_eq!(complete as u16, total_packets);
 }
 
-/// Helper packet type: an IP fragment traveling the striped path.
+/// Helper packet type: an IP fragment traveling the striped path. The
+/// ident field exists for debug output when an assertion trips.
 #[derive(Debug, Clone)]
-struct FragPkt(u16, stripe::ip::frag::Fragment);
+struct FragPkt(#[allow(dead_code)] u16, stripe::ip::frag::Fragment);
 
 impl stripe::core::types::WireLen for FragPkt {
     fn wire_len(&self) -> usize {

@@ -6,7 +6,9 @@
 
 use stripe::core::control::Control;
 use stripe::core::receiver::{Arrival, LogicalReceiver};
-use stripe::core::reset::{DesyncDetector, ResetProgress, ResetResponder, ResetSender, ResponderAction};
+use stripe::core::reset::{
+    DesyncDetector, ResetProgress, ResetResponder, ResetSender, ResponderAction,
+};
 use stripe::core::sched::{CausalScheduler, Srr};
 use stripe::core::sender::{MarkerConfig, StripingSender};
 use stripe::core::types::TestPacket;

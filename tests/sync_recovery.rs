@@ -48,7 +48,10 @@ fn c1_skip_rule_holds() {
     let sched = Srr::rr(2);
     let mut rx: LogicalReceiver<Srr, TestPacket> = LogicalReceiver::new(sched, 64);
     // A marker on channel 0 claiming the next packet there is in round 4.
-    rx.push(0, Arrival::Marker(Marker::sync(0, ChannelMark { round: 4, dc: 1 })));
+    rx.push(
+        0,
+        Arrival::Marker(Marker::sync(0, ChannelMark { round: 4, dc: 1 })),
+    );
     // Channel 1 has rounds' worth of packets; channel 0 has the round-4 one.
     for id in [1u64, 3, 5] {
         rx.push(1, Arrival::Data(TestPacket::new(id, 100)));

@@ -49,10 +49,11 @@ fn hostile_transfer(
                 copies += 1;
             }
             for _ in 0..copies {
-                let delay = owd + rng.uniform_duration(
-                    SimDuration::ZERO,
-                    SimDuration::from_micros(reorder_spread_us.max(1)),
-                );
+                let delay = owd
+                    + rng.uniform_duration(
+                        SimDuration::ZERO,
+                        SimDuration::from_micros(reorder_spread_us.max(1)),
+                    );
                 q.push($now + delay, Ev::Seg($seg));
             }
         };
