@@ -23,5 +23,5 @@ pub mod metrics;
 pub mod video;
 
 pub use gen::{AlternatingSizes, Backlogged, PoissonSource, RandomMix, SizeDist};
-pub use metrics::ReorderMetrics;
+pub use metrics::{ReorderMetrics, ReorderSnapshot};
 pub use video::{PlaybackReport, VideoReceiver, VideoTrace};

@@ -101,6 +101,41 @@ impl ReorderMetrics {
     pub fn last_ooo_index(&self) -> Option<u64> {
         self.last_ooo_at
     }
+
+    /// Counter snapshot, mirroring the `stats()` convention of the path and
+    /// receiver endpoints: one plain-data struct with every derived figure
+    /// materialized, cheap to copy into result records.
+    pub fn stats(&self) -> ReorderSnapshot {
+        ReorderSnapshot {
+            delivered: self.delivered(),
+            out_of_order: self.out_of_order(),
+            ooo_fraction: self.ooo_fraction(),
+            mean_displacement: self.mean_displacement(),
+            max_displacement: self.max_displacement(),
+            longest_in_order_run: self.longest_in_order_run(),
+            last_ooo_index: self.last_ooo_index(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of [`ReorderMetrics`] — the same figures the
+/// accessors expose, as plain data (see [`ReorderMetrics::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReorderSnapshot {
+    /// Total deliveries recorded.
+    pub delivered: u64,
+    /// Out-of-order deliveries (the paper's §6.3 metric).
+    pub out_of_order: u64,
+    /// Fraction of deliveries that were out of order.
+    pub ooo_fraction: f64,
+    /// Mean displacement of the out-of-order deliveries.
+    pub mean_displacement: f64,
+    /// Worst single displacement.
+    pub max_displacement: u64,
+    /// Longest strictly ascending run of adjacent deliveries.
+    pub longest_in_order_run: u64,
+    /// Delivery index of the last out-of-order delivery, if any.
+    pub last_ooo_index: Option<u64>,
 }
 
 /// Convenience: metrics over a complete delivered sequence.
@@ -185,5 +220,19 @@ mod tests {
         assert_eq!(m.delivered(), 0);
         assert_eq!(m.ooo_fraction(), 0.0);
         assert_eq!(m.mean_displacement(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_mirrors_accessors() {
+        let m = analyze(&[2, 1, 4, 3, 6, 5, 8, 7]);
+        let s = m.stats();
+        assert_eq!(s.delivered, m.delivered());
+        assert_eq!(s.out_of_order, m.out_of_order());
+        assert_eq!(s.ooo_fraction, m.ooo_fraction());
+        assert_eq!(s.mean_displacement, m.mean_displacement());
+        assert_eq!(s.max_displacement, m.max_displacement());
+        assert_eq!(s.longest_in_order_run, m.longest_in_order_run());
+        assert_eq!(s.last_ooo_index, m.last_ooo_index());
+        assert_eq!(analyze(&[]).stats(), ReorderSnapshot::default());
     }
 }

@@ -46,7 +46,11 @@ fn packet_striping_run(cell_loss: f64, pace_us: u64, seed: u64) -> (u64, u64, f6
         })
         .collect();
     let sched = Srr::equal(PVCS, PKT as i64);
-    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(8), links);
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::every_rounds(8))
+        .links(links)
+        .build();
     let mut rx = LogicalReceiver::new(sched, 1 << 14);
     let mut delivered = 0u64;
     let mut bytes = 0u64;

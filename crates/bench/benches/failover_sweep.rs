@@ -10,7 +10,7 @@
 
 use stripe_bench::table::{f2, Table};
 use stripe_core::control::Control;
-use stripe_core::receiver::{Arrival, LogicalReceiver};
+use stripe_core::receiver::Arrival;
 use stripe_core::sched::Srr;
 use stripe_core::sender::MarkerConfig;
 use stripe_core::types::{ChannelId, TestPacket};
@@ -65,8 +65,15 @@ fn run(probe_interval_ns: u64) -> Phases {
             )
         })
         .collect();
-    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(4), links);
-    let mut sink = StripedSink::new(LogicalReceiver::new(sched, 1 << 14));
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::every_rounds(4))
+        .links(links)
+        .build();
+    let mut sink = StripedSink::builder()
+        .scheduler(sched)
+        .capacity_per_channel(1 << 14)
+        .build();
     let mut driver = FailoverDriver::new(
         3,
         FailoverConfig::with_probe_interval(probe_interval_ns),

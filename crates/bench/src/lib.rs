@@ -15,7 +15,10 @@
 //! - [`links`] — a heterogeneous link wrapper so one path can mix
 //!   Ethernet and ATM members.
 //! - [`table`] — plain-text table rendering for bench output.
+//! - [`alloc`] — a counting global allocator backing the zero-allocation
+//!   claims of the batched datapath (`throughput` bench).
 
+pub mod alloc;
 pub mod links;
 pub mod table;
 pub mod tcplab;

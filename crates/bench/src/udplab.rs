@@ -8,7 +8,7 @@
 //! buffers, and optional FCVC credit flow control piggybacked on reverse
 //! markers.
 
-use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverStats};
+use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverSnapshot};
 use stripe_core::sched::Srr;
 use stripe_core::sender::{MarkerConfig, MarkerPosition};
 use stripe_core::types::TestPacket;
@@ -98,7 +98,7 @@ pub struct UdpLabResult {
     /// Times the sender stalled for lack of credit.
     pub credit_stalls: u64,
     /// Receiver engine counters.
-    pub rx_stats: ReceiverStats,
+    pub rx_stats: ReceiverSnapshot,
 }
 
 #[derive(Debug)]
@@ -132,7 +132,11 @@ pub fn run(cfg: &UdpLabConfig) -> UdpLabResult {
             )
         })
         .collect();
-    let mut path = StripedPath::new(sched.clone(), marker_cfg, links);
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(marker_cfg)
+        .links(links)
+        .build();
     let mut rx = LogicalReceiver::new(sched, cfg.rx_buffer);
     // A distinct namespace for the loss stream so it never aliases the
     // jitter streams inside the links.
@@ -304,7 +308,7 @@ pub fn run(cfg: &UdpLabConfig) -> UdpLabResult {
         tail_ooo,
         resynced,
         injected_losses,
-        rx_overflow_drops: rx.stats().overflow_drops
+        rx_overflow_drops: rx.stats().dropped_overflow
             + credit_rx.as_ref().map_or(0, |c| c.overflows()),
         credit_stalls,
         rx_stats: rx.stats(),

@@ -171,6 +171,20 @@ impl Control {
         }
     }
 
+    /// Encoded size in bytes, without materializing the frame — what the
+    /// channel's deficit counter and queue model need. Always equals
+    /// `self.encode().len()`.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Control::Marker(_) => 1 + MARKER_WIRE_LEN,
+            Control::ResetRequest { .. } | Control::ResetAck { .. } => 1 + 4,
+            Control::QuantumUpdate { quanta, .. } => 1 + 8 + 1 + quanta.len() * 8,
+            Control::Probe { .. } | Control::ProbeAck { .. } => 1 + 8,
+            Control::Membership { .. } => 1 + 4 + 2 + 8,
+            Control::MembershipAck { .. } => 1 + 4,
+        }
+    }
+
     /// Decode from wire bytes; `None` on anything malformed (corrupt
     /// control traffic is dropped like corrupt data, §5).
     pub fn decode(buf: &[u8]) -> Option<Self> {
@@ -307,6 +321,33 @@ mod tests {
             effective_round: 4,
         }
         .encode();
+    }
+
+    #[test]
+    fn wire_len_matches_encode() {
+        for c in [
+            Control::Marker(Marker::sync(2, ChannelMark { round: 77, dc: -3 })),
+            Control::ResetRequest { epoch: 1 },
+            Control::ResetAck { epoch: 2 },
+            Control::QuantumUpdate {
+                effective_round: 9,
+                quanta: vec![1500, 4500, 9000],
+            },
+            Control::QuantumUpdate {
+                effective_round: 9,
+                quanta: vec![1500; 16],
+            },
+            Control::Probe { nonce: 3 },
+            Control::ProbeAck { nonce: 4 },
+            Control::Membership {
+                epoch: 5,
+                live_mask: 0b11,
+                effective_round: 6,
+            },
+            Control::MembershipAck { epoch: 7 },
+        ] {
+            assert_eq!(c.wire_len(), c.encode().len(), "{c:?}");
+        }
     }
 
     #[test]

@@ -93,7 +93,7 @@ pub mod seqno;
 pub mod types;
 
 pub use marker::Marker;
-pub use receiver::{Arrival, LogicalReceiver};
+pub use receiver::{Arrival, LogicalReceiver, ReceiverSnapshot, RxBatch};
 pub use sched::{CausalScheduler, ChannelMark, Srr};
 pub use sender::{MarkerConfig, MarkerPosition, SendDecision, StripingSender};
 pub use types::{ChannelId, TestPacket, WireLen};

@@ -90,13 +90,46 @@ impl MembershipSender {
     /// # Panics
     /// Panics if `live` does not cover every channel or keeps none alive.
     pub fn announce(&mut self, live: &[bool], effective_round: u64) -> Vec<(ChannelId, Control)> {
+        self.begin_announce(live, effective_round);
+        self.announcements()
+    }
+
+    /// Start a new announcement without materializing the messages: the
+    /// shared-frame counterpart of [`announce`](Self::announce). Read the
+    /// single message back with
+    /// [`current_announcement`](Self::current_announcement) and the
+    /// addressees with [`awaiting_channels`](Self::awaiting_channels) —
+    /// one `Control` built once, however many channels carry it.
+    ///
+    /// # Panics
+    /// Panics if `live` does not cover every channel or keeps none alive.
+    pub fn begin_announce(&mut self, live: &[bool], effective_round: u64) {
         assert_eq!(live.len(), self.channels, "mask must cover every channel");
         assert!(live.iter().any(|&l| l), "mask must keep one channel live");
         self.epoch = self.epoch.wrapping_add(1);
         self.live = live.to_vec();
         self.effective_round = effective_round;
         self.awaiting = live.to_vec();
-        self.announcements()
+    }
+
+    /// The in-flight announcement as one shared message, or `None` when no
+    /// handshake is in flight. Built once per call; send it to every
+    /// channel in [`awaiting_channels`](Self::awaiting_channels).
+    pub fn current_announcement(&self) -> Option<Control> {
+        self.in_progress().then(|| Control::Membership {
+            epoch: self.epoch,
+            live_mask: vec_to_mask(&self.live),
+            effective_round: self.effective_round,
+        })
+    }
+
+    /// Channels still awaiting the current announcement's ack.
+    pub fn awaiting_channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        self.awaiting
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w)
+            .map(|(c, _)| c)
     }
 
     /// The current announcement, addressed to every channel still awaiting

@@ -39,9 +39,12 @@ pub enum Arrival<P> {
     Marker(Marker),
 }
 
-/// Counters exposed for the experiments.
+/// Receiver counters, under the workspace-wide snapshot convention: every
+/// endpoint exposes `fn stats(&self) -> …Snapshot` whose drop counters are
+/// named `dropped_<cause>` (see `PathSnapshot` in `stripe-transport` for
+/// the sender-side sibling).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ReceiverStats {
+pub struct ReceiverSnapshot {
     /// Data packets delivered upward.
     pub delivered: u64,
     /// Markers observed (popped from channel buffers).
@@ -51,7 +54,7 @@ pub struct ReceiverStats {
     /// Channel visits skipped under condition C1.
     pub skips: u64,
     /// Arrivals dropped because a channel buffer was full.
-    pub overflow_drops: u64,
+    pub dropped_overflow: u64,
     /// Channel visits skipped because the channel is leaving the striping
     /// set (membership announced, nothing buffered to serve).
     pub membership_skips: u64,
@@ -62,6 +65,77 @@ pub struct ReceiverStats {
     pub drained_dead: u64,
     /// Stall episodes reported by [`LogicalReceiver::stalled`].
     pub stalls: u64,
+}
+
+/// The pre-convention name for [`ReceiverSnapshot`], kept as an alias while
+/// external callers migrate.
+pub type ReceiverStats = ReceiverSnapshot;
+
+/// A reusable batch of logically received packets: the receive-side
+/// counterpart of the sender's `TxBatch`. Drain the receiver into one with
+/// [`LogicalReceiver::poll_into`]; the buffer is cleared on each refill but
+/// keeps its capacity, so a steady-state consumer allocates nothing.
+#[derive(Debug, Clone)]
+pub struct RxBatch<P> {
+    pkts: Vec<P>,
+}
+
+impl<P> RxBatch<P> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self { pkts: Vec::new() }
+    }
+
+    /// An empty batch with room for `cap` packets before any growth.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            pkts: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Packets currently in the batch.
+    pub fn len(&self) -> usize {
+        self.pkts.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pkts.is_empty()
+    }
+
+    /// The packets, in delivery order.
+    pub fn as_slice(&self) -> &[P] {
+        &self.pkts
+    }
+
+    /// Iterate the packets in delivery order.
+    pub fn iter(&self) -> std::slice::Iter<'_, P> {
+        self.pkts.iter()
+    }
+
+    /// Move the packets out, leaving the capacity in place.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, P> {
+        self.pkts.drain(..)
+    }
+
+    /// Discard the contents, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.pkts.clear();
+    }
+}
+
+impl<P> Default for RxBatch<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, P> IntoIterator for &'a RxBatch<P> {
+    type Item = &'a P;
+    type IntoIter = std::slice::Iter<'a, P>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.pkts.iter()
+    }
 }
 
 /// Tracking for one stall episode: how long the receiver has been blocked
@@ -122,11 +196,34 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
     /// exists to prevent exactly this.
     pub fn push(&mut self, c: ChannelId, a: Arrival<P>) -> bool {
         if self.bufs[c].len() >= self.cap_per_channel {
-            self.stats.overflow_drops += 1;
+            self.stats.dropped_overflow += 1;
             return false;
         }
         self.bufs[c].push_back(a);
         true
+    }
+
+    /// Pre-size every channel ring (and the salvage queue) for `per_channel`
+    /// arrivals, so steady-state operation below that depth never grows a
+    /// buffer. The batch datapath's zero-allocation guarantee assumes a
+    /// warmed receiver.
+    pub fn reserve(&mut self, per_channel: usize) {
+        for b in &mut self.bufs {
+            b.reserve(per_channel.saturating_sub(b.len()));
+        }
+        self.drained.reserve(per_channel);
+    }
+
+    /// Logical reception in bulk: deliver every packet that is deliverable
+    /// right now into `out` (cleared first, capacity kept) and return how
+    /// many were delivered. Equivalent to calling [`poll`](Self::poll)
+    /// until it returns `None`.
+    pub fn poll_into(&mut self, out: &mut RxBatch<P>) -> usize {
+        out.pkts.clear();
+        while let Some(p) = self.poll() {
+            out.pkts.push(p);
+        }
+        out.pkts.len()
     }
 
     /// Logical reception: deliver the next in-order packet, or `None` if the
@@ -477,7 +574,38 @@ mod tests {
         assert!(rx.push(1, Arrival::Data(TestPacket::new(0, 10))));
         assert!(rx.push(1, Arrival::Data(TestPacket::new(1, 10))));
         assert!(!rx.push(1, Arrival::Data(TestPacket::new(2, 10))));
-        assert_eq!(rx.stats().overflow_drops, 1);
+        assert_eq!(rx.stats().dropped_overflow, 1);
+    }
+
+    /// `poll_into` drains exactly what repeated `poll` would, reusing the
+    /// batch buffer across refills.
+    #[test]
+    fn poll_into_matches_repeated_poll() {
+        let sched = Srr::equal(2, 1000);
+        let mut tx = StripingSender::new(sched.clone(), MarkerConfig::every_rounds(4));
+        let mut rx_batch = LogicalReceiver::new(sched.clone(), 4096);
+        let mut rx_legacy = LogicalReceiver::new(sched, 4096);
+        let mut batch = RxBatch::with_capacity(64);
+        let mut got_batch = Vec::new();
+        let mut got_legacy = Vec::new();
+        for id in 0..600u64 {
+            let len = 60 + (id as usize * 113) % 1200;
+            let d = tx.send(len);
+            for rx in [&mut rx_batch, &mut rx_legacy] {
+                rx.push(d.channel, Arrival::Data(TestPacket::new(id, len)));
+                for (c, mk) in &d.markers {
+                    rx.push(*c, Arrival::Marker(*mk));
+                }
+            }
+            rx_batch.poll_into(&mut batch);
+            got_batch.extend(batch.iter().map(|p| p.id));
+            while let Some(p) = rx_legacy.poll() {
+                got_legacy.push(p.id);
+            }
+        }
+        assert_eq!(got_batch, got_legacy);
+        assert_eq!(got_batch, (0..600).collect::<Vec<_>>());
+        assert_eq!(rx_batch.stats(), rx_legacy.stats());
     }
 
     #[test]

@@ -122,6 +122,24 @@ pub trait CausalScheduler: std::fmt::Debug {
         let _ = c;
         true
     }
+
+    /// Assign a whole batch of packets at once: for each wire length in
+    /// `lens`, push the channel the scheduler assigns it to onto `out` and
+    /// advance past it. Equivalent to `current()` + `advance(len)` per
+    /// packet — implementations may only specialize the *mechanics* (the
+    /// [`Srr`] fast path hoists the per-packet dispatch and bounds checks),
+    /// never the decisions, because the receiver simulation replays them
+    /// one packet at a time (Theorem 4.1).
+    ///
+    /// `out` is appended to, not cleared: callers own the buffer and its
+    /// capacity, which is what keeps the batch datapath allocation-free in
+    /// steady state.
+    fn assign_batch(&mut self, lens: &[usize], out: &mut Vec<ChannelId>) {
+        for &len in lens {
+            out.push(self.current());
+            self.advance(len);
+        }
+    }
 }
 
 #[cfg(test)]

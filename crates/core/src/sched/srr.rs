@@ -295,6 +295,47 @@ impl CausalScheduler for Srr {
     fn live(&self, c: ChannelId) -> bool {
         self.live[c]
     }
+
+    /// Amortized-O(1) batch assignment. When nothing is pending (no quantum
+    /// or membership change scheduled, every channel live) the scan is pure
+    /// arithmetic on the `dc`/`quantum` arrays, so the whole batch runs in
+    /// one tight loop with the state hoisted into locals. Any pending
+    /// change falls back to the generic per-packet path, which applies it
+    /// with full bookkeeping — decisions are bit-identical either way.
+    fn assign_batch(&mut self, lens: &[usize], out: &mut Vec<ChannelId>) {
+        let steady = self.pending_quanta.is_none()
+            && self.pending_mask.is_none()
+            && self.live.iter().all(|&l| l);
+        if !steady {
+            for &len in lens {
+                out.push(self.cur);
+                self.advance(len);
+            }
+            return;
+        }
+        let n = self.dc.len();
+        let per_packet = match self.cost {
+            CostModel::Bytes => None,
+            CostModel::Packets => Some(1i64),
+        };
+        let mut cur = self.cur;
+        let mut g = self.g;
+        out.reserve(lens.len());
+        for &len in lens {
+            out.push(cur);
+            self.dc[cur] -= per_packet.unwrap_or(len as i64);
+            while self.dc[cur] <= 0 {
+                cur += 1;
+                if cur == n {
+                    cur = 0;
+                    g += 1;
+                }
+                self.dc[cur] += self.quantum[cur];
+            }
+        }
+        self.cur = cur;
+        self.g = g;
+    }
 }
 
 #[cfg(test)]
@@ -626,5 +667,59 @@ mod tests {
     #[should_panic(expected = "at least one channel")]
     fn empty_quanta_rejected() {
         let _ = Srr::new(&[], CostModel::Bytes);
+    }
+
+    /// The batch fast path must make exactly the decisions the per-packet
+    /// path makes and leave identical state — across cost models, weighted
+    /// quanta, and ragged batch boundaries.
+    #[test]
+    fn assign_batch_matches_per_packet_path() {
+        let schedulers = [
+            Srr::equal(4, 1500),
+            Srr::weighted(&[1500, 3000, 1000]),
+            Srr::rr(3),
+            Srr::grr(&[2, 1]),
+        ];
+        let lens: Vec<usize> = (0..500).map(|i| 40 + (i * 131) % 1460).collect();
+        for proto in schedulers {
+            let mut fast = proto.clone();
+            let mut slow = proto.clone();
+            let mut fast_out = Vec::new();
+            let mut slow_out = Vec::new();
+            // Ragged chunking so batches straddle round boundaries.
+            for chunk in lens.chunks(7) {
+                fast.assign_batch(chunk, &mut fast_out);
+                for &len in chunk {
+                    slow_out.push(slow.current());
+                    slow.advance(len);
+                }
+            }
+            assert_eq!(fast_out, slow_out);
+            assert_eq!(fast, slow);
+        }
+    }
+
+    /// With a pending quantum or membership change the fast path must stand
+    /// down and still match, applying the change at its round.
+    #[test]
+    fn assign_batch_matches_with_pending_changes() {
+        let mut fast = Srr::equal(3, 500);
+        let mut slow = Srr::equal(3, 500);
+        for s in [&mut fast, &mut slow] {
+            s.schedule_quanta(3, &[500, 1500, 500]);
+            s.schedule_mask(5, &[true, false, true]);
+        }
+        let lens: Vec<usize> = (0..300).map(|i| 64 + (i * 89) % 1400).collect();
+        let mut fast_out = Vec::new();
+        let mut slow_out = Vec::new();
+        for chunk in lens.chunks(11) {
+            fast.assign_batch(chunk, &mut fast_out);
+            for &len in chunk {
+                slow_out.push(slow.current());
+                slow.advance(len);
+            }
+        }
+        assert_eq!(fast_out, slow_out);
+        assert_eq!(fast, slow);
     }
 }

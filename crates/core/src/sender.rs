@@ -119,6 +119,21 @@ impl<S: CausalScheduler> StripingSender<S> {
         Some(self.target_for_round(self.sched.round() + self.cfg.period_rounds))
     }
 
+    /// Schedule the next marker batch `period` rounds after the round the
+    /// just-fired `due` point belonged to (not after the current round, so
+    /// a long jump cannot silently stretch the period). If the scan has
+    /// already passed several periods (bursty advance), catch up without
+    /// emitting duplicate batches.
+    fn reschedule_after(&mut self, due: u64) {
+        let n = self.sched.channels() as u64;
+        let due_round = due / n;
+        let mut next_round = due_round + self.cfg.period_rounds;
+        while self.target_for_round(next_round) <= self.lin() {
+            next_round += self.cfg.period_rounds;
+        }
+        self.next_marker_at = Some(self.target_for_round(next_round));
+    }
+
     /// Stripe one packet of `wire_len` bytes. Returns the channel to send it
     /// on plus any markers that fall due.
     pub fn send(&mut self, wire_len: usize) -> SendDecision {
@@ -130,21 +145,63 @@ impl<S: CausalScheduler> StripingSender<S> {
         if let Some(due) = self.next_marker_at {
             if self.lin() >= due {
                 markers = self.make_markers();
-                // Schedule the next batch `period` rounds after the round
-                // the due point belonged to (not after the current round, so
-                // a long jump cannot silently stretch the period).
-                let n = self.sched.channels() as u64;
-                let due_round = due / n;
-                let mut next_round = due_round + self.cfg.period_rounds;
-                // If the scan has already passed several periods (bursty
-                // advance), catch up without emitting duplicate batches.
-                while self.target_for_round(next_round) <= self.lin() {
-                    next_round += self.cfg.period_rounds;
-                }
-                self.next_marker_at = Some(self.target_for_round(next_round));
+                self.reschedule_after(due);
             }
         }
         SendDecision { channel, markers }
+    }
+
+    /// Stripe a whole batch of packets at once into caller-owned buffers.
+    ///
+    /// For each wire length in `lens`, the assigned channel is pushed onto
+    /// `channels`; any marker batch falling due after packet `i` is pushed
+    /// onto `markers` as `(i, channel, marker)`. Both buffers are cleared
+    /// first but keep their capacity, so a steady-state caller allocates
+    /// nothing. Decisions are identical to calling [`send`](Self::send) per
+    /// packet — with markers disabled the scheduler's
+    /// [`assign_batch`](CausalScheduler::assign_batch) fast path runs the
+    /// whole batch in one sweep; with markers enabled the loop stays
+    /// per-packet because a marker must snapshot the scheduler at exactly
+    /// the packet it follows.
+    pub fn send_batch(
+        &mut self,
+        lens: &[usize],
+        channels: &mut Vec<ChannelId>,
+        markers: &mut Vec<(usize, ChannelId, Marker)>,
+    ) {
+        channels.clear();
+        markers.clear();
+        if self.next_marker_at.is_none() {
+            self.sched.assign_batch(lens, channels);
+            for (&c, &len) in channels.iter().zip(lens) {
+                self.acct.record(c, len as u64);
+            }
+            return;
+        }
+        for (i, &len) in lens.iter().enumerate() {
+            let channel = self.sched.current();
+            self.acct.record(channel, len as u64);
+            self.sched.advance(len);
+            channels.push(channel);
+            if let Some(due) = self.next_marker_at {
+                if self.lin() >= due {
+                    self.make_markers_tagged(i, markers);
+                    self.reschedule_after(due);
+                }
+            }
+        }
+    }
+
+    /// Append one marker per live channel, tagged with the packet index the
+    /// batch follows. Allocation-free counterpart of
+    /// [`make_markers`](Self::make_markers).
+    fn make_markers_tagged(&mut self, after: usize, out: &mut Vec<(usize, ChannelId, Marker)>) {
+        for c in 0..self.sched.channels() {
+            if self.sched.live(c) {
+                out.push((after, c, Marker::sync(c, self.sched.mark_for(c))));
+                self.markers_sent += 1;
+            }
+        }
     }
 
     /// Build a full marker batch (one per channel) describing the current
@@ -152,13 +209,20 @@ impl<S: CausalScheduler> StripingSender<S> {
     /// idle periods, when no data is flowing to trigger the round-based
     /// schedule.
     pub fn make_markers(&mut self) -> Vec<(ChannelId, Marker)> {
-        let n = self.sched.channels();
-        let batch: Vec<_> = (0..n)
-            .filter(|&c| self.sched.live(c))
-            .map(|c| (c, Marker::sync(c, self.sched.mark_for(c))))
-            .collect();
-        self.markers_sent += batch.len() as u64;
+        let mut batch = Vec::with_capacity(self.sched.channels());
+        self.make_markers_into(&mut batch);
         batch
+    }
+
+    /// Append a full marker batch to `out` without allocating: the
+    /// buffer-reusing counterpart of [`make_markers`](Self::make_markers).
+    pub fn make_markers_into(&mut self, out: &mut Vec<(ChannelId, Marker)>) {
+        for c in 0..self.sched.channels() {
+            if self.sched.live(c) {
+                out.push((c, Marker::sync(c, self.sched.mark_for(c))));
+                self.markers_sent += 1;
+            }
+        }
     }
 
     /// The underlying scheduler (read-only).
@@ -329,6 +393,42 @@ mod tests {
             }
         }
         assert!(saw_batch);
+    }
+
+    /// `send_batch` must reproduce `send`'s channel assignments and marker
+    /// emission points exactly, markers enabled or not, across ragged batch
+    /// boundaries.
+    #[test]
+    fn send_batch_matches_per_packet_send() {
+        for cfg in [MarkerConfig::every_rounds(3), MarkerConfig::disabled()] {
+            let mut batch_tx = StripingSender::new(Srr::weighted(&[1500, 3000]), cfg);
+            let mut legacy_tx = batch_tx.clone();
+            let lens: Vec<usize> = (0..400).map(|i| 64 + (i * 131) % 1400).collect();
+            let mut channels = Vec::new();
+            let mut markers = Vec::new();
+            let mut base = 0usize;
+            for chunk in lens.chunks(13) {
+                batch_tx.send_batch(chunk, &mut channels, &mut markers);
+                let mut marker_iter = markers.iter().peekable();
+                for (i, &len) in chunk.iter().enumerate() {
+                    let d = legacy_tx.send(len);
+                    assert_eq!(d.channel, channels[i], "channel at packet {}", base + i);
+                    let mut legacy_markers = d.markers.into_iter();
+                    while marker_iter.peek().is_some_and(|(at, _, _)| *at == i) {
+                        let (_, c, m) = marker_iter.next().expect("peeked");
+                        assert_eq!(legacy_markers.next(), Some((*c, *m)));
+                    }
+                    assert_eq!(legacy_markers.next(), None, "extra legacy marker");
+                }
+                assert!(marker_iter.next().is_none(), "extra batch marker");
+                base += chunk.len();
+            }
+            assert_eq!(batch_tx.markers_sent(), legacy_tx.markers_sent());
+            assert_eq!(
+                batch_tx.accountant().total_bytes(),
+                legacy_tx.accountant().total_bytes()
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,15 @@ impl WireLen for &[u8] {
     }
 }
 
+/// Zero-copy payloads stripe by their view length. `Bytes` is the payload
+/// type of the batched datapath: clones share storage, so fan-out to
+/// channels never copies bytes.
+impl WireLen for bytes::Bytes {
+    fn wire_len(&self) -> usize {
+        self.len()
+    }
+}
+
 /// A minimal packet used by tests, examples and the simulation harnesses:
 /// a sequential identity plus a wire length.
 ///
@@ -77,6 +86,7 @@ mod tests {
         let v = vec![0u8; 53];
         assert_eq!(v.wire_len(), 53);
         assert_eq!((&v[..]).wire_len(), 53);
+        assert_eq!(bytes::Bytes::from(v).wire_len(), 53);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use stripe_netsim::{Bandwidth, DetRng, SimDuration, SimTime};
 
 use crate::loss::LossModel;
 use crate::wire::Wire;
-use crate::{FifoLink, TxError, TxResult};
+use crate::{Delivery, FifoLink, TxError, TxFate, TxResult};
 
 /// Standard Ethernet payload MTU.
 pub const ETH_MTU: usize = 1500;
@@ -196,6 +196,57 @@ impl FifoLink for EthLink {
     fn busy_until(&self) -> SimTime {
         self.wire.busy_until()
     }
+
+    fn transmit_batch(&mut self, now: SimTime, wire_lens: &[usize], out: &mut Vec<TxFate>) {
+        out.reserve(wire_lens.len());
+        let EthLink {
+            wire,
+            loss,
+            loss_rng,
+            mtu,
+            lost,
+            delivered,
+        } = self;
+        let mut i = 0;
+        while i < wire_lens.len() {
+            let len = wire_lens[i];
+            let mut j = i + 1;
+            while j < wire_lens.len() && wire_lens[j] == len {
+                j += 1;
+            }
+            if len > *mtu {
+                for _ in i..j {
+                    out.push(TxFate::Lost(TxError::TooBig));
+                }
+            } else {
+                // Same per-packet sequence as `transmit`: queue admission
+                // first, then the loss draw only for packets that entered
+                // the wire — RNG streams stay aligned with the per-packet
+                // path under every loss model.
+                wire.push_run(now, len + ETH_OVERHEAD, j - i, |res| {
+                    out.push(match res {
+                        Ok((_end, arrival)) => {
+                            if loss.lose(loss_rng) {
+                                *lost += 1;
+                                TxFate::Lost(TxError::LostInFlight)
+                            } else {
+                                *delivered += 1;
+                                TxFate::Delivered {
+                                    first: Delivery {
+                                        arrival,
+                                        corrupted: false,
+                                    },
+                                    duplicate: None,
+                                }
+                            }
+                        }
+                        Err(e) => TxFate::Lost(e),
+                    });
+                });
+            }
+            i = j;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,5 +344,60 @@ mod tests {
         }
         // 64 KiB of queue / ~1538 wire bytes ≈ 42 frames.
         assert!((30..=50).contains(&stuffed), "{stuffed}");
+    }
+    #[test]
+    fn transmit_batch_matches_per_packet() {
+        // Every loss model, jitter on/off, runs mixing lengths (including
+        // oversized frames) and queue-filling bursts: the batched fates,
+        // counters, and wire state must be bit-identical to sequential
+        // transmit_detailed calls.
+        let models: [fn() -> LossModel; 3] = [
+            || LossModel::None,
+            || LossModel::bernoulli(0.2),
+            || LossModel::periodic(7, 2),
+        ];
+        for (mi, model) in models.iter().enumerate() {
+            for jitter_us in [0u64, 40] {
+                let mk = || {
+                    EthLink::new(
+                        Bandwidth::mbps(10),
+                        SimDuration::from_micros(100),
+                        SimDuration::from_micros(jitter_us),
+                        model(),
+                        31 + mi as u64,
+                    )
+                };
+                let mut fast = mk();
+                let mut slow = mk();
+                let mut now = SimTime::ZERO;
+                for round in 0..30usize {
+                    // Runs of equal lengths with occasional oversized and
+                    // varied frames; bursts big enough to hit QueueFull.
+                    let base = 100 + 83 * round;
+                    let mut lens = vec![base; 5 + round % 9];
+                    if round % 4 == 0 {
+                        lens.push(ETH_MTU + 1);
+                    }
+                    lens.push(base / 2 + 40);
+                    let mut fast_out = Vec::new();
+                    fast.transmit_batch(now, &lens, &mut fast_out);
+                    let slow_out: Vec<TxFate> = lens
+                        .iter()
+                        .map(|&l| slow.transmit_detailed(now, l))
+                        .collect();
+                    assert_eq!(
+                        fast_out, slow_out,
+                        "model {mi} jitter {jitter_us} round {round}"
+                    );
+                    assert_eq!(fast.busy_until(), slow.busy_until());
+                    assert_eq!(fast.lost(), slow.lost());
+                    assert_eq!(fast.delivered(), slow.delivered());
+                    // Slow pacing some rounds, bursts others.
+                    if round % 3 != 0 {
+                        now += SimDuration::from_millis(2);
+                    }
+                }
+            }
+        }
     }
 }

@@ -141,4 +141,18 @@ pub trait FifoLink {
             Err(e) => TxFate::Lost(e),
         }
     }
+
+    /// Offer a run of packets at time `now`, appending one [`TxFate`] per
+    /// length to `out` (not cleared — batch callers compose runs). All the
+    /// link models are analytic, so a batch is exactly a sequence of
+    /// [`transmit_detailed`](FifoLink::transmit_detailed) calls at the same
+    /// instant: the queue model serializes them back to back. The default
+    /// does precisely that; implementations may only specialize the
+    /// mechanics, never the outcomes.
+    fn transmit_batch(&mut self, now: SimTime, wire_lens: &[usize], out: &mut Vec<TxFate>) {
+        out.reserve(wire_lens.len());
+        for &len in wire_lens {
+            out.push(self.transmit_detailed(now, len));
+        }
+    }
 }

@@ -77,6 +77,62 @@ impl Wire {
         Ok((end, arrival))
     }
 
+    /// Offer `count` packets of `wire_len` bytes back to back at `now`,
+    /// calling `sink` with exactly what [`push`](Self::push) would have
+    /// returned for each. Outcomes and final wire state are bit-identical
+    /// to `count` sequential `push` calls — only the mechanics are
+    /// amortized: on a jitter-free wire whose queue admits the whole run,
+    /// the serialization time and the queue-capacity division are computed
+    /// once per run instead of once per packet.
+    pub fn push_run(
+        &mut self,
+        now: SimTime,
+        wire_len: usize,
+        count: usize,
+        mut sink: impl FnMut(Result<(SimTime, SimTime), TxError>),
+    ) {
+        if count == 0 {
+            return;
+        }
+        // Jitter draws RNG per packet; replay per-packet to keep the
+        // stream identical.
+        if self.jitter_max != SimDuration::ZERO {
+            for _ in 0..count {
+                sink(self.push(now, wire_len));
+            }
+            return;
+        }
+        // The queue check of packet k sees the backlog left by packets
+        // 0..k, so the *last* packet sees the largest backlog. If even
+        // that one fits (bytes_in is monotone in the gap), every
+        // per-packet check would have passed — hoist it.
+        let start = self.busy_until.max(now);
+        let tx = self.rate.tx_time(wire_len);
+        let run_all_but_last = SimDuration::from_nanos(tx.as_nanos() * (count as u64 - 1));
+        let worst_gap = (start + run_all_but_last).saturating_since(now);
+        if self.backlog_bytes_for_gap(worst_gap) + wire_len > self.queue_cap_bytes {
+            for _ in 0..count {
+                sink(self.push(now, wire_len));
+            }
+            return;
+        }
+        let mut end = start;
+        for _ in 0..count {
+            end += tx;
+            let mut arrival = end + self.prop;
+            if arrival < self.last_arrival {
+                arrival = self.last_arrival;
+            }
+            self.last_arrival = arrival;
+            sink(Ok((end, arrival)));
+        }
+        self.busy_until = end;
+    }
+
+    fn backlog_bytes_for_gap(&self, gap: SimDuration) -> usize {
+        self.rate.bytes_in(gap) as usize
+    }
+
     /// The instant the transmitter goes idle.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
@@ -175,6 +231,41 @@ mod tests {
             assert!(arr >= last, "reordered at packet {i}");
             last = arr;
             t += SimDuration::from_micros(50);
+        }
+    }
+
+    #[test]
+    fn push_run_matches_sequential_push() {
+        // Sweep jitter on/off, queue pressure on/off: the run outcome
+        // stream and the final wire state must match per-packet pushes
+        // exactly, including mid-run QueueFull transitions.
+        for (jitter_us, cap) in [(0u64, 1 << 20), (0, 4000), (500, 1 << 20), (500, 4000)] {
+            let mk = || {
+                Wire::new(
+                    Bandwidth::mbps(10),
+                    SimDuration::from_micros(100),
+                    SimDuration::from_micros(jitter_us),
+                    cap,
+                    99,
+                )
+            };
+            let mut fast = mk();
+            let mut slow = mk();
+            let mut now = SimTime::ZERO;
+            for round in 0..20usize {
+                let len = 200 + 97 * round;
+                let count = 1 + round % 7;
+                let mut fast_out = Vec::new();
+                fast.push_run(now, len, count, |r| fast_out.push(r));
+                let slow_out: Vec<_> = (0..count).map(|_| slow.push(now, len)).collect();
+                assert_eq!(
+                    fast_out, slow_out,
+                    "round {round} jitter {jitter_us} cap {cap}"
+                );
+                assert_eq!(fast.busy_until, slow.busy_until);
+                assert_eq!(fast.last_arrival, slow.last_arrival);
+                now += SimDuration::from_micros(900);
+            }
         }
     }
 

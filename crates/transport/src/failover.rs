@@ -30,7 +30,7 @@
 use stripe_core::control::Control;
 use stripe_core::liveness::{LivenessConfig, LivenessEvent, LivenessTracker};
 use stripe_core::membership::{MembershipAction, MembershipResponder, MembershipSender};
-use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverStats};
+use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverSnapshot, RxBatch};
 use stripe_core::sched::CausalScheduler;
 use stripe_core::types::{ChannelId, WireLen};
 use stripe_link::FifoLink;
@@ -101,12 +101,17 @@ impl FailoverDriver {
             return Vec::new();
         }
         let eff = path.sender().scheduler().round() + self.cfg.announce_lead_rounds;
-        let msgs = self.membership.announce(&mask, eff);
+        self.membership.begin_announce(&mask, eff);
         path.sender_mut().schedule_mask(eff, &mask);
         self.last_retransmit_ns = now.as_nanos();
-        msgs.into_iter()
-            .map(|(c, ctl)| path.transmit_control(now, c, ctl))
-            .collect()
+        // One shared announcement, borrowed into every channel's transmit:
+        // the frame is built once, never re-materialized per channel.
+        let msg = self.membership.current_announcement().expect("just begun");
+        let mut out = Vec::new();
+        for c in self.membership.awaiting_channels() {
+            out.push(path.transmit_control_ref(now, c, &msg));
+        }
+        out
     }
 
     /// Drive timers: emit due probes (dead channels included — that is how
@@ -135,8 +140,10 @@ impl FailoverDriver {
                 >= self.cfg.retransmit_interval_ns
         {
             self.last_retransmit_ns = now.as_nanos();
-            for (c, ctl) in self.membership.retransmit() {
-                out.push(path.transmit_control(now, c, ctl));
+            if let Some(msg) = self.membership.current_announcement() {
+                for c in self.membership.awaiting_channels() {
+                    out.push(path.transmit_control_ref(now, c, &msg));
+                }
             }
         }
         out
@@ -179,6 +186,70 @@ impl FailoverDriver {
     }
 }
 
+/// Builder for [`StripedSink`], mirroring [`StripedPathBuilder`]: name the
+/// scheduler and buffering instead of assembling a receiver by hand.
+///
+/// ```ignore
+/// let sink = StripedSink::builder()
+///     .scheduler(srr)
+///     .capacity_per_channel(8192)
+///     .build();
+/// ```
+///
+/// [`StripedPathBuilder`]: crate::stripe_conn::StripedPathBuilder
+#[derive(Debug)]
+pub struct StripedSinkBuilder<S: CausalScheduler, P> {
+    sched: Option<S>,
+    cap_per_channel: usize,
+    stall_timeout_ns: Option<u64>,
+    _packet: core::marker::PhantomData<fn() -> P>,
+}
+
+impl<S: CausalScheduler, P> Default for StripedSinkBuilder<S, P> {
+    fn default() -> Self {
+        Self {
+            sched: None,
+            cap_per_channel: 1 << 14,
+            stall_timeout_ns: None,
+            _packet: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<S: CausalScheduler, P: WireLen> StripedSinkBuilder<S, P> {
+    /// The simulation scheduler — an identically configured, fresh copy of
+    /// the sender's. Required.
+    pub fn scheduler(mut self, sched: S) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
+    /// Per-channel arrival buffer depth. Defaults to 16384.
+    pub fn capacity_per_channel(mut self, cap: usize) -> Self {
+        self.cap_per_channel = cap;
+        self
+    }
+
+    /// Arm the stall detector (see [`LogicalReceiver::set_stall_timeout`]).
+    pub fn stall_timeout_ns(mut self, timeout_ns: u64) -> Self {
+        self.stall_timeout_ns = Some(timeout_ns);
+        self
+    }
+
+    /// Assemble the sink.
+    ///
+    /// # Panics
+    /// Panics if no scheduler was supplied.
+    pub fn build(self) -> StripedSink<S, P> {
+        let sched = self.sched.expect("StripedSinkBuilder needs a scheduler");
+        let mut rx = LogicalReceiver::new(sched, self.cap_per_channel);
+        if let Some(t) = self.stall_timeout_ns {
+            rx.set_stall_timeout(t);
+        }
+        StripedSink::new(rx)
+    }
+}
+
 /// Receiver-side endpoint: logical reception plus the responder halves of
 /// the probe and membership protocols.
 #[derive(Debug)]
@@ -188,6 +259,12 @@ pub struct StripedSink<S: CausalScheduler, P> {
 }
 
 impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
+    /// Start building a sink: `StripedSink::builder().scheduler(…)
+    /// .capacity_per_channel(…).build()`.
+    pub fn builder() -> StripedSinkBuilder<S, P> {
+        StripedSinkBuilder::default()
+    }
+
     /// Wrap a logical receiver.
     pub fn new(rx: LogicalReceiver<S, P>) -> Self {
         Self {
@@ -254,13 +331,19 @@ impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
         self.rx.poll()
     }
 
+    /// Drain every currently deliverable packet into `out` (see
+    /// [`LogicalReceiver::poll_into`]). Returns the number delivered.
+    pub fn poll_into(&mut self, out: &mut RxBatch<P>) -> usize {
+        self.rx.poll_into(out)
+    }
+
     /// The receiver-side stall probe (see [`LogicalReceiver::stalled`]).
     pub fn stalled(&mut self, now: SimTime) -> Option<ChannelId> {
         self.rx.stalled(now.as_nanos())
     }
 
     /// Receiver counters.
-    pub fn stats(&self) -> ReceiverStats {
+    pub fn stats(&self) -> ReceiverSnapshot {
         self.rx.stats()
     }
 

@@ -35,6 +35,8 @@ pub mod tcp;
 
 pub use credit::{CreditReceiver, CreditSender};
 pub use duplex::{DuplexEndpoint, DuplexSend};
-pub use failover::{FailoverConfig, FailoverDriver, StripedSink};
-pub use stripe_conn::{ControlTransmission, StripedPath, Transmission};
+pub use failover::{FailoverConfig, FailoverDriver, StripedSink, StripedSinkBuilder};
+pub use stripe_conn::{
+    ControlTransmission, PathSnapshot, StripedPath, StripedPathBuilder, Transmission, TxBatch,
+};
 pub use tcp::{Segment, SegmentSizer, TcpReceiver, TcpSender};

@@ -8,6 +8,12 @@
 //! event queue and pushed into a [`stripe_core::LogicalReceiver`] on
 //! arrival. This is the configuration of every §6.3 transport-layer
 //! experiment and of the socket examples.
+//!
+//! The hot path is [`send_batch`](StripedPath::send_batch): it stripes a
+//! whole burst at once into a caller-owned [`TxBatch`], reusing internal
+//! scratch buffers so a steady-state sender performs no heap allocation
+//! per packet. `send` remains as the per-packet legacy engine; the two are
+//! decision-for-decision identical (the differential tests pin this).
 
 use stripe_core::control::Control;
 use stripe_core::receiver::Arrival;
@@ -20,7 +26,7 @@ use stripe_netsim::SimTime;
 
 /// One physical transmission produced by a send: where it went, whether it
 /// arrives, and what it carries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transmission<P> {
     /// Channel the item was transmitted on.
     pub channel: ChannelId,
@@ -33,22 +39,25 @@ pub struct Transmission<P> {
     pub error: Option<TxError>,
 }
 
-/// Loss/overhead accounting for a striped path.
+/// Loss/overhead accounting for a striped path, under the workspace-wide
+/// snapshot convention (`fn stats(&self) -> …Snapshot`, drop counters named
+/// `dropped_<cause>` — see `ReceiverSnapshot` in `stripe-core` for the
+/// receive-side sibling).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PathStats {
+pub struct PathSnapshot {
     /// Data packets handed to links.
-    pub data_sent: u64,
+    pub sent: u64,
     /// Data packets lost in flight.
-    pub data_lost: u64,
+    pub dropped_lost: u64,
     /// Data packets dropped at full transmit queues (congestion loss — the
     /// kind FCVC credit eliminates).
-    pub data_queue_drops: u64,
+    pub dropped_queue: u64,
     /// Data packets delivered corrupted and therefore discarded by the far
     /// end's checksum (a fault-layer outcome; counted separately from
     /// clean in-flight loss).
-    pub data_corrupt_drops: u64,
+    pub dropped_corrupt: u64,
     /// Extra data deliveries produced by fault-layer duplication.
-    pub data_dups: u64,
+    pub duplicates: u64,
     /// Markers transmitted.
     pub markers_sent: u64,
     /// Markers lost (in flight or queue).
@@ -59,8 +68,12 @@ pub struct PathStats {
     pub control_lost: u64,
 }
 
+/// The pre-convention name for [`PathSnapshot`], kept as an alias while
+/// external callers migrate.
+pub type PathStats = PathSnapshot;
+
 /// One control-plane transmission: what was sent, where, and its fate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ControlTransmission {
     /// Channel the message was transmitted on.
     pub channel: ChannelId,
@@ -74,31 +87,184 @@ pub struct ControlTransmission {
     pub error: Option<TxError>,
 }
 
+/// A reusable batch of physical transmissions: the caller-owned output
+/// buffer of [`StripedPath::send_batch`]. Refilling clears the contents but
+/// keeps the capacity, so a steady-state sender allocates nothing.
+#[derive(Debug, Clone)]
+pub struct TxBatch<P> {
+    txs: Vec<Transmission<P>>,
+}
+
+impl<P> TxBatch<P> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self { txs: Vec::new() }
+    }
+
+    /// An empty batch with room for `cap` transmissions before any growth.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            txs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Transmissions currently in the batch.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// The transmissions, in the order they were offered to the links.
+    pub fn as_slice(&self) -> &[Transmission<P>] {
+        &self.txs
+    }
+
+    /// Iterate the transmissions in offer order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transmission<P>> {
+        self.txs.iter()
+    }
+
+    /// Move the transmissions out, leaving the capacity in place.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Transmission<P>> {
+        self.txs.drain(..)
+    }
+
+    /// Discard the contents, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.txs.clear();
+    }
+}
+
+impl<P> Default for TxBatch<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, P> IntoIterator for &'a TxBatch<P> {
+    type Item = &'a Transmission<P>;
+    type IntoIter = std::slice::Iter<'a, Transmission<P>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.txs.iter()
+    }
+}
+
+/// Builder for [`StripedPath`]: names each ingredient instead of the
+/// positional `new`, and lets links be added one at a time.
+///
+/// ```ignore
+/// let path = StripedPath::builder()
+///     .scheduler(Srr::equal(2, 1500))
+///     .markers(MarkerConfig::every_rounds(8))
+///     .links(links)
+///     .build();
+/// ```
+#[derive(Debug)]
+pub struct StripedPathBuilder<S: CausalScheduler, L: FifoLink> {
+    sched: Option<S>,
+    markers: MarkerConfig,
+    links: Vec<L>,
+}
+
+impl<S: CausalScheduler, L: FifoLink> Default for StripedPathBuilder<S, L> {
+    fn default() -> Self {
+        Self {
+            sched: None,
+            markers: MarkerConfig::disabled(),
+            links: Vec::new(),
+        }
+    }
+}
+
+impl<S: CausalScheduler, L: FifoLink> StripedPathBuilder<S, L> {
+    /// The causal scheduler driving channel selection. Required.
+    pub fn scheduler(mut self, sched: S) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
+    /// Marker emission policy. Defaults to [`MarkerConfig::disabled`].
+    pub fn markers(mut self, cfg: MarkerConfig) -> Self {
+        self.markers = cfg;
+        self
+    }
+
+    /// The member links, one per scheduler channel. Required.
+    pub fn links(mut self, links: Vec<L>) -> Self {
+        self.links = links;
+        self
+    }
+
+    /// Append a single member link.
+    pub fn link(mut self, link: L) -> Self {
+        self.links.push(link);
+        self
+    }
+
+    /// Assemble the path.
+    ///
+    /// # Panics
+    /// Panics if no scheduler was supplied or if the link count differs
+    /// from the scheduler's channel count.
+    pub fn build(self) -> StripedPath<S, L> {
+        let sched = self.sched.expect("StripedPathBuilder needs a scheduler");
+        assert_eq!(
+            self.links.len(),
+            sched.channels(),
+            "one link per scheduler channel"
+        );
+        StripedPath {
+            links: self.links,
+            tx: StripingSender::new(sched, self.markers),
+            stats: PathSnapshot::default(),
+            scratch_lens: Vec::new(),
+            scratch_channels: Vec::new(),
+            scratch_markers: Vec::new(),
+            scratch_fates: Vec::new(),
+            scratch_idle_markers: Vec::new(),
+        }
+    }
+}
+
 /// A striping sender bound to its channels.
 #[derive(Debug)]
 pub struct StripedPath<S: CausalScheduler, L: FifoLink> {
     links: Vec<L>,
     tx: StripingSender<S>,
-    stats: PathStats,
+    stats: PathSnapshot,
+    // Scratch buffers for the batch path, all payload-independent so one
+    // path instance serves any packet type with zero steady-state allocs.
+    scratch_lens: Vec<usize>,
+    scratch_channels: Vec<ChannelId>,
+    scratch_markers: Vec<(usize, ChannelId, Marker)>,
+    scratch_fates: Vec<TxFate>,
+    scratch_idle_markers: Vec<(ChannelId, Marker)>,
 }
 
 impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
+    /// Start building a path: `StripedPath::builder().scheduler(…)
+    /// .markers(…).links(…).build()`.
+    pub fn builder() -> StripedPathBuilder<S, L> {
+        StripedPathBuilder::default()
+    }
+
     /// Bind a scheduler and marker policy to `links`. The striped MTU is
-    /// the *minimum* member MTU (the §6.1 rule).
+    /// the *minimum* member MTU (the §6.1 rule). Delegates to
+    /// [`builder`](Self::builder), which is the preferred construction
+    /// surface.
     ///
     /// # Panics
     /// Panics if `links.len()` differs from the scheduler's channel count.
     pub fn new(sched: S, marker_cfg: MarkerConfig, links: Vec<L>) -> Self {
-        assert_eq!(
-            links.len(),
-            sched.channels(),
-            "one link per scheduler channel"
-        );
-        Self {
-            links,
-            tx: StripingSender::new(sched, marker_cfg),
-            stats: PathStats::default(),
-        }
+        Self::builder()
+            .scheduler(sched)
+            .markers(marker_cfg)
+            .links(links)
+            .build()
     }
 
     /// The striped path MTU: the minimum across members (§6.1: "our model
@@ -108,24 +274,24 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
         self.links.iter().map(|l| l.mtu()).min().expect("non-empty")
     }
 
-    /// Stripe one packet at `now`; returns every physical transmission
-    /// (the data packet first — twice, if the fault layer duplicated it —
-    /// then any markers). A corrupted delivery is reported lost: the far
-    /// end's checksum discards it before the striping layer sees it.
-    pub fn send<P: WireLen + Clone>(&mut self, now: SimTime, pkt: P) -> Vec<Transmission<P>> {
-        let wire_len = pkt.wire_len();
-        let decision = self.tx.send(wire_len);
-        let mut out = Vec::with_capacity(1 + decision.markers.len());
-
-        self.stats.data_sent += 1;
-        match self.links[decision.channel].transmit_detailed(now, wire_len) {
+    /// Record one data-packet fate: convert to `Transmission`s (original
+    /// first, then any fault-layer duplicate) and bump the counters. Shared
+    /// by the per-packet and batch paths so their accounting cannot drift.
+    fn record_data_fate<P: Clone>(
+        stats: &mut PathSnapshot,
+        channel: ChannelId,
+        fate: TxFate,
+        pkt: P,
+        out: &mut Vec<Transmission<P>>,
+    ) {
+        match fate {
             TxFate::Lost(e) => {
                 match e {
-                    TxError::QueueFull => self.stats.data_queue_drops += 1,
-                    _ => self.stats.data_lost += 1,
+                    TxError::QueueFull => stats.dropped_queue += 1,
+                    _ => stats.dropped_lost += 1,
                 }
                 out.push(Transmission {
-                    channel: decision.channel,
+                    channel,
                     arrival: None,
                     item: Arrival::Data(pkt),
                     error: Some(e),
@@ -133,29 +299,47 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
             }
             TxFate::Delivered { first, duplicate } => {
                 let (arrival, error) = if first.corrupted {
-                    self.stats.data_corrupt_drops += 1;
+                    stats.dropped_corrupt += 1;
                     (None, Some(TxError::LostInFlight))
                 } else {
                     (Some(first.arrival), None)
                 };
                 let dup_item = duplicate.map(|dup| Transmission {
-                    channel: decision.channel,
+                    channel,
                     arrival: Some(dup.arrival),
                     item: Arrival::Data(pkt.clone()),
                     error: None,
                 });
                 out.push(Transmission {
-                    channel: decision.channel,
+                    channel,
                     arrival,
                     item: Arrival::Data(pkt),
                     error,
                 });
                 if let Some(d) = dup_item {
-                    self.stats.data_dups += 1;
+                    stats.duplicates += 1;
                     out.push(d);
                 }
             }
         }
+    }
+
+    /// Stripe one packet at `now`; returns every physical transmission
+    /// (the data packet first — twice, if the fault layer duplicated it —
+    /// then any markers). A corrupted delivery is reported lost: the far
+    /// end's checksum discards it before the striping layer sees it.
+    ///
+    /// This is the legacy per-packet engine; hot paths should use
+    /// [`send_batch`](Self::send_batch), which makes identical decisions
+    /// without allocating per packet.
+    pub fn send<P: WireLen + Clone>(&mut self, now: SimTime, pkt: P) -> Vec<Transmission<P>> {
+        let wire_len = pkt.wire_len();
+        let decision = self.tx.send(wire_len);
+        let mut out = Vec::with_capacity(1 + decision.markers.len());
+
+        self.stats.sent += 1;
+        let fate = self.links[decision.channel].transmit_detailed(now, wire_len);
+        Self::record_data_fate(&mut self.stats, decision.channel, fate, pkt, &mut out);
 
         for (c, mk) in decision.markers {
             out.push(self.transmit_marker(now, c, mk));
@@ -163,14 +347,90 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
         out
     }
 
+    /// Stripe a whole burst at `now` into a caller-owned batch, with zero
+    /// steady-state heap allocation: `pkts` is drained (its capacity stays
+    /// with the caller for refilling) and `out` is cleared and refilled in
+    /// offer order — each data packet, its fault-layer duplicate if any,
+    /// and each marker batch right after the packet it follows.
+    ///
+    /// Decisions, link timing, and counters are identical to calling
+    /// [`send`](Self::send) once per packet at the same `now`: consecutive
+    /// same-channel packets are offered to their link as one run, and runs
+    /// break at marker boundaries so every link sees exactly the per-packet
+    /// call sequence.
+    pub fn send_batch<P: WireLen + Clone>(
+        &mut self,
+        now: SimTime,
+        pkts: &mut Vec<P>,
+        out: &mut TxBatch<P>,
+    ) {
+        out.txs.clear();
+        self.scratch_lens.clear();
+        self.scratch_lens.extend(pkts.iter().map(WireLen::wire_len));
+        self.tx.send_batch(
+            &self.scratch_lens,
+            &mut self.scratch_channels,
+            &mut self.scratch_markers,
+        );
+
+        let n = pkts.len();
+        self.stats.sent += n as u64;
+        let mut pkt_iter = pkts.drain(..);
+        let mut m = 0; // next marker batch to emit
+        let mut i = 0;
+        while i < n {
+            let ch = self.scratch_channels[i];
+            // A run extends while the channel repeats and no marker batch
+            // is due inside it: markers due after packet `b` must reach
+            // their links before packet `b + 1` does, or the link queues
+            // (and hence arrival times) diverge from the per-packet path.
+            let boundary = self.scratch_markers.get(m).map(|&(at, _, _)| at);
+            let mut j = i + 1;
+            while j < n && self.scratch_channels[j] == ch && boundary.is_none_or(|b| j <= b) {
+                j += 1;
+            }
+            self.scratch_fates.clear();
+            self.links[ch].transmit_batch(now, &self.scratch_lens[i..j], &mut self.scratch_fates);
+            for k in 0..(j - i) {
+                let pkt = pkt_iter.next().expect("one packet per fate");
+                Self::record_data_fate(
+                    &mut self.stats,
+                    ch,
+                    self.scratch_fates[k],
+                    pkt,
+                    &mut out.txs,
+                );
+            }
+            while m < self.scratch_markers.len() && self.scratch_markers[m].0 < j {
+                let (_, c, mk) = self.scratch_markers[m];
+                m += 1;
+                let t = self.transmit_marker(now, c, mk);
+                out.txs.push(t);
+            }
+            i = j;
+        }
+    }
+
     /// Emit a full marker batch immediately (timer-driven markers during
     /// idle periods).
-    pub fn send_markers<P: WireLen>(&mut self, now: SimTime) -> Vec<Transmission<P>> {
-        let markers = self.tx.make_markers();
-        markers
-            .into_iter()
-            .map(|(c, mk)| self.transmit_marker(now, c, mk))
-            .collect()
+    pub fn send_markers<P>(&mut self, now: SimTime) -> Vec<Transmission<P>> {
+        let mut out = TxBatch::new();
+        self.send_markers_into(now, &mut out);
+        out.txs
+    }
+
+    /// Emit a full marker batch into a caller-owned buffer: the
+    /// allocation-free counterpart of [`send_markers`](Self::send_markers).
+    /// `out` is cleared first, capacity kept.
+    pub fn send_markers_into<P>(&mut self, now: SimTime, out: &mut TxBatch<P>) {
+        out.txs.clear();
+        self.scratch_idle_markers.clear();
+        self.tx.make_markers_into(&mut self.scratch_idle_markers);
+        for k in 0..self.scratch_idle_markers.len() {
+            let (c, mk) = self.scratch_idle_markers[k];
+            let t = self.transmit_marker(now, c, mk);
+            out.txs.push(t);
+        }
     }
 
     fn transmit_marker<P>(&mut self, now: SimTime, c: ChannelId, mk: Marker) -> Transmission<P> {
@@ -195,7 +455,8 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
     /// messages ride the same FIFO links as data (they are just another
     /// codepoint, like markers) and are subject to the same faults —
     /// corrupted control is dropped by the far end's checksum, so it is
-    /// reported lost here.
+    /// reported lost here. The frame is never materialized: only its
+    /// [`wire_len`](Control::wire_len) touches the link model.
     pub fn transmit_control(
         &mut self,
         now: SimTime,
@@ -203,7 +464,7 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
         ctl: Control,
     ) -> ControlTransmission {
         self.stats.control_sent += 1;
-        let wire_len = ctl.encode().len();
+        let wire_len = ctl.wire_len();
         match self.links[c].transmit_detailed(now, wire_len) {
             TxFate::Lost(e) => {
                 self.stats.control_lost += 1;
@@ -238,8 +499,38 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
         }
     }
 
+    /// Transmit a *shared* control message on channel `c`: the message is
+    /// built once by the caller and borrowed here; it is cloned only into
+    /// the returned report, never re-encoded per channel.
+    pub fn transmit_control_ref(
+        &mut self,
+        now: SimTime,
+        c: ChannelId,
+        ctl: &Control,
+    ) -> ControlTransmission {
+        self.transmit_control(now, c, ctl.clone())
+    }
+
+    /// Transmit one shared control message on every *live* channel,
+    /// appending a report per channel to `out` (not cleared). The single
+    /// `ctl` is built once by the caller; no per-channel frame is ever
+    /// materialized.
+    pub fn broadcast_control(
+        &mut self,
+        now: SimTime,
+        ctl: &Control,
+        out: &mut Vec<ControlTransmission>,
+    ) {
+        for c in 0..self.links.len() {
+            if self.tx.scheduler().live(c) {
+                let t = self.transmit_control_ref(now, c, ctl);
+                out.push(t);
+            }
+        }
+    }
+
     /// Loss/overhead counters.
-    pub fn stats(&self) -> PathStats {
+    pub fn stats(&self) -> PathSnapshot {
         self.stats
     }
 
@@ -290,11 +581,14 @@ mod tests {
     #[test]
     fn end_to_end_fifo_over_skewed_links() {
         let sched = Srr::equal(2, 1500);
-        let mut path = StripedPath::new(
-            sched.clone(),
-            MarkerConfig::every_rounds(8),
-            vec![eth(10, 1, LossModel::None), eth(2, 2, LossModel::None)],
-        );
+        let mut path = StripedPath::builder()
+            .scheduler(sched.clone())
+            .markers(MarkerConfig::every_rounds(8))
+            .links(vec![
+                eth(10, 1, LossModel::None),
+                eth(2, 2, LossModel::None),
+            ])
+            .build();
         let mut rx = LogicalReceiver::new(sched, 8192);
         let mut q: EventQueue<(usize, Arrival<TestPacket>)> = EventQueue::new();
 
@@ -316,7 +610,7 @@ mod tests {
             }
         }
         assert_eq!(delivered, (0..300).collect::<Vec<_>>());
-        assert_eq!(path.stats().data_lost, 0);
+        assert_eq!(path.stats().dropped_lost, 0);
     }
 
     /// With loss on one channel, delivery is quasi-FIFO: the tail after the
@@ -324,25 +618,20 @@ mod tests {
     #[test]
     fn quasi_fifo_under_loss() {
         let sched = Srr::equal(2, 1500);
-        let mut path = StripedPath::new(
-            sched.clone(),
-            MarkerConfig::every_rounds(4),
-            vec![
+        let mut path = StripedPath::builder()
+            .scheduler(sched.clone())
+            .markers(MarkerConfig::every_rounds(4))
+            .links(vec![
                 eth(10, 1, LossModel::periodic(40, 3)),
                 eth(10, 2, LossModel::None),
-            ],
-        );
+            ])
+            .build();
         let mut rx = LogicalReceiver::new(sched, 8192);
         let mut q: EventQueue<(usize, Arrival<TestPacket>)> = EventQueue::new();
         let mut now = SimTime::ZERO;
         let total = 2000u64;
         for id in 0..total {
             now += SimDuration::from_micros(1300);
-            // Loss stops for the last quarter of the run.
-            if id == 3 * total / 4 {
-                // (periodic loss keeps going; instead we just rely on
-                // markers to resync between bursts)
-            }
             for t in path.send(now, TestPacket::new(id, 700)) {
                 if let Some(at) = t.arrival {
                     q.push(at, (t.channel, t.item));
@@ -371,44 +660,44 @@ mod tests {
     #[test]
     fn mtu_is_minimum_of_members() {
         let sched = Srr::equal(2, 1500);
-        let path = StripedPath::new(
-            sched,
-            MarkerConfig::disabled(),
-            vec![eth(10, 1, LossModel::None), eth(10, 2, LossModel::None)],
-        );
+        let path = StripedPath::builder()
+            .scheduler(sched)
+            .links(vec![
+                eth(10, 1, LossModel::None),
+                eth(10, 2, LossModel::None),
+            ])
+            .build();
         assert_eq!(path.mtu(), 1500);
     }
 
     #[test]
     fn queue_drops_are_counted_separately() {
         let sched = Srr::equal(2, 1500);
-        let mut path = StripedPath::new(
-            sched,
-            MarkerConfig::disabled(),
-            vec![eth(1, 1, LossModel::None), eth(1, 2, LossModel::None)],
-        );
+        let mut path = StripedPath::builder()
+            .scheduler(sched)
+            .links(vec![eth(1, 1, LossModel::None), eth(1, 2, LossModel::None)])
+            .build();
         // Blast far beyond 1 Mbps x 2 with no pacing: queues must fill.
         for id in 0..500u64 {
             let _ = path.send(SimTime::ZERO, TestPacket::new(id, 1400));
         }
         let st = path.stats();
-        assert!(st.data_queue_drops > 0);
-        assert_eq!(st.data_lost, 0);
-        assert_eq!(st.data_sent, 500);
+        assert!(st.dropped_queue > 0);
+        assert_eq!(st.dropped_lost, 0);
+        assert_eq!(st.sent, 500);
     }
 
     #[test]
     fn idle_marker_batch_reaches_all_channels() {
         let sched = Srr::equal(3, 1500);
-        let mut path = StripedPath::new(
-            sched,
-            MarkerConfig::disabled(),
-            vec![
+        let mut path = StripedPath::builder()
+            .scheduler(sched)
+            .links(vec![
                 eth(10, 1, LossModel::None),
                 eth(10, 2, LossModel::None),
                 eth(10, 3, LossModel::None),
-            ],
-        );
+            ])
+            .build();
         let out: Vec<Transmission<TestPacket>> = path.send_markers(SimTime::ZERO);
         assert_eq!(out.len(), 3);
         let chans: Vec<_> = out.iter().map(|t| t.channel).collect();
@@ -425,5 +714,100 @@ mod tests {
             MarkerConfig::disabled(),
             vec![eth(10, 1, LossModel::None)],
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a scheduler")]
+    fn builder_without_scheduler_panics() {
+        let _: StripedPath<Srr, EthLink> = StripedPath::builder()
+            .link(eth(10, 1, LossModel::None))
+            .build();
+    }
+
+    /// `builder` and `new` produce identical paths; `link` composes with
+    /// `links`.
+    #[test]
+    fn builder_matches_new() {
+        let sched = Srr::equal(2, 1500);
+        let mut a = StripedPath::new(
+            sched.clone(),
+            MarkerConfig::every_rounds(8),
+            vec![eth(10, 1, LossModel::None), eth(10, 2, LossModel::None)],
+        );
+        let mut b = StripedPath::builder()
+            .scheduler(sched)
+            .markers(MarkerConfig::every_rounds(8))
+            .link(eth(10, 1, LossModel::None))
+            .link(eth(10, 2, LossModel::None))
+            .build();
+        let mut now = SimTime::ZERO;
+        for id in 0..200u64 {
+            now += SimDuration::from_micros(1200);
+            let pkt = TestPacket::new(id, 300 + (id as usize * 53) % 1100);
+            assert_eq!(a.send(now, pkt), b.send(now, pkt));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    /// The batch path must produce the same transmissions — channels,
+    /// arrival times, marker interleaving, counters — as per-packet sends
+    /// offered at the same instants.
+    #[test]
+    fn send_batch_matches_per_packet_send() {
+        let sched = Srr::equal(2, 1500);
+        let mk = || {
+            StripedPath::builder()
+                .scheduler(Srr::equal(2, 1500))
+                .markers(MarkerConfig::every_rounds(4))
+                .links(vec![
+                    eth(10, 1, LossModel::None),
+                    eth(2, 2, LossModel::None),
+                ])
+                .build()
+        };
+        let _ = sched;
+        let mut batch_path = mk();
+        let mut legacy_path = mk();
+        let mut batch = TxBatch::new();
+        let mut pkts = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut id = 0u64;
+        for chunk in 0..40 {
+            now += SimDuration::from_millis(12);
+            let chunk_len = 1 + (chunk % 13);
+            let mut legacy_out = Vec::new();
+            for _ in 0..chunk_len {
+                let pkt = TestPacket::new(id, 200 + (id as usize * 89) % 1200);
+                id += 1;
+                pkts.push(pkt);
+                legacy_out.extend(legacy_path.send(now, pkt));
+            }
+            batch_path.send_batch(now, &mut pkts, &mut batch);
+            assert!(pkts.is_empty(), "send_batch drains its input");
+            assert_eq!(batch.as_slice(), &legacy_out[..], "chunk {chunk}");
+        }
+        assert_eq!(batch_path.stats(), legacy_path.stats());
+        assert!(batch_path.stats().markers_sent > 0, "markers must fire");
+    }
+
+    /// Shared-control broadcast touches every live channel once and counts
+    /// like per-channel sends.
+    #[test]
+    fn broadcast_control_covers_live_channels() {
+        let sched = Srr::equal(3, 1500);
+        let mut path = StripedPath::builder()
+            .scheduler(sched)
+            .links(vec![
+                eth(10, 1, LossModel::None),
+                eth(10, 2, LossModel::None),
+                eth(10, 3, LossModel::None),
+            ])
+            .build();
+        let ctl = Control::Probe { nonce: 42 };
+        let mut out = Vec::new();
+        path.broadcast_control(SimTime::ZERO, &ctl, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|t| t.ctl == ctl && t.arrival.is_some()));
+        assert_eq!(path.stats().control_sent, 3);
     }
 }

@@ -36,7 +36,11 @@ fn main() {
     // Quanta proportional to rates, minimum one MTU.
     let quanta: Vec<i64> = rates.iter().map(|&r| 1500 * r as i64 / 2).collect();
     let sched = Srr::weighted(&quanta);
-    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(8), links);
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::every_rounds(8))
+        .links(links)
+        .build();
     let mut rx = LogicalReceiver::new(sched, 1 << 14);
     let mut q: EventQueue<(usize, Arrival<TestPacket>)> = EventQueue::new();
 

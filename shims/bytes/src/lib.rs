@@ -1,7 +1,10 @@
 //! Offline shim for the `bytes` crate: the subset this workspace uses
-//! (`Bytes`, `BytesMut`, `BufMut`), backed by plain `Vec<u8>` so the build
-//! needs no registry access. Clones copy; that is fine for the simulation
-//! workloads here, which care about wire *contents*, not zero-copy perf.
+//! (`Bytes`, `BytesMut`, `BufMut`), backed by a reference-counted buffer so
+//! the build needs no registry access. Like the real crate, [`Bytes`] is a
+//! cheaply cloneable *view*: `clone`, `slice` and `split_off` share the
+//! underlying storage in O(1) without copying or allocating — which is what
+//! lets the striped datapath move payloads through batches with zero
+//! steady-state heap traffic.
 
 #![warn(missing_docs)]
 // The shim mirrors the real crate's method names even where clippy would
@@ -9,76 +12,130 @@
 #![allow(clippy::should_implement_trait)]
 
 use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, OnceLock};
 
-/// An immutable byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// The process-wide empty buffer, shared so `Bytes::new` never allocates
+/// after the first call.
+fn empty_storage() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+/// An immutable, cheaply cloneable byte buffer: a shared allocation plus an
+/// offset/length view into it.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            data: empty_storage(),
+            off: 0,
+            len: 0,
+        }
     }
 
-    /// A buffer referencing static data (copied here; the real crate
-    /// borrows, but the observable API is identical).
+    /// A buffer referencing static data (copied into shared storage once;
+    /// the real crate borrows, but the observable API is identical).
     pub fn from_static(s: &'static [u8]) -> Self {
-        Self { data: s.to_vec() }
+        Self::copy_from_slice(s)
     }
 
     /// A buffer holding a copy of `s`.
     pub fn copy_from_slice(s: &[u8]) -> Self {
-        Self { data: s.to_vec() }
+        Self {
+            len: s.len(),
+            data: Arc::new(s.to_vec()),
+            off: 0,
+        }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Split off the tail starting at `at`, leaving `[0, at)` in `self`.
+    /// Both halves share the same storage; no bytes are copied.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
     pub fn split_off(&mut self, at: usize) -> Bytes {
-        Bytes {
-            data: self.data.split_off(at),
-        }
+        assert!(
+            at <= self.len,
+            "split_off out of bounds: {at} > {}",
+            self.len
+        );
+        let tail = Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off + at,
+            len: self.len - at,
+        };
+        self.len = at;
+        tail
     }
 
-    /// Copy out a sub-range as a new buffer.
+    /// A sub-range view sharing the same storage (no copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end, "slice range inverted");
+        assert!(
+            range.end <= self.len,
+            "slice out of bounds: {} > {}",
+            range.end,
+            self.len
+        );
         Bytes {
-            data: self.data[range].to_vec(),
+            data: Arc::clone(&self.data),
+            off: self.off + range.start,
+            len: range.end - range.start,
         }
     }
 
     /// The bytes as a slice.
     pub fn as_ref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        Bytes::as_ref(self)
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        Bytes::as_ref(self)
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Self { data }
+        Self {
+            len: data.len(),
+            data: Arc::new(data),
+            off: 0,
+        }
     }
 }
 
@@ -88,40 +145,68 @@ impl From<&[u8]> for Bytes {
     }
 }
 
+// Equality, ordering and hashing are over *contents*, so views with
+// different offsets into different storage still compare like byte strings.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        Bytes::as_ref(self) == Bytes::as_ref(other)
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        Bytes::as_ref(self).cmp(Bytes::as_ref(other))
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        Bytes::as_ref(self).hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data == other
+        Bytes::as_ref(self) == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data == *other
+        Bytes::as_ref(self) == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        &self.data == other
+        Bytes::as_ref(self) == other.as_slice()
     }
 }
 
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        self == other.data
+        self == Bytes::as_ref(other)
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self == &other.data
+        self.as_slice() == Bytes::as_ref(other)
     }
 }
 
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in &self.data {
+        for &b in Bytes::as_ref(self) {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -130,11 +215,37 @@ impl std::fmt::Debug for Bytes {
     }
 }
 
+/// Owned byte iterator over a [`Bytes`] view.
+#[derive(Debug)]
+pub struct IntoIter {
+    bytes: Bytes,
+    idx: usize,
+}
+
+impl Iterator for IntoIter {
+    type Item = u8;
+    fn next(&mut self) -> Option<u8> {
+        let b = Bytes::as_ref(&self.bytes).get(self.idx).copied()?;
+        self.idx += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.bytes.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for IntoIter {}
+
 impl IntoIterator for Bytes {
     type Item = u8;
-    type IntoIter = std::vec::IntoIter<u8>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.data.into_iter()
+    type IntoIter = IntoIter;
+    fn into_iter(self) -> IntoIter {
+        IntoIter {
+            bytes: self,
+            idx: 0,
+        }
     }
 }
 
@@ -177,9 +288,10 @@ impl BytesMut {
         self.data.resize(new_len, val);
     }
 
-    /// Freeze into an immutable [`Bytes`].
+    /// Freeze into an immutable [`Bytes`]. The heap buffer is moved into
+    /// shared storage, not copied.
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data }
+        Bytes::from(self.data)
     }
 }
 
@@ -274,5 +386,52 @@ mod tests {
         b.put_bytes(0, 4);
         b[1..3].copy_from_slice(&[9, 9]);
         assert_eq!(&b[..], &[0, 9, 9, 0]);
+    }
+
+    #[test]
+    fn clone_and_slice_share_storage() {
+        let a = Bytes::copy_from_slice(&[1, 2, 3, 4, 5, 6]);
+        let b = a.clone();
+        let c = a.slice(2..5);
+        // Same allocation behind all three views.
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
+        assert_eq!(c.as_ptr() as usize, a.as_ptr() as usize + 2);
+        assert_eq!(&c[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn views_compare_by_contents() {
+        let whole = Bytes::copy_from_slice(&[9, 7, 7, 9]);
+        let left = whole.slice(1..2);
+        let right = whole.slice(2..3);
+        assert_eq!(left, right);
+        assert_eq!(left, Bytes::copy_from_slice(&[7]));
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(left);
+        assert!(set.contains(&right));
+    }
+
+    #[test]
+    fn split_off_views_stay_consistent() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        let mut tail = b.split_off(2);
+        let tip = tail.split_off(2);
+        assert_eq!(&b[..], &[1, 2]);
+        assert_eq!(&tail[..], &[3, 4]);
+        assert_eq!(&tip[..], &[5]);
+    }
+
+    #[test]
+    fn into_iter_walks_the_view() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3, 4]).slice(1..3);
+        let v: Vec<u8> = b.into_iter().collect();
+        assert_eq!(v, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_is_cheap_and_equal() {
+        assert_eq!(Bytes::new(), Bytes::default());
+        assert!(Bytes::new().is_empty());
     }
 }

@@ -27,7 +27,11 @@ fn eth_plus_atm_striping_is_fifo() {
     ));
     let atm = Link::Atm(AtmPvc::lossless(Bandwidth::mbps_f64(7.6), 2));
     let sched = Srr::weighted(&[1500, 1140]); // ~rate-proportional
-    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(8), vec![eth, atm]);
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::every_rounds(8))
+        .links(vec![eth, atm])
+        .build();
     let mut rx = LogicalReceiver::new(sched, 1 << 14);
     let mut q: EventQueue<(usize, Arrival<TestPacket>)> = EventQueue::new();
 
@@ -48,8 +52,8 @@ fn eth_plus_atm_striping_is_fifo() {
         }
     }
     assert_eq!(out, (0..1000).collect::<Vec<_>>());
-    assert_eq!(path.stats().data_lost, 0);
-    assert_eq!(path.stats().data_queue_drops, 0);
+    assert_eq!(path.stats().dropped_lost, 0);
+    assert_eq!(path.stats().dropped_queue, 0);
 }
 
 /// ATM cell loss (reassembly failure) desynchronizes; markers riding
@@ -70,7 +74,11 @@ fn atm_cell_loss_recovered_by_markers() {
         ]
     };
     let sched = Srr::equal(2, 1500);
-    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(4), mk_links());
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::every_rounds(4))
+        .links(mk_links())
+        .build();
     let mut rx = LogicalReceiver::new(sched, 1 << 14);
     let mut q: EventQueue<(usize, Arrival<TestPacket>)> = EventQueue::new();
     let total = 4000u64;
@@ -90,7 +98,7 @@ fn atm_cell_loss_recovered_by_markers() {
             out.push(p.id);
         }
     }
-    assert!(path.stats().data_lost > 0, "cell loss must have bitten");
+    assert!(path.stats().dropped_lost > 0, "cell loss must have bitten");
     assert!(out.len() as u64 > total * 9 / 10);
     // Quasi-FIFO: adjacent inversions rare relative to deliveries.
     let inversions = out.windows(2).filter(|w| w[1] < w[0]).count();
@@ -156,14 +164,12 @@ fn fragmentation_composes_with_striping() {
     use stripe::ip::frag::{fragment, Reassembler, ReassemblyEvent};
 
     let sched = Srr::equal(2, 1500);
-    let mut path = StripedPath::new(
-        sched.clone(),
-        MarkerConfig::every_rounds(8),
-        vec![
-            Link::Eth(stripe::link::EthLink::classic_10mbps(5)),
-            Link::Eth(stripe::link::EthLink::classic_10mbps(6)),
-        ],
-    );
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::every_rounds(8))
+        .link(Link::Eth(stripe::link::EthLink::classic_10mbps(5)))
+        .link(Link::Eth(stripe::link::EthLink::classic_10mbps(6)))
+        .build();
     let mut rx = LogicalReceiver::new(sched, 1 << 14);
     let mut reasm = Reassembler::new(16);
     let mut q: EventQueue<(usize, Arrival<FragPkt>)> = EventQueue::new();

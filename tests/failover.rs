@@ -70,10 +70,17 @@ fn run_outage(total_ms: u64, down_from: u64, down_until: u64) -> RunResult {
         .enumerate()
         .map(|(i, p)| faulty(i as u64 + 1, p))
         .collect();
-    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(4), links);
-    let mut sink = StripedSink::new(LogicalReceiver::new(sched, 1 << 14));
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::every_rounds(4))
+        .links(links)
+        .build();
     // Stall probe armed at the dead-detection timescale.
-    sink.receiver_mut().set_stall_timeout(5 * MS);
+    let mut sink = StripedSink::builder()
+        .scheduler(sched)
+        .capacity_per_channel(1 << 14)
+        .stall_timeout_ns(5 * MS)
+        .build();
     let mut driver = FailoverDriver::new(
         3,
         FailoverConfig::with_probe_interval(5 * MS),
@@ -275,7 +282,11 @@ fn corruption_is_absorbed_like_loss() {
         FaultyLink::new(eth(1), FaultPlan::none().with_corruption(0.05), 7),
         FaultyLink::new(eth(2), FaultPlan::none(), 8),
     ];
-    let mut path = StripedPath::new(sched.clone(), MarkerConfig::every_rounds(4), links);
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::every_rounds(4))
+        .links(links)
+        .build();
     let mut rx: LogicalReceiver<Srr, TestPacket> = LogicalReceiver::new(sched, 1 << 14);
     let mut q: EventQueue<(ChannelId, Arrival<TestPacket>)> = EventQueue::new();
     let mut now = SimTime::ZERO;
@@ -296,8 +307,8 @@ fn corruption_is_absorbed_like_loss() {
         }
     }
     let st = path.stats();
-    assert!(st.data_corrupt_drops > 0, "corruption must have fired");
-    assert_eq!(st.data_lost, 0, "clean loss and corruption are distinct");
+    assert!(st.dropped_corrupt > 0, "corruption must have fired");
+    assert_eq!(st.dropped_lost, 0, "clean loss and corruption are distinct");
     assert!(delivered.len() as u64 > total * 9 / 10);
     let inversions = delivered.windows(2).filter(|w| w[1] < w[0]).count();
     assert!(
@@ -317,7 +328,11 @@ fn duplication_is_counted_at_the_path_layer() {
         FaultyLink::new(eth(1), FaultPlan::none().with_duplication(0.10), 9),
         FaultyLink::new(eth(2), FaultPlan::none(), 10),
     ];
-    let mut path = StripedPath::new(sched.clone(), MarkerConfig::disabled(), links);
+    let mut path = StripedPath::builder()
+        .scheduler(sched.clone())
+        .markers(MarkerConfig::disabled())
+        .links(links)
+        .build();
     let mut now = SimTime::ZERO;
     let mut extra = 0u64;
     for id in 0..2000u64 {
@@ -326,10 +341,10 @@ fn duplication_is_counted_at_the_path_layer() {
         extra += (txs.len() - 1) as u64;
     }
     let st = path.stats();
-    assert!(st.data_dups > 0, "duplication must have fired");
+    assert!(st.duplicates > 0, "duplication must have fired");
     assert_eq!(
-        st.data_dups, extra,
+        st.duplicates, extra,
         "every duplicate surfaces as a transmission"
     );
-    assert_eq!(st.data_lost, 0);
+    assert_eq!(st.dropped_lost, 0);
 }
