@@ -1,0 +1,296 @@
+//! Live-traffic bench: the real-socket datapath over kernel loopback
+//! UDP — the first number in this repo measured through an actual
+//! network stack rather than the simulator.
+//!
+//! For each (channels, payload) cell the bench pushes a fixed packet
+//! count through `NetStripedPath` → kernel loopback → `NetLogicalReceiver`
+//! and reports packets/sec, the delivered-sequence reorder rate (the
+//! paper's §6.3 metric, from `stripe_apps::metrics`), and allocations
+//! per packet from the counting global allocator — the wall-clock proof
+//! of the zero-alloc steady state (send buffers are recycled from the
+//! drained `TxBatch`, receive buffers from the pool). A final cell
+//! injects periodic data loss through `DropLink` to show marker
+//! resynchronization holding the reorder rate down under real loss.
+//!
+//! Writes `BENCH_udp_loopback.json` at the repo root. Set
+//! `STRIPE_BENCH_SMOKE=1` for a fast CI smoke run.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use stripe_apps::metrics::ReorderMetrics;
+use stripe_bench::alloc::CountingAlloc;
+use stripe_bench::table::Table;
+use stripe_core::receiver::{Arrival, RxBatch};
+use stripe_core::sched::Srr;
+use stripe_core::sender::MarkerConfig;
+use stripe_net::{
+    DropLink, DropPolicy, NetLogicalReceiver, NetStripedPath, PooledBuf, UdpChannel, WallClock,
+};
+use stripe_transport::TxBatch;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const QUANTUM: i64 = 1500;
+const BURST: usize = 32;
+
+type Path = NetStripedPath<Srr, DropLink<UdpChannel>>;
+type Rx = NetLogicalReceiver<Srr, UdpChannel>;
+
+struct Run {
+    pkts_per_sec: f64,
+    bytes_per_sec: f64,
+    allocs_per_pkt: f64,
+    ooo_fraction: f64,
+    max_displacement: u64,
+    delivered: u64,
+    lost: u64,
+    wall_secs: f64,
+}
+
+/// Reusable driving state: every buffer here reaches its high-water mark
+/// during warm-up and is recycled thereafter.
+struct Harness {
+    clock: WallClock,
+    pkts: Vec<Vec<u8>>,
+    send_pool: Vec<Vec<u8>>,
+    out: TxBatch<Vec<u8>>,
+    batch: RxBatch<PooledBuf>,
+    ids: Vec<u64>,
+    next_id: u64,
+}
+
+impl Harness {
+    /// Send one burst of `payload`-byte packets, ids stamped in the first
+    /// 8 bytes, reusing pooled send buffers.
+    fn send_burst(&mut self, path: &mut Path, payload: usize, until: u64) {
+        let n = (BURST as u64).min(until.saturating_sub(self.next_id)) as usize;
+        for _ in 0..n {
+            let mut p = self.send_pool.pop().unwrap_or_default();
+            p.resize(payload, 0);
+            p[..8].copy_from_slice(&self.next_id.to_be_bytes());
+            self.pkts.push(p);
+            self.next_id += 1;
+        }
+        path.send_batch(self.clock.now(), &mut self.pkts, &mut self.out);
+        // Reclaim the payload buffers the batch carried out.
+        for t in self.out.drain() {
+            if let Arrival::Data(p) = t.item {
+                self.send_pool.push(p);
+            }
+        }
+    }
+
+    /// One receive pass: flush backlogs, sweep the sockets, record ids.
+    fn sweep(&mut self, path: &mut Path, rx: &mut Rx) {
+        path.flush();
+        rx.sweep(self.clock.now());
+        rx.poll_into(&mut self.batch);
+        for pb in self.batch.drain() {
+            self.ids
+                .push(u64::from_be_bytes(pb.as_slice()[..8].try_into().unwrap()));
+            rx.recycle(pb);
+        }
+    }
+
+    /// Sweep until `expect` ids have arrived; lost frames lower the bar as
+    /// they are detected. Idle markers are re-sent periodically so losses
+    /// near the stream tail cannot wedge the resequencer.
+    fn drain(&mut self, path: &mut Path, rx: &mut Rx, sent: u64, deadline: Duration) {
+        let t0 = Instant::now();
+        let mut spins = 0u32;
+        while (self.ids.len() as u64) < sent.saturating_sub(losses(path)) {
+            self.sweep(path, rx);
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                path.send_markers_into(self.clock.now(), &mut self.out);
+                self.out.clear();
+            }
+            if t0.elapsed() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+fn losses(path: &Path) -> u64 {
+    path.links().iter().map(|l| l.dropped()).sum()
+}
+
+/// Drive `total` packets of `payload` bytes over `channels` loopback
+/// sockets; `drop_period` = 0 for lossless, or N to drop one data frame
+/// in every N on channel 0.
+fn run_live(channels: usize, payload: usize, total: u64, drop_period: u64) -> Run {
+    let mut tx_links = Vec::new();
+    let mut rx_links = Vec::new();
+    for _ in 0..channels {
+        let (a, b) = UdpChannel::pair(2048, 1 << 12).expect("bind loopback");
+        tx_links.push(a);
+        rx_links.push(b);
+    }
+    let drops: Vec<DropLink<UdpChannel>> = tx_links
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let policy = if drop_period > 0 && i == 0 {
+                DropPolicy::Periodic {
+                    period: drop_period,
+                }
+            } else {
+                DropPolicy::None
+            };
+            DropLink::new(l, policy)
+        })
+        .collect();
+    let mut path = NetStripedPath::builder()
+        .scheduler(Srr::equal(channels, QUANTUM))
+        .markers(MarkerConfig::every_rounds(4))
+        .links(drops)
+        .build();
+    let mut rx = NetLogicalReceiver::builder()
+        .scheduler(Srr::equal(channels, QUANTUM))
+        .links(rx_links)
+        .pool_buffers(1 << 10)
+        .build();
+    rx.reserve(1 << 12);
+
+    let mut h = Harness {
+        clock: WallClock::start(),
+        pkts: Vec::with_capacity(BURST),
+        send_pool: Vec::with_capacity(BURST * 4),
+        out: TxBatch::with_capacity(BURST + 2 * channels),
+        batch: RxBatch::with_capacity(BURST + 2 * channels),
+        ids: Vec::with_capacity(total as usize),
+        next_id: 0,
+    };
+
+    // Warm-up: pools, rings, and scratch reach their high-water marks.
+    let warm = (BURST * 8) as u64;
+    while h.next_id < warm {
+        h.send_burst(&mut path, payload, warm);
+        h.sweep(&mut path, &mut rx);
+    }
+    h.drain(&mut path, &mut rx, warm, Duration::from_secs(10));
+    h.ids.clear();
+    let warm_lost = losses(&path);
+
+    // Measured window.
+    let end = warm + total;
+    let alloc0 = CountingAlloc::allocations();
+    let t0 = Instant::now();
+    while h.next_id < end {
+        h.send_burst(&mut path, payload, end);
+        h.sweep(&mut path, &mut rx);
+    }
+    // drain() subtracts cumulative losses, so offset the target by the
+    // warm-up's share: the bar becomes `total - losses_this_window`.
+    h.drain(
+        &mut path,
+        &mut rx,
+        total + warm_lost,
+        Duration::from_secs(10),
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = CountingAlloc::allocations() - alloc0;
+
+    let mut m = ReorderMetrics::new();
+    for &id in &h.ids {
+        m.record(id);
+    }
+    let s = m.stats();
+    Run {
+        pkts_per_sec: h.ids.len() as f64 / wall,
+        bytes_per_sec: (h.ids.len() * payload) as f64 / wall,
+        allocs_per_pkt: allocs as f64 / h.ids.len().max(1) as f64,
+        ooo_fraction: s.ooo_fraction,
+        max_displacement: s.max_displacement,
+        delivered: h.ids.len() as u64,
+        lost: total.saturating_sub(h.ids.len() as u64),
+        wall_secs: wall,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("STRIPE_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let total: u64 = if smoke { 4_096 } else { 131_072 };
+
+    println!("== live traffic over kernel loopback UDP ==");
+    println!("   ({total} packets per cell, burst {BURST}, markers every 4 rounds)\n");
+
+    let mut table = Table::new(&[
+        "channels",
+        "payload",
+        "loss",
+        "Mpkt/s",
+        "MB/s",
+        "alloc/pkt",
+        "ooo frac",
+        "max disp",
+    ]);
+    let mut json = String::from("{\n  \"bench\": \"udp_loopback\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"results\": [\n");
+
+    let mut first = true;
+    let mut headline: Option<f64> = None;
+    // (channels, payload, drop_period): lossless cells, then real loss.
+    let cells: &[(usize, usize, u64)] = &[(2, 256, 0), (4, 256, 0), (4, 1200, 0), (4, 1200, 101)];
+    for &(channels, payload, drop_period) in cells {
+        let r = run_live(channels, payload, total, drop_period);
+        if channels == 4 && payload == 1200 && drop_period == 0 {
+            headline = Some(r.pkts_per_sec);
+        }
+        let loss_label = if drop_period == 0 {
+            "none".to_string()
+        } else {
+            format!("1/{drop_period}")
+        };
+        table.row_owned(vec![
+            channels.to_string(),
+            payload.to_string(),
+            loss_label,
+            format!("{:.3}", r.pkts_per_sec / 1e6),
+            format!("{:.1}", r.bytes_per_sec / 1e6),
+            format!("{:.3}", r.allocs_per_pkt),
+            format!("{:.4}", r.ooo_fraction),
+            r.max_displacement.to_string(),
+        ]);
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"channels\": {channels}, \"payload\": {payload}, \
+             \"drop_period\": {drop_period}, \
+             \"pkts_per_sec\": {:.0}, \"bytes_per_sec\": {:.0}, \
+             \"allocs_per_packet\": {:.4}, \"reorder_fraction\": {:.6}, \
+             \"max_displacement\": {}, \"delivered\": {}, \"lost\": {}, \
+             \"wall_secs\": {:.4}}}",
+            r.pkts_per_sec,
+            r.bytes_per_sec,
+            r.allocs_per_pkt,
+            r.ooo_fraction,
+            r.max_displacement,
+            r.delivered,
+            r.lost,
+            r.wall_secs
+        );
+    }
+    json.push_str("\n  ],\n");
+    let headline = headline.expect("the 4-channel/1200B lossless cell always runs");
+    let _ = writeln!(json, "  \"pkts_per_sec_4ch_1200B\": {headline:.0}");
+    json.push_str("}\n");
+
+    println!("{}", table.render());
+    println!(
+        "\nheadline (4 channels, 1200B, lossless): {:.2} Mpkt/s",
+        headline / 1e6
+    );
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_udp_loopback.json");
+    std::fs::write(out_path, &json).expect("write BENCH_udp_loopback.json");
+    println!("wrote {out_path}");
+}

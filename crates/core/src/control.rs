@@ -111,45 +111,51 @@ impl Control {
     /// Panics if a `QuantumUpdate` carries more than 16 channels — the
     /// wire format reserves 4 bits of count.
     pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut v);
+        v
+    }
+
+    /// Append the wire bytes to `out` without allocating (beyond `out`'s
+    /// own growth): the codec hook the real-socket datapath uses to build
+    /// frames into reusable buffers. `encode` delegates here, so there is
+    /// exactly one encoder for the sim and the net paths.
+    ///
+    /// # Panics
+    /// Same conditions as [`Control::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Control::Marker(m) => {
-                let mut v = Vec::with_capacity(1 + MARKER_WIRE_LEN);
-                v.push(TYPE_MARKER);
-                v.extend_from_slice(&m.encode());
-                v
+                out.push(TYPE_MARKER);
+                out.extend_from_slice(&m.encode());
             }
             Control::ResetRequest { epoch } => {
-                let mut v = vec![TYPE_RESET_REQ];
-                v.extend_from_slice(&epoch.to_be_bytes());
-                v
+                out.push(TYPE_RESET_REQ);
+                out.extend_from_slice(&epoch.to_be_bytes());
             }
             Control::ResetAck { epoch } => {
-                let mut v = vec![TYPE_RESET_ACK];
-                v.extend_from_slice(&epoch.to_be_bytes());
-                v
+                out.push(TYPE_RESET_ACK);
+                out.extend_from_slice(&epoch.to_be_bytes());
             }
             Control::QuantumUpdate {
                 effective_round,
                 quanta,
             } => {
                 assert!(quanta.len() <= 16, "wire format caps at 16 channels");
-                let mut v = vec![TYPE_QUANTUM];
-                v.extend_from_slice(&effective_round.to_be_bytes());
-                v.push(quanta.len() as u8);
+                out.push(TYPE_QUANTUM);
+                out.extend_from_slice(&effective_round.to_be_bytes());
+                out.push(quanta.len() as u8);
                 for q in quanta {
-                    v.extend_from_slice(&q.to_be_bytes());
+                    out.extend_from_slice(&q.to_be_bytes());
                 }
-                v
             }
             Control::Probe { nonce } => {
-                let mut v = vec![TYPE_PROBE];
-                v.extend_from_slice(&nonce.to_be_bytes());
-                v
+                out.push(TYPE_PROBE);
+                out.extend_from_slice(&nonce.to_be_bytes());
             }
             Control::ProbeAck { nonce } => {
-                let mut v = vec![TYPE_PROBE_ACK];
-                v.extend_from_slice(&nonce.to_be_bytes());
-                v
+                out.push(TYPE_PROBE_ACK);
+                out.extend_from_slice(&nonce.to_be_bytes());
             }
             Control::Membership {
                 epoch,
@@ -157,16 +163,14 @@ impl Control {
                 effective_round,
             } => {
                 assert!(*live_mask != 0, "membership must keep at least one channel");
-                let mut v = vec![TYPE_MEMBERSHIP];
-                v.extend_from_slice(&epoch.to_be_bytes());
-                v.extend_from_slice(&live_mask.to_be_bytes());
-                v.extend_from_slice(&effective_round.to_be_bytes());
-                v
+                out.push(TYPE_MEMBERSHIP);
+                out.extend_from_slice(&epoch.to_be_bytes());
+                out.extend_from_slice(&live_mask.to_be_bytes());
+                out.extend_from_slice(&effective_round.to_be_bytes());
             }
             Control::MembershipAck { epoch } => {
-                let mut v = vec![TYPE_MEMBERSHIP_ACK];
-                v.extend_from_slice(&epoch.to_be_bytes());
-                v
+                out.push(TYPE_MEMBERSHIP_ACK);
+                out.extend_from_slice(&epoch.to_be_bytes());
             }
         }
     }
@@ -348,6 +352,20 @@ mod tests {
         ] {
             assert_eq!(c.wire_len(), c.encode().len(), "{c:?}");
         }
+    }
+
+    /// `encode_into` appends (it must compose into a framed buffer without
+    /// clobbering the header) and produces exactly `encode`'s bytes.
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let c = Control::QuantumUpdate {
+            effective_round: 33,
+            quanta: vec![1500, 9000],
+        };
+        let mut buf = vec![0xEE, 0xFF];
+        c.encode_into(&mut buf);
+        assert_eq!(&buf[..2], &[0xEE, 0xFF]);
+        assert_eq!(&buf[2..], &c.encode()[..]);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! The real-network channel contract: a datagram link that moves actual
+//! frame bytes *now*, as opposed to [`FifoLink`](crate::FifoLink), which
+//! analytically computes when a packet of a given length *would* arrive.
+//!
+//! The striping protocol never needed packet contents in the simulator —
+//! only wire lengths touch the deficit counters — but a kernel socket
+//! obviously does. [`DatagramLink`] is therefore the minimal byte-moving
+//! surface the `stripe-net` subsystem stripes over: offer one encoded
+//! frame, receive one encoded frame, both non-blocking. Everything above
+//! (codec, scheduler, logical reception, failover) is shared with the
+//! simulated path.
+//!
+//! Send errors reuse [`TxError`]: a full bounded send queue is
+//! [`TxError::QueueFull`] (backpressure, exactly like a full simulated
+//! transmit queue), an oversized frame is [`TxError::TooBig`], and a
+//! socket-level failure is [`TxError::LinkDown`]. Loss in flight is the
+//! network's business — a real channel reports nothing, which is the
+//! point of the whole protocol.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::TxError;
+
+/// A non-blocking datagram channel carrying real frame bytes.
+///
+/// One `DatagramLink` is one striped channel: data frames, markers, and
+/// control messages for channel `c` all traverse the same link, preserving
+/// the per-channel FIFO the §5 synchronization protocol relies on (UDP
+/// over one socket pair is FIFO on loopback and quasi-FIFO in the wild —
+/// per-flow reordering is treated as loss by the marker recovery).
+pub trait DatagramLink {
+    /// Offer one encoded frame. Non-blocking: the frame is either handed
+    /// to the network, queued locally for a later [`flush`](Self::flush),
+    /// or rejected with backpressure ([`TxError::QueueFull`]).
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError>;
+
+    /// Receive one frame into `buf`, returning its length, or `None` when
+    /// nothing is ready (the readiness sweep moves to the next channel).
+    /// A frame longer than `buf` is truncated by the transport, which the
+    /// codec then rejects — size `buf` to [`mtu`](Self::mtu).
+    fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize>;
+
+    /// Largest frame the link accepts.
+    fn mtu(&self) -> usize;
+
+    /// Offer a run of frames back to back, appending one result per frame
+    /// to `out` (not cleared — batch callers compose runs). Semantically
+    /// identical to per-frame [`send_frame`](Self::send_frame) calls;
+    /// implementations may only amortize mechanics across the run (one
+    /// backlog flush instead of one per frame — the `sendmmsg` seam),
+    /// never change outcomes.
+    fn send_run(&mut self, frames: &[Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
+        out.reserve(frames.len());
+        for f in frames {
+            out.push(self.send_frame(f));
+        }
+    }
+
+    /// Try to drain locally queued frames (after earlier backpressure).
+    /// Returns how many left the queue. Default: nothing is ever queued.
+    fn flush(&mut self) -> usize {
+        0
+    }
+
+    /// Frames waiting in the local send queue.
+    fn backlog(&self) -> usize {
+        0
+    }
+}
+
+/// One direction of an in-memory datagram pipe (see [`datagram_pair`]):
+/// frames sent here pop out of the peer's [`recv_frame`], in order, with a
+/// bounded capacity. Deterministic and socket-free, for unit-testing
+/// everything that stripes over a [`DatagramLink`].
+#[derive(Debug)]
+pub struct TestDatagramLink {
+    /// Frames we transmit (the peer's receive queue).
+    out: Rc<RefCell<VecDeque<Vec<u8>>>>,
+    /// Frames the peer transmitted to us.
+    inn: Rc<RefCell<VecDeque<Vec<u8>>>>,
+    mtu: usize,
+    cap: usize,
+}
+
+/// A connected pair of [`TestDatagramLink`]s with the given MTU and
+/// per-direction queue capacity (in frames).
+pub fn datagram_pair(mtu: usize, cap: usize) -> (TestDatagramLink, TestDatagramLink) {
+    let ab = Rc::new(RefCell::new(VecDeque::new()));
+    let ba = Rc::new(RefCell::new(VecDeque::new()));
+    (
+        TestDatagramLink {
+            out: Rc::clone(&ab),
+            inn: Rc::clone(&ba),
+            mtu,
+            cap,
+        },
+        TestDatagramLink {
+            out: ba,
+            inn: ab,
+            mtu,
+            cap,
+        },
+    )
+}
+
+impl DatagramLink for TestDatagramLink {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        if frame.len() > self.mtu {
+            return Err(TxError::TooBig);
+        }
+        let mut q = self.out.borrow_mut();
+        if q.len() >= self.cap {
+            return Err(TxError::QueueFull);
+        }
+        q.push_back(frame.to_vec());
+        Ok(())
+    }
+
+    fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize> {
+        let frame = self.inn.borrow_mut().pop_front()?;
+        let n = frame.len().min(buf.len());
+        buf[..n].copy_from_slice(&frame[..n]);
+        Some(n)
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_moves_frames_in_order() {
+        let (mut a, mut b) = datagram_pair(1500, 8);
+        a.send_frame(&[1, 2, 3]).unwrap();
+        a.send_frame(&[4]).unwrap();
+        let mut buf = [0u8; 1500];
+        assert_eq!(b.recv_frame(&mut buf), Some(3));
+        assert_eq!(&buf[..3], &[1, 2, 3]);
+        assert_eq!(b.recv_frame(&mut buf), Some(1));
+        assert_eq!(buf[0], 4);
+        assert_eq!(b.recv_frame(&mut buf), None);
+    }
+
+    #[test]
+    fn pair_is_full_duplex() {
+        let (mut a, mut b) = datagram_pair(100, 8);
+        a.send_frame(&[9]).unwrap();
+        b.send_frame(&[7]).unwrap();
+        let mut buf = [0u8; 100];
+        assert_eq!(a.recv_frame(&mut buf), Some(1));
+        assert_eq!(buf[0], 7);
+        assert_eq!(b.recv_frame(&mut buf), Some(1));
+        assert_eq!(buf[0], 9);
+    }
+
+    #[test]
+    fn bounded_queue_backpressures() {
+        let (mut a, _b) = datagram_pair(100, 2);
+        a.send_frame(&[0]).unwrap();
+        a.send_frame(&[1]).unwrap();
+        assert_eq!(a.send_frame(&[2]), Err(TxError::QueueFull));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let (mut a, _b) = datagram_pair(4, 2);
+        assert_eq!(a.send_frame(&[0; 5]), Err(TxError::TooBig));
+    }
+
+    #[test]
+    fn send_run_matches_per_frame_sends() {
+        let (mut a, mut b) = datagram_pair(100, 3);
+        let frames: Vec<Vec<u8>> = vec![vec![1], vec![2], vec![3], vec![4]];
+        let mut out = Vec::new();
+        a.send_run(&frames, &mut out);
+        assert_eq!(
+            out,
+            vec![Ok(()), Ok(()), Ok(()), Err(TxError::QueueFull)],
+            "fourth frame hits the bounded queue"
+        );
+        let mut buf = [0u8; 100];
+        for want in 1u8..=3 {
+            assert_eq!(b.recv_frame(&mut buf), Some(1));
+            assert_eq!(buf[0], want);
+        }
+    }
+}

@@ -28,11 +28,17 @@
 //! returns when (and whether) the packet arrives, with FIFO delivery
 //! enforced even under per-packet jitter — the jitter reorders *spacing*,
 //! never packets, exactly the paper's channel model.
+//!
+//! Real channels (kernel sockets) cannot be analytic — they move bytes,
+//! not arrival predictions — so they implement the sibling contract
+//! [`datagram::DatagramLink`] instead; the `stripe-net` crate provides the
+//! UDP instance and the event loop that drives it.
 
 #![warn(missing_docs)]
 
 pub mod atm;
 pub mod cellstripe;
+pub mod datagram;
 pub mod eth;
 pub mod fault;
 pub mod host;
@@ -42,6 +48,7 @@ pub mod wire;
 
 pub use atm::AtmPvc;
 pub use cellstripe::CellStripedGroup;
+pub use datagram::{datagram_pair, DatagramLink, TestDatagramLink};
 pub use eth::{EthLink, EtherType, ETH_MTU, ETH_OVERHEAD};
 pub use fault::{FaultPlan, FaultyLink};
 pub use host::HostModel;

@@ -1,0 +1,196 @@
+//! Deterministic loss injection for real links: the net-path sibling of
+//! the simulator's [`stripe_link::FaultPlan`].
+//!
+//! A real network drops packets whenever it pleases, which is useless
+//! for tests that must *prove* marker recovery (Theorem 5.1): they need
+//! a drop at a known place and a lossless tail afterwards. [`DropLink`]
+//! wraps any [`DatagramLink`] and swallows selected **data** frames on
+//! the send side — identified by peeking the frame-kind byte through
+//! [`crate::frame::is_data_frame`] — while letting every marker and
+//! control message through, exactly like the simulated loss models,
+//! which never touch the control codepoint either.
+
+use stripe_link::{DatagramLink, TxError};
+
+use crate::frame::is_data_frame;
+
+/// Which data frames (counted per link, in send order, starting at 0)
+/// are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Drop nothing.
+    None,
+    /// Drop data frames with index in `from..to` — one loss burst, then
+    /// a clean tail (the Theorem 5.1 test shape).
+    Window {
+        /// First data-frame index dropped.
+        from: u64,
+        /// First data-frame index *not* dropped again.
+        to: u64,
+    },
+    /// Drop every `period`-th data frame, forever (steady background
+    /// loss for demos and benches).
+    Periodic {
+        /// Drop one frame out of every `period` (must be ≥ 2).
+        period: u64,
+    },
+}
+
+/// A [`DatagramLink`] wrapper that deterministically drops data frames
+/// on the send side, passing control frames untouched.
+#[derive(Debug)]
+pub struct DropLink<L: DatagramLink> {
+    inner: L,
+    policy: DropPolicy,
+    seen_data: u64,
+    dropped: u64,
+}
+
+impl<L: DatagramLink> DropLink<L> {
+    /// Wrap `inner` under `policy`.
+    pub fn new(inner: L, policy: DropPolicy) -> Self {
+        if let DropPolicy::Periodic { period } = policy {
+            assert!(period >= 2, "periodic drop needs period >= 2");
+        }
+        Self {
+            inner,
+            policy,
+            seen_data: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Data frames swallowed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Data frames offered so far (dropped or not).
+    pub fn seen_data(&self) -> u64 {
+        self.seen_data
+    }
+
+    /// The wrapped link.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped link.
+    pub fn inner_mut(&mut self) -> &mut L {
+        &mut self.inner
+    }
+
+    fn should_drop(&self, index: u64) -> bool {
+        match self.policy {
+            DropPolicy::None => false,
+            DropPolicy::Window { from, to } => (from..to).contains(&index),
+            DropPolicy::Periodic { period } => index % period == period - 1,
+        }
+    }
+}
+
+impl<L: DatagramLink> DatagramLink for DropLink<L> {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        if is_data_frame(frame) {
+            let index = self.seen_data;
+            self.seen_data += 1;
+            if self.should_drop(index) {
+                // Swallowed in flight: the sender sees success, nothing
+                // arrives — indistinguishable from network loss.
+                self.dropped += 1;
+                return Ok(());
+            }
+        }
+        self.inner.send_frame(frame)
+    }
+
+    // send_run is deliberately left on the trait default (a per-frame
+    // loop over send_frame), so the drop policy sees every frame.
+
+    fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize> {
+        self.inner.recv_frame(buf)
+    }
+
+    fn mtu(&self) -> usize {
+        self.inner.mtu()
+    }
+
+    fn flush(&mut self) -> usize {
+        self.inner.flush()
+    }
+
+    fn backlog(&self) -> usize {
+        self.inner.backlog()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_control_into, encode_data_into};
+    use stripe_core::control::Control;
+    use stripe_link::datagram_pair;
+
+    fn data_frame(byte: u8) -> Vec<u8> {
+        let mut f = Vec::new();
+        encode_data_into(&[byte], &mut f);
+        f
+    }
+
+    #[test]
+    fn window_drops_exactly_the_window() {
+        let (a, mut b) = datagram_pair(256, 64);
+        let mut link = DropLink::new(a, DropPolicy::Window { from: 2, to: 4 });
+        for i in 0..6u8 {
+            link.send_frame(&data_frame(i)).unwrap();
+        }
+        assert_eq!(link.dropped(), 2);
+        let mut buf = [0u8; 256];
+        let mut got = Vec::new();
+        while let Some(n) = b.recv_frame(&mut buf) {
+            got.push(buf[..n][n - 1]);
+        }
+        assert_eq!(got, vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn control_frames_pass_through_the_window() {
+        let (a, mut b) = datagram_pair(256, 64);
+        let mut link = DropLink::new(a, DropPolicy::Window { from: 0, to: 100 });
+        let mut ctl = Vec::new();
+        encode_control_into(&Control::Probe { nonce: 5 }, &mut ctl);
+        link.send_frame(&ctl).unwrap();
+        link.send_frame(&data_frame(1)).unwrap();
+        let mut buf = [0u8; 256];
+        assert!(b.recv_frame(&mut buf).is_some(), "control must arrive");
+        assert!(b.recv_frame(&mut buf).is_none(), "data must not");
+        assert_eq!(link.dropped(), 1);
+        assert_eq!(link.seen_data(), 1);
+    }
+
+    #[test]
+    fn periodic_drops_every_nth() {
+        let (a, mut b) = datagram_pair(256, 64);
+        let mut link = DropLink::new(a, DropPolicy::Periodic { period: 3 });
+        for i in 0..9u8 {
+            link.send_frame(&data_frame(i)).unwrap();
+        }
+        assert_eq!(link.dropped(), 3);
+        let mut buf = [0u8; 256];
+        let mut got = Vec::new();
+        while let Some(n) = b.recv_frame(&mut buf) {
+            got.push(buf[..n][n - 1]);
+        }
+        assert_eq!(got, vec![0, 1, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn none_policy_is_transparent() {
+        let (a, mut b) = datagram_pair(256, 64);
+        let mut link = DropLink::new(a, DropPolicy::None);
+        link.send_frame(&data_frame(7)).unwrap();
+        let mut buf = [0u8; 256];
+        assert!(b.recv_frame(&mut buf).is_some());
+        assert_eq!(link.dropped(), 0);
+    }
+}

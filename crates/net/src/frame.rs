@@ -1,0 +1,210 @@
+//! The canonical on-wire frame format of the real-socket datapath.
+//!
+//! Every UDP datagram on a striped channel is exactly one frame:
+//!
+//! | offset | size | field                                         |
+//! |--------|------|-----------------------------------------------|
+//! | 0      | 1    | magic (`0xC5`)                                |
+//! | 1      | 1    | version (`1`)                                 |
+//! | 2      | 1    | kind: `0` = data, `1` = control               |
+//! | 3      | …    | body                                          |
+//!
+//! A *data* frame's body is the application payload, verbatim — the
+//! paper's central constraint is that striping never modifies data
+//! packets, so the only thing this layer adds is the 3-byte
+//! demultiplexing header (the real-network stand-in for the Ethernet
+//! type-field codepoint of §5). A *control* frame's body is exactly the
+//! bytes of [`Control::encode`] — markers ride as
+//! [`Control::Marker`](Control::Marker) — produced through
+//! [`Control::encode_into`], so the simulator and the socket path share
+//! one encoder and cannot drift.
+//!
+//! Decoding is zero-copy for data: [`Frame::Data`] borrows the payload
+//! from the receive buffer. Anything malformed (bad magic, unknown
+//! version or kind, undecodable control body) is reported as `None` and
+//! dropped by the caller, exactly like corrupt traffic in the simulated
+//! links.
+
+use stripe_core::control::Control;
+
+/// First byte of every frame; chosen to collide with neither the marker
+/// magic (`0x53`) nor common text, so misdirected traffic fails loudly.
+pub const FRAME_MAGIC: u8 = 0xC5;
+
+/// Current (and only) wire-format version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Frame-kind codepoint for application data.
+pub const KIND_DATA: u8 = 0;
+
+/// Frame-kind codepoint for control messages (markers included).
+pub const KIND_CONTROL: u8 = 1;
+
+/// Bytes of header preceding the body.
+pub const FRAME_HEADER_LEN: usize = 3;
+
+/// One decoded frame. Data borrows straight out of the receive buffer —
+/// the payload is never copied by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// An application data packet (payload bytes, unmodified).
+    Data(&'a [u8]),
+    /// A control message: marker, probe, membership, reset, quantum update.
+    Control(Control),
+}
+
+/// Append the header for a frame of `kind` to `out`.
+fn push_header(kind: u8, out: &mut Vec<u8>) {
+    out.push(FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.push(kind);
+}
+
+/// Encode a data frame into `out` (cleared first, capacity kept): the
+/// steady-state path encodes every frame into a recycled buffer.
+pub fn encode_data_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    push_header(KIND_DATA, out);
+    out.extend_from_slice(payload);
+}
+
+/// Encode a control frame into `out` (cleared first, capacity kept). The
+/// body is produced by [`Control::encode_into`] — the single shared
+/// control encoder.
+pub fn encode_control_into(ctl: &Control, out: &mut Vec<u8>) {
+    out.clear();
+    push_header(KIND_CONTROL, out);
+    ctl.encode_into(out);
+}
+
+/// On-wire length of a data frame carrying `payload_len` body bytes.
+pub fn data_frame_len(payload_len: usize) -> usize {
+    FRAME_HEADER_LEN + payload_len
+}
+
+/// On-wire length of a control frame, without materializing it.
+pub fn control_frame_len(ctl: &Control) -> usize {
+    FRAME_HEADER_LEN + ctl.wire_len()
+}
+
+/// Whether `frame` is a well-headed data frame — the peek the fault layer
+/// uses to drop data while letting markers and control through.
+pub fn is_data_frame(frame: &[u8]) -> bool {
+    frame.len() >= FRAME_HEADER_LEN
+        && frame[0] == FRAME_MAGIC
+        && frame[1] == FRAME_VERSION
+        && frame[2] == KIND_DATA
+}
+
+/// Decode one received frame. `None` on anything malformed; the caller
+/// drops it like any corrupt packet (§5 assumes detectable corruption).
+pub fn decode(frame: &[u8]) -> Option<Frame<'_>> {
+    if frame.len() < FRAME_HEADER_LEN || frame[0] != FRAME_MAGIC || frame[1] != FRAME_VERSION {
+        return None;
+    }
+    let body = &frame[FRAME_HEADER_LEN..];
+    match frame[2] {
+        KIND_DATA => Some(Frame::Data(body)),
+        KIND_CONTROL => Control::decode(body).map(Frame::Control),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stripe_core::sched::ChannelMark;
+    use stripe_core::Marker;
+
+    #[test]
+    fn data_roundtrips_zero_copy() {
+        let payload = [7u8, 8, 9, 10];
+        let mut buf = Vec::new();
+        encode_data_into(&payload, &mut buf);
+        assert_eq!(buf.len(), data_frame_len(payload.len()));
+        match decode(&buf) {
+            Some(Frame::Data(body)) => {
+                assert_eq!(body, &payload);
+                // Zero-copy: the decoded body aliases the frame buffer.
+                assert!(std::ptr::eq(
+                    body.as_ptr(),
+                    buf[FRAME_HEADER_LEN..].as_ptr()
+                ));
+            }
+            other => panic!("expected data frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_data_frame_is_legal() {
+        let mut buf = Vec::new();
+        encode_data_into(&[], &mut buf);
+        assert_eq!(decode(&buf), Some(Frame::Data(&[][..])));
+    }
+
+    #[test]
+    fn control_roundtrips_every_variant() {
+        for ctl in [
+            Control::Marker(Marker::sync(3, ChannelMark { round: 99, dc: -5 })),
+            Control::ResetRequest { epoch: 7 },
+            Control::ResetAck { epoch: 7 },
+            Control::QuantumUpdate {
+                effective_round: 1 << 33,
+                quanta: vec![1500, 4500],
+            },
+            Control::Probe { nonce: 0xDEAD },
+            Control::ProbeAck { nonce: 0xDEAD },
+            Control::Membership {
+                epoch: 2,
+                live_mask: 0b101,
+                effective_round: 64,
+            },
+            Control::MembershipAck { epoch: 2 },
+        ] {
+            let mut buf = Vec::new();
+            encode_control_into(&ctl, &mut buf);
+            assert_eq!(buf.len(), control_frame_len(&ctl), "{ctl:?}");
+            assert_eq!(decode(&buf), Some(Frame::Control(ctl.clone())), "{ctl:?}");
+        }
+    }
+
+    #[test]
+    fn control_body_is_exactly_the_shared_encoder_bytes() {
+        let ctl = Control::Probe { nonce: 42 };
+        let mut buf = Vec::new();
+        encode_control_into(&ctl, &mut buf);
+        assert_eq!(&buf[FRAME_HEADER_LEN..], &ctl.encode()[..]);
+    }
+
+    #[test]
+    fn encode_into_clears_previous_contents() {
+        let mut buf = vec![1, 2, 3, 4, 5];
+        encode_data_into(&[9], &mut buf);
+        assert_eq!(buf, vec![FRAME_MAGIC, FRAME_VERSION, KIND_DATA, 9]);
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        // Short, bad magic, bad version, unknown kind, bad control body.
+        assert_eq!(decode(&[]), None);
+        assert_eq!(decode(&[FRAME_MAGIC, FRAME_VERSION]), None);
+        assert_eq!(decode(&[0x00, FRAME_VERSION, KIND_DATA, 1]), None);
+        assert_eq!(decode(&[FRAME_MAGIC, 99, KIND_DATA, 1]), None);
+        assert_eq!(decode(&[FRAME_MAGIC, FRAME_VERSION, 7, 1]), None);
+        assert_eq!(
+            decode(&[FRAME_MAGIC, FRAME_VERSION, KIND_CONTROL, 99]),
+            None
+        );
+    }
+
+    #[test]
+    fn is_data_frame_peeks_kind() {
+        let mut data = Vec::new();
+        encode_data_into(&[1, 2], &mut data);
+        assert!(is_data_frame(&data));
+        let mut ctl = Vec::new();
+        encode_control_into(&Control::Probe { nonce: 1 }, &mut ctl);
+        assert!(!is_data_frame(&ctl));
+        assert!(!is_data_frame(&[FRAME_MAGIC]));
+    }
+}

@@ -1,0 +1,59 @@
+//! Real-socket striping: the simulated SRR datapath running over N
+//! kernel UDP sockets.
+//!
+//! Everything the simulation proved — causal scheduling, logical
+//! reception, marker resynchronization, liveness-driven failover — runs
+//! here unchanged over real non-blocking sockets. The crate adds only
+//! what a real network demands and the simulator abstracted away:
+//!
+//! - [`frame`] — the canonical on-wire format: a 3-byte header
+//!   (magic, version, kind) in front of either a raw payload or a
+//!   [`Control`](stripe_core::control::Control) body encoded by the one
+//!   shared codec. The simulator's control messages and the wire's are
+//!   byte-identical by construction.
+//! - [`udp`] — [`UdpChannel`], one connected non-blocking UDP socket
+//!   per striped channel, with a bounded, buffer-recycling local queue
+//!   absorbing kernel backpressure and a run-amortized
+//!   (`sendmmsg`-style) batch seam.
+//! - [`path`] — [`NetStripedPath`], the sender: the exact
+//!   [`StripingSender`](stripe_core::sender::StripingSender) batch
+//!   datapath, encoding into recycled frame buffers and handing
+//!   channel-runs to the links in single calls.
+//! - [`recv`] — [`NetLogicalReceiver`], the receiver: pooled buffers in
+//!   from the sockets, payload views through the shared resequencer,
+//!   storage recycled on consumption.
+//! - [`reactor`] — [`SenderReactor`], the poll loop: flushes backlogs,
+//!   sweeps the reverse path, ticks the PR-1 failover driver. No async
+//!   runtime, no threads, no new dependencies.
+//! - [`clock`] — [`WallClock`], mapping `std::time::Instant` onto
+//!   [`SimTime`](stripe_netsim::SimTime) nanoseconds so every
+//!   timer-driven component runs on either clock.
+//! - [`fault`] — [`DropLink`], deterministic data-frame loss for
+//!   proving marker recovery (Theorem 5.1) over real sockets.
+//! - [`pool`] — [`BufPool`]/[`PooledBuf`], the zero-allocation receive
+//!   story.
+//!
+//! Steady state, neither direction allocates: the send side reuses its
+//! scratch and frame buffers, the receive side cycles pooled buffers
+//! through the resequencer and back. The `alloc_counting` integration
+//! test pins this.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod fault;
+pub mod frame;
+pub mod path;
+pub mod pool;
+pub mod reactor;
+pub mod recv;
+pub mod udp;
+
+pub use clock::WallClock;
+pub use fault::{DropLink, DropPolicy};
+pub use frame::{Frame, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
+pub use path::{NetStripedPath, NetStripedPathBuilder};
+pub use pool::{BufPool, PooledBuf};
+pub use reactor::{Periodic, ReactorSnapshot, SenderReactor};
+pub use recv::{NetLogicalReceiver, NetLogicalReceiverBuilder, NetRxSnapshot};
+pub use udp::{UdpChannel, UdpChannelSnapshot};

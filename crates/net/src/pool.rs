@@ -1,0 +1,182 @@
+//! Recycled receive buffers: the zero-allocation receive half of the
+//! real-socket datapath.
+//!
+//! The simulated datapath never materializes packets, so its
+//! zero-alloc story is purely about scratch reuse. A socket must
+//! actually land bytes somewhere, and a fresh `Vec` per datagram would
+//! put an allocation on every received packet. [`BufPool`] breaks that:
+//! `recv` lands each frame in a pooled buffer, the payload travels
+//! through the [`LogicalReceiver`] as a [`PooledBuf`] *view* (no copy,
+//! no refcount), and the consumer hands the storage back with
+//! [`BufPool::put`]. Steady state, the same few buffers cycle forever.
+//!
+//! [`LogicalReceiver`]: stripe_core::receiver::LogicalReceiver
+
+use stripe_core::types::WireLen;
+
+/// An owned view into a pooled buffer: the storage plus the
+/// `offset..offset+len` window holding one packet's payload.
+///
+/// Its [`WireLen`] is the *payload* length — the same number the sender
+/// charged against its deficit counter for this packet — so the
+/// receiver's scheduler simulation advances exactly in step with the
+/// sender's (condition C2 needs both ends to agree on every length).
+#[derive(Debug, PartialEq, Eq)]
+pub struct PooledBuf {
+    data: Vec<u8>,
+    offset: usize,
+    len: usize,
+}
+
+impl PooledBuf {
+    /// View `data[offset..offset + len]` as one packet's payload.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds the buffer.
+    pub fn new(data: Vec<u8>, offset: usize, len: usize) -> Self {
+        assert!(offset + len <= data.len(), "payload window out of bounds");
+        Self { data, offset, len }
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reclaim the backing storage (to hand back to a [`BufPool`]).
+    pub fn into_inner(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl WireLen for PooledBuf {
+    fn wire_len(&self) -> usize {
+        self.len
+    }
+}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A pool of fixed-size receive buffers.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    buf_len: usize,
+    allocated: u64,
+}
+
+impl BufPool {
+    /// A pool of `initial` pre-allocated buffers of `buf_len` bytes each.
+    /// `buf_len` should be the channel MTU: every frame must fit.
+    pub fn new(buf_len: usize, initial: usize) -> Self {
+        assert!(buf_len > 0, "buffers must have room for a frame");
+        Self {
+            free: (0..initial).map(|_| vec![0u8; buf_len]).collect(),
+            buf_len,
+            allocated: initial as u64,
+        }
+    }
+
+    /// Take a buffer of exactly [`buf_len`](Self::buf_len) bytes,
+    /// recycling a free one when available and allocating only when the
+    /// pool is dry (a high-water-mark growth, like every scratch buffer
+    /// in the batched datapath).
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => buf,
+            None => {
+                self.allocated += 1;
+                vec![0u8; self.buf_len]
+            }
+        }
+    }
+
+    /// Return a buffer to the pool. Buffers of the wrong size (e.g. from
+    /// a reconfigured pool) are resized back to `buf_len`.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        buf.resize(self.buf_len, 0);
+        self.free.push(buf);
+    }
+
+    /// Buffer size this pool hands out.
+    pub fn buf_len(&self) -> usize {
+        self.buf_len
+    }
+
+    /// Buffers currently free.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total buffers ever allocated (the high-water mark; a steady-state
+    /// datapath stops growing this).
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_before_allocating() {
+        let mut pool = BufPool::new(64, 2);
+        assert_eq!(pool.allocated(), 2);
+        let a = pool.take();
+        let b = pool.take();
+        assert_eq!(pool.allocated(), 2, "both served from the pool");
+        assert_eq!(pool.free_count(), 0);
+        let c = pool.take();
+        assert_eq!(pool.allocated(), 3, "dry pool grows");
+        pool.put(a);
+        pool.put(b);
+        pool.put(c);
+        for _ in 0..100 {
+            let buf = pool.take();
+            pool.put(buf);
+        }
+        assert_eq!(pool.allocated(), 3, "steady state never grows");
+    }
+
+    #[test]
+    fn put_restores_full_size() {
+        let mut pool = BufPool::new(16, 1);
+        let mut buf = pool.take();
+        buf.truncate(3);
+        pool.put(buf);
+        assert_eq!(pool.take().len(), 16);
+    }
+
+    #[test]
+    fn pooled_buf_views_payload_window() {
+        let mut data = vec![0u8; 10];
+        data[3..6].copy_from_slice(&[7, 8, 9]);
+        let pb = PooledBuf::new(data, 3, 3);
+        assert_eq!(pb.as_slice(), &[7, 8, 9]);
+        assert_eq!(pb.wire_len(), 3);
+        assert_eq!(pb.len(), 3);
+        assert!(!pb.is_empty());
+        assert_eq!(pb.into_inner().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_window_panics() {
+        let _ = PooledBuf::new(vec![0; 4], 2, 3);
+    }
+}

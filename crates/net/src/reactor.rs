@@ -1,0 +1,324 @@
+//! The sender-side poll loop: flush backlogs, sweep the reverse path,
+//! drive the failover control plane — no async runtime, no threads.
+//!
+//! The whole subsystem runs on non-blocking sockets, so somebody has to
+//! come back around: retry frames the kernel refused, read probe acks
+//! and membership acks off the reverse path, and hand the PR-1
+//! [`FailoverDriver`] its periodic tick. [`SenderReactor`] is that
+//! somebody. One [`poll`](SenderReactor::poll) is one readiness sweep;
+//! the application calls it between send batches (or from a trivial
+//! loop when idle). Because every timer-driven component takes `now` as
+//! an argument instead of asking a clock, the same reactor code runs
+//! under [`WallClock`](crate::clock::WallClock) time in production and
+//! under scripted [`SimTime`]s in tests.
+//!
+//! [`FailoverDriver`]: stripe_transport::FailoverDriver
+
+use stripe_core::sched::CausalScheduler;
+use stripe_link::DatagramLink;
+use stripe_netsim::{SimDuration, SimTime};
+use stripe_transport::{ControlTransmission, FailoverDriver};
+
+use crate::frame::{self, Frame};
+use crate::path::NetStripedPath;
+
+/// A fixed-interval timer in simulation/wall time.
+///
+/// `fire(now)` answers "has the interval elapsed?" and, when it has,
+/// re-arms past `now` — skipping missed intervals rather than bursting,
+/// since a late reactor wants one tick, not a backlog of them.
+#[derive(Debug, Clone, Copy)]
+pub struct Periodic {
+    next: SimTime,
+    interval: SimDuration,
+}
+
+impl Periodic {
+    /// A timer first firing at `start + interval`, then every `interval`.
+    pub fn new(start: SimTime, interval: SimDuration) -> Self {
+        Self {
+            next: start + interval,
+            interval,
+        }
+    }
+
+    /// True when the timer is due at `now`; re-arms for the next interval
+    /// strictly after `now`.
+    pub fn fire(&mut self, now: SimTime) -> bool {
+        if now < self.next {
+            return false;
+        }
+        while self.next <= now {
+            self.next += self.interval;
+        }
+        true
+    }
+
+    /// The next due time.
+    pub fn next_due(&self) -> SimTime {
+        self.next
+    }
+}
+
+/// Counters for the reactor's own work (the datapath and control plane
+/// keep their own snapshots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorSnapshot {
+    /// Readiness sweeps performed.
+    pub polls: u64,
+    /// Backlogged frames drained to the kernel by flushes.
+    pub flushed: u64,
+    /// Control frames read off the reverse path.
+    pub control_in: u64,
+    /// Data frames read off the reverse path (unexpected at the sender)
+    /// and discarded.
+    pub dropped_unexpected_data: u64,
+    /// Reverse-path frames that failed to decode.
+    pub dropped_malformed: u64,
+    /// Failover ticks delivered.
+    pub ticks: u64,
+}
+
+/// Poll-driven harness around a [`NetStripedPath`] and its failover
+/// control plane.
+#[derive(Debug)]
+pub struct SenderReactor<S: CausalScheduler, L: DatagramLink> {
+    path: NetStripedPath<S, L>,
+    driver: Option<FailoverDriver>,
+    tick: Periodic,
+    recv_buf: Vec<u8>,
+    stats: ReactorSnapshot,
+}
+
+impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
+    /// Wrap `path`, ticking `driver` (when present) every
+    /// `tick_interval` starting from `now`.
+    pub fn new(
+        path: NetStripedPath<S, L>,
+        driver: Option<FailoverDriver>,
+        now: SimTime,
+        tick_interval: SimDuration,
+    ) -> Self {
+        let buf_len = path
+            .links()
+            .iter()
+            .map(|l| l.mtu())
+            .max()
+            .expect("path has at least one link");
+        Self {
+            path,
+            driver,
+            tick: Periodic::new(now, tick_interval),
+            recv_buf: vec![0u8; buf_len],
+            stats: ReactorSnapshot::default(),
+        }
+    }
+
+    /// One readiness sweep at `now`:
+    ///
+    /// 1. flush every channel's parked send backlog toward the kernel;
+    /// 2. drain the reverse path, feeding control to the failover driver;
+    /// 3. deliver the periodic failover tick when due.
+    ///
+    /// Returns the control transmissions the driver reported (probes
+    /// sent, announcements, retransmissions) — empty in the steady state,
+    /// and `Vec::new()` never allocates.
+    pub fn poll(&mut self, now: SimTime) -> Vec<ControlTransmission> {
+        self.stats.polls += 1;
+        self.stats.flushed += self.path.flush() as u64;
+        let mut reports = Vec::new();
+        for c in 0..self.path.links().len() {
+            while let Some(n) = self.path.links_mut()[c].recv_frame(&mut self.recv_buf) {
+                let ctl = match frame::decode(&self.recv_buf[..n]) {
+                    Some(Frame::Control(ctl)) => {
+                        self.stats.control_in += 1;
+                        ctl
+                    }
+                    Some(Frame::Data(_)) => {
+                        self.stats.dropped_unexpected_data += 1;
+                        continue;
+                    }
+                    None => {
+                        self.stats.dropped_malformed += 1;
+                        continue;
+                    }
+                };
+                if let Some(driver) = self.driver.as_mut() {
+                    reports.extend(driver.on_control(&mut self.path, c, &ctl, now));
+                }
+            }
+        }
+        if self.tick.fire(now) {
+            if let Some(driver) = self.driver.as_mut() {
+                self.stats.ticks += 1;
+                reports.extend(driver.tick(&mut self.path, now));
+            }
+        }
+        reports
+    }
+
+    /// The wrapped path.
+    pub fn path(&self) -> &NetStripedPath<S, L> {
+        &self.path
+    }
+
+    /// Mutable access to the wrapped path (to send batches through).
+    pub fn path_mut(&mut self) -> &mut NetStripedPath<S, L> {
+        &mut self.path
+    }
+
+    /// The failover driver, if one is attached.
+    pub fn driver(&self) -> Option<&FailoverDriver> {
+        self.driver.as_ref()
+    }
+
+    /// Reactor counters.
+    pub fn stats(&self) -> ReactorSnapshot {
+        self.stats
+    }
+
+    /// Take the path (and driver) back out.
+    pub fn into_inner(self) -> (NetStripedPath<S, L>, Option<FailoverDriver>) {
+        (self.path, self.driver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recv::NetLogicalReceiver;
+    use stripe_core::control::Control;
+    use stripe_core::sched::Srr;
+    use stripe_link::{datagram_pair, TestDatagramLink};
+    use stripe_transport::FailoverConfig;
+
+    fn reactor_pair(
+        tick_ns: u64,
+    ) -> (
+        SenderReactor<Srr, TestDatagramLink>,
+        NetLogicalReceiver<Srr, TestDatagramLink>,
+    ) {
+        let (a0, b0) = datagram_pair(2048, 4096);
+        let (a1, b1) = datagram_pair(2048, 4096);
+        let path = NetStripedPath::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(vec![a0, a1])
+            .build();
+        let driver = FailoverDriver::new(
+            2,
+            FailoverConfig::with_probe_interval(tick_ns),
+            SimTime::ZERO,
+        );
+        let reactor = SenderReactor::new(
+            path,
+            Some(driver),
+            SimTime::ZERO,
+            SimDuration::from_nanos(tick_ns),
+        );
+        let rx = NetLogicalReceiver::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(vec![b0, b1])
+            .build();
+        (reactor, rx)
+    }
+
+    #[test]
+    fn periodic_fires_once_per_interval_and_skips_missed() {
+        let mut p = Periodic::new(SimTime::ZERO, SimDuration::from_millis(10));
+        assert!(!p.fire(SimTime::from_millis(9)));
+        assert!(p.fire(SimTime::from_millis(10)));
+        assert!(!p.fire(SimTime::from_millis(11)));
+        // Late by many intervals: one fire, re-armed past now.
+        assert!(p.fire(SimTime::from_millis(55)));
+        assert_eq!(p.next_due(), SimTime::from_millis(60));
+    }
+
+    /// A full probe round trip through real frame bytes: tick emits
+    /// probes, the receiver acks them on the reverse path, the next
+    /// reactor poll feeds the acks back into the liveness tracker.
+    #[test]
+    fn probe_round_trip_keeps_channels_live() {
+        let (mut reactor, mut rx) = reactor_pair(1_000_000);
+        // Walk time far past the dead deadline, polling both ends each
+        // probe interval; acked channels must never be declared dead.
+        let mut announced_death = false;
+        for ms in 1..20u64 {
+            let now = SimTime::from_millis(ms);
+            let reports = reactor.poll(now);
+            announced_death |= reports
+                .iter()
+                .any(|r| matches!(r.ctl, Control::Membership { .. }));
+            rx.sweep(now);
+            reactor.poll(now); // read back this interval's acks
+        }
+        assert!(reactor.stats().ticks >= 19);
+        assert!(reactor.stats().control_in >= 2, "acks flowed back");
+        assert!(!announced_death, "acked channels must stay live");
+        assert_eq!(rx.net_stats().replies_sent, rx.net_stats().control_frames);
+    }
+
+    /// One channel acked, one silent: three silent intervals kill the
+    /// quiet channel and a shrunken mask is announced on the live one.
+    #[test]
+    fn silence_declares_death() {
+        let (a0, mut b0) = datagram_pair(2048, 4096);
+        let (a1, _silent_peer) = datagram_pair(2048, 4096);
+        let path = NetStripedPath::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(vec![a0, a1])
+            .build();
+        let driver = FailoverDriver::new(
+            2,
+            FailoverConfig::with_probe_interval(1_000_000),
+            SimTime::ZERO,
+        );
+        let mut reactor = SenderReactor::new(
+            path,
+            Some(driver),
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+        );
+        let mut buf = [0u8; 2048];
+        let mut ctl_buf = Vec::new();
+        let mut announced_death = false;
+        for ms in 1..10u64 {
+            let reports = reactor.poll(SimTime::from_millis(ms));
+            announced_death |= reports
+                .iter()
+                .any(|r| matches!(r.ctl, Control::Membership { .. }));
+            // Ack channel 0's probes by hand; channel 1 stays silent.
+            while let Some(n) = b0.recv_frame(&mut buf) {
+                if let Some(Frame::Control(Control::Probe { nonce })) = frame::decode(&buf[..n]) {
+                    crate::frame::encode_control_into(&Control::ProbeAck { nonce }, &mut ctl_buf);
+                    b0.send_frame(&ctl_buf).unwrap();
+                }
+            }
+        }
+        assert!(
+            announced_death,
+            "a dead channel must announce a shrunken mask"
+        );
+    }
+
+    /// Flush drains frames parked behind kernel/queue backpressure.
+    #[test]
+    fn poll_flushes_backlog() {
+        let (a0, mut b0) = datagram_pair(256, 8);
+        // Park frames directly in the link's local queue by filling the
+        // peer's in-flight capacity: TestDatagramLink has unbounded
+        // in-flight, so emulate by enqueueing via send while "jammed".
+        let mut path = NetStripedPath::builder()
+            .scheduler(Srr::equal(1, 1500))
+            .links(vec![a0])
+            .build();
+        let mut pkts = vec![bytes::Bytes::from(vec![5u8; 32])];
+        let mut out = stripe_transport::TxBatch::new();
+        path.send_batch(SimTime::ZERO, &mut pkts, &mut out);
+        let mut reactor =
+            SenderReactor::new(path, None, SimTime::ZERO, SimDuration::from_millis(1));
+        reactor.poll(SimTime::from_millis(1));
+        assert_eq!(reactor.stats().polls, 1);
+        let mut buf = [0u8; 256];
+        assert!(b0.recv_frame(&mut buf).is_some(), "frame reached the peer");
+    }
+}

@@ -1,7 +1,11 @@
 //! Failover orchestration: liveness-driven membership over a striped path.
 //!
 //! This is where the pieces meet. [`FailoverDriver`] sits beside the
-//! sender's [`StripedPath`] and owns the two control-plane state machines:
+//! sender's datapath — anything implementing
+//! [`ControlPath`](crate::stripe_conn::ControlPath): the simulated
+//! [`StripedPath`](crate::stripe_conn::StripedPath) or the real-socket
+//! `NetStripedPath` from `stripe-net` — and owns the two control-plane
+//! state machines:
 //! the [`LivenessTracker`] (per-channel keepalives with exponential
 //! backoff) and the [`MembershipSender`] (the epoch'd shrink/grow
 //! handshake). [`StripedSink`] is its receiver-side counterpart: it feeds
@@ -33,10 +37,9 @@ use stripe_core::membership::{MembershipAction, MembershipResponder, MembershipS
 use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverSnapshot, RxBatch};
 use stripe_core::sched::CausalScheduler;
 use stripe_core::types::{ChannelId, WireLen};
-use stripe_link::FifoLink;
 use stripe_netsim::SimTime;
 
-use crate::stripe_conn::{ControlTransmission, StripedPath};
+use crate::stripe_conn::{ControlPath, ControlTransmission};
 
 /// Tuning for the failover driver.
 #[derive(Debug, Clone, Copy)]
@@ -88,9 +91,9 @@ impl FailoverDriver {
         }
     }
 
-    fn announce_current_mask<S: CausalScheduler, L: FifoLink>(
+    fn announce_current_mask<P: ControlPath>(
         &mut self,
-        path: &mut StripedPath<S, L>,
+        path: &mut P,
         now: SimTime,
     ) -> Vec<ControlTransmission> {
         let mask = self.live.live_mask();
@@ -100,9 +103,9 @@ impl FailoverDriver {
             // first recovered channel will re-announce.
             return Vec::new();
         }
-        let eff = path.sender().scheduler().round() + self.cfg.announce_lead_rounds;
+        let eff = path.current_round() + self.cfg.announce_lead_rounds;
         self.membership.begin_announce(&mask, eff);
-        path.sender_mut().schedule_mask(eff, &mask);
+        path.schedule_mask(eff, &mask);
         self.last_retransmit_ns = now.as_nanos();
         // One shared announcement, borrowed into every channel's transmit:
         // the frame is built once, never re-materialized per channel.
@@ -117,11 +120,7 @@ impl FailoverDriver {
     /// Drive timers: emit due probes (dead channels included — that is how
     /// recovery is noticed), declare deaths and announce the shrunken
     /// mask, retransmit unacked announcements.
-    pub fn tick<S: CausalScheduler, L: FifoLink>(
-        &mut self,
-        path: &mut StripedPath<S, L>,
-        now: SimTime,
-    ) -> Vec<ControlTransmission> {
+    pub fn tick<P: ControlPath>(&mut self, path: &mut P, now: SimTime) -> Vec<ControlTransmission> {
         let mut out = Vec::new();
         let mut died = false;
         for ev in self.live.poll(now.as_nanos()) {
@@ -150,9 +149,9 @@ impl FailoverDriver {
     }
 
     /// A control message arrived on the reverse path of `channel`.
-    pub fn on_control<S: CausalScheduler, L: FifoLink>(
+    pub fn on_control<P: ControlPath>(
         &mut self,
-        path: &mut StripedPath<S, L>,
+        path: &mut P,
         channel: ChannelId,
         ctl: &Control,
         now: SimTime,

@@ -37,6 +37,7 @@ pub use credit::{CreditReceiver, CreditSender};
 pub use duplex::{DuplexEndpoint, DuplexSend};
 pub use failover::{FailoverConfig, FailoverDriver, StripedSink, StripedSinkBuilder};
 pub use stripe_conn::{
-    ControlTransmission, PathSnapshot, StripedPath, StripedPathBuilder, Transmission, TxBatch,
+    ControlPath, ControlTransmission, PathSnapshot, StripedPath, StripedPathBuilder, Transmission,
+    TxBatch,
 };
 pub use tcp::{Segment, SegmentSizer, TcpReceiver, TcpSender};

@@ -137,6 +137,13 @@ impl<P> TxBatch<P> {
     pub fn clear(&mut self) {
         self.txs.clear();
     }
+
+    /// Append one transmission. This is how alternative datapaths (the
+    /// real-socket path in `stripe-net`) fill the same batch type the sim
+    /// path uses, so downstream consumers are datapath-agnostic.
+    pub fn push(&mut self, t: Transmission<P>) {
+        self.txs.push(t);
+    }
 }
 
 impl<P> Default for TxBatch<P> {
@@ -151,6 +158,43 @@ impl<'a, P> IntoIterator for &'a TxBatch<P> {
     fn into_iter(self) -> Self::IntoIter {
         self.txs.iter()
     }
+}
+
+/// The control-plane surface a failover/membership driver needs from a
+/// striped datapath, independent of whether the channels are simulated
+/// [`FifoLink`]s or real sockets.
+///
+/// [`StripedPath`] implements it over the analytic links; the
+/// `stripe-net` crate's `NetStripedPath` implements it over kernel
+/// sockets, which is what lets [`crate::failover::FailoverDriver`] run
+/// unchanged on both. On a real path, `arrival` in the returned
+/// [`ControlTransmission`] means "handed to the network at this instant"
+/// (the far-end arrival is unknowable); `None` still means the message
+/// never left.
+pub trait ControlPath {
+    /// Number of channels in the striping group.
+    fn channels(&self) -> usize;
+
+    /// The sender scheduler's current round, for computing effective
+    /// rounds of membership/quantum changes.
+    fn current_round(&self) -> u64;
+
+    /// Schedule a membership mask on the local scheduler (see
+    /// [`stripe_core::sender::StripingSender::schedule_mask`]).
+    fn schedule_mask(&mut self, effective_round: u64, live: &[bool]);
+
+    /// Transmit one control message on channel `c` at `now`.
+    fn transmit_control(&mut self, now: SimTime, c: ChannelId, ctl: Control)
+        -> ControlTransmission;
+
+    /// Transmit a *shared* control message (built once by the caller) on
+    /// channel `c`.
+    fn transmit_control_ref(
+        &mut self,
+        now: SimTime,
+        c: ChannelId,
+        ctl: &Control,
+    ) -> ControlTransmission;
 }
 
 /// Builder for [`StripedPath`]: names each ingredient instead of the
@@ -553,6 +597,38 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
     /// Mutable access to the sender engine (membership changes, resets).
     pub fn sender_mut(&mut self) -> &mut StripingSender<S> {
         &mut self.tx
+    }
+}
+
+impl<S: CausalScheduler, L: FifoLink> ControlPath for StripedPath<S, L> {
+    fn channels(&self) -> usize {
+        self.links.len()
+    }
+
+    fn current_round(&self) -> u64 {
+        self.tx.scheduler().round()
+    }
+
+    fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
+        self.tx.schedule_mask(effective_round, live);
+    }
+
+    fn transmit_control(
+        &mut self,
+        now: SimTime,
+        c: ChannelId,
+        ctl: Control,
+    ) -> ControlTransmission {
+        StripedPath::transmit_control(self, now, c, ctl)
+    }
+
+    fn transmit_control_ref(
+        &mut self,
+        now: SimTime,
+        c: ChannelId,
+        ctl: &Control,
+    ) -> ControlTransmission {
+        StripedPath::transmit_control_ref(self, now, c, ctl)
     }
 }
 

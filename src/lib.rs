@@ -16,6 +16,8 @@
 //!   striped-path glue.
 //! - [`apps`] (`stripe-apps`) — workloads, reorder metrics, the NV video
 //!   model.
+//! - [`net`] (`stripe-net`) — the real-socket datapath: UDP channels,
+//!   wire codec, poll reactor (see `examples/udp_loopback.rs`).
 //!
 //! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
 //! inventory and `EXPERIMENTS.md` for the paper-vs-measured results.
@@ -26,5 +28,6 @@ pub use stripe_apps as apps;
 pub use stripe_core as core;
 pub use stripe_ip as ip;
 pub use stripe_link as link;
+pub use stripe_net as net;
 pub use stripe_netsim as netsim;
 pub use stripe_transport as transport;

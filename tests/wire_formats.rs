@@ -38,7 +38,79 @@ fn arb_control() -> impl Strategy<Value = Control> {
                 quanta,
             }
         ),
+        any::<u64>().prop_map(|nonce| Control::Probe { nonce }),
+        any::<u64>().prop_map(|nonce| Control::ProbeAck { nonce }),
+        (any::<u32>(), 1u16..=u16::MAX, any::<u64>()).prop_map(
+            |(epoch, live_mask, effective_round)| Control::Membership {
+                epoch,
+                live_mask,
+                effective_round,
+            }
+        ),
+        any::<u32>().prop_map(|epoch| Control::MembershipAck { epoch }),
     ]
+}
+
+/// One representative of every `Control` variant. The match in
+/// `variant_index` has no wildcard arm, so adding a variant to the enum
+/// breaks this test at compile time until the new variant is covered
+/// here and in `arb_control`.
+fn every_control_variant() -> Vec<Control> {
+    vec![
+        Control::Marker(Marker {
+            channel: 3,
+            mark: ChannelMark { round: 77, dc: -12 },
+            credit: Some(9000),
+        }),
+        Control::ResetRequest { epoch: 1 },
+        Control::ResetAck { epoch: u32::MAX },
+        Control::QuantumUpdate {
+            effective_round: 40,
+            quanta: vec![1500, 9000, 64],
+        },
+        Control::Probe { nonce: 0xDEAD_BEEF },
+        Control::ProbeAck { nonce: u64::MAX },
+        Control::Membership {
+            epoch: 7,
+            live_mask: 0b1011,
+            effective_round: 12,
+        },
+        Control::MembershipAck { epoch: 7 },
+    ]
+}
+
+fn variant_index(c: &Control) -> usize {
+    match c {
+        Control::Marker(_) => 0,
+        Control::ResetRequest { .. } => 1,
+        Control::ResetAck { .. } => 2,
+        Control::QuantumUpdate { .. } => 3,
+        Control::Probe { .. } => 4,
+        Control::ProbeAck { .. } => 5,
+        Control::Membership { .. } => 6,
+        Control::MembershipAck { .. } => 7,
+    }
+}
+
+/// `Control::wire_len` must equal the encoded length for EVERY variant —
+/// the deficit counters, queue models, and the net path's frame sizing
+/// all charge `wire_len` bytes without materializing the message, so a
+/// single stale arm would silently desynchronize the two ends.
+#[test]
+fn control_wire_len_matches_encoding_for_every_variant() {
+    let samples = every_control_variant();
+    let mut seen = [false; 8];
+    for c in &samples {
+        seen[variant_index(c)] = true;
+        let enc = c.encode();
+        assert_eq!(
+            c.wire_len(),
+            enc.len(),
+            "wire_len out of step with encode() for {c:?}"
+        );
+        assert_eq!(Control::decode(&enc).as_ref(), Some(c));
+    }
+    assert!(seen.iter().all(|&s| s), "a Control variant lacks a sample");
 }
 
 fn arb_header() -> impl Strategy<Value = Ipv4Header> {
@@ -80,7 +152,9 @@ proptest! {
 
     #[test]
     fn control_roundtrips(c in arb_control()) {
-        prop_assert_eq!(Control::decode(&c.encode()), Some(c));
+        let enc = c.encode();
+        prop_assert_eq!(c.wire_len(), enc.len(), "wire_len must match encoding");
+        prop_assert_eq!(Control::decode(&enc), Some(c));
     }
 
     /// Arbitrary byte soup never panics the control decoder.
