@@ -242,7 +242,14 @@ fn main() {
     }
     json.push_str("\n  ],\n");
     let headline = headline.expect("4-link/64B cell always runs");
-    let _ = writeln!(json, "  \"speedup_mtu64_links4\": {headline:.3}");
+    let _ = writeln!(json, "  \"speedup_mtu64_links4\": {headline:.3},");
+    // Shared headline shape across every BENCH_*.json, so dashboards can
+    // pick up each bench's one-number summary without bespoke keys.
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"metric\": \"speedup_mtu64_links4\", \
+         \"value\": {headline:.3}, \"units\": \"x\"}}"
+    );
     json.push_str("}\n");
 
     println!("{}", table.render());

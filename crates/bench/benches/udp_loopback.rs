@@ -5,15 +5,29 @@
 //! For each (channels, payload) cell the bench pushes a fixed packet
 //! count through `NetStripedPath` → kernel loopback → `NetLogicalReceiver`
 //! and reports packets/sec, the delivered-sequence reorder rate (the
-//! paper's §6.3 metric, from `stripe_apps::metrics`), and allocations
-//! per packet from the counting global allocator — the wall-clock proof
-//! of the zero-alloc steady state (send buffers are recycled from the
-//! drained `TxBatch`, receive buffers from the pool). A final cell
-//! injects periodic data loss through `DropLink` to show marker
-//! resynchronization holding the reorder rate down under real loss.
+//! paper's §6.3 metric, from `stripe_apps::metrics`), allocations per
+//! packet from the counting global allocator — the wall-clock proof of
+//! the zero-alloc steady state — plus the syscall-batching columns the
+//! mmsg datapath adds: frames per `sendmmsg`/`recvmmsg` call ("tx occ"/
+//! "rx occ") and total syscalls per delivered packet ("sys/pkt"). A
+//! final cell injects periodic data loss through `DropLink` to show
+//! marker resynchronization holding the reorder rate down under real
+//! loss.
+//!
+//! The harness is generic over the link type, so the same cells run in
+//! two modes:
+//!
+//! - **inline** — `UdpChannel` driven from the bench thread, syscalls
+//!   batched via `send_run_owned` + end-of-burst `flush`. This is the
+//!   canonical configuration (and the headline row).
+//! - **sharded** — each `UdpChannel` wrapped in a `ShardedUdpChannel`,
+//!   its syscalls issued by a per-channel I/O worker fed over SPSC
+//!   rings. Reported for comparison; on a single-core host the extra
+//!   hop costs more than the parallelism returns.
 //!
 //! Writes `BENCH_udp_loopback.json` at the repo root. Set
-//! `STRIPE_BENCH_SMOKE=1` for a fast CI smoke run.
+//! `STRIPE_BENCH_SMOKE=1` for a fast CI smoke run and
+//! `STRIPE_NET_FALLBACK=1` to force the portable per-frame syscall path.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -24,8 +38,10 @@ use stripe_bench::table::Table;
 use stripe_core::receiver::{Arrival, RxBatch};
 use stripe_core::sched::Srr;
 use stripe_core::sender::MarkerConfig;
+use stripe_link::DatagramLink;
 use stripe_net::{
-    DropLink, DropPolicy, NetLogicalReceiver, NetStripedPath, PooledBuf, UdpChannel, WallClock,
+    DropLink, DropPolicy, NetLogicalReceiver, NetStripedPath, PooledBuf, ShardConfig,
+    ShardedUdpChannel, UdpChannel, UdpChannelSnapshot, WallClock,
 };
 use stripe_transport::TxBatch;
 
@@ -33,10 +49,84 @@ use stripe_transport::TxBatch;
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const QUANTUM: i64 = 1500;
-const BURST: usize = 32;
+/// Packets per send_batch. With the deferred `send_run_owned` path each
+/// burst becomes ~BURST/channels frames per channel submitted in one
+/// `sendmmsg`, so the burst size directly sets batch occupancy.
+const BURST: usize = 128;
+/// Kernel socket buffer request: large enough that a full burst plus
+/// resequencer slack never overflows loopback.
+const SOCK_BUF: usize = 1 << 22;
 
-type Path = NetStripedPath<Srr, DropLink<UdpChannel>>;
-type Rx = NetLogicalReceiver<Srr, UdpChannel>;
+type Path<L> = NetStripedPath<Srr, DropLink<L>>;
+type Rx<L> = NetLogicalReceiver<Srr, L>;
+
+/// A link the bench can harvest syscall counters from.
+trait BenchLink: DatagramLink {
+    fn snapshot(&self) -> UdpChannelSnapshot;
+    /// Snapshot that may also sample kernel drop counters (procfs —
+    /// allocates, so only called outside measured windows).
+    fn snapshot_sampled(&mut self) -> UdpChannelSnapshot;
+}
+
+impl BenchLink for UdpChannel {
+    fn snapshot(&self) -> UdpChannelSnapshot {
+        self.stats()
+    }
+    fn snapshot_sampled(&mut self) -> UdpChannelSnapshot {
+        self.stats_sampled()
+    }
+}
+
+impl BenchLink for ShardedUdpChannel {
+    fn snapshot(&self) -> UdpChannelSnapshot {
+        self.stats()
+    }
+    fn snapshot_sampled(&mut self) -> UdpChannelSnapshot {
+        self.stats_sampled()
+    }
+}
+
+/// Aggregate syscall counters across one side's links.
+#[derive(Debug, Clone, Copy, Default)]
+struct SyscallAgg {
+    sent_frames: u64,
+    send_syscalls: u64,
+    recv_frames: u64,
+    recv_syscalls: u64,
+}
+
+impl SyscallAgg {
+    fn add(&mut self, s: &UdpChannelSnapshot) {
+        self.sent_frames += s.sent_frames;
+        self.send_syscalls += s.send_syscalls;
+        self.recv_frames += s.recv_frames;
+        self.recv_syscalls += s.recv_syscalls;
+    }
+    fn delta(self, earlier: SyscallAgg) -> SyscallAgg {
+        SyscallAgg {
+            sent_frames: self.sent_frames - earlier.sent_frames,
+            send_syscalls: self.send_syscalls - earlier.send_syscalls,
+            recv_frames: self.recv_frames - earlier.recv_frames,
+            recv_syscalls: self.recv_syscalls - earlier.recv_syscalls,
+        }
+    }
+}
+
+fn tx_agg<L: BenchLink>(path: &Path<L>) -> SyscallAgg {
+    let mut a = SyscallAgg::default();
+    for l in path.links() {
+        a.add(&l.inner().snapshot());
+    }
+    a
+}
+
+fn rx_agg<L: BenchLink>(rx: &Rx<L>) -> SyscallAgg {
+    let mut a = SyscallAgg::default();
+    for l in rx.links() {
+        a.add(&l.snapshot());
+    }
+    a
+}
 
 struct Run {
     pkts_per_sec: f64,
@@ -47,6 +137,17 @@ struct Run {
     delivered: u64,
     lost: u64,
     wall_secs: f64,
+    /// Frames per sendmmsg on the striping side (batch occupancy).
+    tx_occupancy: f64,
+    /// Frames per recvmmsg on the receiving side.
+    rx_occupancy: f64,
+    /// Total (send + recv) syscalls per delivered packet.
+    syscalls_per_pkt: f64,
+    /// Kernel-reported receive-buffer overflow estimate (`/proc/net/udp`).
+    kernel_drops: u64,
+    /// Effective SO_SNDBUF/SO_RCVBUF granted by the kernel.
+    sndbuf: u64,
+    rcvbuf: u64,
 }
 
 /// Reusable driving state: every buffer here reaches its high-water mark
@@ -64,7 +165,7 @@ struct Harness {
 impl Harness {
     /// Send one burst of `payload`-byte packets, ids stamped in the first
     /// 8 bytes, reusing pooled send buffers.
-    fn send_burst(&mut self, path: &mut Path, payload: usize, until: u64) {
+    fn send_burst<L: BenchLink>(&mut self, path: &mut Path<L>, payload: usize, until: u64) {
         let n = (BURST as u64).min(until.saturating_sub(self.next_id)) as usize;
         for _ in 0..n {
             let mut p = self.send_pool.pop().unwrap_or_default();
@@ -83,7 +184,7 @@ impl Harness {
     }
 
     /// One receive pass: flush backlogs, sweep the sockets, record ids.
-    fn sweep(&mut self, path: &mut Path, rx: &mut Rx) {
+    fn sweep<L: BenchLink>(&mut self, path: &mut Path<L>, rx: &mut Rx<L>) {
         path.flush();
         rx.sweep(self.clock.now());
         rx.poll_into(&mut self.batch);
@@ -94,10 +195,27 @@ impl Harness {
         }
     }
 
+    /// Block the burst loop until every link's send backlog has drained.
+    /// Inline links only backlog on kernel backpressure (rare on
+    /// loopback); sharded links park each burst in their SPSC rings and
+    /// the I/O workers — sharing this core — need the yields to run.
+    fn wait_backlog<L: BenchLink>(&mut self, path: &mut Path<L>, rx: &mut Rx<L>) {
+        while path.backlog() > 0 {
+            std::thread::yield_now();
+            self.sweep(path, rx);
+        }
+    }
+
     /// Sweep until `expect` ids have arrived; lost frames lower the bar as
     /// they are detected. Idle markers are re-sent periodically so losses
     /// near the stream tail cannot wedge the resequencer.
-    fn drain(&mut self, path: &mut Path, rx: &mut Rx, sent: u64, deadline: Duration) {
+    fn drain<L: BenchLink>(
+        &mut self,
+        path: &mut Path<L>,
+        rx: &mut Rx<L>,
+        sent: u64,
+        deadline: Duration,
+    ) {
         let t0 = Instant::now();
         let mut spins = 0u32;
         while (self.ids.len() as u64) < sent.saturating_sub(losses(path)) {
@@ -115,22 +233,22 @@ impl Harness {
     }
 }
 
-fn losses(path: &Path) -> u64 {
+fn losses<L: BenchLink>(path: &Path<L>) -> u64 {
     path.links().iter().map(|l| l.dropped()).sum()
 }
 
 /// Drive `total` packets of `payload` bytes over `channels` loopback
-/// sockets; `drop_period` = 0 for lossless, or N to drop one data frame
+/// links; `drop_period` = 0 for lossless, or N to drop one data frame
 /// in every N on channel 0.
-fn run_live(channels: usize, payload: usize, total: u64, drop_period: u64) -> Run {
-    let mut tx_links = Vec::new();
-    let mut rx_links = Vec::new();
-    for _ in 0..channels {
-        let (a, b) = UdpChannel::pair(2048, 1 << 12).expect("bind loopback");
-        tx_links.push(a);
-        rx_links.push(b);
-    }
-    let drops: Vec<DropLink<UdpChannel>> = tx_links
+fn run_live<L: BenchLink>(
+    tx_links: Vec<L>,
+    rx_links: Vec<L>,
+    channels: usize,
+    payload: usize,
+    total: u64,
+    drop_period: u64,
+) -> Run {
+    let drops: Vec<DropLink<L>> = tx_links
         .into_iter()
         .enumerate()
         .map(|(i, l)| {
@@ -161,7 +279,7 @@ fn run_live(channels: usize, payload: usize, total: u64, drop_period: u64) -> Ru
         pkts: Vec::with_capacity(BURST),
         send_pool: Vec::with_capacity(BURST * 4),
         out: TxBatch::with_capacity(BURST + 2 * channels),
-        batch: RxBatch::with_capacity(BURST + 2 * channels),
+        batch: RxBatch::with_capacity(4096),
         ids: Vec::with_capacity(total as usize),
         next_id: 0,
     };
@@ -171,10 +289,13 @@ fn run_live(channels: usize, payload: usize, total: u64, drop_period: u64) -> Ru
     while h.next_id < warm {
         h.send_burst(&mut path, payload, warm);
         h.sweep(&mut path, &mut rx);
+        h.wait_backlog(&mut path, &mut rx);
     }
     h.drain(&mut path, &mut rx, warm, Duration::from_secs(10));
     h.ids.clear();
     let warm_lost = losses(&path);
+    let tx0 = tx_agg(&path);
+    let rx0 = rx_agg(&rx);
 
     // Measured window.
     let end = warm + total;
@@ -183,6 +304,7 @@ fn run_live(channels: usize, payload: usize, total: u64, drop_period: u64) -> Ru
     while h.next_id < end {
         h.send_burst(&mut path, payload, end);
         h.sweep(&mut path, &mut rx);
+        h.wait_backlog(&mut path, &mut rx);
     }
     // drain() subtracts cumulative losses, so offset the target by the
     // warm-up's share: the bar becomes `total - losses_this_window`.
@@ -194,22 +316,74 @@ fn run_live(channels: usize, payload: usize, total: u64, drop_period: u64) -> Ru
     );
     let wall = t0.elapsed().as_secs_f64();
     let allocs = CountingAlloc::allocations() - alloc0;
+    let tx_d = tx_agg(&path).delta(tx0);
+    let rx_d = rx_agg(&rx).delta(rx0);
 
     let mut m = ReorderMetrics::new();
     for &id in &h.ids {
         m.record(id);
     }
     let s = m.stats();
+    let delivered = h.ids.len() as u64;
+    // Kernel overflow + effective buffer sizes: sampled once, after the
+    // measured window (procfs reads allocate).
+    let mut kernel_drops = 0u64;
+    let (mut sndbuf, mut rcvbuf) = (0u64, 0u64);
+    for l in path.links_mut() {
+        sndbuf = l.inner_mut().snapshot_sampled().sndbuf;
+    }
+    for l in rx.links_mut() {
+        let snap = l.snapshot_sampled();
+        kernel_drops += snap.dropped_rcvbuf;
+        rcvbuf = snap.rcvbuf;
+    }
     Run {
-        pkts_per_sec: h.ids.len() as f64 / wall,
-        bytes_per_sec: (h.ids.len() * payload) as f64 / wall,
-        allocs_per_pkt: allocs as f64 / h.ids.len().max(1) as f64,
+        pkts_per_sec: delivered as f64 / wall,
+        bytes_per_sec: (delivered as usize * payload) as f64 / wall,
+        allocs_per_pkt: allocs as f64 / delivered.max(1) as f64,
         ooo_fraction: s.ooo_fraction,
         max_displacement: s.max_displacement,
-        delivered: h.ids.len() as u64,
-        lost: total.saturating_sub(h.ids.len() as u64),
+        delivered,
+        lost: total.saturating_sub(delivered),
         wall_secs: wall,
+        tx_occupancy: tx_d.sent_frames as f64 / (tx_d.send_syscalls.max(1)) as f64,
+        rx_occupancy: rx_d.recv_frames as f64 / (rx_d.recv_syscalls.max(1)) as f64,
+        syscalls_per_pkt: (tx_d.send_syscalls + rx_d.recv_syscalls) as f64
+            / delivered.max(1) as f64,
+        kernel_drops,
+        sndbuf,
+        rcvbuf,
     }
+}
+
+/// Builder for one side's inline channels with the bench's socket tuning.
+fn inline_pairs(channels: usize) -> (Vec<UdpChannel>, Vec<UdpChannel>) {
+    let mut tx = Vec::new();
+    let mut rx = Vec::new();
+    for _ in 0..channels {
+        let (a, b) = UdpChannel::builder(2048)
+            .queue_cap(1 << 12)
+            .sndbuf(SOCK_BUF)
+            .rcvbuf(SOCK_BUF)
+            .pair()
+            .expect("bind loopback");
+        tx.push(a);
+        rx.push(b);
+    }
+    (tx, rx)
+}
+
+fn sharded_pairs(channels: usize) -> (Vec<ShardedUdpChannel>, Vec<ShardedUdpChannel>) {
+    let (tx, rx) = inline_pairs(channels);
+    let cfg = ShardConfig::new();
+    (
+        tx.into_iter()
+            .map(|c| cfg.spawn(c).expect("spawn tx worker"))
+            .collect(),
+        rx.into_iter()
+            .map(|c| cfg.spawn(c).expect("spawn rx worker"))
+            .collect(),
+    )
 }
 
 fn main() {
@@ -217,9 +391,18 @@ fn main() {
     let total: u64 = if smoke { 4_096 } else { 131_072 };
 
     println!("== live traffic over kernel loopback UDP ==");
-    println!("   ({total} packets per cell, burst {BURST}, markers every 4 rounds)\n");
+    println!(
+        "   ({total} packets per cell, burst {BURST}, markers every 4 rounds, \
+         {} syscall path)\n",
+        if stripe_net::sys::fallback_forced() {
+            "forced per-frame fallback"
+        } else {
+            "batched mmsg"
+        }
+    );
 
     let mut table = Table::new(&[
+        "mode",
         "channels",
         "payload",
         "loss",
@@ -228,6 +411,9 @@ fn main() {
         "alloc/pkt",
         "ooo frac",
         "max disp",
+        "tx occ",
+        "rx occ",
+        "sys/pkt",
     ]);
     let mut json = String::from("{\n  \"bench\": \"udp_loopback\",\n");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
@@ -235,11 +421,28 @@ fn main() {
 
     let mut first = true;
     let mut headline: Option<f64> = None;
-    // (channels, payload, drop_period): lossless cells, then real loss.
-    let cells: &[(usize, usize, u64)] = &[(2, 256, 0), (4, 256, 0), (4, 1200, 0), (4, 1200, 101)];
-    for &(channels, payload, drop_period) in cells {
-        let r = run_live(channels, payload, total, drop_period);
-        if channels == 4 && payload == 1200 && drop_period == 0 {
+    // (mode, channels, payload, drop_period): the four canonical inline
+    // cells (lossless sweep + real loss), then sharded comparison rows.
+    let cells: &[(&str, usize, usize, u64)] = &[
+        ("inline", 2, 256, 0),
+        ("inline", 4, 256, 0),
+        ("inline", 4, 1200, 0),
+        ("inline", 4, 1200, 101),
+        ("sharded", 4, 256, 0),
+        ("sharded", 4, 1200, 0),
+    ];
+    for &(mode, channels, payload, drop_period) in cells {
+        let r = match mode {
+            "inline" => {
+                let (tx, rx) = inline_pairs(channels);
+                run_live(tx, rx, channels, payload, total, drop_period)
+            }
+            _ => {
+                let (tx, rx) = sharded_pairs(channels);
+                run_live(tx, rx, channels, payload, total, drop_period)
+            }
+        };
+        if mode == "inline" && channels == 4 && payload == 1200 && drop_period == 0 {
             headline = Some(r.pkts_per_sec);
         }
         let loss_label = if drop_period == 0 {
@@ -248,6 +451,7 @@ fn main() {
             format!("1/{drop_period}")
         };
         table.row_owned(vec![
+            mode.to_string(),
             channels.to_string(),
             payload.to_string(),
             loss_label,
@@ -256,6 +460,9 @@ fn main() {
             format!("{:.3}", r.allocs_per_pkt),
             format!("{:.4}", r.ooo_fraction),
             r.max_displacement.to_string(),
+            format!("{:.1}", r.tx_occupancy),
+            format!("{:.1}", r.rx_occupancy),
+            format!("{:.3}", r.syscalls_per_pkt),
         ]);
         if !first {
             json.push_str(",\n");
@@ -263,12 +470,15 @@ fn main() {
         first = false;
         let _ = write!(
             json,
-            "    {{\"channels\": {channels}, \"payload\": {payload}, \
-             \"drop_period\": {drop_period}, \
+            "    {{\"mode\": \"{mode}\", \"channels\": {channels}, \
+             \"payload\": {payload}, \"drop_period\": {drop_period}, \
              \"pkts_per_sec\": {:.0}, \"bytes_per_sec\": {:.0}, \
              \"allocs_per_packet\": {:.4}, \"reorder_fraction\": {:.6}, \
              \"max_displacement\": {}, \"delivered\": {}, \"lost\": {}, \
-             \"wall_secs\": {:.4}}}",
+             \"wall_secs\": {:.4}, \
+             \"tx_batch_occupancy\": {:.2}, \"rx_batch_occupancy\": {:.2}, \
+             \"syscalls_per_packet\": {:.4}, \"kernel_rcvbuf_drops\": {}, \
+             \"sndbuf\": {}, \"rcvbuf\": {}}}",
             r.pkts_per_sec,
             r.bytes_per_sec,
             r.allocs_per_pkt,
@@ -276,17 +486,28 @@ fn main() {
             r.max_displacement,
             r.delivered,
             r.lost,
-            r.wall_secs
+            r.wall_secs,
+            r.tx_occupancy,
+            r.rx_occupancy,
+            r.syscalls_per_pkt,
+            r.kernel_drops,
+            r.sndbuf,
+            r.rcvbuf
         );
     }
     json.push_str("\n  ],\n");
     let headline = headline.expect("the 4-channel/1200B lossless cell always runs");
-    let _ = writeln!(json, "  \"pkts_per_sec_4ch_1200B\": {headline:.0}");
+    let _ = writeln!(json, "  \"pkts_per_sec_4ch_1200B\": {headline:.0},");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"metric\": \"pkts_per_sec_4ch_1200B\", \
+         \"value\": {headline:.0}, \"units\": \"packets/sec\"}}"
+    );
     json.push_str("}\n");
 
     println!("{}", table.render());
     println!(
-        "\nheadline (4 channels, 1200B, lossless): {:.2} Mpkt/s",
+        "\nheadline (inline, 4 channels, 1200B, lossless): {:.2} Mpkt/s",
         headline / 1e6
     );
 

@@ -36,6 +36,17 @@ pub trait DatagramLink {
     /// or rejected with backpressure ([`TxError::QueueFull`]).
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError>;
 
+    /// Offer one encoded frame *without* forcing a kernel submission:
+    /// links that batch (the UDP channels) park it behind any frames
+    /// already deferred, to be submitted by the caller's next
+    /// [`flush`](Self::flush) in the same `mmsghdr` batch. Ordering
+    /// relative to earlier deferred frames is preserved. Default: plain
+    /// [`send_frame`](Self::send_frame) — correct for links that never
+    /// defer.
+    fn send_frame_deferred(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        self.send_frame(frame)
+    }
+
     /// Receive one frame into `buf`, returning its length, or `None` when
     /// nothing is ready (the readiness sweep moves to the next channel).
     /// A frame longer than `buf` is truncated by the transport, which the
@@ -56,6 +67,47 @@ pub trait DatagramLink {
         for f in frames {
             out.push(self.send_frame(f));
         }
+    }
+
+    /// Like [`send_run`](Self::send_run), but the link may *take* each
+    /// accepted frame's storage (leaving behind some valid, possibly
+    /// recycled `Vec`) instead of copying the bytes — the zero-copy seam
+    /// batch senders feed from their recycled frame buffers. A frame
+    /// whose result is an error is left untouched. Outcomes are identical
+    /// to [`send_run`](Self::send_run).
+    fn send_run_owned(&mut self, frames: &mut [Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
+        self.send_run(frames, out)
+    }
+
+    /// Receive up to `bufs.len()` frames in one pass — the `recvmmsg`
+    /// seam. Frame `i` lands in `bufs[i]` (each buffer must hold at least
+    /// [`mtu`](Self::mtu) bytes of storage; links may also *swap* the
+    /// storage for an equivalent buffer) with its length in `lens[i]`.
+    /// Returns how many frames arrived; fewer than `bufs.len()` means the
+    /// link is drained for now.
+    fn recv_run(&mut self, bufs: &mut [Vec<u8>], lens: &mut [usize]) -> usize {
+        debug_assert!(lens.len() >= bufs.len(), "one length slot per buffer");
+        let mut k = 0;
+        while k < bufs.len() {
+            match self.recv_frame(&mut bufs[k]) {
+                Some(n) => {
+                    lens[k] = n;
+                    k += 1;
+                }
+                None => break,
+            }
+        }
+        k
+    }
+
+    /// Segmentation-offload hint: `true` when the link coalesces runs of
+    /// *equal-length* frames into single kernel submissions (GSO), so
+    /// callers that can afford to pad short control frames up to the
+    /// surrounding data-frame length keep long trains unbroken. Purely a
+    /// transmit-cost hint — implementations must deliver padded and
+    /// unpadded frames identically. Default: no offload.
+    fn coalesce_hint(&self) -> bool {
+        false
     }
 
     /// Try to drain locally queued frames (after earlier backpressure).
@@ -118,11 +170,44 @@ impl DatagramLink for TestDatagramLink {
         Ok(())
     }
 
+    fn send_run_owned(&mut self, frames: &mut [Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
+        // The twin of the kernel links' zero-copy seam: accepted frames
+        // move their storage into the queue instead of being copied.
+        out.reserve(frames.len());
+        for frame in frames.iter_mut() {
+            if frame.len() > self.mtu {
+                out.push(Err(TxError::TooBig));
+                continue;
+            }
+            let mut q = self.out.borrow_mut();
+            if q.len() >= self.cap {
+                out.push(Err(TxError::QueueFull));
+                continue;
+            }
+            q.push_back(std::mem::take(frame));
+            out.push(Ok(()));
+        }
+    }
+
     fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize> {
         let frame = self.inn.borrow_mut().pop_front()?;
         let n = frame.len().min(buf.len());
         buf[..n].copy_from_slice(&frame[..n]);
         Some(n)
+    }
+
+    fn recv_run(&mut self, bufs: &mut [Vec<u8>], lens: &mut [usize]) -> usize {
+        debug_assert!(lens.len() >= bufs.len(), "one length slot per buffer");
+        let mut q = self.inn.borrow_mut();
+        let mut k = 0;
+        while k < bufs.len() {
+            let Some(frame) = q.pop_front() else { break };
+            let n = frame.len().min(bufs[k].len());
+            bufs[k][..n].copy_from_slice(&frame[..n]);
+            lens[k] = n;
+            k += 1;
+        }
+        k
     }
 
     fn mtu(&self) -> usize {
@@ -171,6 +256,46 @@ mod tests {
     fn oversized_frame_rejected() {
         let (mut a, _b) = datagram_pair(4, 2);
         assert_eq!(a.send_frame(&[0; 5]), Err(TxError::TooBig));
+    }
+
+    #[test]
+    fn send_run_owned_matches_send_run_outcomes() {
+        let (mut a, mut a_peer) = datagram_pair(8, 3);
+        let (mut b, mut b_peer) = datagram_pair(8, 3);
+        // Oversized frame mid-run, then enough to overflow the queue.
+        let frames: Vec<Vec<u8>> = vec![vec![1], vec![0; 9], vec![2], vec![3], vec![4]];
+        let mut owned = frames.clone();
+        let (mut out_ref, mut out_owned) = (Vec::new(), Vec::new());
+        a.send_run(&frames, &mut out_ref);
+        b.send_run_owned(&mut owned, &mut out_owned);
+        assert_eq!(out_ref, out_owned);
+        // Rejected frames are left untouched by the owning variant.
+        assert_eq!(owned[1], vec![0; 9]);
+        assert_eq!(owned[4], vec![4]);
+        let mut buf = [0u8; 8];
+        for want in [1u8, 2, 3] {
+            assert_eq!(a_peer.recv_frame(&mut buf), Some(1));
+            assert_eq!(buf[0], want);
+            assert_eq!(b_peer.recv_frame(&mut buf), Some(1));
+            assert_eq!(buf[0], want);
+        }
+    }
+
+    #[test]
+    fn recv_run_drains_in_order() {
+        let (mut a, mut b) = datagram_pair(16, 8);
+        for i in 0..5u8 {
+            a.send_frame(&[i, i]).unwrap();
+        }
+        let mut bufs: Vec<Vec<u8>> = (0..3).map(|_| vec![0u8; 16]).collect();
+        let mut lens = [0usize; 3];
+        assert_eq!(b.recv_run(&mut bufs, &mut lens), 3);
+        for (i, (buf, &len)) in bufs.iter().zip(&lens).enumerate() {
+            assert_eq!((len, buf[0]), (2, i as u8));
+        }
+        assert_eq!(b.recv_run(&mut bufs, &mut lens), 2, "tail then drained");
+        assert_eq!(bufs[0][0], 3);
+        assert_eq!(bufs[1][0], 4);
     }
 
     #[test]

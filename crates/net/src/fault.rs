@@ -104,8 +104,58 @@ impl<L: DatagramLink> DatagramLink for DropLink<L> {
         self.inner.send_frame(frame)
     }
 
+    fn send_frame_deferred(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        if is_data_frame(frame) {
+            let index = self.seen_data;
+            self.seen_data += 1;
+            if self.should_drop(index) {
+                self.dropped += 1;
+                return Ok(());
+            }
+        }
+        self.inner.send_frame_deferred(frame)
+    }
+
     // send_run is deliberately left on the trait default (a per-frame
     // loop over send_frame), so the drop policy sees every frame.
+
+    fn send_run_owned(&mut self, frames: &mut [Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
+        // Apply the policy per frame, but forward maximal *kept* sub-runs
+        // to the inner link in single calls so the zero-copy deferred
+        // batching survives the wrapper. Dropped frames report Ok(()) in
+        // place and leave their storage untouched — indistinguishable
+        // from network loss, exactly like send_frame.
+        out.reserve(frames.len());
+        let n = frames.len();
+        let mut i = 0;
+        while i < n {
+            if is_data_frame(&frames[i]) && self.should_drop(self.seen_data) {
+                self.seen_data += 1;
+                self.dropped += 1;
+                out.push(Ok(()));
+                i += 1;
+                continue;
+            }
+            // Extend the kept sub-run, consuming data indices as we go,
+            // up to (not including) the next dropped data frame.
+            let mut j = i;
+            loop {
+                if is_data_frame(&frames[j]) {
+                    self.seen_data += 1;
+                }
+                j += 1;
+                if j >= n || (is_data_frame(&frames[j]) && self.should_drop(self.seen_data)) {
+                    break;
+                }
+            }
+            self.inner.send_run_owned(&mut frames[i..j], out);
+            i = j;
+        }
+    }
+
+    fn recv_run(&mut self, bufs: &mut [Vec<u8>], lens: &mut [usize]) -> usize {
+        self.inner.recv_run(bufs, lens)
+    }
 
     fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize> {
         self.inner.recv_frame(buf)
@@ -113,6 +163,10 @@ impl<L: DatagramLink> DatagramLink for DropLink<L> {
 
     fn mtu(&self) -> usize {
         self.inner.mtu()
+    }
+
+    fn coalesce_hint(&self) -> bool {
+        self.inner.coalesce_hint()
     }
 
     fn flush(&mut self) -> usize {
@@ -182,6 +236,42 @@ mod tests {
             got.push(buf[..n][n - 1]);
         }
         assert_eq!(got, vec![0, 1, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn send_run_owned_applies_the_same_policy_as_per_frame() {
+        let make_frames = || {
+            let mut frames: Vec<Vec<u8>> = (0..9u8).map(data_frame).collect();
+            let mut ctl = Vec::new();
+            encode_control_into(&Control::Probe { nonce: 5 }, &mut ctl);
+            frames.insert(4, ctl);
+            frames
+        };
+        let (a1, mut b1) = datagram_pair(256, 64);
+        let (a2, mut b2) = datagram_pair(256, 64);
+        let mut per_frame = DropLink::new(a1, DropPolicy::Periodic { period: 3 });
+        let mut batched = DropLink::new(a2, DropPolicy::Periodic { period: 3 });
+        let frames = make_frames();
+        let mut out_ref = Vec::new();
+        for f in &frames {
+            out_ref.push(per_frame.send_frame(f));
+        }
+        let mut owned = make_frames();
+        let mut out = Vec::new();
+        batched.send_run_owned(&mut owned, &mut out);
+        assert_eq!(out, out_ref);
+        assert_eq!(batched.dropped(), per_frame.dropped());
+        assert_eq!(batched.seen_data(), per_frame.seen_data());
+        // Byte-identical survivor streams, in order.
+        let (mut buf1, mut buf2) = ([0u8; 256], [0u8; 256]);
+        loop {
+            let r1 = b1.recv_frame(&mut buf1).map(|n| buf1[..n].to_vec());
+            let r2 = b2.recv_frame(&mut buf2).map(|n| buf2[..n].to_vec());
+            assert_eq!(r1, r2);
+            if r1.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

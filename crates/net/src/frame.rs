@@ -6,7 +6,7 @@
 //! |--------|------|-----------------------------------------------|
 //! | 0      | 1    | magic (`0xC5`)                                |
 //! | 1      | 1    | version (`1`)                                 |
-//! | 2      | 1    | kind: `0` = data, `1` = control               |
+//! | 2      | 1    | kind: `0` = data, `1` = control, `2` = padded |
 //! | 3      | …    | body                                          |
 //!
 //! A *data* frame's body is the application payload, verbatim — the
@@ -40,8 +40,23 @@ pub const KIND_DATA: u8 = 0;
 /// Frame-kind codepoint for control messages (markers included).
 pub const KIND_CONTROL: u8 = 1;
 
+/// Frame-kind codepoint for a *padded* control message: the body is a
+/// little-endian `u16` length, that many [`Control::encode`] bytes, and
+/// then arbitrary padding the decoder ignores. Data frames can never be
+/// padded (their body is the datagram remainder, verbatim), but control
+/// frames can — which lets the sender stretch a 37-byte marker to the
+/// exact length of the data frames around it so a segmentation-offload
+/// train is not split at every marker (GSO permits only one shorter
+/// trailing segment per train). Semantically identical to
+/// [`KIND_CONTROL`].
+pub const KIND_CONTROL_PADDED: u8 = 2;
+
 /// Bytes of header preceding the body.
 pub const FRAME_HEADER_LEN: usize = 3;
+
+/// Extra body bytes of a [`KIND_CONTROL_PADDED`] frame before the
+/// control message itself (the `u16` length prefix).
+pub const PAD_LEN_PREFIX: usize = 2;
 
 /// One decoded frame. Data borrows straight out of the receive buffer —
 /// the payload is never copied by the codec.
@@ -77,6 +92,24 @@ pub fn encode_control_into(ctl: &Control, out: &mut Vec<u8>) {
     ctl.encode_into(out);
 }
 
+/// Encode a control frame padded out to exactly `wire_len` bytes (cleared
+/// first, capacity kept). The body carries an explicit length prefix so
+/// the decoder never has to guess where the control message ends, and the
+/// tail is zero-filled. If `wire_len` is too small to hold the prefixed
+/// message, the frame simply comes out at its natural (unpadded) length —
+/// callers should pick `wire_len` from the data frames they are matching.
+pub fn encode_control_padded_into(ctl: &Control, wire_len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    push_header(KIND_CONTROL_PADDED, out);
+    out.extend_from_slice(&[0, 0]); // length prefix, patched below
+    ctl.encode_into(out);
+    let body = (out.len() - FRAME_HEADER_LEN - PAD_LEN_PREFIX) as u16;
+    out[FRAME_HEADER_LEN..FRAME_HEADER_LEN + PAD_LEN_PREFIX].copy_from_slice(&body.to_le_bytes());
+    if out.len() < wire_len {
+        out.resize(wire_len, 0);
+    }
+}
+
 /// On-wire length of a data frame carrying `payload_len` body bytes.
 pub fn data_frame_len(payload_len: usize) -> usize {
     FRAME_HEADER_LEN + payload_len
@@ -106,6 +139,11 @@ pub fn decode(frame: &[u8]) -> Option<Frame<'_>> {
     match frame[2] {
         KIND_DATA => Some(Frame::Data(body)),
         KIND_CONTROL => Control::decode(body).map(Frame::Control),
+        KIND_CONTROL_PADDED => {
+            let n = u16::from_le_bytes([*body.first()?, *body.get(1)?]) as usize;
+            let ctl = body.get(PAD_LEN_PREFIX..PAD_LEN_PREFIX + n)?;
+            Control::decode(ctl).map(Frame::Control)
+        }
         _ => None,
     }
 }
@@ -193,6 +231,53 @@ mod tests {
         assert_eq!(decode(&[FRAME_MAGIC, FRAME_VERSION, 7, 1]), None);
         assert_eq!(
             decode(&[FRAME_MAGIC, FRAME_VERSION, KIND_CONTROL, 99]),
+            None
+        );
+    }
+
+    #[test]
+    fn padded_control_roundtrips_at_any_target_length() {
+        let ctl = Control::Marker(Marker::sync(1, ChannelMark { round: 12, dc: 3 }));
+        let natural = control_frame_len(&ctl) + PAD_LEN_PREFIX;
+        // Below natural (no pad fits), exactly natural, and well above.
+        for wire_len in [0, natural, natural + 1, 1203] {
+            let mut buf = Vec::new();
+            encode_control_padded_into(&ctl, wire_len, &mut buf);
+            assert_eq!(buf.len(), wire_len.max(natural), "target {wire_len}");
+            assert_eq!(decode(&buf), Some(Frame::Control(ctl.clone())));
+            assert!(!is_data_frame(&buf));
+        }
+    }
+
+    #[test]
+    fn padded_control_ignores_nonzero_padding() {
+        // Decoding depends only on the length prefix, not on the pad
+        // bytes being zero — a receiver must never trust the tail.
+        let ctl = Control::Probe { nonce: 7 };
+        let mut buf = Vec::new();
+        encode_control_padded_into(&ctl, 64, &mut buf);
+        for b in &mut buf[FRAME_HEADER_LEN + PAD_LEN_PREFIX + ctl.wire_len()..] {
+            *b = 0xFF;
+        }
+        assert_eq!(decode(&buf), Some(Frame::Control(ctl)));
+    }
+
+    #[test]
+    fn padded_control_with_lying_length_prefix_rejected() {
+        let ctl = Control::Probe { nonce: 7 };
+        let mut buf = Vec::new();
+        encode_control_padded_into(&ctl, 16, &mut buf);
+        // Claim more body bytes than the frame holds.
+        buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + PAD_LEN_PREFIX]
+            .copy_from_slice(&1000u16.to_le_bytes());
+        assert_eq!(decode(&buf), None);
+        // Truncated before the length prefix ends.
+        assert_eq!(
+            decode(&[FRAME_MAGIC, FRAME_VERSION, KIND_CONTROL_PADDED, 1]),
+            None
+        );
+        assert_eq!(
+            decode(&[FRAME_MAGIC, FRAME_VERSION, KIND_CONTROL_PADDED]),
             None
         );
     }

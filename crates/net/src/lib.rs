@@ -32,6 +32,18 @@
 //!   proving marker recovery (Theorem 5.1) over real sockets.
 //! - [`pool`] — [`BufPool`]/[`PooledBuf`], the zero-allocation receive
 //!   story.
+//! - [`sys`] — the linux-gated `sendmmsg`/`recvmmsg` FFI shim (std-only,
+//!   two `extern "C"` declarations) with a portable per-frame fallback
+//!   behind the same [`BatchIo`](sys::BatchIo) API; also
+//!   `SO_SNDBUF`/`SO_RCVBUF` configuration and the `/proc/net/udp`
+//!   kernel-drop estimate.
+//! - [`ring`] — a bounded lock-free SPSC ring, the reactor↔worker seam.
+//! - [`shard`] — [`ShardedUdpChannel`], a per-channel I/O worker thread
+//!   behind the same [`DatagramLink`](stripe_link::DatagramLink)
+//!   surface: frames cross bounded SPSC rings of recycled buffers, the
+//!   worker batches syscalls with adaptive spin-then-park polling, and
+//!   all protocol state (SRR, markers, failover) stays on the reactor
+//!   thread.
 //!
 //! Steady state, neither direction allocates: the send side reuses its
 //! scratch and frame buffers, the receive side cycles pooled buffers
@@ -47,6 +59,9 @@ pub mod path;
 pub mod pool;
 pub mod reactor;
 pub mod recv;
+pub mod ring;
+pub mod shard;
+pub mod sys;
 pub mod udp;
 
 pub use clock::WallClock;
@@ -56,4 +71,7 @@ pub use path::{NetStripedPath, NetStripedPathBuilder};
 pub use pool::{BufPool, PooledBuf};
 pub use reactor::{Periodic, ReactorSnapshot, SenderReactor};
 pub use recv::{NetLogicalReceiver, NetLogicalReceiverBuilder, NetRxSnapshot};
-pub use udp::{UdpChannel, UdpChannelSnapshot};
+pub use ring::{spsc, Consumer, Producer};
+pub use shard::{ShardConfig, ShardedUdpChannel};
+pub use sys::BatchIo;
+pub use udp::{UdpChannel, UdpChannelBuilder, UdpChannelSnapshot};

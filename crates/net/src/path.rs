@@ -14,10 +14,15 @@
 //!   far end finds out when the frame shows up. `None` still means the
 //!   frame never left ([`TxError::QueueFull`] backpressure and friends).
 //! - The batch path reuses a pool of encode buffers and offers each
-//!   same-channel run through [`DatagramLink::send_run`] — one backlog
-//!   flush per run, the `sendmmsg` seam — so a steady-state sender
-//!   performs **zero heap allocations per packet**, matching the
-//!   simulated `send_batch` guarantee.
+//!   same-channel run through [`DatagramLink::send_run_owned`] — the
+//!   zero-copy `sendmmsg` seam: links that defer (the UDP channels) take
+//!   the frames' storage into their bounded queues and the **single
+//!   end-of-batch flush** submits each channel's whole accumulated burst
+//!   as one `mmsghdr` batch, so syscall batch occupancy tracks the burst
+//!   size rather than the per-channel run length (SRR runs at large
+//!   payloads are only a frame or two long). A steady-state sender still
+//!   performs **zero heap allocations per packet**: taken storage is
+//!   replaced with recycled buffers that flow back through the pool.
 //! - [`ControlPath`] is implemented, so the PR-1
 //!   [`FailoverDriver`](stripe_transport::FailoverDriver) drives
 //!   liveness probes and membership handshakes over real sockets
@@ -192,7 +197,7 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
                 j += 1;
             }
             self.run_results.clear();
-            self.links[ch].send_run(&self.frame_bufs[i..j], &mut self.run_results);
+            self.links[ch].send_run_owned(&mut self.frame_bufs[i..j], &mut self.run_results);
             for k in 0..(j - i) {
                 let pkt = pkt_iter.next().expect("one packet per send result");
                 let (arrival, error) = match self.run_results[k] {
@@ -213,12 +218,36 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
                 });
             }
             while m < self.scratch_markers.len() && self.scratch_markers[m].0 < j {
-                let (_, c, mk) = self.scratch_markers[m];
+                let (at, c, mk) = self.scratch_markers[m];
                 m += 1;
-                let t = self.transmit_marker(now, c, mk);
+                // On links that coalesce equal-length frames into single
+                // kernel submissions (GSO), pad the marker to the length
+                // of the last data frame sent on its channel: the parked
+                // burst then stays one unbroken segmentation train
+                // instead of being cut at every marker (GSO permits only
+                // one shorter trailing segment per train).
+                let pad_to = if self.links[c].coalesce_hint() {
+                    (0..=at)
+                        .rev()
+                        .find(|&k| self.scratch_channels[k] == c)
+                        .map(|k| frame::data_frame_len(self.scratch_lens[k]))
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                // Deferred like the data frames around it: the marker
+                // joins channel `c`'s parked burst (FIFO preserved) and
+                // the end-of-batch flush below submits it in the same
+                // mmsg batch instead of splitting the burst per marker.
+                let t = self.transmit_marker(now, c, mk, true, pad_to);
                 out.push(t);
             }
             i = j;
+        }
+        // One flush per link per batch: links that deferred their frames
+        // (the UDP channels) submit the whole burst as mmsg batches here.
+        for l in &mut self.links {
+            l.flush();
         }
     }
 
@@ -230,15 +259,41 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
         self.tx.make_markers_into(&mut self.scratch_idle_markers);
         for k in 0..self.scratch_idle_markers.len() {
             let (c, mk) = self.scratch_idle_markers[k];
-            let t = self.transmit_marker(now, c, mk);
+            // Idle markers have no adjacent data frames to match, so
+            // padding them buys nothing: pad target 0 (never pad).
+            let t = self.transmit_marker(now, c, mk, false, 0);
             out.push(t);
         }
     }
 
-    fn transmit_marker<P>(&mut self, now: SimTime, c: ChannelId, mk: Marker) -> Transmission<P> {
+    /// `deferred` markers (mid-batch) join the channel's parked burst for
+    /// the end-of-batch flush; eager ones (idle timers) go out now.
+    /// `pad_to > 0` requests the padded control encoding stretched to
+    /// that wire length (ignored when it wouldn't fit the marker or the
+    /// link's MTU) — see `send_batch` for why.
+    fn transmit_marker<P>(
+        &mut self,
+        now: SimTime,
+        c: ChannelId,
+        mk: Marker,
+        deferred: bool,
+        pad_to: usize,
+    ) -> Transmission<P> {
         self.stats.markers_sent += 1;
-        frame::encode_control_into(&Control::Marker(mk), &mut self.ctl_buf);
-        let (arrival, error) = match self.links[c].send_frame(&self.ctl_buf) {
+        let ctl = Control::Marker(mk);
+        if pad_to >= frame::control_frame_len(&ctl) + frame::PAD_LEN_PREFIX
+            && pad_to <= self.links[c].mtu()
+        {
+            frame::encode_control_padded_into(&ctl, pad_to, &mut self.ctl_buf);
+        } else {
+            frame::encode_control_into(&ctl, &mut self.ctl_buf);
+        }
+        let r = if deferred {
+            self.links[c].send_frame_deferred(&self.ctl_buf)
+        } else {
+            self.links[c].send_frame(&self.ctl_buf)
+        };
+        let (arrival, error) = match r {
             Ok(()) => (Some(now), None),
             Err(e) => {
                 self.stats.markers_lost += 1;

@@ -86,9 +86,16 @@ pub struct SenderReactor<S: CausalScheduler, L: DatagramLink> {
     path: NetStripedPath<S, L>,
     driver: Option<FailoverDriver>,
     tick: Periodic,
-    recv_buf: Vec<u8>,
+    /// Scratch buffers for batched reverse-path receives. The reverse
+    /// path carries only low-rate control traffic, so a small batch is
+    /// plenty.
+    recv_bufs: Vec<Vec<u8>>,
+    recv_lens: Vec<usize>,
     stats: ReactorSnapshot,
 }
+
+/// Reverse-path receive batch width.
+const REVERSE_RUN: usize = 8;
 
 impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
     /// Wrap `path`, ticking `driver` (when present) every
@@ -109,7 +116,8 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
             path,
             driver,
             tick: Periodic::new(now, tick_interval),
-            recv_buf: vec![0u8; buf_len],
+            recv_bufs: (0..REVERSE_RUN).map(|_| vec![0u8; buf_len]).collect(),
+            recv_lens: vec![0; REVERSE_RUN],
             stats: ReactorSnapshot::default(),
         }
     }
@@ -128,23 +136,31 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
         self.stats.flushed += self.path.flush() as u64;
         let mut reports = Vec::new();
         for c in 0..self.path.links().len() {
-            while let Some(n) = self.path.links_mut()[c].recv_frame(&mut self.recv_buf) {
-                let ctl = match frame::decode(&self.recv_buf[..n]) {
-                    Some(Frame::Control(ctl)) => {
-                        self.stats.control_in += 1;
-                        ctl
+            loop {
+                let got =
+                    self.path.links_mut()[c].recv_run(&mut self.recv_bufs, &mut self.recv_lens);
+                for i in 0..got {
+                    let n = self.recv_lens[i];
+                    let ctl = match frame::decode(&self.recv_bufs[i][..n]) {
+                        Some(Frame::Control(ctl)) => {
+                            self.stats.control_in += 1;
+                            ctl
+                        }
+                        Some(Frame::Data(_)) => {
+                            self.stats.dropped_unexpected_data += 1;
+                            continue;
+                        }
+                        None => {
+                            self.stats.dropped_malformed += 1;
+                            continue;
+                        }
+                    };
+                    if let Some(driver) = self.driver.as_mut() {
+                        reports.extend(driver.on_control(&mut self.path, c, &ctl, now));
                     }
-                    Some(Frame::Data(_)) => {
-                        self.stats.dropped_unexpected_data += 1;
-                        continue;
-                    }
-                    None => {
-                        self.stats.dropped_malformed += 1;
-                        continue;
-                    }
-                };
-                if let Some(driver) = self.driver.as_mut() {
-                    reports.extend(driver.on_control(&mut self.path, c, &ctl, now));
+                }
+                if got < REVERSE_RUN {
+                    break;
                 }
             }
         }

@@ -143,6 +143,8 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiverBuilder<S, L> {
             links: self.links,
             pool: BufPool::new(buf_len, self.pool_initial),
             ctl_buf: Vec::new(),
+            recv_bufs: Vec::new(),
+            recv_lens: Vec::new(),
             stats: NetRxSnapshot::default(),
         }
     }
@@ -156,6 +158,10 @@ pub struct NetLogicalReceiver<S: CausalScheduler, L: DatagramLink> {
     links: Vec<L>,
     pool: BufPool,
     ctl_buf: Vec<u8>,
+    /// Scratch buffer array for batched receives (`recvmmsg` seam):
+    /// pool buffers waiting to be filled, refilled as frames are routed.
+    recv_bufs: Vec<Vec<u8>>,
+    recv_lens: Vec<usize>,
     stats: NetRxSnapshot,
 }
 
@@ -166,25 +172,38 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
         NetLogicalReceiverBuilder::default()
     }
 
-    /// One readiness pass at `now`: drain every channel's socket, route
+    /// Frames per [`DatagramLink::recv_run`] call in a sweep — the
+    /// receive-side syscall batch width on mmsg-capable links.
+    const RECV_RUN: usize = 32;
+
+    /// One readiness pass at `now`: drain every channel's socket in
+    /// [`Self::RECV_RUN`]-frame batches (the `recvmmsg` seam), route
     /// each frame, transmit any control replies on the reverse path.
     /// Returns the number of frames received.
     pub fn sweep(&mut self, now: SimTime) -> usize {
         let _ = now; // reserved for receive-timestamp plumbing
+        while self.recv_bufs.len() < Self::RECV_RUN {
+            self.recv_bufs.push(self.pool.take());
+            self.recv_lens.push(0);
+        }
         let mut received = 0;
         for c in 0..self.links.len() {
             loop {
-                let mut buf = self.pool.take();
-                let n = match self.links[c].recv_frame(&mut buf) {
-                    Some(n) => n,
-                    None => {
-                        self.pool.put(buf);
-                        break;
-                    }
-                };
-                received += 1;
-                self.stats.frames += 1;
-                self.route_frame(c, buf, n);
+                let got = self.links[c].recv_run(&mut self.recv_bufs, &mut self.recv_lens);
+                for i in 0..got {
+                    // Swap a fresh pool buffer into the batch array and
+                    // route the filled one (data keeps it, control and
+                    // malformed return it) — still zero steady-state
+                    // allocations, the pool just cycles.
+                    let buf = std::mem::replace(&mut self.recv_bufs[i], self.pool.take());
+                    let n = self.recv_lens[i];
+                    received += 1;
+                    self.stats.frames += 1;
+                    self.route_frame(c, buf, n);
+                }
+                if got < Self::RECV_RUN {
+                    break;
+                }
             }
         }
         received

@@ -1,0 +1,263 @@
+//! Bounded lock-free single-producer/single-consumer ring — the seam
+//! between the single-threaded reactor and a sharded I/O worker.
+//!
+//! The design is the classic Lamport queue with cached indices: one
+//! atomic head (consumer-owned), one atomic tail (producer-owned), a
+//! power-of-two slot array, and each side keeping a stale copy of the
+//! *other* side's index so the common case (ring neither full nor empty)
+//! touches only its own cache line. Capacity is exact: a ring built for
+//! `cap` items holds `cap` items (slot array is `cap.next_power_of_two()`
+//! and one extra bit of index range disambiguates full from empty).
+//!
+//! Items move by value. For the datapath the item is a recycled
+//! `Vec<u8>` (or a `RecvSlot` wrapping one), so pushing a frame across a
+//! ring is a pointer move, never a byte copy — the rings are how the
+//! 0 allocs/packet story survives the thread hop: buffers circulate
+//! reactor → tx ring → worker → tx-free ring → reactor (and mirrored on
+//! the receive side), no allocation in steady state.
+//!
+//! No waiting lives here: `push` fails on full, `pop` returns `None` on
+//! empty. The spin-then-park protocol (who sleeps when, who wakes whom)
+//! belongs to [`crate::shard`].
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next index to pop (owned by the consumer).
+    head: AtomicUsize,
+    /// Next index to push (owned by the producer).
+    tail: AtomicUsize,
+}
+
+// The ring hands each slot to exactly one side at a time (indices are
+// the ownership protocol), so it is Sync whenever T may cross threads.
+unsafe impl<T: Send> Sync for Inner<T> {}
+unsafe impl<T: Send> Send for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            // Still-queued items are initialized and owned by the ring.
+            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The producing half of an SPSC ring (see [`spsc`]). `!Clone`: exactly
+/// one producer exists.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Stale copy of `head`; refreshed only when the ring looks full.
+    head_cache: usize,
+    /// Local copy of `tail` (we are the only writer).
+    tail: usize,
+}
+
+/// The consuming half of an SPSC ring (see [`spsc`]). `!Clone`: exactly
+/// one consumer exists.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local copy of `head` (we are the only writer).
+    head: usize,
+    /// Stale copy of `tail`; refreshed only when the ring looks empty.
+    tail_cache: usize,
+}
+
+/// Build a bounded SPSC ring holding up to `cap` items (`cap >= 1`;
+/// rounded up to a power of two internally, capacity reported exactly).
+pub fn spsc<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(cap >= 1, "ring capacity must be at least 1");
+    let slots_len = cap.next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..slots_len)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(Inner {
+        mask: slots_len - 1,
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            head_cache: 0,
+            tail: 0,
+        },
+        Consumer {
+            inner,
+            head: 0,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Push one item, or hand it back if the ring is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        let cap = self.inner.mask + 1;
+        if self.tail.wrapping_sub(self.head_cache) >= cap {
+            self.head_cache = self.inner.head.load(Ordering::Acquire);
+            if self.tail.wrapping_sub(self.head_cache) >= cap {
+                return Err(item);
+            }
+        }
+        let slot = &self.inner.slots[self.tail & self.inner.mask];
+        unsafe { (*slot.get()).write(item) };
+        self.tail = self.tail.wrapping_add(1);
+        self.inner.tail.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently in the ring (approximate from this side: never
+    /// under-counts — the consumer can only have drained more).
+    pub fn len(&self) -> usize {
+        let head = self.inner.head.load(Ordering::Acquire);
+        self.tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring looks empty from the producer side.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pop one item, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.head == self.tail_cache {
+            self.tail_cache = self.inner.tail.load(Ordering::Acquire);
+            if self.head == self.tail_cache {
+                return None;
+            }
+        }
+        let slot = &self.inner.slots[self.head & self.inner.mask];
+        let item = unsafe { (*slot.get()).assume_init_read() };
+        self.head = self.head.wrapping_add(1);
+        self.inner.head.store(self.head, Ordering::Release);
+        Some(item)
+    }
+
+    /// Items currently in the ring (approximate from this side: never
+    /// over-counts — the producer can only have added more).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        tail.wrapping_sub(self.head)
+    }
+
+    /// Whether the ring looks empty from the consumer side.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.inner.mask + 1
+    }
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (mut p, mut c) = spsc::<u32>(4);
+        assert_eq!(p.capacity(), 4);
+        for i in 0..4 {
+            p.push(i).unwrap();
+        }
+        assert_eq!(p.push(99), Err(99), "full ring hands the item back");
+        for i in 0..4 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn wraps_many_times() {
+        let (mut p, mut c) = spsc::<usize>(2);
+        for i in 0..1000 {
+            p.push(i).unwrap();
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert!(c.is_empty());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn drops_queued_items_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        static DROPS: AtomicU32 = AtomicU32::new(0);
+        #[derive(Debug)]
+        struct Tracked;
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut p, mut c) = spsc::<Tracked>(4);
+        p.push(Tracked).unwrap();
+        p.push(Tracked).unwrap();
+        p.push(Tracked).unwrap();
+        drop(c.pop()); // one dropped by the consumer
+        drop((p, c)); // two dropped by the ring itself
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn cross_thread_stress_preserves_order() {
+        let (mut p, mut c) = spsc::<u64>(8);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while i < N {
+                match p.push(i) {
+                    Ok(()) => i += 1,
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            match c.pop() {
+                Some(v) => {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(c.pop(), None);
+    }
+}

@@ -1,0 +1,707 @@
+//! Sharded channel I/O: one worker thread per [`UdpChannel`], behind the
+//! same [`DatagramLink`] surface the reactor already stripes over.
+//!
+//! The reactor thread keeps every piece of protocol state — SRR deficit
+//! counters, marker emission, logical reception, failover — exactly as
+//! single-threaded as the paper's state machines (§3.5, §5). Only the
+//! syscalls move: each channel's socket lives on its own worker, and
+//! frames cross between reactor and worker over bounded SPSC rings
+//! ([`crate::ring`]) that recycle their buffers, so the thread hop is a
+//! pointer move and the datapath stays at 0 allocs/packet in steady
+//! state.
+//!
+//! Four rings per channel:
+//!
+//! ```text
+//! reactor --tx-----> worker        (encoded frames to transmit)
+//! reactor <--tx_free-- worker      (spent tx buffers coming home)
+//! reactor <--rx------ worker       (received frames + lengths)
+//! reactor --rx_free--> worker      (empty rx buffers going out)
+//! ```
+//!
+//! Backpressure is explicit end to end: a full `tx` ring surfaces as
+//! [`TxError::QueueFull`] from the facade — never a silent drop — and
+//! the worker only pops as many tx frames as the channel's bounded queue
+//! has slack for, so a frame accepted by the ring cannot later overflow
+//! the channel queue. On the receive side the worker only pulls as many
+//! datagrams from the kernel as it has free buffers and `rx`-ring space
+//! for; anything beyond that waits in the kernel receive buffer (whose
+//! overflow the snapshot estimates as `dropped_rcvbuf`).
+//!
+//! The worker polls adaptively: spin while traffic flows (budget 0 on a
+//! single-CPU host, where spinning only steals the reactor's timeslice),
+//! then publish an idle flag, re-check the rings to close the lost-wakeup
+//! race, and `park_timeout` with an escalating bound (20µs → 1ms) so an
+//! idle channel costs ~1k wakeups/s and a dead-idle one nearly nothing.
+//! The facade unparks the worker whenever it pushes work while the idle
+//! flag is up.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use stripe_link::{DatagramLink, TxError};
+
+use crate::ring::{spsc, Consumer, Producer};
+use crate::sys;
+use crate::udp::{UdpChannel, UdpChannelSnapshot};
+
+/// One received datagram crossing the rx ring: the buffer and how many
+/// of its bytes are frame.
+#[derive(Debug)]
+pub struct RecvSlot {
+    /// Storage holding the frame (length-`mtu` buffer).
+    pub buf: Vec<u8>,
+    /// Valid frame bytes at the front of `buf`.
+    pub len: usize,
+}
+
+/// Escalating park bounds: first parks are short so a burst arriving
+/// just after idling eats ~20µs, sustained idle backs off to 1ms.
+const PARK_MIN_NS: u64 = 20_000;
+const PARK_MAX_NS: u64 = 1_000_000;
+
+/// Flags and counter mirror shared between facade and worker.
+#[derive(Debug, Default)]
+struct WorkerShared {
+    /// Worker is about to park (facade should unpark after pushing).
+    idle: AtomicBool,
+    /// Test hook: worker stops touching rings and socket while set.
+    paused: AtomicBool,
+    /// Facade dropped; worker exits its loop.
+    shutdown: AtomicBool,
+    sent_frames: AtomicU64,
+    sent_bytes: AtomicU64,
+    recv_frames: AtomicU64,
+    recv_bytes: AtomicU64,
+    queued: AtomicU64,
+    dropped_queue: AtomicU64,
+    dropped_error: AtomicU64,
+    send_syscalls: AtomicU64,
+    recv_syscalls: AtomicU64,
+    sndbuf: AtomicU64,
+    rcvbuf: AtomicU64,
+}
+
+impl WorkerShared {
+    fn publish(&self, s: &UdpChannelSnapshot) {
+        self.sent_frames.store(s.sent_frames, Ordering::Relaxed);
+        self.sent_bytes.store(s.sent_bytes, Ordering::Relaxed);
+        self.recv_frames.store(s.recv_frames, Ordering::Relaxed);
+        self.recv_bytes.store(s.recv_bytes, Ordering::Relaxed);
+        self.queued.store(s.queued, Ordering::Relaxed);
+        self.dropped_queue.store(s.dropped_queue, Ordering::Relaxed);
+        self.dropped_error.store(s.dropped_error, Ordering::Relaxed);
+        self.send_syscalls.store(s.send_syscalls, Ordering::Relaxed);
+        self.recv_syscalls.store(s.recv_syscalls, Ordering::Relaxed);
+        self.sndbuf.store(s.sndbuf, Ordering::Relaxed);
+        self.rcvbuf.store(s.rcvbuf, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> UdpChannelSnapshot {
+        UdpChannelSnapshot {
+            sent_frames: self.sent_frames.load(Ordering::Relaxed),
+            sent_bytes: self.sent_bytes.load(Ordering::Relaxed),
+            recv_frames: self.recv_frames.load(Ordering::Relaxed),
+            recv_bytes: self.recv_bytes.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            dropped_queue: self.dropped_queue.load(Ordering::Relaxed),
+            dropped_error: self.dropped_error.load(Ordering::Relaxed),
+            send_syscalls: self.send_syscalls.load(Ordering::Relaxed),
+            recv_syscalls: self.recv_syscalls.load(Ordering::Relaxed),
+            sndbuf: self.sndbuf.load(Ordering::Relaxed),
+            rcvbuf: self.rcvbuf.load(Ordering::Relaxed),
+            dropped_rcvbuf: 0,
+        }
+    }
+}
+
+/// Configuration for one sharded channel worker.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    ring_cap: usize,
+    batch: usize,
+    spin: Option<u32>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardConfig {
+    /// Defaults: 256-frame rings, [`sys::DEFAULT_BATCH`]-frame worker
+    /// batches, auto spin budget (0 on a single-CPU host).
+    pub fn new() -> Self {
+        Self {
+            ring_cap: 256,
+            batch: sys::DEFAULT_BATCH,
+            spin: None,
+        }
+    }
+
+    /// Frames per direction ring (rounded up to a power of two).
+    pub fn ring_cap(mut self, frames: usize) -> Self {
+        self.ring_cap = frames.max(1);
+        self
+    }
+
+    /// Frames the worker moves per ring sweep / syscall batch.
+    pub fn batch(mut self, frames: usize) -> Self {
+        self.batch = frames.max(1);
+        self
+    }
+
+    /// Spin iterations before the worker parks (overrides the CPU-count
+    /// heuristic).
+    pub fn spin(mut self, iterations: u32) -> Self {
+        self.spin = Some(iterations);
+        self
+    }
+
+    /// Move `chan` onto its own I/O worker thread and return the
+    /// ring-backed [`DatagramLink`] facade for the reactor side.
+    pub fn spawn(&self, chan: UdpChannel) -> io::Result<ShardedUdpChannel> {
+        let mtu = chan.mtu();
+        let port = chan.local_addr()?.port();
+        // Captured before the channel moves to the worker; offload state
+        // only ever demotes, and a stale `true` merely pads a few markers
+        // the kernel then sends per-frame — harmless.
+        let coalesce = chan.gso_offload();
+        let spin_budget = self.spin.unwrap_or_else(|| {
+            let cpus = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            if cpus <= 1 {
+                0
+            } else {
+                4096
+            }
+        });
+
+        let (tx_p, tx_c) = spsc::<Vec<u8>>(self.ring_cap);
+        let (mut tx_free_p, tx_free_c) = spsc::<Vec<u8>>(self.ring_cap * 2);
+        let (rx_p, rx_c) = spsc::<RecvSlot>(self.ring_cap);
+        let (mut rx_free_p, rx_free_c) = spsc::<Vec<u8>>(self.ring_cap * 2);
+
+        // Pre-charge the free rings so steady state never allocates:
+        // tx buffers arrive empty-but-capacious, rx buffers at frame
+        // length for the kernel to fill.
+        for _ in 0..self.ring_cap {
+            tx_free_p
+                .push(Vec::with_capacity(mtu))
+                .expect("fresh ring has room");
+            rx_free_p
+                .push(vec![0u8; mtu])
+                .expect("fresh ring has room");
+        }
+
+        let shared = Arc::new(WorkerShared::default());
+        shared.publish(&chan.stats()); // sndbuf/rcvbuf visible immediately
+        let worker_shared = Arc::clone(&shared);
+        let batch = self.batch;
+        let worker = std::thread::Builder::new()
+            .name(format!("stripe-io-{port}"))
+            .spawn(move || {
+                worker_main(
+                    chan,
+                    tx_c,
+                    tx_free_p,
+                    rx_p,
+                    rx_free_c,
+                    worker_shared,
+                    batch,
+                    spin_budget,
+                )
+            })?;
+
+        Ok(ShardedUdpChannel {
+            tx: tx_p,
+            tx_free: tx_free_c,
+            rx: rx_c,
+            rx_free: rx_free_p,
+            tx_spare: Vec::with_capacity(self.ring_cap * 2),
+            rx_spare: Vec::with_capacity(self.ring_cap * 2),
+            shared,
+            worker: Some(worker),
+            mtu,
+            port,
+            coalesce,
+            dropped_ring: 0,
+        })
+    }
+}
+
+/// The reactor-side facade of a sharded channel: a [`DatagramLink`]
+/// whose sends and receives cross SPSC rings to a dedicated I/O worker
+/// owning the actual [`UdpChannel`].
+#[derive(Debug)]
+pub struct ShardedUdpChannel {
+    tx: Producer<Vec<u8>>,
+    tx_free: Consumer<Vec<u8>>,
+    rx: Consumer<RecvSlot>,
+    rx_free: Producer<Vec<u8>>,
+    /// Tx buffers that couldn't go back out (ring momentarily full).
+    tx_spare: Vec<Vec<u8>>,
+    /// Rx buffers that couldn't go back out (ring momentarily full).
+    rx_spare: Vec<Vec<u8>>,
+    shared: Arc<WorkerShared>,
+    worker: Option<JoinHandle<UdpChannel>>,
+    mtu: usize,
+    port: u16,
+    /// Worker channel's segmentation-offload state at spawn time.
+    coalesce: bool,
+    /// Frames refused because the tx ring was full (reported as
+    /// `dropped_queue` — same backpressure signal, different queue).
+    dropped_ring: u64,
+}
+
+impl ShardedUdpChannel {
+    /// Shorthand: default [`ShardConfig`] around `chan`.
+    pub fn spawn(chan: UdpChannel) -> io::Result<Self> {
+        ShardConfig::new().spawn(chan)
+    }
+
+    /// Counters, mirrored from the worker (refreshed once per worker
+    /// loop) plus facade-side ring backpressure. `dropped_rcvbuf` holds 0
+    /// until [`stats_sampled`](Self::stats_sampled).
+    pub fn stats(&self) -> UdpChannelSnapshot {
+        let mut s = self.shared.load();
+        s.dropped_queue += self.dropped_ring;
+        s
+    }
+
+    /// Counters with a fresh kernel-drop sample (reads procfs — call at
+    /// reporting time, not per packet).
+    pub fn stats_sampled(&self) -> UdpChannelSnapshot {
+        let mut s = self.stats();
+        s.dropped_rcvbuf = self.kernel_drops();
+        s
+    }
+
+    /// Estimate of datagrams the kernel dropped on this channel's
+    /// receive buffer.
+    pub fn kernel_drops(&self) -> u64 {
+        sys::socket_drops_port(self.port)
+    }
+
+    /// The worker socket's local port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Test hook: freeze (`true`) or thaw (`false`) the worker. While
+    /// frozen the worker touches neither rings nor socket, so ring-full
+    /// backpressure can be produced deterministically.
+    pub fn set_paused(&self, paused: bool) {
+        self.shared.paused.store(paused, Ordering::Release);
+        self.kick_always();
+    }
+
+    /// Stop the worker and take the underlying channel back (final
+    /// counters included).
+    pub fn into_channel(mut self) -> UdpChannel {
+        self.shutdown_worker()
+            .expect("worker present until shutdown")
+    }
+
+    fn shutdown_worker(&mut self) -> Option<UdpChannel> {
+        let worker = self.worker.take()?;
+        self.shared.shutdown.store(true, Ordering::Release);
+        worker.thread().unpark();
+        worker.join().ok()
+    }
+
+    /// Unpark the worker if it flagged itself idle.
+    fn kick(&self) {
+        if self.shared.idle.load(Ordering::Acquire) {
+            self.kick_always();
+        }
+    }
+
+    fn kick_always(&self) {
+        if let Some(w) = &self.worker {
+            w.thread().unpark();
+        }
+    }
+
+    fn take_tx_buf(&mut self) -> Vec<u8> {
+        self.tx_spare
+            .pop()
+            .or_else(|| self.tx_free.pop())
+            .unwrap_or_default()
+    }
+
+    fn give_back_rx(&mut self, buf: Vec<u8>) {
+        if let Err(buf) = self.rx_free.push(buf) {
+            self.rx_spare.push(buf);
+        } else if !self.rx_spare.is_empty() {
+            // Opportunistically drain the spare stash while there's room.
+            while let Some(b) = self.rx_spare.pop() {
+                if let Err(b) = self.rx_free.push(b) {
+                    self.rx_spare.push(b);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ShardedUdpChannel {
+    fn drop(&mut self) {
+        self.shutdown_worker();
+    }
+}
+
+impl DatagramLink for ShardedUdpChannel {
+    fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        if frame.len() > self.mtu {
+            return Err(TxError::TooBig);
+        }
+        let mut buf = self.take_tx_buf();
+        buf.clear();
+        buf.extend_from_slice(frame);
+        match self.tx.push(buf) {
+            Ok(()) => {
+                self.kick();
+                Ok(())
+            }
+            Err(buf) => {
+                self.tx_spare.push(buf);
+                self.dropped_ring += 1;
+                self.kick(); // the worker is clearly behind — wake it
+                Err(TxError::QueueFull)
+            }
+        }
+    }
+
+    fn send_run(&mut self, frames: &[Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
+        out.reserve(frames.len());
+        for f in frames {
+            out.push(self.send_frame(f));
+        }
+    }
+
+    fn send_run_owned(&mut self, frames: &mut [Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
+        out.reserve(frames.len());
+        for frame in frames.iter_mut() {
+            if frame.len() > self.mtu {
+                out.push(Err(TxError::TooBig));
+                continue;
+            }
+            let replacement = self.take_tx_buf();
+            let owned = std::mem::replace(frame, replacement);
+            match self.tx.push(owned) {
+                Ok(()) => out.push(Ok(())),
+                Err(owned) => {
+                    // Undo the swap: rejected frames are left untouched.
+                    let replacement = std::mem::replace(frame, owned);
+                    self.tx_spare.push(replacement);
+                    self.dropped_ring += 1;
+                    out.push(Err(TxError::QueueFull));
+                }
+            }
+        }
+        self.kick();
+    }
+
+    fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize> {
+        let slot = self.rx.pop()?;
+        let n = slot.len.min(buf.len());
+        buf[..n].copy_from_slice(&slot.buf[..n]);
+        self.give_back_rx(slot.buf);
+        Some(n)
+    }
+
+    fn recv_run(&mut self, bufs: &mut [Vec<u8>], lens: &mut [usize]) -> usize {
+        debug_assert!(lens.len() >= bufs.len(), "one length slot per buffer");
+        let mut k = 0;
+        while k < bufs.len() {
+            let Some(slot) = self.rx.pop() else { break };
+            lens[k] = slot.len;
+            let old = std::mem::replace(&mut bufs[k], slot.buf);
+            self.give_back_rx(old);
+            k += 1;
+        }
+        if k > 0 {
+            self.kick(); // free buffers just went back — let the worker recv
+        }
+        k
+    }
+
+    fn mtu(&self) -> usize {
+        self.mtu
+    }
+
+    fn coalesce_hint(&self) -> bool {
+        self.coalesce
+    }
+
+    fn flush(&mut self) -> usize {
+        self.kick();
+        0
+    }
+
+    fn backlog(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+/// The worker loop: owns the channel, drains the tx ring into eager
+/// batched sends, pulls receives into free buffers, mirrors counters,
+/// and spin-then-parks when idle.
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    mut chan: UdpChannel,
+    mut tx: Consumer<Vec<u8>>,
+    mut tx_free: Producer<Vec<u8>>,
+    mut rx: Producer<RecvSlot>,
+    mut rx_free: Consumer<Vec<u8>>,
+    shared: Arc<WorkerShared>,
+    batch: usize,
+    spin_budget: u32,
+) -> UdpChannel {
+    let mtu = chan.mtu();
+    let mut scratch: Vec<Vec<u8>> = Vec::with_capacity(batch);
+    let mut results: Vec<Result<(), TxError>> = Vec::with_capacity(batch);
+    let mut stash: Vec<Vec<u8>> = Vec::with_capacity(batch);
+    let mut lens = vec![0usize; batch];
+    let mut spins = 0u32;
+    let mut park_ns = PARK_MIN_NS;
+
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        if shared.paused.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_micros(100));
+            continue;
+        }
+        let mut progress = false;
+
+        // TX: pop at most as many frames as the channel queue has slack
+        // for, so a WouldBlock run can always park without overflowing —
+        // a frame the ring accepted is never dropped by this layer.
+        let slack = chan.queue_capacity().saturating_sub(chan.backlog());
+        let take = slack.min(batch);
+        scratch.clear();
+        while scratch.len() < take {
+            match tx.pop() {
+                Some(f) => scratch.push(f),
+                None => break,
+            }
+        }
+        if !scratch.is_empty() {
+            progress = true;
+            results.clear();
+            // Eager path: flush + mmsg the run; backpressure parks in the
+            // channel's own bounded queue (within the slack we reserved).
+            chan.send_run(&scratch, &mut results);
+            for buf in scratch.drain(..) {
+                // Free ring is 2x the tx ring; overflow means the facade
+                // stopped recycling, so dropping the buffer is safe.
+                let _ = tx_free.push(buf);
+            }
+        }
+        if chan.backlog() > 0 && chan.flush() > 0 {
+            progress = true;
+        }
+
+        // RX: pull only what we hold free buffers AND rx-ring space for;
+        // the rest waits in the kernel receive buffer.
+        let space = rx.capacity() - rx.len();
+        let want = space.min(batch);
+        while stash.len() < want {
+            match rx_free.pop() {
+                Some(mut b) => {
+                    if b.len() < mtu {
+                        b.resize(mtu, 0);
+                    }
+                    stash.push(b);
+                }
+                None => break,
+            }
+        }
+        let n_bufs = stash.len().min(want);
+        if n_bufs > 0 {
+            let got = chan.recv_run(&mut stash[..n_bufs], &mut lens[..n_bufs]);
+            if got > 0 {
+                progress = true;
+                for (i, buf) in stash.drain(..got).enumerate() {
+                    // Cannot fail: bounded by `space` measured above.
+                    let _ = rx.push(RecvSlot { buf, len: lens[i] });
+                }
+            }
+        }
+
+        shared.publish(&chan.stats());
+
+        if progress {
+            spins = 0;
+            park_ns = PARK_MIN_NS;
+            continue;
+        }
+        if spins < spin_budget {
+            spins += 1;
+            std::hint::spin_loop();
+            continue;
+        }
+        // Park protocol: raise the idle flag, re-check for work that
+        // raced in (the producer tests the flag *after* pushing), then
+        // park with a bounded timeout as the lost-wakeup backstop and
+        // the rx poll heartbeat.
+        shared.idle.store(true, Ordering::Release);
+        if !tx.is_empty() || shared.shutdown.load(Ordering::Acquire) {
+            shared.idle.store(false, Ordering::Release);
+            continue;
+        }
+        std::thread::park_timeout(Duration::from_nanos(park_ns));
+        shared.idle.store(false, Ordering::Release);
+        park_ns = (park_ns * 2).min(PARK_MAX_NS);
+        spins = 0;
+    }
+
+    // Last-gasp: push out whatever is still queued so short-lived
+    // facades (tests) don't strand frames.
+    chan.flush();
+    shared.publish(&chan.stats());
+    chan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(mtu: usize) -> (ShardedUdpChannel, UdpChannel) {
+        let (a, b) = UdpChannel::pair(mtu, 1 << 10).unwrap();
+        (ShardedUdpChannel::spawn(a).unwrap(), b)
+    }
+
+    fn recv_poll(ch: &mut impl DatagramLink, buf: &mut [u8]) -> Option<usize> {
+        for _ in 0..100_000 {
+            if let Some(n) = ch.recv_frame(buf) {
+                return Some(n);
+            }
+            std::thread::yield_now();
+        }
+        None
+    }
+
+    #[test]
+    fn frames_cross_the_shard_both_ways() {
+        let (mut a, mut b) = pair(256);
+        a.send_frame(&[1, 2, 3]).unwrap();
+        b.send_frame(&[9]).unwrap();
+        let mut buf = [0u8; 256];
+        let n = recv_poll(&mut b, &mut buf).expect("frame shard->plain");
+        assert_eq!(&buf[..n], &[1, 2, 3]);
+        let n = recv_poll(&mut a, &mut buf).expect("frame plain->shard");
+        assert_eq!(&buf[..n], &[9]);
+        let s = a.stats();
+        assert_eq!(s.sent_frames, 1);
+        assert_eq!(s.recv_frames, 1);
+    }
+
+    #[test]
+    fn frames_stay_in_order_through_the_rings() {
+        let (mut a, mut b) = pair(64);
+        let mut sent = 0u8;
+        while sent < 128 {
+            match a.send_frame(&[sent]) {
+                Ok(()) => sent += 1,
+                Err(TxError::QueueFull) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        let mut buf = [0u8; 64];
+        for want in 0..128u8 {
+            let n = recv_poll(&mut b, &mut buf).expect("frame");
+            assert_eq!((n, buf[0]), (1, want));
+        }
+    }
+
+    #[test]
+    fn ring_full_is_queue_full_and_never_a_silent_drop() {
+        let (a_chan, mut b) = UdpChannel::pair(64, 1 << 10).unwrap();
+        let mut a = ShardConfig::new().ring_cap(4).spawn(a_chan).unwrap();
+        a.set_paused(true);
+        // Give the worker a beat to observe the pause, then fill the ring.
+        std::thread::sleep(Duration::from_millis(5));
+        let mut accepted = 0u32;
+        let mut refused = 0u32;
+        for i in 0..16u8 {
+            match a.send_frame(&[i]) {
+                Ok(()) => accepted += 1,
+                Err(TxError::QueueFull) => refused += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(accepted, 4, "exactly the ring capacity is accepted");
+        assert_eq!(refused, 12, "overflow is loud, not silent");
+        assert_eq!(a.stats().dropped_queue, 12, "refusals are counted");
+        // Thaw: every accepted frame must come out the far end.
+        a.set_paused(false);
+        a.flush();
+        let mut buf = [0u8; 64];
+        for want in 0..4u8 {
+            let n = recv_poll(&mut b, &mut buf).expect("accepted frame delivered");
+            assert_eq!((n, buf[0]), (1, want));
+        }
+        assert!(b.recv_frame(&mut buf).is_none(), "and nothing else");
+    }
+
+    #[test]
+    fn send_run_owned_takes_storage_and_leaves_rejects_untouched() {
+        let (mut a, mut b) = pair(8);
+        let mut frames: Vec<Vec<u8>> = vec![vec![1], vec![0; 9], vec![2]];
+        let mut out = Vec::new();
+        a.send_run_owned(&mut frames, &mut out);
+        assert_eq!(out, vec![Ok(()), Err(TxError::TooBig), Ok(())]);
+        assert_eq!(frames[1], vec![0; 9], "rejected frame untouched");
+        let mut buf = [0u8; 8];
+        for want in [1u8, 2] {
+            let n = recv_poll(&mut b, &mut buf).expect("frame");
+            assert_eq!((n, buf[0]), (1, want));
+        }
+    }
+
+    #[test]
+    fn recv_run_swaps_buffers_and_reports_lengths() {
+        let (mut a, b_chan) = UdpChannel::pair(64, 1 << 10).unwrap();
+        let mut b = ShardedUdpChannel::spawn(b_chan).unwrap();
+        for i in 0..6u8 {
+            a.send_frame(&[i, i, i]).unwrap();
+        }
+        let mut bufs: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 64]).collect();
+        let mut lens = [0usize; 4];
+        let mut got = Vec::new();
+        for _ in 0..100_000 {
+            let k = b.recv_run(&mut bufs, &mut lens);
+            for i in 0..k {
+                got.push((bufs[i][0], lens[i]));
+            }
+            if got.len() == 6 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            got,
+            (0..6u8).map(|i| (i, 3usize)).collect::<Vec<_>>(),
+            "all frames, in order, with lengths"
+        );
+    }
+
+    #[test]
+    fn into_channel_returns_the_socket_with_final_counters() {
+        let (mut a, mut b) = pair(64);
+        a.send_frame(&[7; 8]).unwrap();
+        let mut buf = [0u8; 64];
+        recv_poll(&mut b, &mut buf).expect("frame");
+        let chan = a.into_channel();
+        assert_eq!(chan.stats().sent_frames, 1);
+    }
+}

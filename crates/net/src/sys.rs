@@ -1,0 +1,1101 @@
+//! The kernel seam: batched datagram syscalls behind one portable API.
+//!
+//! [`BatchIo`] submits a whole run of frames to the kernel as a single
+//! `sendmmsg(2)` / `recvmmsg(2)` call — the move that closes most of the
+//! ~50x gap between the in-memory datapath and the PR-3 socket path,
+//! where every packet paid one syscall each way. On top of that,
+//! equal-size frame runs use **UDP GSO** (`UDP_SEGMENT`): up to 64
+//! segments travel the kernel stack as *one* datagram and are split at
+//! the very bottom — and with **UDP GRO** (`UDP_GRO`) enabled on the
+//! receiving socket, a loopback peer gets them re-coalesced and pays one
+//! traversal too. Syscall batching alone caps out at the kernel's
+//! per-datagram processing cost (~1.6 µs on the bench host, a ceiling
+//! sendmmsg cannot move); segmentation offload is what actually lifts
+//! it. Mixed-size stretches fall back to plain `sendmmsg` within the
+//! same call, and a kernel that rejects `UDP_SEGMENT` demotes the
+//! instance to mmsg-only at runtime.
+//!
+//! The FFI surface is a handful of `extern "C"` declarations and four
+//! `#[repr(C)]` structs, gated on `linux`/`gnu`; everywhere else (and
+//! whenever the `STRIPE_NET_FALLBACK=1` environment variable forces it,
+//! so CI can pin the portable path) the same API runs a per-frame
+//! `send`/`recv` loop with byte-identical outcomes. Callers observe only
+//! `(frames moved, syscalls spent)` — the mechanics are invisible, which
+//! is what the differential proptests in `tests/mmsg_differential.rs`
+//! check.
+//!
+//! This module also owns the other two pieces of kernel-adjacent glue
+//! the datapath needs:
+//!
+//! - [`configure_buffers`]: `SO_SNDBUF`/`SO_RCVBUF` via `setsockopt`,
+//!   with the *effective* sizes read back (Linux doubles the requested
+//!   value for bookkeeping overhead).
+//! - [`socket_drops_port`]: a `dropped_rcvbuf` estimate read from the
+//!   socket's `drops` column in `/proc/net/udp` — the kernel-overflow
+//!   losses that are otherwise invisible and surface only as §5 marker
+//!   recoveries.
+
+use std::io;
+use std::net::UdpSocket;
+use std::sync::OnceLock;
+
+/// Default frames per `mmsghdr` batch — large enough to amortize the
+/// syscall to noise, small enough to keep scratch arrays cache-resident.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// The kernel's `UDP_MAX_SEGMENTS`: most segments one GSO send carries.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const GSO_MAX_SEGMENTS: usize = 64;
+/// Largest pre-segmentation datagram a GSO send may build (max UDP
+/// payload); `gso_size * segments` must stay under this.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const GSO_MAX_BYTES: usize = 65_507;
+/// Shortest equal-size run worth a GSO send: even two segments halve the
+/// kernel traversals, which dominate once syscalls are batched.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const GSO_MIN_RUN: usize = 2;
+/// GRO staging slot: one coalesced datagram is at most 65507 bytes, so
+/// a 64 KiB slot can never truncate a train.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const GRO_SLOT: usize = 1 << 16;
+/// Byte distance between consecutive staging slots: slot size plus a
+/// skew that keeps the kernel's per-train copies off a power-of-two
+/// stride (which would land every train in the same cache sets).
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const GRO_SLOT_STRIDE: usize = GRO_SLOT + 4096;
+/// Coalesced trains pulled per `recvmmsg`; staging memory is
+/// `GRO_RX_SLOTS * GRO_SLOT_STRIDE` per GRO-enabled socket. One slot
+/// measured fastest on single-core hosts, where syscalls are cheap and
+/// the extra staging footprint evicts hotter cache lines; raise it on
+/// machines where the receive path is syscall-bound.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+const GRO_RX_SLOTS: usize = 1;
+
+/// True when `STRIPE_NET_FALLBACK=1` forces the portable per-frame path
+/// even where the batched syscalls are compiled in. Read once.
+pub fn fallback_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var("STRIPE_NET_FALLBACK").is_ok_and(|v| v == "1"))
+}
+
+/// True when this build carries the `sendmmsg`/`recvmmsg` declarations.
+pub const fn mmsg_compiled() -> bool {
+    cfg!(all(target_os = "linux", target_env = "gnu"))
+}
+
+/// Outcome of one batched send: `sent` frames were handed to the kernel
+/// in `syscalls` calls. `sent` short of the offered run means the kernel
+/// refused the next frame — backpressure (`hard_error == false`, the
+/// `WouldBlock` of the per-frame path) or a real socket failure on that
+/// frame (`hard_error == true`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendReport {
+    /// Frames accepted by the kernel.
+    pub sent: usize,
+    /// Syscalls spent (including the one that reported backpressure).
+    pub syscalls: u64,
+    /// The stop was a hard socket error, not backpressure.
+    pub hard_error: bool,
+}
+
+/// Outcome of one batched receive: `received` frames landed in the
+/// caller's buffers over `syscalls` calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecvReport {
+    /// Frames received.
+    pub received: usize,
+    /// Syscalls spent (including the one that found the queue empty).
+    pub syscalls: u64,
+}
+
+/// Reusable scratch for batched sends/receives on one socket.
+///
+/// On `linux`/`gnu` with the fallback not forced, runs go to the kernel
+/// as `mmsghdr` arrays (one frame per message, one iovec per frame);
+/// otherwise the same calls loop per frame. The scratch vectors are
+/// sized once and recycled forever — zero allocations per batch.
+#[derive(Debug)]
+pub struct BatchIo {
+    cap: usize,
+    batched: bool,
+    /// Attempt GSO sends for equal-size runs. Starts with `batched`,
+    /// demoted at runtime if the kernel rejects `UDP_SEGMENT`.
+    gso: bool,
+    /// The socket this instance reads has `UDP_GRO` enabled, so receives
+    /// must go through the coalescing-aware splitter.
+    gro: bool,
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    iovs: Vec<ffi::IoVec>,
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    hdrs: Vec<ffi::MMsgHdr>,
+    /// One `UDP_SEGMENT` control block per planned send message.
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    cmsgs: Vec<ffi::SegmentCmsg>,
+    /// Frames covered by each planned send message (train lengths).
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    runs: Vec<usize>,
+    /// GRO receive staging: [`GRO_RX_SLOTS`] slots of [`GRO_SLOT`] bytes
+    /// each, so one `recvmmsg` pulls several coalesced trains at once.
+    /// Unconsumed trains are just offsets into this buffer — `rx_trains`
+    /// records `(bytes, segment size)` per filled slot, `rx_slot` /
+    /// `left_off` cursor the next undelivered segment — so overflow
+    /// never copies or allocates.
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    staging: Vec<u8>,
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    rx_trains: Vec<(usize, usize)>,
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    rx_slot: usize,
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    left_off: usize,
+}
+
+// SAFETY: the raw pointers inside the scratch arrays are dangling
+// between calls — each call rebuilds them from the borrowed frames
+// before the syscall and never reads them afterwards. Moving the
+// scratch across threads is therefore sound.
+unsafe impl Send for BatchIo {}
+
+impl BatchIo {
+    /// Scratch for batches of up to `cap` frames. `force_fallback`
+    /// pins the per-frame path for this instance regardless of platform
+    /// (the process-wide `STRIPE_NET_FALLBACK=1` does the same).
+    pub fn new(cap: usize, force_fallback: bool) -> Self {
+        let cap = cap.max(1);
+        let batched = mmsg_compiled() && !force_fallback && !fallback_forced();
+        Self {
+            cap,
+            batched,
+            gso: batched,
+            gro: false,
+            #[cfg(all(target_os = "linux", target_env = "gnu"))]
+            iovs: Vec::with_capacity(cap),
+            #[cfg(all(target_os = "linux", target_env = "gnu"))]
+            hdrs: Vec::with_capacity(cap),
+            #[cfg(all(target_os = "linux", target_env = "gnu"))]
+            cmsgs: Vec::with_capacity(cap),
+            #[cfg(all(target_os = "linux", target_env = "gnu"))]
+            runs: Vec::with_capacity(cap),
+            #[cfg(all(target_os = "linux", target_env = "gnu"))]
+            staging: Vec::new(),
+            #[cfg(all(target_os = "linux", target_env = "gnu"))]
+            rx_trains: Vec::with_capacity(GRO_RX_SLOTS),
+            #[cfg(all(target_os = "linux", target_env = "gnu"))]
+            rx_slot: 0,
+            #[cfg(all(target_os = "linux", target_env = "gnu"))]
+            left_off: 0,
+        }
+    }
+
+    /// Whether this instance really batches (false on the portable path).
+    pub fn batched(&self) -> bool {
+        self.batched
+    }
+
+    /// Whether equal-size runs currently go out as GSO super-datagrams.
+    pub fn gso_active(&self) -> bool {
+        self.batched && self.gso
+    }
+
+    /// Mark the socket this instance reads as `UDP_GRO`-enabled (see
+    /// [`configure_offload`]). Receives then route through the
+    /// coalescing-aware splitter; the staging buffer is sized here so
+    /// the receive path never allocates.
+    pub fn set_gro(&mut self, on: bool) {
+        self.gro = self.batched && on;
+        #[cfg(all(target_os = "linux", target_env = "gnu"))]
+        if self.gro {
+            // Per-slot control blocks reuse the send-side cmsg scratch,
+            // whose capacity (`cap >= rx_slots`) already covers them.
+            self.staging.resize(self.rx_slots() * GRO_SLOT_STRIDE, 0);
+        }
+    }
+
+    /// Coalesced trains pulled per `recvmmsg` on a GRO socket.
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    fn rx_slots(&self) -> usize {
+        GRO_RX_SLOTS.min(self.cap)
+    }
+
+    /// Whether receives treat the socket as GRO-coalescing.
+    pub fn gro(&self) -> bool {
+        self.gro
+    }
+
+    /// Largest single `mmsghdr` batch submitted at once.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Send `frames` in order, stopping at the first frame the kernel
+    /// refuses. Chunks longer than [`capacity`](Self::capacity) take one
+    /// syscall per chunk.
+    pub fn send_frames(&mut self, sock: &UdpSocket, frames: &[Vec<u8>]) -> SendReport {
+        if frames.is_empty() {
+            return SendReport::default();
+        }
+        #[cfg(all(target_os = "linux", target_env = "gnu"))]
+        if self.batched {
+            return self.send_mmsg(sock, frames);
+        }
+        self.send_per_frame(sock, frames)
+    }
+
+    /// Receive up to `bufs.len()` frames, writing frame `i` into
+    /// `bufs[i]` and its length into `lens[i]`. Stops as soon as the
+    /// socket queue is drained.
+    pub fn recv_frames(
+        &mut self,
+        sock: &UdpSocket,
+        bufs: &mut [Vec<u8>],
+        lens: &mut [usize],
+    ) -> RecvReport {
+        if bufs.is_empty() {
+            return RecvReport::default();
+        }
+        debug_assert!(lens.len() >= bufs.len(), "one length slot per buffer");
+        #[cfg(all(target_os = "linux", target_env = "gnu"))]
+        if self.gro {
+            return self.recv_gro(sock, bufs, lens);
+        }
+        #[cfg(all(target_os = "linux", target_env = "gnu"))]
+        if self.batched {
+            return self.recv_mmsg(sock, bufs, lens);
+        }
+        self.recv_per_frame(sock, bufs, lens)
+    }
+
+    /// Receive a single frame into `buf`, returning `(frame length if
+    /// any, syscalls spent)`. On a GRO socket a plain `recv` would hand
+    /// back a whole coalesced train as one blob, so single-frame readers
+    /// must come through here: the splitter returns one segment and
+    /// stashes the rest for the next call (zero syscalls).
+    pub fn recv_one(&mut self, sock: &UdpSocket, buf: &mut [u8]) -> (Option<usize>, u64) {
+        #[cfg(all(target_os = "linux", target_env = "gnu"))]
+        if self.gro {
+            if let Some(k) = self.take_leftover(buf) {
+                return (Some(k), 0);
+            }
+            if self.gro_fill_many(sock) == 0 {
+                return (None, 1);
+            }
+            let k = self.take_leftover(buf).expect("fresh train has a segment");
+            return (Some(k), 1);
+        }
+        match sock.recv(buf) {
+            Ok(n) => (Some(n), 1),
+            Err(_) => (None, 1),
+        }
+    }
+
+    /// Copy the next unconsumed segment of the staged trains into `buf`,
+    /// if one is left, advancing the slot cursor across train boundaries.
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    fn take_leftover(&mut self, buf: &mut [u8]) -> Option<usize> {
+        while self.rx_slot < self.rx_trains.len() {
+            let (n, seg) = self.rx_trains[self.rx_slot];
+            if n == 0 {
+                // An empty datagram coalesces with nothing: one frame.
+                self.rx_slot += 1;
+                self.left_off = 0;
+                return Some(0);
+            }
+            if self.left_off >= n {
+                self.rx_slot += 1;
+                self.left_off = 0;
+                continue;
+            }
+            let base = self.rx_slot * GRO_SLOT_STRIDE;
+            let end = (self.left_off + seg).min(n);
+            let chunk = &self.staging[base + self.left_off..base + end];
+            let k = chunk.len().min(buf.len());
+            buf[..k].copy_from_slice(&chunk[..k]);
+            self.left_off = end;
+            return Some(k);
+        }
+        None
+    }
+
+    fn send_per_frame(&mut self, sock: &UdpSocket, frames: &[Vec<u8>]) -> SendReport {
+        let mut rep = SendReport::default();
+        for f in frames {
+            rep.syscalls += 1;
+            match sock.send(f) {
+                Ok(_) => rep.sent += 1,
+                Err(e) => {
+                    rep.hard_error = e.kind() != io::ErrorKind::WouldBlock;
+                    break;
+                }
+            }
+        }
+        rep
+    }
+
+    fn recv_per_frame(
+        &mut self,
+        sock: &UdpSocket,
+        bufs: &mut [Vec<u8>],
+        lens: &mut [usize],
+    ) -> RecvReport {
+        let mut rep = RecvReport::default();
+        for (buf, len) in bufs.iter_mut().zip(lens.iter_mut()) {
+            rep.syscalls += 1;
+            match sock.recv(buf) {
+                Ok(n) => {
+                    *len = n;
+                    rep.received += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        rep
+    }
+
+    /// How many leading frames of `rest` can ride one GSO send: a run of
+    /// equal-length frames (capped by the kernel's segment and byte
+    /// limits), optionally closed by one *shorter* trailing frame — the
+    /// one short-tail segment GSO permits, which lets a marker ride its
+    /// data burst's syscall.
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    fn gso_run_len(rest: &[Vec<u8>]) -> usize {
+        let l = rest[0].len();
+        if l == 0 {
+            return 1;
+        }
+        let cap = GSO_MAX_SEGMENTS.min(GSO_MAX_BYTES / l).max(1);
+        let mut i = 1;
+        while i < rest.len() && i < cap && rest[i].len() == l {
+            i += 1;
+        }
+        if i < rest.len() && i < cap && !rest[i].is_empty() && rest[i].len() < l {
+            i += 1;
+        }
+        i
+    }
+
+    /// Batched send: one `sendmmsg` per [`cap`](Self::capacity) planned
+    /// *messages*, where each message is either a GSO train (an
+    /// equal-size run plus optional shorter tail, carrying its own
+    /// `UDP_SEGMENT` cmsg) or a single plain frame. Composing the two
+    /// mechanisms is what keeps both costs amortized at once: the
+    /// kernel's per-datagram stack traversal is paid per *train*, and
+    /// the syscall is paid per *batch of trains*.
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    fn send_mmsg(&mut self, sock: &UdpSocket, frames: &[Vec<u8>]) -> SendReport {
+        use std::os::fd::AsRawFd;
+        let mut rep = SendReport::default();
+        while rep.sent < frames.len() {
+            let rest = &frames[rep.sent..];
+            // Plan messages first; build headers once the scratch
+            // vectors have stopped growing (hdrs hold pointers into
+            // iovs and cmsgs).
+            self.iovs.clear();
+            self.cmsgs.clear();
+            self.runs.clear();
+            let mut planned = 0;
+            while planned < rest.len() && self.runs.len() < self.cap {
+                let run = if self.gso {
+                    Self::gso_run_len(&rest[planned..])
+                } else {
+                    1
+                };
+                for f in &rest[planned..planned + run] {
+                    self.iovs.push(ffi::IoVec {
+                        base: f.as_ptr() as *mut _,
+                        len: f.len(),
+                    });
+                }
+                self.cmsgs
+                    .push(ffi::SegmentCmsg::new(rest[planned].len() as u16));
+                self.runs.push(run);
+                planned += run;
+            }
+            self.hdrs.clear();
+            let iov_base = self.iovs.as_mut_ptr();
+            let cmsg_base = self.cmsgs.as_mut_ptr();
+            let mut iov_off = 0;
+            for (k, &run) in self.runs.iter().enumerate() {
+                let gso_train = run >= GSO_MIN_RUN;
+                self.hdrs.push(ffi::MMsgHdr {
+                    hdr: ffi::MsgHdr {
+                        name: std::ptr::null_mut(),
+                        namelen: 0,
+                        // SAFETY: in-bounds offsets into scratch vectors
+                        // that are fully built and no longer growing.
+                        iov: unsafe { iov_base.add(iov_off) },
+                        iovlen: run,
+                        control: if gso_train {
+                            // SAFETY: as above.
+                            unsafe { cmsg_base.add(k) as *mut _ }
+                        } else {
+                            std::ptr::null_mut()
+                        },
+                        controllen: if gso_train {
+                            std::mem::size_of::<ffi::SegmentCmsg>()
+                        } else {
+                            0
+                        },
+                        flags: 0,
+                    },
+                    len: 0,
+                });
+                iov_off += run;
+            }
+            rep.syscalls += 1;
+            // SAFETY: hdrs/iovs/cmsgs point at this call's frames and
+            // scratch, all outliving the syscall; vlen matches the
+            // populated header count.
+            let ret = unsafe {
+                ffi::sendmmsg(
+                    sock.as_raw_fd(),
+                    self.hdrs.as_mut_ptr(),
+                    self.hdrs.len() as u32,
+                    0,
+                )
+            };
+            if ret < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::WouldBlock {
+                    break;
+                }
+                // EINVAL / EMSGSIZE / ENOPROTOOPT / EOPNOTSUPP while GSO
+                // trains were in the plan: this kernel (or this path)
+                // won't do UDP_SEGMENT — demote to plain messages and
+                // retry the same frames. Anything else is a hard error.
+                let gso_rejected =
+                    matches!(e.raw_os_error(), Some(22) | Some(90) | Some(92) | Some(95));
+                if gso_rejected && self.gso && self.runs.iter().any(|&r| r >= GSO_MIN_RUN) {
+                    self.gso = false;
+                    continue;
+                }
+                rep.hard_error = true;
+                break;
+            }
+            let k = ret as usize;
+            rep.sent += self.runs[..k].iter().sum::<usize>();
+            if k < self.hdrs.len() {
+                break; // kernel refused mid-batch: backpressure
+            }
+        }
+        rep
+    }
+
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    fn recv_mmsg(
+        &mut self,
+        sock: &UdpSocket,
+        bufs: &mut [Vec<u8>],
+        lens: &mut [usize],
+    ) -> RecvReport {
+        use std::os::fd::AsRawFd;
+        let mut rep = RecvReport::default();
+        while rep.received < bufs.len() {
+            let lo = rep.received;
+            let hi = (lo + self.cap).min(bufs.len());
+            self.iovs.clear();
+            self.hdrs.clear();
+            for b in bufs[lo..hi].iter_mut() {
+                self.iovs.push(ffi::IoVec {
+                    base: b.as_mut_ptr() as *mut _,
+                    len: b.len(),
+                });
+            }
+            for iov in self.iovs.iter_mut() {
+                self.hdrs.push(ffi::MMsgHdr {
+                    hdr: ffi::MsgHdr {
+                        name: std::ptr::null_mut(),
+                        namelen: 0,
+                        iov,
+                        iovlen: 1,
+                        control: std::ptr::null_mut(),
+                        controllen: 0,
+                        flags: 0,
+                    },
+                    len: 0,
+                });
+            }
+            let want = hi - lo;
+            rep.syscalls += 1;
+            // SAFETY: hdrs/iovs point into `bufs[lo..hi]`, alive across
+            // the call; the kernel writes at most iov_len per message.
+            let ret = unsafe {
+                ffi::recvmmsg(
+                    sock.as_raw_fd(),
+                    self.hdrs.as_mut_ptr(),
+                    want as u32,
+                    ffi::MSG_DONTWAIT,
+                    std::ptr::null_mut(),
+                )
+            };
+            if ret <= 0 {
+                break; // drained (EWOULDBLOCK) or transient error
+            }
+            let k = ret as usize;
+            for i in 0..k {
+                lens[lo + i] = self.hdrs[i].len as usize;
+            }
+            rep.received += k;
+            if k < want {
+                break; // queue drained mid-batch
+            }
+        }
+        rep
+    }
+
+    /// One non-blocking `recvmmsg` pulling up to [`Self::rx_slots`]
+    /// coalesced trains into the staging slots at once, each message
+    /// with its own `UDP_GRO` control block. Records `(bytes, segment
+    /// size)` per train in `rx_trains` and resets the consumption
+    /// cursor; returns how many trains landed (0: nothing ready).
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    fn gro_fill_many(&mut self, sock: &UdpSocket) -> usize {
+        use std::os::fd::AsRawFd;
+        let slots = self.rx_slots();
+        self.rx_trains.clear();
+        self.rx_slot = 0;
+        self.left_off = 0;
+        self.iovs.clear();
+        self.hdrs.clear();
+        self.cmsgs.clear();
+        self.cmsgs.resize(slots, ffi::SegmentCmsg::new(0));
+        let staging_base = self.staging.as_mut_ptr();
+        let cmsg_base = self.cmsgs.as_mut_ptr();
+        for s in 0..slots {
+            self.iovs.push(ffi::IoVec {
+                // SAFETY: slot `s` is an in-bounds GRO_SLOT-sized window
+                // of the staging buffer.
+                base: unsafe { staging_base.add(s * GRO_SLOT_STRIDE) } as *mut _,
+                len: GRO_SLOT,
+            });
+        }
+        let iov_base = self.iovs.as_mut_ptr();
+        for s in 0..slots {
+            self.hdrs.push(ffi::MMsgHdr {
+                hdr: ffi::MsgHdr {
+                    name: std::ptr::null_mut(),
+                    namelen: 0,
+                    // SAFETY: in-bounds offsets into scratch vectors that
+                    // are fully built and no longer growing.
+                    iov: unsafe { iov_base.add(s) },
+                    iovlen: 1,
+                    control: unsafe { cmsg_base.add(s) as *mut _ },
+                    controllen: std::mem::size_of::<ffi::SegmentCmsg>(),
+                    flags: 0,
+                },
+                len: 0,
+            });
+        }
+        // SAFETY: hdrs/iovs/cmsgs point at live scratch across the call;
+        // the kernel writes per-message byte and control lengths back.
+        let ret = unsafe {
+            ffi::recvmmsg(
+                sock.as_raw_fd(),
+                self.hdrs.as_mut_ptr(),
+                slots as u32,
+                ffi::MSG_DONTWAIT,
+                std::ptr::null_mut(),
+            )
+        };
+        if ret <= 0 {
+            return 0; // WouldBlock or transient error: nothing ready
+        }
+        let got = ret as usize;
+        for m in 0..got {
+            let n = self.hdrs[m].len as usize;
+            // SAFETY: reading the control block the kernel just wrote,
+            // within its fixed 24-byte footprint.
+            let ctrl = unsafe {
+                std::slice::from_raw_parts(
+                    cmsg_base.add(m) as *const u8,
+                    std::mem::size_of::<ffi::SegmentCmsg>(),
+                )
+            };
+            let seg = ffi::gro_segment_size(ctrl, self.hdrs[m].hdr.controllen)
+                .map(|s| s as usize)
+                .filter(|&s| s > 0)
+                .unwrap_or_else(|| n.max(1));
+            self.rx_trains.push((n, seg));
+        }
+        got
+    }
+
+    /// GRO-aware batched receive: pull several coalesced trains per
+    /// `recvmmsg`, then split each back into per-frame buffers, in
+    /// order. Trains that overflow the caller's array stay parked in
+    /// the staging slots (offsets only, no copies) and are delivered
+    /// first next time — no frame is ever dropped by the splitter.
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    fn recv_gro(
+        &mut self,
+        sock: &UdpSocket,
+        bufs: &mut [Vec<u8>],
+        lens: &mut [usize],
+    ) -> RecvReport {
+        let mut rep = RecvReport::default();
+        while rep.received < bufs.len() {
+            if let Some(k) = self.take_leftover(&mut bufs[rep.received]) {
+                lens[rep.received] = k;
+                rep.received += 1;
+                continue;
+            }
+            rep.syscalls += 1;
+            if self.gro_fill_many(sock) == 0 {
+                break;
+            }
+        }
+        rep
+    }
+}
+
+/// Enable `UDP_GRO` on a socket so the kernel hands receives over as
+/// coalesced segment trains (one traversal for up to 64 frames). Returns
+/// whether the option stuck; pass the result to [`BatchIo::set_gro`] so
+/// the receive path splits the trains back apart. No-op `false` where
+/// the shim isn't compiled.
+pub fn configure_offload(sock: &UdpSocket) -> bool {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        use std::os::fd::AsRawFd;
+        ffi::set_udp_gro(sock.as_raw_fd())
+    }
+    #[cfg(not(all(target_os = "linux", target_env = "gnu")))]
+    {
+        let _ = sock;
+        false
+    }
+}
+
+/// Apply `SO_SNDBUF`/`SO_RCVBUF` (when requested) and return the
+/// effective `(sndbuf, rcvbuf)` the kernel settled on. On platforms
+/// without the shim this is a no-op reporting `(0, 0)` — "unknown".
+pub fn configure_buffers(
+    sock: &UdpSocket,
+    sndbuf: Option<usize>,
+    rcvbuf: Option<usize>,
+) -> (u64, u64) {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        use std::os::fd::AsRawFd;
+        let fd = sock.as_raw_fd();
+        if let Some(bytes) = sndbuf {
+            ffi::set_buf(fd, ffi::SO_SNDBUF, bytes);
+        }
+        if let Some(bytes) = rcvbuf {
+            ffi::set_buf(fd, ffi::SO_RCVBUF, bytes);
+        }
+        (
+            ffi::get_buf(fd, ffi::SO_SNDBUF),
+            ffi::get_buf(fd, ffi::SO_RCVBUF),
+        )
+    }
+    #[cfg(not(all(target_os = "linux", target_env = "gnu")))]
+    {
+        let _ = (sock, sndbuf, rcvbuf);
+        (0, 0)
+    }
+}
+
+/// Estimate of datagrams the kernel dropped on this socket's receive
+/// buffer (`sk_drops`), read from the `drops` column of `/proc/net/udp`
+/// for the row bound to `port`. Returns 0 when the row (or the proc
+/// filesystem) is unavailable — an *estimate*, never a hard counter.
+pub fn socket_drops_port(port: u16) -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(table) = std::fs::read_to_string("/proc/net/udp") else {
+            return 0;
+        };
+        let suffix = format!(":{port:04X}");
+        for line in table.lines().skip(1) {
+            let mut fields = line.split_whitespace();
+            let Some(local) = fields.nth(1) else { continue };
+            if !local.ends_with(&suffix) {
+                continue;
+            }
+            if let Some(drops) = fields.last() {
+                return drops.parse().unwrap_or(0);
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = port;
+        0
+    }
+}
+
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+mod ffi {
+    //! Minimal glibc/x86-64 declarations for the two batched syscalls
+    //! plus `setsockopt`/`getsockopt`. `#[repr(C)]` with these field
+    //! types reproduces glibc's struct layout (including the implicit
+    //! padding after `namelen` and `flags`) on every 64-bit gnu target.
+
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct IoVec {
+        pub base: *mut c_void,
+        pub len: usize,
+    }
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct MsgHdr {
+        pub name: *mut c_void,
+        pub namelen: c_uint,
+        pub iov: *mut IoVec,
+        pub iovlen: usize,
+        pub control: *mut c_void,
+        pub controllen: usize,
+        pub flags: c_int,
+    }
+
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct MMsgHdr {
+        pub hdr: MsgHdr,
+        pub len: c_uint,
+    }
+
+    pub const MSG_DONTWAIT: c_int = 0x40;
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_SNDBUF: c_int = 7;
+    pub const SO_RCVBUF: c_int = 8;
+    pub const SOL_UDP: c_int = 17;
+    pub const UDP_SEGMENT: c_int = 103;
+    pub const UDP_GRO: c_int = 104;
+
+    /// `cmsghdr` on 64-bit gnu targets (`cmsg_len` is `size_t` there).
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct CmsgHdr {
+        pub len: usize,
+        pub level: c_int,
+        pub ty: c_int,
+    }
+
+    /// A complete control block carrying exactly one `UDP_SEGMENT`
+    /// cmsg: header, u16 segment size, padding out to `CMSG_SPACE(2)`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct SegmentCmsg {
+        hdr: CmsgHdr,
+        data: [u8; 8],
+    }
+
+    impl SegmentCmsg {
+        pub fn new(gso_size: u16) -> Self {
+            let mut data = [0u8; 8];
+            data[..2].copy_from_slice(&gso_size.to_ne_bytes());
+            Self {
+                hdr: CmsgHdr {
+                    // CMSG_LEN(2): header plus payload, before padding.
+                    len: std::mem::size_of::<CmsgHdr>() + 2,
+                    level: SOL_UDP,
+                    ty: UDP_SEGMENT,
+                },
+                data,
+            }
+        }
+    }
+
+    /// Segment size from the first cmsg of a receive, when it is the
+    /// `UDP_GRO` annotation the kernel attaches to coalesced trains.
+    pub fn gro_segment_size(ctrl: &[u8], controllen: usize) -> Option<u16> {
+        if controllen < std::mem::size_of::<CmsgHdr>() + 2 || ctrl.len() < controllen {
+            return None;
+        }
+        // SAFETY: bounds checked above; the buffer holds kernel-written
+        // cmsg data starting with a CmsgHdr.
+        unsafe {
+            let cm = ctrl.as_ptr() as *const CmsgHdr;
+            if (*cm).level == SOL_UDP && (*cm).ty == UDP_GRO {
+                let data = ctrl.as_ptr().add(std::mem::size_of::<CmsgHdr>());
+                Some((data as *const u16).read_unaligned())
+            } else {
+                None
+            }
+        }
+    }
+
+    pub fn set_udp_gro(fd: c_int) -> bool {
+        let one: c_int = 1;
+        // SAFETY: optval points at a live c_int of the stated length.
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_UDP,
+                UDP_GRO,
+                &one as *const c_int as *const c_void,
+                std::mem::size_of::<c_int>() as c_uint,
+            )
+        };
+        rc == 0
+    }
+
+    extern "C" {
+        pub fn sendmmsg(fd: c_int, msgvec: *mut MMsgHdr, vlen: c_uint, flags: c_int) -> c_int;
+        pub fn recvmmsg(
+            fd: c_int,
+            msgvec: *mut MMsgHdr,
+            vlen: c_uint,
+            flags: c_int,
+            timeout: *mut c_void,
+        ) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: c_uint,
+        ) -> c_int;
+        fn getsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *mut c_void,
+            optlen: *mut c_uint,
+        ) -> c_int;
+    }
+
+    pub fn set_buf(fd: c_int, opt: c_int, bytes: usize) {
+        let val = bytes.min(i32::MAX as usize) as c_int;
+        // SAFETY: optval points at a live c_int of the stated length.
+        unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                opt,
+                &val as *const c_int as *const c_void,
+                std::mem::size_of::<c_int>() as c_uint,
+            );
+        }
+    }
+
+    pub fn get_buf(fd: c_int, opt: c_int) -> u64 {
+        let mut val: c_int = 0;
+        let mut len = std::mem::size_of::<c_int>() as c_uint;
+        // SAFETY: optval points at a live c_int; len is in-out.
+        let rc = unsafe {
+            getsockopt(
+                fd,
+                SOL_SOCKET,
+                opt,
+                &mut val as *mut c_int as *mut c_void,
+                &mut len,
+            )
+        };
+        if rc == 0 {
+            val.max(0) as u64
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+
+    fn pair() -> (UdpSocket, UdpSocket) {
+        let a = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let b = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        a.connect(b.local_addr().unwrap()).unwrap();
+        b.connect(a.local_addr().unwrap()).unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    fn roundtrip(batched_tx: bool, batched_rx: bool) {
+        let (a, b) = pair();
+        let mut tx = BatchIo::new(4, !batched_tx);
+        let mut rx = BatchIo::new(4, !batched_rx);
+        // 10 frames through a cap-4 batcher: three chunks.
+        let frames: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 3 + i as usize]).collect();
+        let rep = tx.send_frames(&a, &frames);
+        assert_eq!(rep.sent, 10);
+        assert!(!rep.hard_error);
+        if tx.batched() {
+            assert_eq!(rep.syscalls, 3);
+        } else {
+            assert_eq!(rep.syscalls, 10);
+        }
+        let mut bufs: Vec<Vec<u8>> = (0..10).map(|_| vec![0u8; 64]).collect();
+        let mut lens = vec![0usize; 10];
+        let mut got = 0;
+        for _ in 0..1000 {
+            let rep = rx.recv_frames(&b, &mut bufs[got..], &mut lens[got..]);
+            got += rep.received;
+            if got == 10 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(got, 10, "all frames must cross loopback");
+        for (i, (buf, &len)) in bufs.iter().zip(&lens).enumerate() {
+            assert_eq!(&buf[..len], &frames[i][..], "frame {i}");
+        }
+    }
+
+    #[test]
+    fn batched_roundtrip_when_available() {
+        roundtrip(true, true);
+    }
+
+    #[test]
+    fn fallback_roundtrip() {
+        roundtrip(false, false);
+    }
+
+    #[test]
+    fn mixed_paths_interoperate() {
+        roundtrip(true, false);
+        roundtrip(false, true);
+    }
+
+    #[test]
+    fn forced_fallback_never_batches() {
+        let io = BatchIo::new(8, true);
+        assert!(!io.batched());
+    }
+
+    #[test]
+    fn empty_run_is_free() {
+        let (a, _b) = pair();
+        let mut io = BatchIo::new(4, false);
+        let rep = io.send_frames(&a, &[]);
+        assert_eq!(rep, SendReport::default());
+    }
+
+    #[test]
+    fn effective_buffer_sizes_reported_on_linux() {
+        let (a, _b) = pair();
+        let (snd, rcv) = configure_buffers(&a, Some(1 << 16), Some(1 << 16));
+        if mmsg_compiled() {
+            // Linux doubles the request; either way it's at least as big.
+            assert!(snd >= 1 << 16, "sndbuf {snd}");
+            assert!(rcv >= 1 << 16, "rcvbuf {rcv}");
+        } else {
+            assert_eq!((snd, rcv), (0, 0));
+        }
+    }
+
+    #[test]
+    fn socket_drops_estimate_is_zero_for_quiet_socket() {
+        let (a, _b) = pair();
+        let port = a.local_addr().unwrap().port();
+        assert_eq!(socket_drops_port(port), 0);
+    }
+
+    /// Receive `want` frames through `rx`, polling briefly for loopback
+    /// scheduling lag; buffers are generously oversized so GRO/GSO
+    /// length handling is what's under test.
+    fn recv_all(rx: &mut BatchIo, sock: &UdpSocket, want: usize) -> (Vec<Vec<u8>>, Vec<usize>) {
+        let mut bufs: Vec<Vec<u8>> = (0..want).map(|_| vec![0u8; 4096]).collect();
+        let mut lens = vec![0usize; want];
+        let mut got = 0;
+        for _ in 0..1000 {
+            let rep = rx.recv_frames(sock, &mut bufs[got..], &mut lens[got..]);
+            got += rep.received;
+            if got == want {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(got, want, "all frames must cross loopback");
+        (bufs, lens)
+    }
+
+    #[test]
+    fn gso_run_roundtrips_through_gro() {
+        let (a, b) = pair();
+        let gro_on = configure_offload(&b);
+        let mut tx = BatchIo::new(8, false);
+        let mut rx = BatchIo::new(8, false);
+        rx.set_gro(gro_on);
+        let frames: Vec<Vec<u8>> = (0..32u8).map(|i| vec![i; 64]).collect();
+        let rep = tx.send_frames(&a, &frames);
+        assert_eq!(rep.sent, 32);
+        assert!(!rep.hard_error);
+        if tx.gso_active() {
+            assert_eq!(rep.syscalls, 1, "one equal-size run, one GSO send");
+        }
+        let (bufs, lens) = recv_all(&mut rx, &b, 32);
+        for (i, (buf, &len)) in bufs.iter().zip(&lens).enumerate() {
+            assert_eq!(&buf[..len], &frames[i][..], "frame {i}");
+        }
+    }
+
+    #[test]
+    fn gro_preserves_order_across_mixed_sizes() {
+        let (a, b) = pair();
+        let gro_on = configure_offload(&b);
+        let mut tx = BatchIo::new(8, false);
+        let mut rx = BatchIo::new(8, false);
+        rx.set_gro(gro_on);
+        // Data runs closed by shorter marker-like tails, then a lone
+        // larger frame — the §3.5 burst shape.
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for round in 0..3u8 {
+            for i in 0..5u8 {
+                frames.push(vec![round * 16 + i; 600]);
+            }
+            frames.push(vec![0xee; 40 + round as usize]);
+        }
+        frames.push(vec![0x7f; 900]);
+        let rep = tx.send_frames(&a, &frames);
+        assert_eq!(rep.sent, frames.len());
+        let (bufs, lens) = recv_all(&mut rx, &b, frames.len());
+        for (i, (buf, &len)) in bufs.iter().zip(&lens).enumerate() {
+            assert_eq!(&buf[..len], &frames[i][..], "frame {i}");
+        }
+    }
+
+    #[test]
+    fn recv_one_splits_coalesced_trains() {
+        let (a, b) = pair();
+        let gro_on = configure_offload(&b);
+        let mut tx = BatchIo::new(8, false);
+        let mut rx = BatchIo::new(8, false);
+        rx.set_gro(gro_on);
+        let frames: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 100]).collect();
+        let rep = tx.send_frames(&a, &frames);
+        assert_eq!(rep.sent, 8);
+        let mut buf = vec![0u8; 4096];
+        let mut syscalls = 0u64;
+        for (i, frame) in frames.iter().enumerate() {
+            let n = loop {
+                let (got, calls) = rx.recv_one(&b, &mut buf);
+                syscalls += calls;
+                if let Some(n) = got {
+                    break n;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(&buf[..n], &frame[..], "frame {i}");
+        }
+        if tx.gso_active() && rx.gro() {
+            // The whole train crossed as one datagram: later frames came
+            // from the stash, not the kernel.
+            assert!(syscalls < 8, "stash served repeat reads ({syscalls})");
+        }
+    }
+
+    #[test]
+    fn empty_datagram_is_one_empty_frame() {
+        let (a, b) = pair();
+        let gro_on = configure_offload(&b);
+        let mut tx = BatchIo::new(4, false);
+        let mut rx = BatchIo::new(4, false);
+        rx.set_gro(gro_on);
+        let rep = tx.send_frames(&a, &[Vec::new()]);
+        assert_eq!(rep.sent, 1);
+        let (_bufs, lens) = recv_all(&mut rx, &b, 1);
+        assert_eq!(lens[0], 0);
+    }
+}

@@ -1,32 +1,53 @@
 //! One striped channel over one kernel UDP socket.
 //!
-//! [`UdpChannel`] is the [`DatagramLink`] instance the tentpole runs on:
-//! a *connected*, non-blocking `std::net::UdpSocket` per channel, so data
-//! frames, markers and control messages for channel `c` all share one
-//! 5-tuple — per-flow FIFO on loopback, quasi-FIFO in the wild, which is
-//! precisely the channel model the §5 marker recovery tolerates. The
-//! reverse path (probe acks, membership acks, credit) rides the same
-//! socket in the other direction.
+//! [`UdpChannel`] is the [`DatagramLink`] instance the real-socket
+//! datapath runs on: a *connected*, non-blocking `std::net::UdpSocket`
+//! per channel, so data frames, markers and control messages for channel
+//! `c` all share one 5-tuple — per-flow FIFO on loopback, quasi-FIFO in
+//! the wild, which is precisely the channel model the §5 marker recovery
+//! tolerates. The reverse path (probe acks, membership acks, credit)
+//! rides the same socket in the other direction.
 //!
-//! Backpressure mirrors the simulated links: when the kernel send buffer
-//! is full (`WouldBlock`), frames enter a bounded local queue drained by
-//! [`flush`](DatagramLink::flush) on the next reactor pass; when that
-//! queue is full too, the send reports [`TxError::QueueFull`] — the same
-//! congestion signal a full simulated transmit queue produces, and the
-//! loss class the FCVC credit scheme exists to eliminate. Queue buffers
-//! are recycled, so backpressure episodes allocate only up to the queue's
-//! high-water mark.
+//! Since PR 4 the channel is **syscall-batched**: whole frame runs go to
+//! the kernel as one `sendmmsg` batch and receives drain the socket in
+//! `recvmmsg` batches (see [`crate::sys`]), with a portable per-frame
+//! fallback behind the same API. The split of labor:
 //!
-//! [`send_run`](DatagramLink::send_run) is the `sendmmsg` seam: one
-//! backlog flush per run instead of one per frame, then a straight
-//! `send` loop. Outcomes are identical to per-frame sends; only the
-//! mechanics are amortized.
+//! - [`send_run`](DatagramLink::send_run) — *eager*: flush the backlog,
+//!   then submit the run as mmsg batches. One syscall per
+//!   [`batch`](UdpChannelBuilder::batch) frames.
+//! - [`send_run_owned`](DatagramLink::send_run_owned) — *deferred*: take
+//!   each frame's storage into the bounded local queue (zero copies,
+//!   storage swapped against recycled buffers) and let the next
+//!   [`flush`](DatagramLink::flush) — which batch senders call once per
+//!   burst — drain the whole queue in mmsg batches. This is what lifts
+//!   batch occupancy above the per-run packet count: SRR runs at large
+//!   payloads are only 1–2 frames long, but a burst parks many frames
+//!   per channel before the single flush.
+//! - [`recv_run`](DatagramLink::recv_run) — drain up to a buffer-array's
+//!   worth of datagrams in one `recvmmsg`.
+//!
+//! Backpressure mirrors the simulated links: when the kernel refuses a
+//! frame (`WouldBlock`), frames park in the bounded local queue for the
+//! next flush; when that queue is full too, the send reports
+//! [`TxError::QueueFull`] — the same congestion signal a full simulated
+//! transmit queue produces. Queue buffers are recycled, so backpressure
+//! episodes allocate only up to the queue's high-water mark.
+//!
+//! The snapshot counts syscalls on both directions, so
+//! `syscalls_per_packet` and batch occupancy are first-class, and it
+//! reports the effective `SO_SNDBUF`/`SO_RCVBUF` plus a
+//! [`dropped_rcvbuf`](UdpChannelSnapshot::dropped_rcvbuf) estimate of
+//! kernel receive-buffer overflow — losses that were previously
+//! invisible and surfaced only as §5 marker recoveries.
 
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 
 use stripe_link::{DatagramLink, TxError};
+
+use crate::sys::{self, BatchIo};
 
 /// Counters for one UDP channel, under the workspace snapshot convention
 /// (`dropped_<cause>`).
@@ -40,16 +61,174 @@ pub struct UdpChannelSnapshot {
     pub recv_frames: u64,
     /// Bytes received from the kernel.
     pub recv_bytes: u64,
-    /// Frames parked in the local queue after kernel backpressure.
+    /// Frames parked in the local queue (deferred sends and kernel
+    /// backpressure).
     pub queued: u64,
     /// Frames dropped because the local queue was full.
     pub dropped_queue: u64,
     /// Frames dropped on a hard socket error.
     pub dropped_error: u64,
+    /// Send-direction syscalls (`sendmmsg`, or per-frame `send` on the
+    /// fallback path, including calls that reported backpressure).
+    pub send_syscalls: u64,
+    /// Receive-direction syscalls (`recvmmsg`/`recv`, including the ones
+    /// that found the queue empty).
+    pub recv_syscalls: u64,
+    /// Effective `SO_SNDBUF` in bytes (0 = unknown/unsupported).
+    pub sndbuf: u64,
+    /// Effective `SO_RCVBUF` in bytes (0 = unknown/unsupported).
+    pub rcvbuf: u64,
+    /// Kernel receive-buffer overflow estimate (`/proc/net/udp` drops),
+    /// populated by [`UdpChannel::stats_sampled`] — 0 until sampled.
+    pub dropped_rcvbuf: u64,
+}
+
+impl UdpChannelSnapshot {
+    /// Average frames per send syscall — the batch-occupancy figure of
+    /// merit (1.0 on the per-frame path, up to the batch cap here).
+    pub fn send_batch_occupancy(&self) -> f64 {
+        if self.send_syscalls == 0 {
+            0.0
+        } else {
+            self.sent_frames as f64 / self.send_syscalls as f64
+        }
+    }
+
+    /// Average frames per receive syscall (empty polls included).
+    pub fn recv_batch_occupancy(&self) -> f64 {
+        if self.recv_syscalls == 0 {
+            0.0
+        } else {
+            self.recv_frames as f64 / self.recv_syscalls as f64
+        }
+    }
+
+    /// Total syscalls divided by total frames moved, both directions —
+    /// the number this PR exists to shrink.
+    pub fn syscalls_per_packet(&self) -> f64 {
+        let frames = self.sent_frames + self.recv_frames;
+        if frames == 0 {
+            0.0
+        } else {
+            (self.send_syscalls + self.recv_syscalls) as f64 / frames as f64
+        }
+    }
+}
+
+/// Builder for [`UdpChannel`]: MTU, queue depth, mmsg batch size, kernel
+/// socket buffer sizes, and the portable-fallback override.
+#[derive(Debug, Clone)]
+pub struct UdpChannelBuilder {
+    mtu: usize,
+    queue_cap: usize,
+    batch: usize,
+    sndbuf: Option<usize>,
+    rcvbuf: Option<usize>,
+    force_fallback: bool,
+}
+
+impl UdpChannelBuilder {
+    /// Start from an MTU; everything else has serviceable defaults
+    /// (queue 4096 frames, batch [`sys::DEFAULT_BATCH`], kernel buffer
+    /// sizes left to the system).
+    pub fn new(mtu: usize) -> Self {
+        Self {
+            mtu,
+            queue_cap: 1 << 12,
+            batch: sys::DEFAULT_BATCH,
+            sndbuf: None,
+            rcvbuf: None,
+            force_fallback: false,
+        }
+    }
+
+    /// Bounded local send-queue depth, in frames.
+    pub fn queue_cap(mut self, frames: usize) -> Self {
+        self.queue_cap = frames;
+        self
+    }
+
+    /// Frames per `mmsghdr` batch (send and receive).
+    pub fn batch(mut self, frames: usize) -> Self {
+        self.batch = frames.max(1);
+        self
+    }
+
+    /// Request `SO_SNDBUF` bytes (the kernel may round; the effective
+    /// value lands in the snapshot).
+    pub fn sndbuf(mut self, bytes: usize) -> Self {
+        self.sndbuf = Some(bytes);
+        self
+    }
+
+    /// Request `SO_RCVBUF` bytes (see [`sndbuf`](Self::sndbuf)).
+    pub fn rcvbuf(mut self, bytes: usize) -> Self {
+        self.rcvbuf = Some(bytes);
+        self
+    }
+
+    /// Pin this channel to the portable per-frame syscall path even
+    /// where `sendmmsg`/`recvmmsg` are available (the process-wide
+    /// `STRIPE_NET_FALLBACK=1` does the same for every channel).
+    pub fn force_fallback(mut self, yes: bool) -> Self {
+        self.force_fallback = yes;
+        self
+    }
+
+    /// Bind an unconnected channel to an ephemeral loopback port.
+    /// Connect it with [`UdpChannel::connect`] before use.
+    pub fn bind_loopback(&self) -> io::Result<UdpChannel> {
+        self.bind(SocketAddr::from(([127, 0, 0, 1], 0)))
+    }
+
+    /// Bind an unconnected channel to `addr`.
+    pub fn bind(&self, addr: SocketAddr) -> io::Result<UdpChannel> {
+        let sock = UdpSocket::bind(addr)?;
+        sock.set_nonblocking(true)?;
+        let (sndbuf, rcvbuf) = sys::configure_buffers(&sock, self.sndbuf, self.rcvbuf);
+        let stats = UdpChannelSnapshot {
+            sndbuf,
+            rcvbuf,
+            ..Default::default()
+        };
+        let mut io = BatchIo::new(self.batch, self.force_fallback);
+        if io.batched() {
+            // GRO makes the kernel deliver coalesced segment trains; the
+            // BatchIo splitter must know to take receives apart again.
+            io.set_gro(sys::configure_offload(&sock));
+        }
+        // Pre-stock one batch's worth of full-capacity queue buffers:
+        // deferred sends and markers draw on this pool at rates that
+        // drift with the marker phase, and lazily growing it mid-run
+        // would show up as steady-state allocations.
+        let recycle = (0..self.batch)
+            .map(|_| Vec::with_capacity(self.mtu))
+            .collect();
+        Ok(UdpChannel {
+            sock,
+            mtu: self.mtu,
+            queue: VecDeque::new(),
+            recycle,
+            queue_cap: self.queue_cap,
+            io,
+            stats,
+        })
+    }
+
+    /// A connected pair of loopback channels — one striped channel's two
+    /// endpoints, for tests, examples and benches.
+    pub fn pair(&self) -> io::Result<(UdpChannel, UdpChannel)> {
+        let a = self.bind_loopback()?;
+        let b = self.bind_loopback()?;
+        a.connect(b.local_addr()?)?;
+        b.connect(a.local_addr()?)?;
+        Ok((a, b))
+    }
 }
 
 /// One striped channel: a connected non-blocking UDP socket plus a
-/// bounded, buffer-recycling send queue.
+/// bounded, buffer-recycling send queue, batched through
+/// [`BatchIo`](crate::sys::BatchIo).
 #[derive(Debug)]
 pub struct UdpChannel {
     sock: UdpSocket,
@@ -57,23 +236,24 @@ pub struct UdpChannel {
     queue: VecDeque<Vec<u8>>,
     recycle: Vec<Vec<u8>>,
     queue_cap: usize,
+    io: BatchIo,
     stats: UdpChannelSnapshot,
 }
 
 impl UdpChannel {
-    /// Bind an unconnected channel to an ephemeral loopback port.
-    /// Connect it with [`connect`](Self::connect) before use.
+    /// Start building a channel with non-default batch, queue, or kernel
+    /// buffer settings.
+    pub fn builder(mtu: usize) -> UdpChannelBuilder {
+        UdpChannelBuilder::new(mtu)
+    }
+
+    /// Bind an unconnected channel to an ephemeral loopback port with
+    /// default batching. Connect it with [`connect`](Self::connect)
+    /// before use.
     pub fn bind_loopback(mtu: usize, queue_cap: usize) -> io::Result<Self> {
-        let sock = UdpSocket::bind(("127.0.0.1", 0))?;
-        sock.set_nonblocking(true)?;
-        Ok(Self {
-            sock,
-            mtu,
-            queue: VecDeque::new(),
-            recycle: Vec::new(),
-            queue_cap,
-            stats: UdpChannelSnapshot::default(),
-        })
+        UdpChannelBuilder::new(mtu)
+            .queue_cap(queue_cap)
+            .bind_loopback()
     }
 
     /// Connect to the peer endpoint: from here on, `send`/`recv` use this
@@ -88,28 +268,75 @@ impl UdpChannel {
         self.sock.local_addr()
     }
 
-    /// A connected pair of loopback channels — one striped channel's two
-    /// endpoints, for tests, examples and benches.
+    /// A connected pair of loopback channels with default batching.
     pub fn pair(mtu: usize, queue_cap: usize) -> io::Result<(Self, Self)> {
-        let a = Self::bind_loopback(mtu, queue_cap)?;
-        let b = Self::bind_loopback(mtu, queue_cap)?;
-        a.connect(b.local_addr()?)?;
-        b.connect(a.local_addr()?)?;
-        Ok((a, b))
+        UdpChannelBuilder::new(mtu).queue_cap(queue_cap).pair()
     }
 
-    /// Counters.
+    /// Counters. `dropped_rcvbuf` holds the last sampled value (see
+    /// [`stats_sampled`](Self::stats_sampled)).
     pub fn stats(&self) -> UdpChannelSnapshot {
         self.stats
     }
 
-    /// Park a frame in the bounded local queue, recycling storage.
+    /// Counters with a fresh [`kernel_drops`](Self::kernel_drops) sample
+    /// in `dropped_rcvbuf`. Reads procfs — call at reporting time, not
+    /// per packet.
+    pub fn stats_sampled(&mut self) -> UdpChannelSnapshot {
+        self.stats.dropped_rcvbuf = self.kernel_drops();
+        self.stats
+    }
+
+    /// Estimate of datagrams the kernel dropped on this socket's receive
+    /// buffer (see [`sys::socket_drops_port`]).
+    pub fn kernel_drops(&self) -> u64 {
+        match self.sock.local_addr() {
+            Ok(addr) => sys::socket_drops_port(addr.port()),
+            Err(_) => 0,
+        }
+    }
+
+    /// Bounded local queue depth, in frames.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Whether sends/receives go through the batched mmsg syscalls
+    /// (false on the portable fallback).
+    pub fn batched_syscalls(&self) -> bool {
+        self.io.batched()
+    }
+
+    /// Whether equal-size frame runs go out as GSO super-datagrams
+    /// (demoted at runtime if the kernel rejects `UDP_SEGMENT`).
+    pub fn gso_offload(&self) -> bool {
+        self.io.gso_active()
+    }
+
+    /// Whether this socket receives GRO-coalesced trains (split back
+    /// into frames by the receive path).
+    pub fn gro_offload(&self) -> bool {
+        self.io.gro()
+    }
+
+    /// A recycled buffer, or a fresh one carrying full MTU capacity.
+    /// Fresh buffers MUST be pre-sized: a zero-capacity vec entering the
+    /// recycle cycle would grow under some later frame encode, breaking
+    /// the zero-allocations-per-packet steady state.
+    fn recycled_buf(&mut self) -> Vec<u8> {
+        self.recycle
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.mtu))
+    }
+
+    /// Park a frame in the bounded local queue, copying into recycled
+    /// storage.
     fn enqueue(&mut self, frame: &[u8]) -> Result<(), TxError> {
         if self.queue.len() >= self.queue_cap {
             self.stats.dropped_queue += 1;
             return Err(TxError::QueueFull);
         }
-        let mut buf = self.recycle.pop().unwrap_or_default();
+        let mut buf = self.recycled_buf();
         buf.clear();
         buf.extend_from_slice(frame);
         self.queue.push_back(buf);
@@ -117,9 +344,24 @@ impl UdpChannel {
         Ok(())
     }
 
+    /// Park a frame by *taking* its storage, handing a recycled buffer
+    /// back in its place — the zero-copy twin of
+    /// [`enqueue`](Self::enqueue).
+    fn enqueue_owned(&mut self, frame: &mut Vec<u8>) -> Result<(), TxError> {
+        if self.queue.len() >= self.queue_cap {
+            self.stats.dropped_queue += 1;
+            return Err(TxError::QueueFull);
+        }
+        let replacement = self.recycled_buf();
+        self.queue.push_back(std::mem::replace(frame, replacement));
+        self.stats.queued += 1;
+        Ok(())
+    }
+
     /// Offer one frame to the kernel, assuming the local queue is empty
     /// (callers preserve FIFO by checking first).
     fn try_send(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        self.stats.send_syscalls += 1;
         match self.sock.send(frame) {
             Ok(_) => {
                 self.stats.sent_frames += 1;
@@ -148,57 +390,140 @@ impl DatagramLink for UdpChannel {
         self.try_send(frame)
     }
 
+    fn send_frame_deferred(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        // Park behind anything already deferred — the caller's next
+        // flush submits the whole accumulated burst as mmsg batches.
+        // Copying here is fine: this path carries low-rate control
+        // frames (markers), not the bulk data stream.
+        if frame.len() > self.mtu {
+            return Err(TxError::TooBig);
+        }
+        self.enqueue(frame)
+    }
+
     fn send_run(&mut self, frames: &[Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
-        // One backlog flush per run — the sendmmsg seam — then straight
-        // sends. Outcomes match per-frame send_frame calls exactly.
+        // Eager batch: one backlog flush per run, then whole-run mmsg
+        // submissions. Outcomes match per-frame send_frame calls.
         self.flush();
         out.reserve(frames.len());
-        for frame in frames {
+        let n = frames.len();
+        let mut i = 0;
+        while i < n {
+            if frames[i].len() > self.mtu {
+                out.push(Err(TxError::TooBig));
+                i += 1;
+                continue;
+            }
+            if !self.queue.is_empty() {
+                // Backpressured mid-run: keep FIFO by parking the rest.
+                out.push(self.enqueue(&frames[i]));
+                i += 1;
+                continue;
+            }
+            // Maximal sub-run of sendable frames starting at i.
+            let mut j = i + 1;
+            while j < n && frames[j].len() <= self.mtu {
+                j += 1;
+            }
+            let rep = self.io.send_frames(&self.sock, &frames[i..j]);
+            self.stats.send_syscalls += rep.syscalls;
+            for f in &frames[i..i + rep.sent] {
+                self.stats.sent_frames += 1;
+                self.stats.sent_bytes += f.len() as u64;
+                out.push(Ok(()));
+            }
+            i += rep.sent;
+            if i < j {
+                if rep.hard_error {
+                    // This frame will never leave; subsequent frames
+                    // retry the kernel, matching per-frame semantics.
+                    self.stats.dropped_error += 1;
+                    out.push(Err(TxError::LinkDown));
+                    i += 1;
+                } else {
+                    // WouldBlock: park this frame; the loop's queue check
+                    // funnels the rest of the run behind it.
+                    out.push(self.enqueue(&frames[i]));
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn send_run_owned(&mut self, frames: &mut [Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
+        // Deferred batch: take every frame's storage into the local
+        // queue and let the caller's end-of-burst flush submit the whole
+        // accumulated queue as mmsg batches. This is what keeps batch
+        // occupancy at burst size rather than SRR run length.
+        out.reserve(frames.len());
+        for frame in frames.iter_mut() {
             let r = if frame.len() > self.mtu {
                 Err(TxError::TooBig)
-            } else if !self.queue.is_empty() {
-                self.enqueue(frame)
             } else {
-                self.try_send(frame)
+                self.enqueue_owned(frame)
             };
             out.push(r);
         }
     }
 
     fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize> {
-        match self.sock.recv(buf) {
-            Ok(n) => {
-                self.stats.recv_frames += 1;
-                self.stats.recv_bytes += n as u64;
-                Some(n)
-            }
-            Err(_) => None, // WouldBlock or transient error: nothing ready
+        // Must go through the GRO-aware splitter: on an offloaded socket
+        // a raw recv would hand back a whole coalesced train as one blob.
+        let (got, syscalls) = self.io.recv_one(&self.sock, buf);
+        self.stats.recv_syscalls += syscalls;
+        if let Some(n) = got {
+            self.stats.recv_frames += 1;
+            self.stats.recv_bytes += n as u64;
         }
+        got
+    }
+
+    fn recv_run(&mut self, bufs: &mut [Vec<u8>], lens: &mut [usize]) -> usize {
+        let rep = self.io.recv_frames(&self.sock, bufs, lens);
+        self.stats.recv_syscalls += rep.syscalls;
+        self.stats.recv_frames += rep.received as u64;
+        for &len in &lens[..rep.received] {
+            self.stats.recv_bytes += len as u64;
+        }
+        rep.received
     }
 
     fn mtu(&self) -> usize {
         self.mtu
     }
 
+    fn coalesce_hint(&self) -> bool {
+        self.gso_offload()
+    }
+
     fn flush(&mut self) -> usize {
         let mut drained = 0;
-        while let Some(front) = self.queue.front() {
-            match self.sock.send(front) {
-                Ok(_) => {
-                    self.stats.sent_frames += 1;
-                    self.stats.sent_bytes += front.len() as u64;
-                    let buf = self.queue.pop_front().expect("front() just succeeded");
-                    self.recycle.push(buf);
-                    drained += 1;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(_) => {
-                    // Hard error: the frame will never leave; drop it
-                    // rather than wedge the queue.
-                    self.stats.dropped_error += 1;
-                    let buf = self.queue.pop_front().expect("front() just succeeded");
-                    self.recycle.push(buf);
-                }
+        loop {
+            let (a, b) = self.queue.as_slices();
+            let slice = if a.is_empty() { b } else { a };
+            if slice.is_empty() {
+                break;
+            }
+            let slice_len = slice.len();
+            let rep = self.io.send_frames(&self.sock, slice);
+            self.stats.send_syscalls += rep.syscalls;
+            for _ in 0..rep.sent {
+                let buf = self.queue.pop_front().expect("sent frames are queued");
+                self.stats.sent_frames += 1;
+                self.stats.sent_bytes += buf.len() as u64;
+                self.recycle.push(buf);
+                drained += 1;
+            }
+            if rep.hard_error {
+                // Hard error: the head frame will never leave; drop it
+                // rather than wedge the queue, then keep draining.
+                self.stats.dropped_error += 1;
+                let buf = self.queue.pop_front().expect("head frame exists");
+                self.recycle.push(buf);
+                continue;
+            }
+            if rep.sent < slice_len {
+                break; // kernel backpressure: retry on the next flush
             }
         }
         drained
@@ -255,6 +580,132 @@ mod tests {
         let mut out = Vec::new();
         a.send_run(&frames, &mut out);
         assert_eq!(out, vec![Ok(()), Ok(()), Ok(()), Ok(())]);
+        let mut buf = [0u8; 64];
+        for i in 0..4u8 {
+            let n = recv_poll(&mut b, &mut buf).expect("frame");
+            assert_eq!((n, buf[0]), (8, i));
+        }
+    }
+
+    #[test]
+    fn send_run_batches_syscalls_when_mmsg_is_on() {
+        let (mut a, _b) = UdpChannel::builder(64).batch(8).pair().unwrap();
+        let frames: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; 8]).collect();
+        let mut out = Vec::new();
+        a.send_run(&frames, &mut out);
+        assert!(out.iter().all(|r| r.is_ok()));
+        let s = a.stats();
+        assert_eq!(s.sent_frames, 16);
+        if a.gso_offload() {
+            assert_eq!(s.send_syscalls, 1, "equal-size run rides one GSO send");
+            assert_eq!(s.send_batch_occupancy(), 16.0);
+        } else if a.batched_syscalls() {
+            assert_eq!(s.send_syscalls, 2, "16 frames / batch 8 = 2 syscalls");
+            assert_eq!(s.send_batch_occupancy(), 8.0);
+        } else {
+            assert_eq!(s.send_syscalls, 16);
+        }
+    }
+
+    #[test]
+    fn send_run_skips_oversized_mid_run() {
+        let (mut a, mut b) = UdpChannel::pair(8, 4).unwrap();
+        let frames: Vec<Vec<u8>> = vec![vec![1], vec![0; 9], vec![2]];
+        let mut out = Vec::new();
+        a.send_run(&frames, &mut out);
+        assert_eq!(out, vec![Ok(()), Err(TxError::TooBig), Ok(())]);
+        let mut buf = [0u8; 8];
+        for want in [1u8, 2] {
+            let n = recv_poll(&mut b, &mut buf).expect("frame");
+            assert_eq!((n, buf[0]), (1, want));
+        }
+    }
+
+    #[test]
+    fn send_run_owned_parks_until_flush() {
+        let (mut a, mut b) = UdpChannel::pair(64, 8).unwrap();
+        let mut frames: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        let mut out = Vec::new();
+        a.send_run_owned(&mut frames, &mut out);
+        assert_eq!(out, vec![Ok(()), Ok(()), Ok(()), Ok(())]);
+        assert_eq!(a.backlog(), 4, "owned sends defer to flush");
+        assert_eq!(a.stats().sent_frames, 0);
+        assert_eq!(a.flush(), 4);
+        let s = a.stats();
+        assert_eq!(s.sent_frames, 4);
+        if a.batched_syscalls() {
+            assert_eq!(s.send_syscalls, 1, "whole backlog in one sendmmsg");
+        }
+        let mut buf = [0u8; 64];
+        for i in 0..4u8 {
+            let n = recv_poll(&mut b, &mut buf).expect("frame");
+            assert_eq!((n, buf[0]), (8, i));
+        }
+    }
+
+    #[test]
+    fn send_run_owned_respects_queue_bound() {
+        let (mut a, _b) = UdpChannel::pair(64, 2).unwrap();
+        let mut frames: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 8]).collect();
+        let mut out = Vec::new();
+        a.send_run_owned(&mut frames, &mut out);
+        assert_eq!(out, vec![Ok(()), Ok(()), Err(TxError::QueueFull)]);
+        assert_eq!(frames[2], vec![2; 8], "rejected frame left untouched");
+        assert_eq!(a.stats().dropped_queue, 1);
+    }
+
+    #[test]
+    fn recv_run_drains_in_batches() {
+        let (mut a, mut b) = UdpChannel::builder(64).batch(4).pair().unwrap();
+        let frames: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 4]).collect();
+        let mut out = Vec::new();
+        a.send_run(&frames, &mut out);
+        let mut bufs: Vec<Vec<u8>> = (0..16).map(|_| vec![0u8; 64]).collect();
+        let mut lens = [0usize; 16];
+        let mut got = 0;
+        for _ in 0..1000 {
+            got += b.recv_run(bufs[got..].as_mut(), &mut lens[got..]);
+            if got == 10 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(got, 10);
+        for i in 0..10 {
+            assert_eq!(lens[i], 4);
+            assert_eq!(bufs[i][0], i as u8);
+        }
+        let s = b.stats();
+        assert_eq!(s.recv_frames, 10);
+        assert!(s.recv_syscalls > 0);
+    }
+
+    #[test]
+    fn builder_reports_effective_kernel_buffers() {
+        let (a, _b) = UdpChannel::builder(1500)
+            .sndbuf(1 << 16)
+            .rcvbuf(1 << 16)
+            .pair()
+            .unwrap();
+        let s = a.stats();
+        if crate::sys::mmsg_compiled() {
+            assert!(s.sndbuf >= 1 << 16);
+            assert!(s.rcvbuf >= 1 << 16);
+        } else {
+            assert_eq!((s.sndbuf, s.rcvbuf), (0, 0));
+        }
+        assert_eq!(a.stats().dropped_rcvbuf, 0, "unsampled");
+    }
+
+    #[test]
+    fn forced_fallback_channel_still_delivers() {
+        let (mut a, mut b) = UdpChannel::builder(64).force_fallback(true).pair().unwrap();
+        assert!(!a.batched_syscalls());
+        let frames: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        let mut out = Vec::new();
+        a.send_run(&frames, &mut out);
+        assert!(out.iter().all(|r| r.is_ok()));
+        assert_eq!(a.stats().send_syscalls, 4, "per-frame syscalls");
         let mut buf = [0u8; 64];
         for i in 0..4u8 {
             let n = recv_poll(&mut b, &mut buf).expect("frame");
