@@ -201,6 +201,25 @@ impl LivenessTracker {
         self.on_probe_ack(channel, nonce, now_ns)
     }
 
+    /// Declare `channel` dead immediately, bypassing the silence deadline.
+    /// For out-of-band death evidence — a socket-layer hard error, a
+    /// panicked I/O worker — where waiting out `dead_after_ns` would only
+    /// delay the failover the evidence already justifies. Returns `true`
+    /// if the channel was newly declared dead (the caller should announce
+    /// a shrunken mask), `false` if it was already dead or out of range.
+    /// Probing continues with backoff, so recovery detection is unchanged.
+    pub fn force_dead(&mut self, channel: ChannelId) -> bool {
+        let Some(ch) = self.chans.get_mut(channel) else {
+            return false;
+        };
+        if ch.health == ChannelHealth::Dead {
+            return false;
+        }
+        ch.health = ChannelHealth::Dead;
+        self.deaths += 1;
+        true
+    }
+
     /// Current judgement for `channel`.
     pub fn health(&self, channel: ChannelId) -> ChannelHealth {
         self.chans[channel].health
@@ -350,6 +369,33 @@ mod tests {
         let bogus = LivenessTracker::make_nonce(1, 99);
         assert!(t.on_probe_ack(0, bogus, 300 * MS).is_none());
         assert_eq!(t.health(0), ChannelHealth::Dead);
+    }
+
+    #[test]
+    fn force_dead_skips_the_silence_deadline() {
+        let cfg = LivenessConfig::with_interval(10 * MS);
+        let mut t = LivenessTracker::new(2, cfg, 0);
+        assert!(t.force_dead(0), "newly dead");
+        assert!(!t.force_dead(0), "idempotent");
+        assert!(!t.force_dead(7), "out of range is a no-op");
+        assert_eq!(t.health(0), ChannelHealth::Dead);
+        assert_eq!(t.live_mask(), vec![false, true]);
+        assert_eq!(t.deaths(), 1);
+        // Probing continues on the forced-dead channel; the first ack
+        // revives it through the normal recovery path.
+        let mut last_nonce = None;
+        for tick in 1..40u64 {
+            for e in t.poll(tick * 5 * MS) {
+                if let LivenessEvent::ProbeDue { channel: 0, nonce } = e {
+                    last_nonce = Some(nonce);
+                }
+            }
+        }
+        let nonce = last_nonce.expect("dead channel still probed");
+        assert_eq!(
+            t.on_probe_ack(0, nonce, 300 * MS),
+            Some(LivenessEvent::ChannelRecovered(0))
+        );
     }
 
     #[test]

@@ -120,6 +120,18 @@ pub trait DatagramLink {
     fn backlog(&self) -> usize {
         0
     }
+
+    /// Whether the link has declared itself permanently failed — a
+    /// refused socket past its grace, a crashed I/O worker. Dead links
+    /// fail sends fast with [`TxError::LinkDown`]; pollers (the sender
+    /// reactor) surface the flag to the failover driver so the channel
+    /// is retired through the same liveness path a silent channel takes,
+    /// instead of an `io::Error` bubbling out of the datapath. Default:
+    /// never — in-memory links and wrappers without a failure mode
+    /// simply inherit it.
+    fn link_dead(&self) -> bool {
+        false
+    }
 }
 
 /// One direction of an in-memory datagram pipe (see [`datagram_pair`]):

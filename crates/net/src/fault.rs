@@ -9,148 +9,72 @@
 //! [`crate::frame::is_data_frame`] — while letting every marker and
 //! control message through, exactly like the simulated loss models,
 //! which never touch the control codepoint either.
+//!
+//! Since the chaos layer landed, `DropLink` is a thin shim over
+//! [`ImpairedLink`] with a plan containing only a [`DropPolicy`]: the
+//! drop logic lives in one place ([`crate::chaos`]) and this type only
+//! keeps the narrow, long-standing API that the Theorem 5.1 tests and
+//! examples were written against.
 
 use stripe_link::{DatagramLink, TxError};
 
-use crate::frame::is_data_frame;
+use crate::chaos::{ChaosPlan, ImpairedLink};
 
-/// Which data frames (counted per link, in send order, starting at 0)
-/// are dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DropPolicy {
-    /// Drop nothing.
-    None,
-    /// Drop data frames with index in `from..to` — one loss burst, then
-    /// a clean tail (the Theorem 5.1 test shape).
-    Window {
-        /// First data-frame index dropped.
-        from: u64,
-        /// First data-frame index *not* dropped again.
-        to: u64,
-    },
-    /// Drop every `period`-th data frame, forever (steady background
-    /// loss for demos and benches).
-    Periodic {
-        /// Drop one frame out of every `period` (must be ≥ 2).
-        period: u64,
-    },
-}
+pub use crate::chaos::DropPolicy;
 
 /// A [`DatagramLink`] wrapper that deterministically drops data frames
 /// on the send side, passing control frames untouched.
 #[derive(Debug)]
 pub struct DropLink<L: DatagramLink> {
-    inner: L,
-    policy: DropPolicy,
-    seen_data: u64,
-    dropped: u64,
+    inner: ImpairedLink<L>,
 }
 
 impl<L: DatagramLink> DropLink<L> {
     /// Wrap `inner` under `policy`.
     pub fn new(inner: L, policy: DropPolicy) -> Self {
-        if let DropPolicy::Periodic { period } = policy {
-            assert!(period >= 2, "periodic drop needs period >= 2");
-        }
         Self {
-            inner,
-            policy,
-            seen_data: 0,
-            dropped: 0,
+            inner: ImpairedLink::new(inner, ChaosPlan::none().loss(policy), 0),
         }
     }
 
     /// Data frames swallowed so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.inner.snapshot().dropped_loss
     }
 
     /// Data frames offered so far (dropped or not).
     pub fn seen_data(&self) -> u64 {
-        self.seen_data
+        self.inner.snapshot().seen_data
     }
 
     /// The wrapped link.
     pub fn inner(&self) -> &L {
-        &self.inner
+        self.inner.inner()
     }
 
     /// Mutable access to the wrapped link.
     pub fn inner_mut(&mut self) -> &mut L {
-        &mut self.inner
-    }
-
-    fn should_drop(&self, index: u64) -> bool {
-        match self.policy {
-            DropPolicy::None => false,
-            DropPolicy::Window { from, to } => (from..to).contains(&index),
-            DropPolicy::Periodic { period } => index % period == period - 1,
-        }
+        self.inner.inner_mut()
     }
 }
 
 impl<L: DatagramLink> DatagramLink for DropLink<L> {
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError> {
-        if is_data_frame(frame) {
-            let index = self.seen_data;
-            self.seen_data += 1;
-            if self.should_drop(index) {
-                // Swallowed in flight: the sender sees success, nothing
-                // arrives — indistinguishable from network loss.
-                self.dropped += 1;
-                return Ok(());
-            }
-        }
         self.inner.send_frame(frame)
     }
 
     fn send_frame_deferred(&mut self, frame: &[u8]) -> Result<(), TxError> {
-        if is_data_frame(frame) {
-            let index = self.seen_data;
-            self.seen_data += 1;
-            if self.should_drop(index) {
-                self.dropped += 1;
-                return Ok(());
-            }
-        }
         self.inner.send_frame_deferred(frame)
     }
 
-    // send_run is deliberately left on the trait default (a per-frame
-    // loop over send_frame), so the drop policy sees every frame.
+    // send_run stays on the trait default (per-frame loop), exactly as
+    // before the chaos layer: the policy sees every frame.
 
     fn send_run_owned(&mut self, frames: &mut [Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
-        // Apply the policy per frame, but forward maximal *kept* sub-runs
-        // to the inner link in single calls so the zero-copy deferred
-        // batching survives the wrapper. Dropped frames report Ok(()) in
-        // place and leave their storage untouched — indistinguishable
-        // from network loss, exactly like send_frame.
-        out.reserve(frames.len());
-        let n = frames.len();
-        let mut i = 0;
-        while i < n {
-            if is_data_frame(&frames[i]) && self.should_drop(self.seen_data) {
-                self.seen_data += 1;
-                self.dropped += 1;
-                out.push(Ok(()));
-                i += 1;
-                continue;
-            }
-            // Extend the kept sub-run, consuming data indices as we go,
-            // up to (not including) the next dropped data frame.
-            let mut j = i;
-            loop {
-                if is_data_frame(&frames[j]) {
-                    self.seen_data += 1;
-                }
-                j += 1;
-                if j >= n || (is_data_frame(&frames[j]) && self.should_drop(self.seen_data)) {
-                    break;
-                }
-            }
-            self.inner.send_run_owned(&mut frames[i..j], out);
-            i = j;
-        }
+        // A pure-drop plan takes ImpairedLink's run-preserving fast
+        // path: maximal kept sub-runs forwarded in single calls, drops
+        // reported Ok(()) in place with storage untouched.
+        self.inner.send_run_owned(frames, out)
     }
 
     fn recv_run(&mut self, bufs: &mut [Vec<u8>], lens: &mut [usize]) -> usize {
@@ -175,6 +99,10 @@ impl<L: DatagramLink> DatagramLink for DropLink<L> {
 
     fn backlog(&self) -> usize {
         self.inner.backlog()
+    }
+
+    fn link_dead(&self) -> bool {
+        self.inner.link_dead()
     }
 }
 

@@ -51,12 +51,56 @@ pub const KIND_CONTROL: u8 = 1;
 /// [`KIND_CONTROL`].
 pub const KIND_CONTROL_PADDED: u8 = 2;
 
+/// Frame-kind codepoint for *checksummed* application data: the body is
+/// the payload followed by a one-byte CRC-8 of the payload. §5 assumes
+/// corruption is detectable; on real channels UDP's 16-bit checksum is
+/// optional and weak, so paths that face bit errors (and every chaos
+/// soak) opt into this kind. The default [`KIND_DATA`] stays
+/// trailer-free, keeping the headline path at zero checksum cost.
+pub const KIND_DATA_SUMMED: u8 = 3;
+
 /// Bytes of header preceding the body.
 pub const FRAME_HEADER_LEN: usize = 3;
 
 /// Extra body bytes of a [`KIND_CONTROL_PADDED`] frame before the
 /// control message itself (the `u16` length prefix).
 pub const PAD_LEN_PREFIX: usize = 2;
+
+/// Trailer bytes of a [`KIND_DATA_SUMMED`] frame (the CRC-8).
+pub const SUM_TRAILER_LEN: usize = 1;
+
+/// CRC-8, polynomial 0x07 (ATM HEC) — catches every single-bit flip and
+/// all burst errors up to 8 bits, which is exactly the corruption model
+/// the chaos layer injects. Table built at compile time; one lookup per
+/// payload byte.
+const CRC8_TABLE: [u8; 256] = {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-8/0x07 over `bytes` (the [`KIND_DATA_SUMMED`] trailer value).
+pub fn crc8(bytes: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in bytes {
+        crc = CRC8_TABLE[(crc ^ b) as usize];
+    }
+    crc
+}
 
 /// One decoded frame. Data borrows straight out of the receive buffer —
 /// the payload is never copied by the codec.
@@ -81,6 +125,17 @@ pub fn encode_data_into(payload: &[u8], out: &mut Vec<u8>) {
     out.clear();
     push_header(KIND_DATA, out);
     out.extend_from_slice(payload);
+}
+
+/// Encode a checksummed data frame into `out` (cleared first, capacity
+/// kept): payload, then a CRC-8 trailer the decoder verifies. Costs one
+/// table lookup per byte on encode and decode — paid only by paths that
+/// opt in (integrity mode).
+pub fn encode_data_summed_into(payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    push_header(KIND_DATA_SUMMED, out);
+    out.extend_from_slice(payload);
+    out.push(crc8(payload));
 }
 
 /// Encode a control frame into `out` (cleared first, capacity kept). The
@@ -115,37 +170,80 @@ pub fn data_frame_len(payload_len: usize) -> usize {
     FRAME_HEADER_LEN + payload_len
 }
 
+/// On-wire length of a *checksummed* data frame carrying `payload_len`
+/// body bytes.
+pub fn summed_frame_len(payload_len: usize) -> usize {
+    FRAME_HEADER_LEN + payload_len + SUM_TRAILER_LEN
+}
+
 /// On-wire length of a control frame, without materializing it.
 pub fn control_frame_len(ctl: &Control) -> usize {
     FRAME_HEADER_LEN + ctl.wire_len()
 }
 
-/// Whether `frame` is a well-headed data frame — the peek the fault layer
-/// uses to drop data while letting markers and control through.
+/// Whether `frame` is a well-headed data frame (either data kind) — the
+/// peek the fault layer uses to drop data while letting markers and
+/// control through.
 pub fn is_data_frame(frame: &[u8]) -> bool {
     frame.len() >= FRAME_HEADER_LEN
         && frame[0] == FRAME_MAGIC
         && frame[1] == FRAME_VERSION
-        && frame[2] == KIND_DATA
+        && (frame[2] == KIND_DATA || frame[2] == KIND_DATA_SUMMED)
 }
 
-/// Decode one received frame. `None` on anything malformed; the caller
-/// drops it like any corrupt packet (§5 assumes detectable corruption).
-pub fn decode(frame: &[u8]) -> Option<Frame<'_>> {
+/// Why a frame failed to decode — the distinction drives separate
+/// receiver counters, so a soak can assert "zero corrupted payloads
+/// delivered *and* every injected flip was caught".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Structurally broken: short, bad magic/version, unknown kind,
+    /// undecodable control body, lying pad prefix.
+    Malformed,
+    /// Structurally fine but the CRC-8 trailer disagrees with the
+    /// payload: bits were flipped in flight.
+    Corrupt,
+}
+
+/// Decode one received frame, reporting *why* rejects were rejected.
+/// Never panics, whatever the input — see the fuzz proptest in
+/// `tests/net_loopback.rs`.
+pub fn try_decode(frame: &[u8]) -> Result<Frame<'_>, DecodeError> {
     if frame.len() < FRAME_HEADER_LEN || frame[0] != FRAME_MAGIC || frame[1] != FRAME_VERSION {
-        return None;
+        return Err(DecodeError::Malformed);
     }
     let body = &frame[FRAME_HEADER_LEN..];
     match frame[2] {
-        KIND_DATA => Some(Frame::Data(body)),
-        KIND_CONTROL => Control::decode(body).map(Frame::Control),
-        KIND_CONTROL_PADDED => {
-            let n = u16::from_le_bytes([*body.first()?, *body.get(1)?]) as usize;
-            let ctl = body.get(PAD_LEN_PREFIX..PAD_LEN_PREFIX + n)?;
-            Control::decode(ctl).map(Frame::Control)
+        KIND_DATA => Ok(Frame::Data(body)),
+        KIND_DATA_SUMMED => {
+            let (&trailer, payload) = body.split_last().ok_or(DecodeError::Malformed)?;
+            if crc8(payload) != trailer {
+                return Err(DecodeError::Corrupt);
+            }
+            Ok(Frame::Data(payload))
         }
-        _ => None,
+        KIND_CONTROL => Control::decode(body)
+            .map(Frame::Control)
+            .ok_or(DecodeError::Malformed),
+        KIND_CONTROL_PADDED => {
+            let lo = *body.first().ok_or(DecodeError::Malformed)?;
+            let hi = *body.get(1).ok_or(DecodeError::Malformed)?;
+            let n = u16::from_le_bytes([lo, hi]) as usize;
+            let ctl = body
+                .get(PAD_LEN_PREFIX..PAD_LEN_PREFIX + n)
+                .ok_or(DecodeError::Malformed)?;
+            Control::decode(ctl)
+                .map(Frame::Control)
+                .ok_or(DecodeError::Malformed)
+        }
+        _ => Err(DecodeError::Malformed),
     }
+}
+
+/// Decode one received frame. `None` on anything malformed or corrupt;
+/// the caller drops it like any corrupt packet (§5 assumes detectable
+/// corruption). Callers that need the reason use [`try_decode`].
+pub fn decode(frame: &[u8]) -> Option<Frame<'_>> {
+    try_decode(frame).ok()
 }
 
 #[cfg(test)]
@@ -287,9 +385,89 @@ mod tests {
         let mut data = Vec::new();
         encode_data_into(&[1, 2], &mut data);
         assert!(is_data_frame(&data));
+        let mut summed = Vec::new();
+        encode_data_summed_into(&[1, 2], &mut summed);
+        assert!(is_data_frame(&summed));
         let mut ctl = Vec::new();
         encode_control_into(&Control::Probe { nonce: 1 }, &mut ctl);
         assert!(!is_data_frame(&ctl));
         assert!(!is_data_frame(&[FRAME_MAGIC]));
+    }
+
+    #[test]
+    fn summed_data_roundtrips() {
+        let payload = [7u8, 8, 9, 10];
+        let mut buf = Vec::new();
+        encode_data_summed_into(&payload, &mut buf);
+        assert_eq!(buf.len(), summed_frame_len(payload.len()));
+        match try_decode(&buf) {
+            Ok(Frame::Data(body)) => {
+                assert_eq!(body, &payload, "trailer must be stripped");
+                // Still zero-copy: the payload aliases the frame buffer.
+                assert!(std::ptr::eq(
+                    body.as_ptr(),
+                    buf[FRAME_HEADER_LEN..].as_ptr()
+                ));
+            }
+            other => panic!("expected data frame, got {other:?}"),
+        }
+        let mut empty = Vec::new();
+        encode_data_summed_into(&[], &mut empty);
+        assert_eq!(try_decode(&empty), Ok(Frame::Data(&[][..])));
+    }
+
+    #[test]
+    fn summed_data_catches_every_single_bit_flip() {
+        let payload: Vec<u8> = (0..57).collect();
+        let mut clean = Vec::new();
+        encode_data_summed_into(&payload, &mut clean);
+        // Flip each body bit (payload and trailer) in turn: all caught.
+        for byte in FRAME_HEADER_LEN..clean.len() {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[byte] ^= 1 << bit;
+                assert_eq!(
+                    try_decode(&buf),
+                    Err(DecodeError::Corrupt),
+                    "flip at byte {byte} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summed_data_without_trailer_is_malformed_not_corrupt() {
+        // A bare header of kind 3 has no room for the CRC byte.
+        assert_eq!(
+            try_decode(&[FRAME_MAGIC, FRAME_VERSION, KIND_DATA_SUMMED]),
+            Err(DecodeError::Malformed)
+        );
+    }
+
+    #[test]
+    fn try_decode_classifies_malformed_vs_corrupt() {
+        assert_eq!(try_decode(&[]), Err(DecodeError::Malformed));
+        assert_eq!(
+            try_decode(&[0x00, FRAME_VERSION, KIND_DATA, 1]),
+            Err(DecodeError::Malformed)
+        );
+        assert_eq!(
+            try_decode(&[FRAME_MAGIC, FRAME_VERSION, 9, 1]),
+            Err(DecodeError::Malformed)
+        );
+        let mut buf = Vec::new();
+        encode_data_summed_into(&[1, 2, 3], &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        assert_eq!(try_decode(&buf), Err(DecodeError::Corrupt));
+        // decode() folds both reject reasons into None.
+        assert_eq!(decode(&buf), None);
+    }
+
+    #[test]
+    fn crc8_known_vector() {
+        // CRC-8/SMBUS ("123456789") = 0xF4 for poly 0x07, init 0.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        assert_eq!(crc8(&[]), 0);
     }
 }

@@ -30,6 +30,10 @@
 //!   timer-driven component runs on either clock.
 //! - [`fault`] — [`DropLink`], deterministic data-frame loss for
 //!   proving marker recovery (Theorem 5.1) over real sockets.
+//! - [`chaos`] — [`ImpairedLink`]/[`ChaosPlan`], the full seeded
+//!   impairment suite (loss, reorder, duplication, corruption, jitter,
+//!   partitions) with a [`ChaosSnapshot`] counting every injected
+//!   event; `DropLink` is now a thin shim over it.
 //! - [`pool`] — [`BufPool`]/[`PooledBuf`], the zero-allocation receive
 //!   story.
 //! - [`sys`] — the linux-gated `sendmmsg`/`recvmmsg` FFI shim (std-only,
@@ -52,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod clock;
 pub mod fault;
 pub mod frame;
@@ -64,6 +69,7 @@ pub mod shard;
 pub mod sys;
 pub mod udp;
 
+pub use chaos::{ChaosPlan, ChaosSnapshot, ImpairedLink};
 pub use clock::WallClock;
 pub use fault::{DropLink, DropPolicy};
 pub use frame::{Frame, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};

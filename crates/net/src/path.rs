@@ -50,6 +50,7 @@ pub struct NetStripedPathBuilder<S: CausalScheduler, L: DatagramLink> {
     sched: Option<S>,
     markers: MarkerConfig,
     links: Vec<L>,
+    integrity: bool,
 }
 
 impl<S: CausalScheduler, L: DatagramLink> Default for NetStripedPathBuilder<S, L> {
@@ -58,6 +59,7 @@ impl<S: CausalScheduler, L: DatagramLink> Default for NetStripedPathBuilder<S, L
             sched: None,
             markers: MarkerConfig::disabled(),
             links: Vec::new(),
+            integrity: false,
         }
     }
 }
@@ -87,6 +89,17 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPathBuilder<S, L> {
         self
     }
 
+    /// Emit data frames with a CRC-8 trailer
+    /// ([`KIND_DATA_SUMMED`](crate::frame::KIND_DATA_SUMMED)) so the far
+    /// end detects payload corruption instead of delivering flipped bits
+    /// (§5's "detectable corruption" assumption made literal). Costs one
+    /// byte per frame plus the checksum pass; defaults to off, so the
+    /// headline datapath pays nothing.
+    pub fn integrity(mut self, on: bool) -> Self {
+        self.integrity = on;
+        self
+    }
+
     /// Assemble the path.
     ///
     /// # Panics
@@ -102,6 +115,7 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPathBuilder<S, L> {
         NetStripedPath {
             links: self.links,
             tx: StripingSender::new(sched, self.markers),
+            integrity: self.integrity,
             stats: PathSnapshot::default(),
             scratch_lens: Vec::new(),
             scratch_channels: Vec::new(),
@@ -119,6 +133,9 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPathBuilder<S, L> {
 pub struct NetStripedPath<S: CausalScheduler, L: DatagramLink> {
     links: Vec<L>,
     tx: StripingSender<S>,
+    /// Data frames carry a CRC-8 trailer (see
+    /// [`NetStripedPathBuilder::integrity`]).
+    integrity: bool,
     stats: PathSnapshot,
     // Scratch buffers, all reused so the steady state allocates nothing.
     scratch_lens: Vec<usize>,
@@ -143,7 +160,12 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
     /// frame header (§6.1's minimum-MTU rule, net of framing).
     pub fn max_payload(&self) -> usize {
         let min_mtu = self.links.iter().map(|l| l.mtu()).min().expect("non-empty");
-        min_mtu.saturating_sub(FRAME_HEADER_LEN)
+        let overhead = if self.integrity {
+            FRAME_HEADER_LEN + frame::SUM_TRAILER_LEN
+        } else {
+            FRAME_HEADER_LEN
+        };
+        min_mtu.saturating_sub(overhead)
     }
 
     /// Stripe a whole burst at `now` into a caller-owned batch with zero
@@ -179,7 +201,11 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
             self.frame_bufs.push(Vec::new());
         }
         for (k, pkt) in pkts.iter().enumerate() {
-            frame::encode_data_into(pkt.as_ref(), &mut self.frame_bufs[k]);
+            if self.integrity {
+                frame::encode_data_summed_into(pkt.as_ref(), &mut self.frame_bufs[k]);
+            } else {
+                frame::encode_data_into(pkt.as_ref(), &mut self.frame_bufs[k]);
+            }
         }
 
         let mut pkt_iter = pkts.drain(..);
@@ -230,7 +256,13 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
                     (0..=at)
                         .rev()
                         .find(|&k| self.scratch_channels[k] == c)
-                        .map(|k| frame::data_frame_len(self.scratch_lens[k]))
+                        .map(|k| {
+                            if self.integrity {
+                                frame::summed_frame_len(self.scratch_lens[k])
+                            } else {
+                                frame::data_frame_len(self.scratch_lens[k])
+                            }
+                        })
                         .unwrap_or(0)
                 } else {
                     0
@@ -349,6 +381,12 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
     /// Mutable access to the member links (the reactor's receive sweep).
     pub fn links_mut(&mut self) -> &mut [L] {
         &mut self.links
+    }
+
+    /// Take the links back out, consuming the path — endpoint teardown
+    /// wants its sockets (and their final counters) returned.
+    pub fn into_links(self) -> Vec<L> {
+        self.links
     }
 
     /// The sender engine (fairness ledgers, marker counts).
@@ -555,5 +593,42 @@ mod tests {
     fn max_payload_subtracts_header_from_min_mtu() {
         let (path, _peers) = two_channel_path(MarkerConfig::disabled());
         assert_eq!(path.max_payload(), 1500);
+    }
+
+    /// Integrity mode: every data frame goes out summed, round-trips
+    /// through `try_decode`, and a flipped payload bit is caught as
+    /// `Corrupt` rather than delivered.
+    #[test]
+    fn integrity_mode_emits_summed_frames() {
+        let (a0, b0) = datagram_pair(1504, 1024);
+        let (a1, b1) = datagram_pair(1504, 1024);
+        let mut path = NetStripedPath::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(vec![a0, a1])
+            .integrity(true)
+            .build();
+        assert_eq!(
+            path.max_payload(),
+            1504 - FRAME_HEADER_LEN - frame::SUM_TRAILER_LEN
+        );
+        let mut pkts: Vec<Bytes> = (0..8u8).map(|i| Bytes::from(vec![i; 64])).collect();
+        let mut out = TxBatch::new();
+        path.send_batch(SimTime::ZERO, &mut pkts, &mut out);
+        let mut peers = [b0, b1];
+        let mut data = 0;
+        for p in &mut peers {
+            for mut f in drain(p) {
+                assert_eq!(f[2], frame::KIND_DATA_SUMMED, "summed kind on the wire");
+                let Ok(Frame::Data(body)) = frame::try_decode(&f) else {
+                    panic!("summed frame must decode");
+                };
+                assert_eq!(body.len(), 64);
+                data += 1;
+                // One flipped payload bit is detected, not delivered.
+                f[FRAME_HEADER_LEN] ^= 0x10;
+                assert_eq!(frame::try_decode(&f), Err(frame::DecodeError::Corrupt));
+            }
+        }
+        assert_eq!(data, 8);
     }
 }

@@ -77,6 +77,9 @@ pub struct ReactorSnapshot {
     pub dropped_malformed: u64,
     /// Failover ticks delivered.
     pub ticks: u64,
+    /// Channels the link layer reported dead (socket hard errors, worker
+    /// panics) that the failover driver newly declared dead.
+    pub link_dead_reports: u64,
 }
 
 /// Poll-driven harness around a [`NetStripedPath`] and its failover
@@ -125,8 +128,11 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
     /// One readiness sweep at `now`:
     ///
     /// 1. flush every channel's parked send backlog toward the kernel;
-    /// 2. drain the reverse path, feeding control to the failover driver;
-    /// 3. deliver the periodic failover tick when due.
+    /// 2. surface link-layer death reports (socket hard errors, worker
+    ///    panics) to the failover driver, short-circuiting the keepalive
+    ///    deadline;
+    /// 3. drain the reverse path, feeding control to the failover driver;
+    /// 4. deliver the periodic failover tick when due.
     ///
     /// Returns the control transmissions the driver reported (probes
     /// sent, announcements, retransmissions) — empty in the steady state,
@@ -136,6 +142,15 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
         self.stats.flushed += self.path.flush() as u64;
         let mut reports = Vec::new();
         for c in 0..self.path.links().len() {
+            if self.path.links()[c].link_dead() {
+                if let Some(driver) = self.driver.as_mut() {
+                    let before = driver.liveness().deaths();
+                    reports.extend(driver.on_link_dead(&mut self.path, c, now));
+                    if driver.liveness().deaths() > before {
+                        self.stats.link_dead_reports += 1;
+                    }
+                }
+            }
             loop {
                 let got =
                     self.path.links_mut()[c].recv_run(&mut self.recv_bufs, &mut self.recv_lens);
@@ -314,6 +329,93 @@ mod tests {
             announced_death,
             "a dead channel must announce a shrunken mask"
         );
+    }
+
+    /// A link reporting itself dead: the very next poll announces the
+    /// shrunken mask — no keepalive deadline, no probes required.
+    #[test]
+    fn link_dead_report_triggers_immediate_failover() {
+        use stripe_link::TxError;
+
+        /// Test link whose deadness can be flipped from outside.
+        #[derive(Debug)]
+        struct MortalLink {
+            inner: TestDatagramLink,
+            dead: bool,
+        }
+        impl DatagramLink for MortalLink {
+            fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError> {
+                if self.dead {
+                    return Err(TxError::LinkDown);
+                }
+                self.inner.send_frame(frame)
+            }
+            fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize> {
+                self.inner.recv_frame(buf)
+            }
+            fn mtu(&self) -> usize {
+                self.inner.mtu()
+            }
+            fn link_dead(&self) -> bool {
+                self.dead
+            }
+        }
+
+        let (a0, _b0) = datagram_pair(2048, 4096);
+        let (a1, _b1) = datagram_pair(2048, 4096);
+        let links = vec![
+            MortalLink {
+                inner: a0,
+                dead: false,
+            },
+            MortalLink {
+                inner: a1,
+                dead: false,
+            },
+        ];
+        let path = NetStripedPath::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(links)
+            .build();
+        let driver = FailoverDriver::new(
+            2,
+            FailoverConfig::with_probe_interval(1_000_000),
+            SimTime::ZERO,
+        );
+        let mut reactor = SenderReactor::new(
+            path,
+            Some(driver),
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+        );
+
+        // Healthy sweep: no death reported.
+        reactor.poll(SimTime::from_micros(100));
+        assert_eq!(reactor.stats().link_dead_reports, 0);
+
+        // Kill channel 1 at the link layer; the next poll must announce.
+        reactor.path_mut().links_mut()[1].dead = true;
+        let reports = reactor.poll(SimTime::from_micros(200));
+        assert!(
+            reports
+                .iter()
+                .any(|r| matches!(r.ctl, Control::Membership { .. })),
+            "death evidence must announce a shrunken mask immediately"
+        );
+        let driver = reactor.driver().expect("driver attached");
+        assert_eq!(driver.liveness().deaths(), 1);
+        assert_eq!(driver.liveness().live_mask(), vec![true, false]);
+        assert_eq!(reactor.stats().link_dead_reports, 1);
+
+        // Still-dead link on later polls: idempotent, no re-announce spam.
+        let again = reactor.poll(SimTime::from_micros(300));
+        assert!(
+            !again
+                .iter()
+                .any(|r| matches!(r.ctl, Control::Membership { .. })),
+            "no duplicate announcements while the link stays dead"
+        );
+        assert_eq!(reactor.stats().link_dead_reports, 1);
     }
 
     /// Flush drains frames parked behind kernel/queue backpressure.

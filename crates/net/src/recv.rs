@@ -43,6 +43,10 @@ pub struct NetRxSnapshot {
     /// kind, or control body) — the real-world stand-in for checksum
     /// discard.
     pub dropped_malformed: u64,
+    /// Structurally valid data frames whose CRC-8 trailer did not match
+    /// the payload (see [`crate::frame::KIND_DATA_SUMMED`]): bit-flipped
+    /// in flight, caught, never delivered.
+    pub dropped_corrupt: u64,
     /// Control replies transmitted on the reverse path.
     pub replies_sent: u64,
     /// Control replies that could not be transmitted (backpressure).
@@ -138,6 +142,7 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiverBuilder<S, L> {
         if let Some(t) = self.stall_timeout_ns {
             sink_builder = sink_builder.stall_timeout_ns(t);
         }
+        let channels = self.links.len();
         NetLogicalReceiver {
             sink: sink_builder.build(),
             links: self.links,
@@ -146,6 +151,8 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiverBuilder<S, L> {
             recv_bufs: Vec::new(),
             recv_lens: Vec::new(),
             stats: NetRxSnapshot::default(),
+            malformed_by_channel: vec![0; channels],
+            corrupt_by_channel: vec![0; channels],
         }
     }
 }
@@ -163,6 +170,12 @@ pub struct NetLogicalReceiver<S: CausalScheduler, L: DatagramLink> {
     recv_bufs: Vec<Vec<u8>>,
     recv_lens: Vec<usize>,
     stats: NetRxSnapshot,
+    /// Per-channel undecodable-frame counts — a single noisy channel
+    /// (a flaky NIC, a corrupting middlebox) shows up here long before
+    /// it shifts the aggregate.
+    malformed_by_channel: Vec<u64>,
+    /// Per-channel checksum-discard counts (summed data frames only).
+    corrupt_by_channel: Vec<u64>,
 }
 
 impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
@@ -213,15 +226,19 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
     /// pooled buffer), control through the sink's responders (returning
     /// the buffer at once).
     fn route_frame(&mut self, c: ChannelId, buf: Vec<u8>, n: usize) {
-        match frame::decode(&buf[..n]) {
-            Some(Frame::Data(_)) => {
+        match frame::try_decode(&buf[..n]) {
+            Ok(Frame::Data(body)) => {
+                // The body is a view into `buf` (summed frames exclude
+                // their trailer); capture its extent, then keep the
+                // storage as the packet.
+                let len = body.len();
                 self.stats.data_frames += 1;
-                let pb = PooledBuf::new(buf, FRAME_HEADER_LEN, n - FRAME_HEADER_LEN);
+                let pb = PooledBuf::new(buf, FRAME_HEADER_LEN, len);
                 // On overflow the resequencer drops the arrival (counted
                 // in its own snapshot); the buffer is freed with it.
                 let _ = self.sink.on_arrival(c, Arrival::Data(pb));
             }
-            Some(Frame::Control(ctl)) => {
+            Ok(Frame::Control(ctl)) => {
                 self.stats.control_frames += 1;
                 self.pool.put(buf);
                 // Markers return no replies (and allocate nothing);
@@ -234,8 +251,14 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
                     }
                 }
             }
-            None => {
+            Err(frame::DecodeError::Corrupt) => {
+                self.stats.dropped_corrupt += 1;
+                self.corrupt_by_channel[c] += 1;
+                self.pool.put(buf);
+            }
+            Err(frame::DecodeError::Malformed) => {
                 self.stats.dropped_malformed += 1;
+                self.malformed_by_channel[c] += 1;
                 self.pool.put(buf);
             }
         }
@@ -275,6 +298,16 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
     /// Network-side counters.
     pub fn net_stats(&self) -> NetRxSnapshot {
         self.stats
+    }
+
+    /// Per-channel undecodable-frame counts (indexed by channel id).
+    pub fn malformed_by_channel(&self) -> &[u64] {
+        &self.malformed_by_channel
+    }
+
+    /// Per-channel checksum-discard counts (indexed by channel id).
+    pub fn corrupt_by_channel(&self) -> &[u64] {
+        &self.corrupt_by_channel
     }
 
     /// Resequencer counters.
@@ -412,6 +445,49 @@ mod tests {
         rx.poll_into(&mut batch);
         assert_eq!(batch.len(), 1);
         assert_eq!(batch.as_slice()[0].as_slice(), &[0x42u8; 64][..]);
+    }
+
+    /// A bit-flipped summed frame is caught by its CRC-8 trailer and
+    /// dropped — counted per channel, never delivered — while clean
+    /// summed frames flow through untouched.
+    #[test]
+    fn corrupt_summed_frames_are_discarded_not_delivered() {
+        let (a0, b0) = datagram_pair(2048, 4096);
+        let (a1, b1) = datagram_pair(2048, 4096);
+        let mut path = NetStripedPath::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(vec![a0, a1])
+            .integrity(true)
+            .build();
+        let mut rx = NetLogicalReceiver::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(vec![b0, b1])
+            .build();
+        // A summed frame with one payload bit flipped, injected on
+        // channel 0's wire.
+        let mut evil = Vec::new();
+        frame::encode_data_summed_into(&[0x55u8; 32], &mut evil);
+        evil[FRAME_HEADER_LEN + 4] ^= 0x01;
+        path.links_mut()[0].send_frame(&evil).unwrap();
+        // Followed by clean traffic.
+        let mut pkts = vec![Bytes::from(vec![0x66u8; 32])];
+        let mut out = TxBatch::new();
+        path.send_batch(SimTime::ZERO, &mut pkts, &mut out);
+        rx.sweep(SimTime::ZERO);
+
+        let s = rx.net_stats();
+        assert_eq!(s.dropped_corrupt, 1, "flip caught by the trailer");
+        assert_eq!(s.dropped_malformed, 0);
+        assert_eq!(rx.corrupt_by_channel()[0], 1, "blamed on its channel");
+        assert_eq!(rx.corrupt_by_channel()[1], 0);
+        assert_eq!(s.data_frames, 1, "the clean frame still routed");
+        let mut batch = RxBatch::new();
+        rx.poll_into(&mut batch);
+        // Only the clean payload is ever deliverable, trailer stripped.
+        for pb in batch.drain() {
+            assert_eq!(pb.as_slice(), &[0x66u8; 32][..]);
+            rx.recycle(pb);
+        }
     }
 
     /// The pool's high-water mark stops growing once the working set is

@@ -72,6 +72,13 @@ struct WorkerShared {
     paused: AtomicBool,
     /// Facade dropped; worker exits its loop.
     shutdown: AtomicBool,
+    /// The channel died (socket failure) or the worker panicked: the
+    /// facade fails sends fast and reports `link_dead` so the reactor
+    /// retires the channel through failover. Never a process abort.
+    dead: AtomicBool,
+    /// Test hook: the worker panics at the top of its next loop — the
+    /// supervision path (catch, mark dead, degrade) exercised on demand.
+    poison: AtomicBool,
     sent_frames: AtomicU64,
     sent_bytes: AtomicU64,
     recv_frames: AtomicU64,
@@ -83,6 +90,9 @@ struct WorkerShared {
     recv_syscalls: AtomicU64,
     sndbuf: AtomicU64,
     rcvbuf: AtomicU64,
+    transient_refused: AtomicU64,
+    enobufs_backoffs: AtomicU64,
+    mtu_clamps: AtomicU64,
 }
 
 impl WorkerShared {
@@ -98,6 +108,11 @@ impl WorkerShared {
         self.recv_syscalls.store(s.recv_syscalls, Ordering::Relaxed);
         self.sndbuf.store(s.sndbuf, Ordering::Relaxed);
         self.rcvbuf.store(s.rcvbuf, Ordering::Relaxed);
+        self.transient_refused
+            .store(s.transient_refused, Ordering::Relaxed);
+        self.enobufs_backoffs
+            .store(s.enobufs_backoffs, Ordering::Relaxed);
+        self.mtu_clamps.store(s.mtu_clamps, Ordering::Relaxed);
     }
 
     fn load(&self) -> UdpChannelSnapshot {
@@ -114,6 +129,9 @@ impl WorkerShared {
             sndbuf: self.sndbuf.load(Ordering::Relaxed),
             rcvbuf: self.rcvbuf.load(Ordering::Relaxed),
             dropped_rcvbuf: 0,
+            transient_refused: self.transient_refused.load(Ordering::Relaxed),
+            enobufs_backoffs: self.enobufs_backoffs.load(Ordering::Relaxed),
+            mtu_clamps: self.mtu_clamps.load(Ordering::Relaxed),
         }
     }
 }
@@ -194,9 +212,7 @@ impl ShardConfig {
             tx_free_p
                 .push(Vec::with_capacity(mtu))
                 .expect("fresh ring has room");
-            rx_free_p
-                .push(vec![0u8; mtu])
-                .expect("fresh ring has room");
+            rx_free_p.push(vec![0u8; mtu]).expect("fresh ring has room");
         }
 
         let shared = Arc::new(WorkerShared::default());
@@ -206,16 +222,30 @@ impl ShardConfig {
         let worker = std::thread::Builder::new()
             .name(format!("stripe-io-{port}"))
             .spawn(move || {
-                worker_main(
-                    chan,
-                    tx_c,
-                    tx_free_p,
-                    rx_p,
-                    rx_free_c,
-                    worker_shared,
-                    batch,
-                    spin_budget,
-                )
+                // Supervised: a panic anywhere in the worker (or a test
+                // poison) must not poison `join` and abort the process —
+                // it marks the channel dead, the facade degrades to
+                // LinkDown, and the reactor fails the channel over.
+                let dead_flag = Arc::clone(&worker_shared);
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_main(
+                        chan,
+                        tx_c,
+                        tx_free_p,
+                        rx_p,
+                        rx_free_c,
+                        worker_shared,
+                        batch,
+                        spin_budget,
+                    )
+                }));
+                match run {
+                    Ok(chan) => Some(chan),
+                    Err(_) => {
+                        dead_flag.dead.store(true, Ordering::Release);
+                        None
+                    }
+                }
             })?;
 
         Ok(ShardedUdpChannel {
@@ -249,7 +279,7 @@ pub struct ShardedUdpChannel {
     /// Rx buffers that couldn't go back out (ring momentarily full).
     rx_spare: Vec<Vec<u8>>,
     shared: Arc<WorkerShared>,
-    worker: Option<JoinHandle<UdpChannel>>,
+    worker: Option<JoinHandle<Option<UdpChannel>>>,
     mtu: usize,
     port: u16,
     /// Worker channel's segmentation-offload state at spawn time.
@@ -302,17 +332,32 @@ impl ShardedUdpChannel {
     }
 
     /// Stop the worker and take the underlying channel back (final
-    /// counters included).
-    pub fn into_channel(mut self) -> UdpChannel {
+    /// counters included). Returns `None` if the worker panicked — the
+    /// socket died with it, and the caller already saw `link_dead`.
+    pub fn into_channel(mut self) -> Option<UdpChannel> {
         self.shutdown_worker()
-            .expect("worker present until shutdown")
+    }
+
+    /// Whether the worker panicked or its channel died. Mirrors
+    /// [`DatagramLink::link_dead`] for callers holding the facade
+    /// directly.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::Acquire)
+    }
+
+    /// Test hook: make the worker panic at the top of its next loop,
+    /// exercising the supervision path (catch, mark dead, degrade to
+    /// `LinkDown`) on demand.
+    pub fn inject_worker_panic(&self) {
+        self.shared.poison.store(true, Ordering::Release);
+        self.kick_always();
     }
 
     fn shutdown_worker(&mut self) -> Option<UdpChannel> {
         let worker = self.worker.take()?;
         self.shared.shutdown.store(true, Ordering::Release);
         worker.thread().unpark();
-        worker.join().ok()
+        worker.join().ok().flatten()
     }
 
     /// Unpark the worker if it flagged itself idle.
@@ -358,6 +403,9 @@ impl Drop for ShardedUdpChannel {
 
 impl DatagramLink for ShardedUdpChannel {
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        if self.is_dead() {
+            return Err(TxError::LinkDown);
+        }
         if frame.len() > self.mtu {
             return Err(TxError::TooBig);
         }
@@ -387,6 +435,12 @@ impl DatagramLink for ShardedUdpChannel {
 
     fn send_run_owned(&mut self, frames: &mut [Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
         out.reserve(frames.len());
+        if self.is_dead() {
+            // Storage is left untouched: dead-channel rejects behave like
+            // any other per-frame failure.
+            out.extend(frames.iter().map(|_| Err(TxError::LinkDown)));
+            return;
+        }
         for frame in frames.iter_mut() {
             if frame.len() > self.mtu {
                 out.push(Err(TxError::TooBig));
@@ -448,6 +502,10 @@ impl DatagramLink for ShardedUdpChannel {
     fn backlog(&self) -> usize {
         self.tx.len()
     }
+
+    fn link_dead(&self) -> bool {
+        self.is_dead()
+    }
 }
 
 /// The worker loop: owns the channel, drains the tx ring into eager
@@ -479,6 +537,15 @@ fn worker_main(
         if shared.paused.load(Ordering::Acquire) {
             std::thread::sleep(Duration::from_micros(100));
             continue;
+        }
+        if shared.poison.swap(false, Ordering::AcqRel) {
+            panic!("shard worker poisoned by test hook");
+        }
+        if chan.link_dead() && !shared.dead.load(Ordering::Acquire) {
+            // Socket death is terminal: tell the facade, then keep
+            // looping so in-flight tx buffers drain back home (the dead
+            // channel fails each send fast and recycles its storage).
+            shared.dead.store(true, Ordering::Release);
         }
         let mut progress = false;
 
@@ -701,7 +768,56 @@ mod tests {
         a.send_frame(&[7; 8]).unwrap();
         let mut buf = [0u8; 64];
         recv_poll(&mut b, &mut buf).expect("frame");
-        let chan = a.into_channel();
+        let chan = a.into_channel().expect("healthy worker returns the socket");
         assert_eq!(chan.stats().sent_frames, 1);
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_reported_as_link_dead() {
+        let (mut a, _b) = pair(64);
+        a.inject_worker_panic();
+        // The panic lands on the worker thread; the facade sees only the
+        // dead flag. Poll for it rather than sleeping a fixed beat.
+        for _ in 0..100_000 {
+            if a.is_dead() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(a.link_dead(), "panic surfaces as link_dead, not an abort");
+        assert_eq!(a.send_frame(&[1]), Err(TxError::LinkDown));
+        let mut frames = vec![vec![2u8], vec![3u8]];
+        let mut out = Vec::new();
+        a.send_run_owned(&mut frames, &mut out);
+        assert_eq!(out, vec![Err(TxError::LinkDown); 2]);
+        assert_eq!(frames, vec![vec![2u8], vec![3u8]], "storage untouched");
+        assert!(
+            a.into_channel().is_none(),
+            "the socket died with the worker"
+        );
+    }
+
+    #[test]
+    fn poisoned_worker_with_loaded_tx_ring_tears_down_cleanly() {
+        let (a_chan, _b) = UdpChannel::pair(64, 1 << 10).unwrap();
+        let mut a = ShardConfig::new().ring_cap(8).spawn(a_chan).unwrap();
+        // Freeze the worker, load the tx ring, then poison it: the
+        // supervision path must not strand the in-flight frames' buffers.
+        a.set_paused(true);
+        std::thread::sleep(Duration::from_millis(5));
+        for i in 0..8u8 {
+            a.send_frame(&[i]).unwrap();
+        }
+        a.inject_worker_panic();
+        a.set_paused(false);
+        for _ in 0..100_000 {
+            if a.is_dead() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(a.link_dead());
+        // No abort, no deadlock: teardown joins the worker cleanly.
+        assert!(a.into_channel().is_none());
     }
 }

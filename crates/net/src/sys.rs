@@ -96,6 +96,11 @@ pub struct SendReport {
     pub syscalls: u64,
     /// The stop was a hard socket error, not backpressure.
     pub hard_error: bool,
+    /// Raw OS errno of the hard error, when the OS supplied one — the
+    /// channel's recovery logic tells `ECONNREFUSED` (transient ICMP
+    /// echo) from `ENOBUFS` (back off) from `EMSGSIZE` (clamp MTU) from
+    /// genuinely fatal failures by this value.
+    pub errno: Option<i32>,
 }
 
 /// Outcome of one batched receive: `received` frames landed in the
@@ -195,6 +200,13 @@ impl BatchIo {
     /// Whether equal-size runs currently go out as GSO super-datagrams.
     pub fn gso_active(&self) -> bool {
         self.batched && self.gso
+    }
+
+    /// Permanently stop offering GSO trains on this socket — the
+    /// `EMSGSIZE` recovery: once the path MTU shrinks below what probing
+    /// accepted, super-datagrams are the first thing to start bouncing.
+    pub fn demote_gso(&mut self) {
+        self.gso = false;
     }
 
     /// Mark the socket this instance reads as `UDP_GRO`-enabled (see
@@ -324,6 +336,9 @@ impl BatchIo {
                 Ok(_) => rep.sent += 1,
                 Err(e) => {
                     rep.hard_error = e.kind() != io::ErrorKind::WouldBlock;
+                    if rep.hard_error {
+                        rep.errno = e.raw_os_error();
+                    }
                     break;
                 }
             }
@@ -469,6 +484,7 @@ impl BatchIo {
                     continue;
                 }
                 rep.hard_error = true;
+                rep.errno = e.raw_os_error();
                 break;
             }
             let k = ret as usize;

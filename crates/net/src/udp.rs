@@ -40,6 +40,36 @@
 //! [`dropped_rcvbuf`](UdpChannelSnapshot::dropped_rcvbuf) estimate of
 //! kernel receive-buffer overflow — losses that were previously
 //! invisible and surfaced only as §5 marker recoveries.
+//!
+//! **Socket-error recovery.** Hard send errors no longer funnel
+//! straight into `TxError::LinkDown`; the channel runs a small
+//! recovery state machine keyed on the errno:
+//!
+//! - `ECONNREFUSED` — a connected UDP socket echoes the peer's ICMP
+//!   port-unreachable back on the *next* send. One echo is transient
+//!   (the peer may be restarting), so the frame re-queues and a score
+//!   (+2 per refusal) tracks persistence; past [`REFUSED_DEAD_SCORE`]
+//!   the channel declares itself dead. Only *inbound* traffic — proof
+//!   the peer is alive — decays the score (−1 per receive): a
+//!   kernel-accepted send proves nothing about the peer, and ICMP
+//!   echoes are rate-limited, so accepted sends interleaving with the
+//!   refusals they provoked must never outvote them.
+//! - `ENOBUFS` — kernel transmit memory, not our queue: the frame
+//!   stays parked and the next [`ENOBUFS_BACKOFF`] flushes are skipped
+//!   to let the NIC drain rather than hammering the syscall.
+//! - `EMSGSIZE` — the path MTU shrank under us: clamp the channel MTU
+//!   below the refused frame's length, demote GSO (super-datagrams are
+//!   the first casualties of a shrunken path), and report the frame
+//!   [`TxError::TooBig`].
+//! - anything else — counted; [`HARD_DEAD_STREAK`] *consecutive* fatal
+//!   errors declare the channel dead.
+//!
+//! A dead channel fails every send fast with `LinkDown`, drains its
+//! queue (frames counted `dropped_error`, buffers recycled), and
+//! reports [`DatagramLink::link_dead`] — which the sender reactor
+//! feeds to the failover driver, retiring the channel through the same
+//! §liveness path a silent channel takes. No `io::Error` ever bubbles
+//! out of the datapath.
 
 use std::collections::VecDeque;
 use std::io;
@@ -48,6 +78,58 @@ use std::net::{SocketAddr, UdpSocket};
 use stripe_link::{DatagramLink, TxError};
 
 use crate::sys::{self, BatchIo};
+
+/// Refusal score at which a channel stops believing `ECONNREFUSED` is
+/// transient. Refusals add 2; inbound frames (proof the peer lives)
+/// subtract 1; accepted sends subtract nothing — the kernel accepting
+/// a datagram says nothing about the peer, and ICMP echoes are
+/// rate-limited. A truly-gone peer crosses this within a handful of
+/// echoes; a restarting peer's blip decays as soon as its traffic
+/// resumes.
+pub const REFUSED_DEAD_SCORE: u32 = 16;
+
+/// Consecutive unclassified hard errors before the channel is dead.
+pub const HARD_DEAD_STREAK: u32 = 8;
+
+/// Flushes skipped after the kernel reports `ENOBUFS`.
+pub const ENOBUFS_BACKOFF: u32 = 4;
+
+const ECONNREFUSED: i32 = 111;
+const ENOBUFS: i32 = 105;
+const EMSGSIZE: i32 = 90;
+
+/// What a hard send error means for the recovery state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendFailure {
+    /// `ECONNREFUSED`: ICMP echo from the peer — transient until proven
+    /// persistent.
+    Refused,
+    /// `ENOBUFS`: kernel transmit buffers exhausted — back off.
+    NoBufs,
+    /// `EMSGSIZE`: the path MTU shrank — clamp and demote GSO.
+    MsgSize,
+    /// Anything else — fatal if it keeps happening.
+    Fatal,
+}
+
+fn classify_errno(errno: Option<i32>) -> SendFailure {
+    match errno {
+        Some(ECONNREFUSED) => SendFailure::Refused,
+        Some(ENOBUFS) => SendFailure::NoBufs,
+        Some(EMSGSIZE) => SendFailure::MsgSize,
+        _ => SendFailure::Fatal,
+    }
+}
+
+fn classify_error(e: &io::Error) -> SendFailure {
+    if e.raw_os_error().is_some() {
+        classify_errno(e.raw_os_error())
+    } else if e.kind() == io::ErrorKind::ConnectionRefused {
+        SendFailure::Refused
+    } else {
+        SendFailure::Fatal
+    }
+}
 
 /// Counters for one UDP channel, under the workspace snapshot convention
 /// (`dropped_<cause>`).
@@ -81,6 +163,12 @@ pub struct UdpChannelSnapshot {
     /// Kernel receive-buffer overflow estimate (`/proc/net/udp` drops),
     /// populated by [`UdpChannel::stats_sampled`] — 0 until sampled.
     pub dropped_rcvbuf: u64,
+    /// `ECONNREFUSED` echoes absorbed as transient (frame re-queued).
+    pub transient_refused: u64,
+    /// `ENOBUFS` episodes that triggered a flush backoff.
+    pub enobufs_backoffs: u64,
+    /// `EMSGSIZE` recoveries: MTU clamped, GSO demoted.
+    pub mtu_clamps: u64,
 }
 
 impl UdpChannelSnapshot {
@@ -212,6 +300,10 @@ impl UdpChannelBuilder {
             queue_cap: self.queue_cap,
             io,
             stats,
+            refused_score: 0,
+            hard_streak: 0,
+            backoff_flushes: 0,
+            dead: false,
         })
     }
 
@@ -238,6 +330,15 @@ pub struct UdpChannel {
     queue_cap: usize,
     io: BatchIo,
     stats: UdpChannelSnapshot,
+    /// Decaying `ECONNREFUSED` score (see [`REFUSED_DEAD_SCORE`]).
+    refused_score: u32,
+    /// Consecutive unclassified hard errors (see [`HARD_DEAD_STREAK`]).
+    hard_streak: u32,
+    /// Flushes left to skip after `ENOBUFS` (see [`ENOBUFS_BACKOFF`]).
+    backoff_flushes: u32,
+    /// Permanently failed: every send is `LinkDown`, the reactor
+    /// surfaces it to failover.
+    dead: bool,
 }
 
 impl UdpChannel {
@@ -358,6 +459,92 @@ impl UdpChannel {
         Ok(())
     }
 
+    /// Whether the channel has declared itself permanently failed.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// The kernel accepted a send: fatal streaks reset. The refusal
+    /// score is *not* forgiven here — acceptance proves the local
+    /// syscall path, not the peer (see [`note_alive`](Self::note_alive)).
+    fn note_success(&mut self) {
+        self.hard_streak = 0;
+    }
+
+    /// Inbound traffic arrived: the peer demonstrably lives, so refusal
+    /// evidence decays.
+    fn note_alive(&mut self) {
+        self.refused_score = self.refused_score.saturating_sub(1);
+    }
+
+    /// One `ECONNREFUSED` echo. Returns `true` while still transient.
+    fn note_refused(&mut self) -> bool {
+        self.stats.transient_refused += 1;
+        self.refused_score += 2;
+        if self.refused_score >= REFUSED_DEAD_SCORE {
+            self.declare_dead();
+        }
+        !self.dead
+    }
+
+    fn note_nobufs(&mut self) {
+        self.stats.enobufs_backoffs += 1;
+        self.backoff_flushes = ENOBUFS_BACKOFF;
+    }
+
+    /// `EMSGSIZE` for a frame of `frame_len` bytes: the path takes less
+    /// than we believed, so believe the evidence.
+    fn note_msgsize(&mut self, frame_len: usize) {
+        self.stats.mtu_clamps += 1;
+        let clamped = frame_len.saturating_sub(1).max(1);
+        if clamped < self.mtu {
+            self.mtu = clamped;
+        }
+        self.io.demote_gso();
+    }
+
+    /// One unclassified hard error; enough in a row kill the channel.
+    fn note_fatal(&mut self) {
+        self.stats.dropped_error += 1;
+        self.hard_streak += 1;
+        if self.hard_streak >= HARD_DEAD_STREAK {
+            self.declare_dead();
+        }
+    }
+
+    /// Point of no return: fail sends fast and hand the queued frames'
+    /// storage back to the recycle pool (counted, never silently).
+    fn declare_dead(&mut self) {
+        if self.dead {
+            return;
+        }
+        self.dead = true;
+        while let Some(buf) = self.queue.pop_front() {
+            self.stats.dropped_error += 1;
+            self.recycle.push(buf);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn force_dead(&mut self) {
+        self.declare_dead();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn force_backoff(&mut self) {
+        self.note_nobufs();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn force_refused(&mut self) {
+        self.note_refused();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn refused_score(&self) -> u32 {
+        self.refused_score
+    }
+
     /// Offer one frame to the kernel, assuming the local queue is empty
     /// (callers preserve FIFO by checking first).
     fn try_send(&mut self, frame: &[u8]) -> Result<(), TxError> {
@@ -366,23 +553,51 @@ impl UdpChannel {
             Ok(_) => {
                 self.stats.sent_frames += 1;
                 self.stats.sent_bytes += frame.len() as u64;
+                self.note_success();
                 Ok(())
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.enqueue(frame),
-            Err(_) => {
-                self.stats.dropped_error += 1;
-                Err(TxError::LinkDown)
-            }
+            Err(e) => match classify_error(&e) {
+                SendFailure::Refused => {
+                    if self.note_refused() {
+                        // Transient: this datagram didn't go out (the
+                        // send call was consumed reporting the echo) —
+                        // park it for the next flush.
+                        self.enqueue(frame)
+                    } else {
+                        Err(TxError::LinkDown)
+                    }
+                }
+                SendFailure::NoBufs => {
+                    self.note_nobufs();
+                    self.enqueue(frame)
+                }
+                SendFailure::MsgSize => {
+                    self.note_msgsize(frame.len());
+                    Err(TxError::TooBig)
+                }
+                SendFailure::Fatal => {
+                    self.note_fatal();
+                    Err(TxError::LinkDown)
+                }
+            },
         }
     }
 }
 
 impl DatagramLink for UdpChannel {
     fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError> {
+        if self.dead {
+            return Err(TxError::LinkDown);
+        }
         if frame.len() > self.mtu {
             return Err(TxError::TooBig);
         }
         self.flush();
+        if self.dead {
+            // The flush's own errors may have crossed the threshold.
+            return Err(TxError::LinkDown);
+        }
         if !self.queue.is_empty() {
             // Earlier frames are still parked: keep FIFO by joining them.
             return self.enqueue(frame);
@@ -395,6 +610,9 @@ impl DatagramLink for UdpChannel {
         // flush submits the whole accumulated burst as mmsg batches.
         // Copying here is fine: this path carries low-rate control
         // frames (markers), not the bulk data stream.
+        if self.dead {
+            return Err(TxError::LinkDown);
+        }
         if frame.len() > self.mtu {
             return Err(TxError::TooBig);
         }
@@ -409,6 +627,11 @@ impl DatagramLink for UdpChannel {
         let n = frames.len();
         let mut i = 0;
         while i < n {
+            if self.dead {
+                out.push(Err(TxError::LinkDown));
+                i += 1;
+                continue;
+            }
             if frames[i].len() > self.mtu {
                 out.push(Err(TxError::TooBig));
                 i += 1;
@@ -432,13 +655,39 @@ impl DatagramLink for UdpChannel {
                 self.stats.sent_bytes += f.len() as u64;
                 out.push(Ok(()));
             }
+            if rep.sent > 0 {
+                self.note_success();
+            }
             i += rep.sent;
             if i < j {
                 if rep.hard_error {
-                    // This frame will never leave; subsequent frames
-                    // retry the kernel, matching per-frame semantics.
-                    self.stats.dropped_error += 1;
-                    out.push(Err(TxError::LinkDown));
+                    match classify_errno(rep.errno) {
+                        SendFailure::Refused => {
+                            let r = if self.note_refused() {
+                                self.enqueue(&frames[i])
+                            } else {
+                                Err(TxError::LinkDown)
+                            };
+                            out.push(r);
+                        }
+                        SendFailure::NoBufs => {
+                            self.note_nobufs();
+                            // Park this frame; the loop's queue check
+                            // funnels the rest of the run behind it.
+                            out.push(self.enqueue(&frames[i]));
+                        }
+                        SendFailure::MsgSize => {
+                            self.note_msgsize(frames[i].len());
+                            out.push(Err(TxError::TooBig));
+                        }
+                        SendFailure::Fatal => {
+                            // This frame will never leave; subsequent
+                            // frames retry the kernel, matching
+                            // per-frame semantics.
+                            self.note_fatal();
+                            out.push(Err(TxError::LinkDown));
+                        }
+                    }
                     i += 1;
                 } else {
                     // WouldBlock: park this frame; the loop's queue check
@@ -457,7 +706,9 @@ impl DatagramLink for UdpChannel {
         // occupancy at burst size rather than SRR run length.
         out.reserve(frames.len());
         for frame in frames.iter_mut() {
-            let r = if frame.len() > self.mtu {
+            let r = if self.dead {
+                Err(TxError::LinkDown)
+            } else if frame.len() > self.mtu {
                 Err(TxError::TooBig)
             } else {
                 self.enqueue_owned(frame)
@@ -474,6 +725,7 @@ impl DatagramLink for UdpChannel {
         if let Some(n) = got {
             self.stats.recv_frames += 1;
             self.stats.recv_bytes += n as u64;
+            self.note_alive();
         }
         got
     }
@@ -484,6 +736,9 @@ impl DatagramLink for UdpChannel {
         self.stats.recv_frames += rep.received as u64;
         for &len in &lens[..rep.received] {
             self.stats.recv_bytes += len as u64;
+        }
+        if rep.received > 0 {
+            self.note_alive();
         }
         rep.received
     }
@@ -497,6 +752,15 @@ impl DatagramLink for UdpChannel {
     }
 
     fn flush(&mut self) -> usize {
+        if self.dead {
+            return 0;
+        }
+        if self.backoff_flushes > 0 {
+            // ENOBUFS grace: give the kernel a few caller cycles to
+            // drain transmit memory instead of re-hitting the syscall.
+            self.backoff_flushes -= 1;
+            return 0;
+        }
         let mut drained = 0;
         loop {
             let (a, b) = self.queue.as_slices();
@@ -514,13 +778,45 @@ impl DatagramLink for UdpChannel {
                 self.recycle.push(buf);
                 drained += 1;
             }
+            if rep.sent > 0 {
+                self.note_success();
+            }
             if rep.hard_error {
-                // Hard error: the head frame will never leave; drop it
-                // rather than wedge the queue, then keep draining.
-                self.stats.dropped_error += 1;
-                let buf = self.queue.pop_front().expect("head frame exists");
-                self.recycle.push(buf);
-                continue;
+                match classify_errno(rep.errno) {
+                    SendFailure::Refused => {
+                        // Transient: the head frame stays parked for the
+                        // next flush (persistent refusal kills the
+                        // channel and drains the queue via declare_dead).
+                        self.note_refused();
+                        break;
+                    }
+                    SendFailure::NoBufs => {
+                        self.note_nobufs();
+                        break;
+                    }
+                    SendFailure::MsgSize => {
+                        // The head frame outgrew the path: it will never
+                        // leave. Clamp, drop it, keep draining — the
+                        // frames behind it may well fit.
+                        let buf = self.queue.pop_front().expect("head frame exists");
+                        self.note_msgsize(buf.len());
+                        self.stats.dropped_error += 1;
+                        self.recycle.push(buf);
+                        continue;
+                    }
+                    SendFailure::Fatal => {
+                        // The head frame will never leave; drop it
+                        // rather than wedge the queue, then keep
+                        // draining (unless the streak killed us).
+                        let buf = self.queue.pop_front().expect("head frame exists");
+                        self.note_fatal();
+                        self.recycle.push(buf);
+                        if self.dead {
+                            break;
+                        }
+                        continue;
+                    }
+                }
             }
             if rep.sent < slice_len {
                 break; // kernel backpressure: retry on the next flush
@@ -531,6 +827,10 @@ impl DatagramLink for UdpChannel {
 
     fn backlog(&self) -> usize {
         self.queue.len()
+    }
+
+    fn link_dead(&self) -> bool {
+        self.dead
     }
 }
 
@@ -711,6 +1011,109 @@ mod tests {
             let n = recv_poll(&mut b, &mut buf).expect("frame");
             assert_eq!((n, buf[0]), (8, i));
         }
+    }
+
+    #[test]
+    fn refused_peer_ends_in_link_dead_never_a_panic() {
+        let (mut a, b) = UdpChannel::pair(256, 64).unwrap();
+        drop(b); // peer gone: sends start echoing ICMP port-unreachable
+        for i in 0..10_000u32 {
+            let _ = a.send_frame(&[i as u8; 32]);
+            let _ = a.flush();
+            if a.is_dead() {
+                break;
+            }
+        }
+        let s = a.stats();
+        if s.transient_refused > 0 {
+            // The ICMP echo reached us (Linux loopback): the decaying
+            // score must have crossed the line and retired the channel.
+            assert!(a.is_dead(), "persistent refusal must kill: {s:?}");
+            assert!(a.link_dead());
+            assert_eq!(a.send_frame(&[1, 2, 3]), Err(TxError::LinkDown));
+            assert_eq!(a.backlog(), 0, "death drains the queue");
+        }
+    }
+
+    #[test]
+    fn emsgsize_clamps_mtu_and_reports_too_big() {
+        // Claim an MTU beyond the 65,507-byte UDP maximum: the kernel
+        // answers EMSGSIZE and the channel must adapt, not die.
+        let (mut a, _b) = UdpChannel::builder(70_000).queue_cap(8).pair().unwrap();
+        let huge = vec![0u8; 66_000];
+        let r = a.send_frame(&huge);
+        let s = a.stats();
+        if s.mtu_clamps > 0 {
+            assert_eq!(r, Err(TxError::TooBig));
+            assert!(a.mtu() < 66_000, "mtu clamped under the refused frame");
+            assert!(!a.is_dead(), "EMSGSIZE is recoverable, not fatal");
+            assert!(!a.gso_offload(), "GSO demoted with the clamp");
+            // Frames within the clamped MTU still flow.
+            a.send_frame(&[7u8; 64]).unwrap();
+            assert_eq!(a.stats().sent_frames, 1);
+        }
+    }
+
+    #[test]
+    fn enobufs_backoff_skips_flushes_then_resumes() {
+        let (mut a, mut b) = UdpChannel::pair(256, 64).unwrap();
+        a.send_frame_deferred(&[9u8; 16]).unwrap();
+        a.force_backoff();
+        for _ in 0..ENOBUFS_BACKOFF {
+            assert_eq!(a.flush(), 0, "backoff must skip the syscall");
+            assert_eq!(a.backlog(), 1);
+        }
+        assert_eq!(a.flush(), 1, "backoff expired: the frame goes out");
+        let mut buf = [0u8; 256];
+        assert_eq!(recv_poll(&mut b, &mut buf), Some(16));
+        assert_eq!(a.stats().enobufs_backoffs, 1);
+    }
+
+    #[test]
+    fn dead_channel_fails_fast_and_drains_its_queue() {
+        let (mut a, _b) = UdpChannel::pair(256, 64).unwrap();
+        a.send_frame_deferred(&[1u8; 8]).unwrap();
+        a.send_frame_deferred(&[2u8; 8]).unwrap();
+        assert_eq!(a.backlog(), 2);
+        a.force_dead();
+        assert!(a.is_dead() && a.link_dead());
+        assert_eq!(a.backlog(), 0, "queued frames drained into recycle");
+        assert_eq!(a.send_frame(&[3u8; 8]), Err(TxError::LinkDown));
+        assert_eq!(a.send_frame_deferred(&[3u8; 8]), Err(TxError::LinkDown));
+        let mut frames = vec![vec![4u8; 8]];
+        let mut out = Vec::new();
+        a.send_run(&frames, &mut out);
+        assert_eq!(out, vec![Err(TxError::LinkDown)]);
+        out.clear();
+        a.send_run_owned(&mut frames, &mut out);
+        assert_eq!(out, vec![Err(TxError::LinkDown)]);
+        assert_eq!(frames[0], vec![4u8; 8], "storage left untouched");
+        assert_eq!(a.flush(), 0);
+        let s = a.stats();
+        assert_eq!(s.dropped_error, 2, "both drained frames counted");
+    }
+
+    #[test]
+    fn refusal_score_decays_on_inbound_not_on_sends() {
+        let (mut a, mut b) = UdpChannel::pair(256, 64).unwrap();
+        a.force_refused();
+        a.force_refused();
+        assert_eq!(a.refused_score(), 4);
+        // Kernel-accepted sends prove nothing about the peer: no decay.
+        // (ICMP refusal echoes are rate-limited, so under sustained
+        // refusal accepted sends vastly outnumber observed errors —
+        // letting them forgive the score would keep a dead channel
+        // alive forever.)
+        for i in 0..8u8 {
+            a.send_frame(&[i; 16]).unwrap();
+        }
+        assert_eq!(a.refused_score(), 4);
+        assert!(!a.is_dead());
+        // Inbound traffic is proof of life: the score decays.
+        b.send_frame(&[9u8; 16]).unwrap();
+        let mut buf = [0u8; 256];
+        assert!(recv_poll(&mut a, &mut buf).is_some());
+        assert_eq!(a.refused_score(), 3);
     }
 
     /// Loopback UDP can reorder across *sockets* but a single connected

@@ -148,6 +148,26 @@ impl FailoverDriver {
         out
     }
 
+    /// Out-of-band death evidence for `channel` — the link layer itself
+    /// reported the channel dead (a connected-UDP socket hard error, a
+    /// panicked I/O worker). Declares it dead immediately and announces
+    /// the shrunken mask, instead of waiting out the keepalive deadline
+    /// the evidence has already made moot. Idempotent: repeated reports
+    /// for an already-dead channel return no transmissions. Recovery is
+    /// unchanged — probes keep flowing and the first ack regrows the set.
+    pub fn on_link_dead<P: ControlPath>(
+        &mut self,
+        path: &mut P,
+        channel: ChannelId,
+        now: SimTime,
+    ) -> Vec<ControlTransmission> {
+        if self.live.force_dead(channel) {
+            self.announce_current_mask(path, now)
+        } else {
+            Vec::new()
+        }
+    }
+
     /// A control message arrived on the reverse path of `channel`.
     pub fn on_control<P: ControlPath>(
         &mut self,

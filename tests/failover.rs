@@ -273,6 +273,43 @@ fn link_death_degrades_and_recovery_reintegrates() {
     }
 }
 
+/// Out-of-band death evidence (a socket hard error, a panicked I/O
+/// worker) short-circuits the keepalive deadline: `on_link_dead`
+/// announces the shrunken mask immediately, idempotently, and leaves the
+/// recovery path intact.
+#[test]
+fn link_dead_report_shrinks_the_mask_without_waiting_for_silence() {
+    let sched = Srr::equal(3, 1500);
+    let links: Vec<_> = (0..3).map(|i| faulty(i + 1, FaultPlan::none())).collect();
+    let mut path = StripedPath::builder()
+        .scheduler(sched)
+        .markers(MarkerConfig::every_rounds(4))
+        .links(links)
+        .build();
+    let mut driver = FailoverDriver::new(
+        3,
+        FailoverConfig::with_probe_interval(5 * MS),
+        SimTime::ZERO,
+    );
+
+    // Well before any probe could even go out, the link layer reports
+    // channel 1 dead.
+    let now = SimTime::from_millis(1);
+    let txs = driver.on_link_dead(&mut path, 1, now);
+    assert!(
+        !txs.is_empty(),
+        "death evidence must trigger an immediate announcement"
+    );
+    assert_eq!(driver.liveness().deaths(), 1);
+    assert_eq!(driver.liveness().live_mask(), vec![true, false, true]);
+    assert_eq!(driver.membership().epoch(), 1, "mask announced");
+
+    // Idempotent: re-reporting the same dead channel is free.
+    let again = driver.on_link_dead(&mut path, 1, SimTime::from_millis(2));
+    assert!(again.is_empty(), "duplicate evidence must not re-announce");
+    assert_eq!(driver.liveness().deaths(), 1);
+}
+
 /// Corruption behaves like loss end-to-end: the far end's checksum
 /// discards damaged packets, markers resynchronize, quasi-FIFO holds.
 #[test]
