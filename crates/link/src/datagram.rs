@@ -132,6 +132,20 @@ pub trait DatagramLink {
     fn link_dead(&self) -> bool {
         false
     }
+
+    /// Attempt to restore a dead link with a fresh transport: a new
+    /// connected socket on the same local endpoint, a respawned I/O
+    /// worker — whatever the implementation's failure mode was. Returns
+    /// `true` when the link came back ready to be *re-probed* (the
+    /// lifecycle treats success as "worth probing", never "healthy");
+    /// `false` when the rebuild failed and the caller should back off
+    /// and retry later. Implementations should treat reviving a link
+    /// that never died as a cheap success. Default: links without a
+    /// failure mode have nothing to rebuild — `false`, so the
+    /// lifecycle keeps them parked in cooldown rather than spinning.
+    fn revive(&mut self) -> bool {
+        false
+    }
 }
 
 /// One direction of an in-memory datagram pipe (see [`datagram_pair`]):

@@ -359,6 +359,16 @@ impl<L: DatagramLink> ImpairedLink<L> {
         &self.plan
     }
 
+    /// Swap the plan in force, keeping counters, RNG state, and the
+    /// hold queue. This is how a harness scripts *timed* impairments
+    /// the frame-indexed windows can't express — e.g. a flap soak
+    /// partitioning a channel whose data-frame index froze when the
+    /// membership mask dropped it, then lifting the partition to let
+    /// the lifecycle machine probe its way back.
+    pub fn set_plan(&mut self, plan: ChaosPlan) {
+        self.plan = plan;
+    }
+
     /// The wrapped link.
     pub fn inner(&self) -> &L {
         &self.inner
@@ -654,6 +664,14 @@ impl<L: DatagramLink> DatagramLink for ImpairedLink<L> {
 
     fn link_dead(&self) -> bool {
         self.inner.link_dead()
+    }
+
+    fn revive(&mut self) -> bool {
+        // Revival is the inner link's problem — the impairment plan
+        // (and its deterministic RNG state) survives the socket swap,
+        // so a rejoined channel flows straight back into the same
+        // chaos schedule.
+        self.inner.revive()
     }
 }
 

@@ -34,6 +34,11 @@
 //!   impairment suite (loss, reorder, duplication, corruption, jitter,
 //!   partitions) with a [`ChaosSnapshot`] counting every injected
 //!   event; `DropLink` is now a thin shim over it.
+//! - [`lifecycle`] — [`ChannelLifecycle`], the per-channel recovery
+//!   state machine (`live → dead → cooldown → probing → rejoining →
+//!   live`) with exponential cooldown, bounded retries, and per-step
+//!   timeouts; driven by the reactor, executed through
+//!   [`DatagramLink::revive`](stripe_link::DatagramLink::revive).
 //! - [`pool`] — [`BufPool`]/[`PooledBuf`], the zero-allocation receive
 //!   story.
 //! - [`sys`] — the linux-gated `sendmmsg`/`recvmmsg` FFI shim (std-only,
@@ -60,6 +65,7 @@ pub mod chaos;
 pub mod clock;
 pub mod fault;
 pub mod frame;
+pub mod lifecycle;
 pub mod path;
 pub mod pool;
 pub mod reactor;
@@ -73,9 +79,12 @@ pub use chaos::{ChaosPlan, ChaosSnapshot, ImpairedLink};
 pub use clock::WallClock;
 pub use fault::{DropLink, DropPolicy};
 pub use frame::{Frame, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
+pub use lifecycle::{
+    ChannelLifecycle, LifecycleAction, LifecycleConfig, LifecycleSnapshot, LifecycleState,
+};
 pub use path::{NetStripedPath, NetStripedPathBuilder};
 pub use pool::{BufPool, PooledBuf};
-pub use reactor::{Periodic, ReactorSnapshot, SenderReactor};
+pub use reactor::{membership_announced, Periodic, ReactorSnapshot, SenderReactor};
 pub use recv::{NetLogicalReceiver, NetLogicalReceiverBuilder, NetRxSnapshot};
 pub use ring::{spsc, Consumer, Producer};
 pub use shard::{ShardConfig, ShardedUdpChannel};

@@ -12,14 +12,27 @@
 //! under [`WallClock`](crate::clock::WallClock) time in production and
 //! under scripted [`SimTime`]s in tests.
 //!
+//! Since the lifecycle work the reactor is also the recovery
+//! *orchestrator*: each channel carries a
+//! [`ChannelLifecycle`](crate::lifecycle::ChannelLifecycle) machine, and
+//! every poll feeds it death evidence (link flags, liveness verdicts),
+//! executes its one side effect (cooldown elapsed →
+//! [`DatagramLink::revive`]), and watches the failover driver for the
+//! probe ack and membership-grow completion that walk the channel back
+//! to live. The driver still owns *what* to announce; the lifecycle
+//! owns *when to rebuild sockets* and how hard to back off.
+//!
 //! [`FailoverDriver`]: stripe_transport::FailoverDriver
 
+use stripe_core::control::Control;
+use stripe_core::liveness::ChannelHealth;
 use stripe_core::sched::CausalScheduler;
 use stripe_link::DatagramLink;
 use stripe_netsim::{SimDuration, SimTime};
 use stripe_transport::{ControlTransmission, FailoverDriver};
 
 use crate::frame::{self, Frame};
+use crate::lifecycle::{ChannelLifecycle, LifecycleAction, LifecycleConfig, LifecycleState};
 use crate::path::NetStripedPath;
 
 /// A fixed-interval timer in simulation/wall time.
@@ -80,6 +93,23 @@ pub struct ReactorSnapshot {
     /// Channels the link layer reported dead (socket hard errors, worker
     /// panics) that the failover driver newly declared dead.
     pub link_dead_reports: u64,
+    /// Channels observed recovering (first probe ack on a dead channel),
+    /// i.e. membership *grow* announcements begun by the driver.
+    pub grow_announcements: u64,
+    /// Completed die→rejoin cycles: channels walked all the way back to
+    /// live through the grow handshake.
+    pub rejoins: u64,
+}
+
+/// Whether any control transmission in a poll's report carries a
+/// membership announcement — the signal the integration suites (and the
+/// reactor's own tests) watch for a shrink or grow hitting the wire.
+/// One shared definition so "did failover announce?" means the same
+/// thing everywhere.
+pub fn membership_announced(reports: &[ControlTransmission]) -> bool {
+    reports
+        .iter()
+        .any(|r| matches!(r.ctl, Control::Membership { .. }))
 }
 
 /// Poll-driven harness around a [`NetStripedPath`] and its failover
@@ -94,6 +124,8 @@ pub struct SenderReactor<S: CausalScheduler, L: DatagramLink> {
     /// plenty.
     recv_bufs: Vec<Vec<u8>>,
     recv_lens: Vec<usize>,
+    /// One recovery state machine per channel (see [`crate::lifecycle`]).
+    lifecycle: Vec<ChannelLifecycle>,
     stats: ReactorSnapshot,
 }
 
@@ -115,14 +147,38 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
             .map(|l| l.mtu())
             .max()
             .expect("path has at least one link");
+        // The recovery rhythm follows the probe rhythm: cooldowns and
+        // probe patience are multiples of the driver's probe interval
+        // (see [`LifecycleConfig::with_probe_interval`]).
+        let lifecycle_cfg = driver
+            .as_ref()
+            .map(|d| LifecycleConfig::with_probe_interval(d.liveness().config().probe_interval_ns))
+            .unwrap_or_default();
+        let channels = path.links().len();
         Self {
             path,
             driver,
             tick: Periodic::new(now, tick_interval),
             recv_bufs: (0..REVERSE_RUN).map(|_| vec![0u8; buf_len]).collect(),
             recv_lens: vec![0; REVERSE_RUN],
+            lifecycle: (0..channels)
+                .map(|_| ChannelLifecycle::new(lifecycle_cfg))
+                .collect(),
             stats: ReactorSnapshot::default(),
         }
+    }
+
+    /// Replace the recovery timing policy (resets every channel's
+    /// machine to live — call before inducing chaos, not during).
+    pub fn set_lifecycle_config(&mut self, cfg: LifecycleConfig) {
+        for lc in &mut self.lifecycle {
+            *lc = ChannelLifecycle::new(cfg);
+        }
+    }
+
+    /// Per-channel recovery machines (state + counters).
+    pub fn lifecycle(&self) -> &[ChannelLifecycle] {
+        &self.lifecycle
     }
 
     /// One readiness sweep at `now`:
@@ -132,7 +188,10 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
     ///    panics) to the failover driver, short-circuiting the keepalive
     ///    deadline;
     /// 3. drain the reverse path, feeding control to the failover driver;
-    /// 4. deliver the periodic failover tick when due.
+    /// 4. step each channel's recovery lifecycle — cooldowns, socket
+    ///    rebuilds ([`DatagramLink::revive`]), and the probe/rejoin
+    ///    watches;
+    /// 5. deliver the periodic failover tick when due.
     ///
     /// Returns the control transmissions the driver reported (probes
     /// sent, announcements, retransmissions) — empty in the steady state,
@@ -142,15 +201,7 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
         self.stats.flushed += self.path.flush() as u64;
         let mut reports = Vec::new();
         for c in 0..self.path.links().len() {
-            if self.path.links()[c].link_dead() {
-                if let Some(driver) = self.driver.as_mut() {
-                    let before = driver.liveness().deaths();
-                    reports.extend(driver.on_link_dead(&mut self.path, c, now));
-                    if driver.liveness().deaths() > before {
-                        self.stats.link_dead_reports += 1;
-                    }
-                }
-            }
+            self.report_link_death(c, now, &mut reports);
             loop {
                 let got =
                     self.path.links_mut()[c].recv_run(&mut self.recv_bufs, &mut self.recv_lens);
@@ -178,6 +229,9 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
                     break;
                 }
             }
+            // After the reverse sweep, so a probe ack read this very
+            // poll advances the machine this very poll.
+            self.step_lifecycle(c, now);
         }
         if self.tick.fire(now) {
             if let Some(driver) = self.driver.as_mut() {
@@ -186,6 +240,77 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
             }
         }
         reports
+    }
+
+    /// The one dead-channel handling path: surface a link-layer death
+    /// flag to the failover driver (a *newly* declared death announces
+    /// the shrunken mask immediately, counted in `link_dead_reports`;
+    /// repeats are idempotent) and feed the evidence to the channel's
+    /// lifecycle machine.
+    fn report_link_death(
+        &mut self,
+        c: usize,
+        now: SimTime,
+        reports: &mut Vec<ControlTransmission>,
+    ) {
+        if !self.path.links()[c].link_dead() {
+            return;
+        }
+        if let Some(driver) = self.driver.as_mut() {
+            let before = driver.liveness().deaths();
+            reports.extend(driver.on_link_dead(&mut self.path, c, now));
+            if driver.liveness().deaths() > before {
+                self.stats.link_dead_reports += 1;
+            }
+        }
+        self.lifecycle[c].on_dead(now.as_nanos());
+    }
+
+    /// Walk channel `c`'s recovery machine one step: pick up
+    /// silence-deaths the liveness tracker declared, execute a due
+    /// rebind through [`DatagramLink::revive`], and translate the
+    /// driver's observations (probe ack → recovery → grow announced;
+    /// grow fully acked → rejoin complete) into lifecycle transitions.
+    fn step_lifecycle(&mut self, c: usize, now: SimTime) {
+        let now_ns = now.as_nanos();
+        // Silence-death: the socket is fine but the liveness deadline
+        // passed (e.g. a partition). The link-flag path already fed
+        // `on_dead` in `report_link_death`.
+        if let Some(driver) = self.driver.as_ref() {
+            if driver.liveness().health(c) == ChannelHealth::Dead {
+                self.lifecycle[c].on_dead(now_ns);
+            }
+        }
+        if self.lifecycle[c].advance(now_ns) == LifecycleAction::Rebind {
+            if self.path.links_mut()[c].revive() {
+                self.lifecycle[c].rebind_ok(now_ns);
+            } else {
+                self.lifecycle[c].rebind_failed(now_ns);
+            }
+        }
+        let Some(driver) = self.driver.as_ref() else {
+            return;
+        };
+        let lc = &mut self.lifecycle[c];
+        // Recovery: the driver heard the first probe ack (liveness back
+        // to Live) and has begun the epoch'd membership grow.
+        let dead_side = matches!(
+            lc.state(),
+            LifecycleState::Dead | LifecycleState::Cooldown | LifecycleState::Probing
+        );
+        if dead_side
+            && driver.liveness().health(c) == ChannelHealth::Live
+            && !self.path.links()[c].link_dead()
+        {
+            lc.on_recovered(now_ns);
+            self.stats.grow_announcements += 1;
+        }
+        // Rejoin completion: the grow announcement is fully acked (or
+        // was superseded) — nothing is awaiting, the cycle closes.
+        if lc.state() == LifecycleState::Rejoining && !driver.membership().in_progress() {
+            lc.on_rejoin_complete(now_ns);
+            self.stats.rejoins += 1;
+        }
     }
 
     /// The wrapped path.
@@ -276,9 +401,7 @@ mod tests {
         for ms in 1..20u64 {
             let now = SimTime::from_millis(ms);
             let reports = reactor.poll(now);
-            announced_death |= reports
-                .iter()
-                .any(|r| matches!(r.ctl, Control::Membership { .. }));
+            announced_death |= membership_announced(&reports);
             rx.sweep(now);
             reactor.poll(now); // read back this interval's acks
         }
@@ -314,9 +437,7 @@ mod tests {
         let mut announced_death = false;
         for ms in 1..10u64 {
             let reports = reactor.poll(SimTime::from_millis(ms));
-            announced_death |= reports
-                .iter()
-                .any(|r| matches!(r.ctl, Control::Membership { .. }));
+            announced_death |= membership_announced(&reports);
             // Ack channel 0's probes by hand; channel 1 stays silent.
             while let Some(n) = b0.recv_frame(&mut buf) {
                 if let Some(Frame::Control(Control::Probe { nonce })) = frame::decode(&buf[..n]) {
@@ -397,25 +518,153 @@ mod tests {
         reactor.path_mut().links_mut()[1].dead = true;
         let reports = reactor.poll(SimTime::from_micros(200));
         assert!(
-            reports
-                .iter()
-                .any(|r| matches!(r.ctl, Control::Membership { .. })),
+            membership_announced(&reports),
             "death evidence must announce a shrunken mask immediately"
         );
         let driver = reactor.driver().expect("driver attached");
         assert_eq!(driver.liveness().deaths(), 1);
         assert_eq!(driver.liveness().live_mask(), vec![true, false]);
         assert_eq!(reactor.stats().link_dead_reports, 1);
+        assert_eq!(
+            reactor.lifecycle()[1].state(),
+            LifecycleState::Cooldown,
+            "death is a lifecycle transition now, not a terminal state"
+        );
 
         // Still-dead link on later polls: idempotent, no re-announce spam.
         let again = reactor.poll(SimTime::from_micros(300));
         assert!(
-            !again
-                .iter()
-                .any(|r| matches!(r.ctl, Control::Membership { .. })),
+            !membership_announced(&again),
             "no duplicate announcements while the link stays dead"
         );
         assert_eq!(reactor.stats().link_dead_reports, 1);
+    }
+
+    /// The full recovery arc over in-memory links: a link dies, the
+    /// lifecycle waits out the cooldown, revives it, the probe ack
+    /// triggers the epoch'd grow, the grow acks complete the rejoin —
+    /// and the reactor's counters narrate every step.
+    #[test]
+    fn revived_link_walks_back_to_live() {
+        use stripe_link::TxError;
+
+        /// Link that can die and be revived from outside.
+        #[derive(Debug)]
+        struct PhoenixLink {
+            inner: TestDatagramLink,
+            dead: bool,
+        }
+        impl DatagramLink for PhoenixLink {
+            fn send_frame(&mut self, frame: &[u8]) -> Result<(), TxError> {
+                if self.dead {
+                    return Err(TxError::LinkDown);
+                }
+                self.inner.send_frame(frame)
+            }
+            fn recv_frame(&mut self, buf: &mut [u8]) -> Option<usize> {
+                if self.dead {
+                    return None;
+                }
+                self.inner.recv_frame(buf)
+            }
+            fn mtu(&self) -> usize {
+                self.inner.mtu()
+            }
+            fn link_dead(&self) -> bool {
+                self.dead
+            }
+            fn revive(&mut self) -> bool {
+                self.dead = false;
+                true
+            }
+        }
+
+        let (a0, mut b0) = datagram_pair(2048, 4096);
+        let (a1, mut b1) = datagram_pair(2048, 4096);
+        let links = vec![
+            PhoenixLink {
+                inner: a0,
+                dead: false,
+            },
+            PhoenixLink {
+                inner: a1,
+                dead: false,
+            },
+        ];
+        let path = NetStripedPath::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(links)
+            .build();
+        let driver = FailoverDriver::new(
+            2,
+            FailoverConfig::with_probe_interval(1_000_000),
+            SimTime::ZERO,
+        );
+        let mut reactor = SenderReactor::new(
+            path,
+            Some(driver),
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+        );
+
+        // Kill channel 1 at the link layer; the shrink announces.
+        reactor.path_mut().links_mut()[1].dead = true;
+        assert!(membership_announced(
+            &reactor.poll(SimTime::from_micros(100))
+        ));
+        assert_eq!(reactor.lifecycle()[1].state(), LifecycleState::Cooldown);
+
+        // Drive time forward, answering every probe and acking every
+        // membership announcement on both peers by hand.
+        let mut buf = [0u8; 2048];
+        let mut ctl_buf = Vec::new();
+        let mut grow_announced = false;
+        for step in 2..120u64 {
+            let now = SimTime::from_micros(step * 500);
+            let reports = reactor.poll(now);
+            if reactor.stats().grow_announcements > 0 {
+                grow_announced |= membership_announced(&reports);
+            }
+            for b in [&mut b0, &mut b1] {
+                while let Some(n) = b.recv_frame(&mut buf) {
+                    let reply = match frame::decode(&buf[..n]) {
+                        Some(Frame::Control(Control::Probe { nonce })) => {
+                            Some(Control::ProbeAck { nonce })
+                        }
+                        Some(Frame::Control(Control::Membership { epoch, .. })) => {
+                            Some(Control::MembershipAck { epoch })
+                        }
+                        _ => None,
+                    };
+                    if let Some(ctl) = reply {
+                        crate::frame::encode_control_into(&ctl, &mut ctl_buf);
+                        let _ = b.send_frame(&ctl_buf);
+                    }
+                }
+            }
+            if reactor.lifecycle()[1].state() == LifecycleState::Live && reactor.stats().rejoins > 0
+            {
+                break;
+            }
+        }
+
+        let stats = reactor.stats();
+        assert_eq!(stats.link_dead_reports, 1);
+        assert_eq!(stats.grow_announcements, 1, "one recovery, one grow");
+        assert_eq!(stats.rejoins, 1, "the cycle closed");
+        let driver = reactor.driver().expect("driver attached");
+        assert_eq!(
+            driver.liveness().live_mask(),
+            vec![true, true],
+            "full capacity restored"
+        );
+        assert!(!driver.membership().in_progress(), "grow fully acked");
+        assert!(!reactor.path().links()[1].link_dead(), "link was revived");
+        let snap = reactor.lifecycle()[1].snapshot();
+        assert_eq!(snap.state, LifecycleState::Live);
+        assert_eq!(snap.rejoins, 1);
+        assert!(snap.rebind_attempts >= 1, "revive went through the link");
+        assert!(grow_announced, "the grow rode the wire as a Membership");
     }
 
     /// Flush drains frames parked behind kernel/queue backpressure.

@@ -35,6 +35,15 @@
 //! idle channel costs ~1k wakeups/s and a dead-idle one nearly nothing.
 //! The facade unparks the worker whenever it pushes work while the idle
 //! flag is up.
+//!
+//! A dead worker — panicked, or looping over a socket that died — is no
+//! longer the end of the channel: [`ShardedUdpChannel::respawn`] joins
+//! the old thread, banks its counters, rebuilds the channel from its
+//! captured [`ChannelSpec`] on the same local port, and launches a
+//! fresh supervised worker over fresh rings. The reactor drives this
+//! through [`DatagramLink::revive`] under the [`crate::lifecycle`]
+//! cooldown policy, so a flapping channel probes its way back instead
+//! of being tombstoned.
 
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -44,9 +53,10 @@ use std::time::Duration;
 
 use stripe_link::{DatagramLink, TxError};
 
+use crate::lifecycle::LifecycleState;
 use crate::ring::{spsc, Consumer, Producer};
 use crate::sys;
-use crate::udp::{UdpChannel, UdpChannelSnapshot};
+use crate::udp::{ChannelSpec, UdpChannel, UdpChannelSnapshot};
 
 /// One received datagram crossing the rx ring: the buffer and how many
 /// of its bytes are frame.
@@ -93,6 +103,10 @@ struct WorkerShared {
     transient_refused: AtomicU64,
     enobufs_backoffs: AtomicU64,
     mtu_clamps: AtomicU64,
+    lifecycle: AtomicU64,
+    generation: AtomicU64,
+    rejoins: AtomicU64,
+    revive_attempts: AtomicU64,
 }
 
 impl WorkerShared {
@@ -113,6 +127,12 @@ impl WorkerShared {
         self.enobufs_backoffs
             .store(s.enobufs_backoffs, Ordering::Relaxed);
         self.mtu_clamps.store(s.mtu_clamps, Ordering::Relaxed);
+        self.lifecycle
+            .store(s.lifecycle.as_u8() as u64, Ordering::Relaxed);
+        self.generation.store(s.generation, Ordering::Relaxed);
+        self.rejoins.store(s.rejoins, Ordering::Relaxed);
+        self.revive_attempts
+            .store(s.revive_attempts, Ordering::Relaxed);
     }
 
     fn load(&self) -> UdpChannelSnapshot {
@@ -132,6 +152,10 @@ impl WorkerShared {
             transient_refused: self.transient_refused.load(Ordering::Relaxed),
             enobufs_backoffs: self.enobufs_backoffs.load(Ordering::Relaxed),
             mtu_clamps: self.mtu_clamps.load(Ordering::Relaxed),
+            lifecycle: LifecycleState::from_u8(self.lifecycle.load(Ordering::Relaxed) as u8),
+            generation: self.generation.load(Ordering::Relaxed),
+            rejoins: self.rejoins.load(Ordering::Relaxed),
+            revive_attempts: self.revive_attempts.load(Ordering::Relaxed),
         }
     }
 }
@@ -189,6 +213,37 @@ impl ShardConfig {
         // only ever demotes, and a stale `true` merely pads a few markers
         // the kernel then sends per-frame — harmless.
         let coalesce = chan.gso_offload();
+        let spec = chan.spec().clone();
+        let shared = Arc::new(WorkerShared::default());
+        let parts = self.launch(chan, &shared)?;
+
+        Ok(ShardedUdpChannel {
+            tx: parts.tx,
+            tx_free: parts.tx_free,
+            rx: parts.rx,
+            rx_free: parts.rx_free,
+            tx_spare: Vec::with_capacity(self.ring_cap * 2),
+            rx_spare: Vec::with_capacity(self.ring_cap * 2),
+            shared,
+            worker: Some(parts.worker),
+            mtu,
+            port,
+            coalesce,
+            dropped_ring: 0,
+            cfg: self.clone(),
+            spec,
+            respawns: 0,
+            carried: UdpChannelSnapshot::default(),
+        })
+    }
+
+    /// Build the rings, pre-charge the free sides, publish the channel's
+    /// starting counters into `shared`, and start the worker thread.
+    /// Shared by [`spawn`](Self::spawn) and
+    /// [`ShardedUdpChannel::respawn`].
+    fn launch(&self, chan: UdpChannel, shared: &Arc<WorkerShared>) -> io::Result<WorkerParts> {
+        let mtu = chan.mtu();
+        let port = chan.local_addr()?.port();
         let spin_budget = self.spin.unwrap_or_else(|| {
             let cpus = std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -215,9 +270,8 @@ impl ShardConfig {
             rx_free_p.push(vec![0u8; mtu]).expect("fresh ring has room");
         }
 
-        let shared = Arc::new(WorkerShared::default());
         shared.publish(&chan.stats()); // sndbuf/rcvbuf visible immediately
-        let worker_shared = Arc::clone(&shared);
+        let worker_shared = Arc::clone(shared);
         let batch = self.batch;
         let worker = std::thread::Builder::new()
             .name(format!("stripe-io-{port}"))
@@ -248,21 +302,24 @@ impl ShardConfig {
                 }
             })?;
 
-        Ok(ShardedUdpChannel {
+        Ok(WorkerParts {
             tx: tx_p,
             tx_free: tx_free_c,
             rx: rx_c,
             rx_free: rx_free_p,
-            tx_spare: Vec::with_capacity(self.ring_cap * 2),
-            rx_spare: Vec::with_capacity(self.ring_cap * 2),
-            shared,
-            worker: Some(worker),
-            mtu,
-            port,
-            coalesce,
-            dropped_ring: 0,
+            worker,
         })
     }
+}
+
+/// Everything one worker launch produces: the facade's ring halves and
+/// the supervised thread handle.
+struct WorkerParts {
+    tx: Producer<Vec<u8>>,
+    tx_free: Consumer<Vec<u8>>,
+    rx: Consumer<RecvSlot>,
+    rx_free: Producer<Vec<u8>>,
+    worker: JoinHandle<Option<UdpChannel>>,
 }
 
 /// The reactor-side facade of a sharded channel: a [`DatagramLink`]
@@ -287,6 +344,18 @@ pub struct ShardedUdpChannel {
     /// Frames refused because the tx ring was full (reported as
     /// `dropped_queue` — same backpressure signal, different queue).
     dropped_ring: u64,
+    /// The config that spawned us, kept for respawns.
+    cfg: ShardConfig,
+    /// Recipe for rebuilding the channel after the worker (and its
+    /// socket) died.
+    spec: ChannelSpec,
+    /// Workers launched beyond the first — doubles as the socket
+    /// generation handed to [`UdpChannel::from_spec`].
+    respawns: u64,
+    /// Counters banked from dead incarnations, folded into
+    /// [`stats`](Self::stats) so telemetry stays cumulative across
+    /// respawns.
+    carried: UdpChannelSnapshot,
 }
 
 impl ShardedUdpChannel {
@@ -296,10 +365,11 @@ impl ShardedUdpChannel {
     }
 
     /// Counters, mirrored from the worker (refreshed once per worker
-    /// loop) plus facade-side ring backpressure. `dropped_rcvbuf` holds 0
-    /// until [`stats_sampled`](Self::stats_sampled).
+    /// loop) plus facade-side ring backpressure, cumulative across
+    /// worker respawns. `dropped_rcvbuf` holds 0 until
+    /// [`stats_sampled`](Self::stats_sampled).
     pub fn stats(&self) -> UdpChannelSnapshot {
-        let mut s = self.shared.load();
+        let mut s = self.shared.load().accumulated(&self.carried);
         s.dropped_queue += self.dropped_ring;
         s
     }
@@ -351,6 +421,78 @@ impl ShardedUdpChannel {
     pub fn inject_worker_panic(&self) {
         self.shared.poison.store(true, Ordering::Release);
         self.kick_always();
+    }
+
+    /// Workers launched beyond the first.
+    pub fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    /// Replace a dead worker — panicked, or looping over a dead socket —
+    /// with a fresh incarnation: join the old thread, bank its counters,
+    /// rebuild the channel from the captured [`ChannelSpec`] on the same
+    /// local port, and launch a new supervised worker over fresh rings.
+    ///
+    /// Returns `true` when the new worker is running (the rebuilt socket
+    /// starts in `Probing` — the reactor's lifecycle machine takes it
+    /// from there) and on the healthy no-op path. Returns `false` when
+    /// the rebuild failed; the facade stays dead and the lifecycle
+    /// machine retries after its cooldown.
+    pub fn respawn(&mut self) -> bool {
+        if self.worker.is_some() && !self.is_dead() {
+            return true;
+        }
+        // Tear down the dead incarnation and bank what it counted. The
+        // join means nobody else holds ring halves or the shared Arc's
+        // writer side after this point.
+        let old = self.shutdown_worker();
+        self.carried = self.shared.load().accumulated(&self.carried);
+        self.carried.revive_attempts += 1;
+        // Zero the mirror (its counts just moved to `carried`) but keep
+        // it honest about the state until a new worker takes over.
+        self.shared.publish(&UdpChannelSnapshot {
+            lifecycle: LifecycleState::Dead,
+            ..UdpChannelSnapshot::default()
+        });
+        // Drop the old channel (if the worker returned it) before
+        // rebinding: `from_spec` needs the local port back.
+        drop(old);
+        // Stale ring halves die with the old worker; so do their stashes.
+        self.tx_spare.clear();
+        self.rx_spare.clear();
+        self.carried.dropped_queue += std::mem::take(&mut self.dropped_ring);
+
+        self.respawns += 1;
+        let chan = match UdpChannel::from_spec(&self.spec, self.respawns) {
+            Ok(c) => c,
+            // Port still held, ENOMEM, ...: stay dead, retry later.
+            Err(_) => return false,
+        };
+        self.mtu = chan.mtu();
+        self.coalesce = chan.gso_offload();
+
+        // The Arc is exclusively ours again — reset the flags for the
+        // new incarnation.
+        self.shared.shutdown.store(false, Ordering::Release);
+        self.shared.poison.store(false, Ordering::Release);
+        self.shared.idle.store(false, Ordering::Release);
+        self.shared.paused.store(false, Ordering::Release);
+        self.shared.dead.store(false, Ordering::Release);
+
+        match self.cfg.launch(chan, &self.shared) {
+            Ok(parts) => {
+                self.tx = parts.tx;
+                self.tx_free = parts.tx_free;
+                self.rx = parts.rx;
+                self.rx_free = parts.rx_free;
+                self.worker = Some(parts.worker);
+                true
+            }
+            Err(_) => {
+                self.shared.dead.store(true, Ordering::Release);
+                false
+            }
+        }
     }
 
     fn shutdown_worker(&mut self) -> Option<UdpChannel> {
@@ -506,6 +648,10 @@ impl DatagramLink for ShardedUdpChannel {
     fn link_dead(&self) -> bool {
         self.is_dead()
     }
+
+    fn revive(&mut self) -> bool {
+        self.respawn()
+    }
 }
 
 /// The worker loop: owns the channel, drains the tx ring into eager
@@ -542,9 +688,10 @@ fn worker_main(
             panic!("shard worker poisoned by test hook");
         }
         if chan.link_dead() && !shared.dead.load(Ordering::Acquire) {
-            // Socket death is terminal: tell the facade, then keep
-            // looping so in-flight tx buffers drain back home (the dead
-            // channel fails each send fast and recycles its storage).
+            // Socket death ends this incarnation: tell the facade, then
+            // keep looping so in-flight tx buffers drain back home (the
+            // dead channel fails each send fast and recycles its
+            // storage) until `respawn` joins us and starts a successor.
             shared.dead.store(true, Ordering::Release);
         }
         let mut progress = false;
@@ -819,5 +966,89 @@ mod tests {
         assert!(a.link_dead());
         // No abort, no deadlock: teardown joins the worker cleanly.
         assert!(a.into_channel().is_none());
+    }
+
+    #[test]
+    fn respawn_replaces_a_panicked_worker() {
+        let (mut a, mut b) = pair(64);
+        a.send_frame(&[1]).unwrap();
+        let mut buf = [0u8; 64];
+        recv_poll(&mut b, &mut buf).expect("pre-crash frame");
+
+        a.inject_worker_panic();
+        for _ in 0..100_000 {
+            if a.is_dead() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(a.link_dead(), "panic surfaces as link_dead first");
+
+        assert!(a.respawn(), "respawn brings up a fresh worker");
+        assert!(!a.is_dead(), "the facade is back in business");
+        assert_eq!(a.respawns(), 1);
+
+        // The new incarnation moves frames on the same local port.
+        a.send_frame(&[2]).unwrap();
+        let n = recv_poll(&mut b, &mut buf).expect("post-respawn frame");
+        assert_eq!((n, buf[0]), (1, 2));
+        b.send_frame(&[3]).unwrap();
+        let n = recv_poll(&mut a, &mut buf).expect("reverse frame");
+        assert_eq!((n, buf[0]), (1, 3));
+
+        // The worker publishes once per loop; give the mirror a beat.
+        let mut s = a.stats();
+        for _ in 0..100_000 {
+            s = a.stats();
+            if s.lifecycle == LifecycleState::Live && s.sent_frames == 2 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(s.sent_frames, 2, "counters are cumulative across respawns");
+        assert_eq!(s.generation, 1, "rebuilt socket carries its generation");
+        assert_eq!(s.revive_attempts, 1);
+        assert_eq!(
+            s.lifecycle,
+            LifecycleState::Live,
+            "first inbound frame completes the probe"
+        );
+        assert_eq!(s.rejoins, 1);
+    }
+
+    #[test]
+    fn respawn_on_a_healthy_worker_is_a_noop() {
+        let (mut a, mut b) = pair(64);
+        a.send_frame(&[5]).unwrap();
+        let mut buf = [0u8; 64];
+        recv_poll(&mut b, &mut buf).expect("frame");
+        assert!(a.respawn(), "healthy facade reports success");
+        assert_eq!(a.respawns(), 0, "without actually relaunching anything");
+        for _ in 0..100_000 {
+            if a.stats().sent_frames == 1 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(a.stats().sent_frames, 1, "and without touching counters");
+    }
+
+    #[test]
+    fn revive_is_respawn_behind_the_link_trait() {
+        let (mut a, mut b) = pair(64);
+        a.inject_worker_panic();
+        for _ in 0..100_000 {
+            if a.is_dead() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let link: &mut dyn DatagramLink = &mut a;
+        assert!(link.revive(), "lifecycle machine sees a rebindable link");
+        assert!(!link.link_dead());
+        link.send_frame(&[9]).unwrap();
+        let mut buf = [0u8; 64];
+        let n = recv_poll(&mut b, &mut buf).expect("frame after trait revive");
+        assert_eq!((n, buf[0]), (1, 9));
     }
 }

@@ -70,6 +70,19 @@
 //! feeds to the failover driver, retiring the channel through the same
 //! §liveness path a silent channel takes. No `io::Error` ever bubbles
 //! out of the datapath.
+//!
+//! **Socket recreation.** Death is no longer terminal: the lifecycle
+//! machinery (see [`crate::lifecycle`]) calls
+//! [`revive`](DatagramLink::revive) after the cooldown, and the channel
+//! rebuilds itself from its remembered [`ChannelSpec`] — a *fresh*
+//! connected socket on the **same local port** (the peer's connected
+//! socket filters by 5-tuple, so the port must survive the swap) with
+//! a fresh [`BatchIo`]. Every acquired penalty is scoped to the socket
+//! generation and resets with it: the refusal score, the ENOBUFS
+//! backoff, the fatal streak, the EMSGSIZE MTU clamp, and the GSO
+//! demotion all start over, to be re-proved or re-acquired against the
+//! new path. The revived channel reports itself
+//! [`LifecycleState::Probing`] until the first inbound frame arrives.
 
 use std::collections::VecDeque;
 use std::io;
@@ -77,6 +90,7 @@ use std::net::{SocketAddr, UdpSocket};
 
 use stripe_link::{DatagramLink, TxError};
 
+use crate::lifecycle::LifecycleState;
 use crate::sys::{self, BatchIo};
 
 /// Refusal score at which a channel stops believing `ECONNREFUSED` is
@@ -169,6 +183,21 @@ pub struct UdpChannelSnapshot {
     pub enobufs_backoffs: u64,
     /// `EMSGSIZE` recoveries: MTU clamped, GSO demoted.
     pub mtu_clamps: u64,
+    /// The channel's own view of its lifecycle: `Live` while flowing,
+    /// `Dead` once [`UdpChannel::is_dead`], `Probing` between a socket
+    /// rebuild and the first inbound frame. (The cooldown/rejoining
+    /// phases live in the reactor's [`crate::lifecycle`] machine — the
+    /// channel itself only knows about its socket.)
+    pub lifecycle: LifecycleState,
+    /// Socket generation: 0 for the original socket, +1 per successful
+    /// rebuild. Penalties (refusal score, MTU clamp, GSO demotion) are
+    /// scoped to one generation.
+    pub generation: u64,
+    /// Completed revivals: rebuilt sockets that went on to hear the
+    /// peer again (`Probing` → `Live`).
+    pub rejoins: u64,
+    /// Socket rebuild attempts (successful or not).
+    pub revive_attempts: u64,
 }
 
 impl UdpChannelSnapshot {
@@ -201,6 +230,55 @@ impl UdpChannelSnapshot {
             (self.send_syscalls + self.recv_syscalls) as f64 / frames as f64
         }
     }
+
+    /// Fold an earlier incarnation's counters into this snapshot.
+    /// Counters add; point-in-time gauges (buffer sizes, the sampled
+    /// kernel-drop estimate, lifecycle, generation) keep this
+    /// snapshot's values. The shard facade uses this to keep telemetry
+    /// cumulative across worker respawns.
+    pub fn accumulated(&self, earlier: &UdpChannelSnapshot) -> UdpChannelSnapshot {
+        UdpChannelSnapshot {
+            sent_frames: self.sent_frames + earlier.sent_frames,
+            sent_bytes: self.sent_bytes + earlier.sent_bytes,
+            recv_frames: self.recv_frames + earlier.recv_frames,
+            recv_bytes: self.recv_bytes + earlier.recv_bytes,
+            queued: self.queued + earlier.queued,
+            dropped_queue: self.dropped_queue + earlier.dropped_queue,
+            dropped_error: self.dropped_error + earlier.dropped_error,
+            send_syscalls: self.send_syscalls + earlier.send_syscalls,
+            recv_syscalls: self.recv_syscalls + earlier.recv_syscalls,
+            sndbuf: self.sndbuf,
+            rcvbuf: self.rcvbuf,
+            dropped_rcvbuf: self.dropped_rcvbuf,
+            transient_refused: self.transient_refused + earlier.transient_refused,
+            enobufs_backoffs: self.enobufs_backoffs + earlier.enobufs_backoffs,
+            mtu_clamps: self.mtu_clamps + earlier.mtu_clamps,
+            lifecycle: self.lifecycle,
+            generation: self.generation,
+            rejoins: self.rejoins + earlier.rejoins,
+            revive_attempts: self.revive_attempts + earlier.revive_attempts,
+        }
+    }
+}
+
+/// Everything needed to rebuild a channel's socket from scratch: the
+/// bound local endpoint, the connected peer, and the builder knobs.
+/// Captured at bind/connect time, consumed by
+/// [`revive`](DatagramLink::revive) (in-place socket swap) and by the
+/// shard supervisor when a panicked worker took its channel down with
+/// it. The `mtu` here is the *configured* MTU — EMSGSIZE clamps apply
+/// to the live channel only, so a rebuilt socket re-probes the path
+/// from the configured value.
+#[derive(Debug, Clone)]
+pub struct ChannelSpec {
+    local: SocketAddr,
+    peer: Option<SocketAddr>,
+    mtu: usize,
+    queue_cap: usize,
+    batch: usize,
+    sndbuf: Option<usize>,
+    rcvbuf: Option<usize>,
+    force_fallback: bool,
 }
 
 /// Builder for [`UdpChannel`]: MTU, queue depth, mmsg batch size, kernel
@@ -273,6 +351,18 @@ impl UdpChannelBuilder {
     pub fn bind(&self, addr: SocketAddr) -> io::Result<UdpChannel> {
         let sock = UdpSocket::bind(addr)?;
         sock.set_nonblocking(true)?;
+        let spec = ChannelSpec {
+            // The *effective* local endpoint, so a rebuild after an
+            // ephemeral-port bind re-claims the same port.
+            local: sock.local_addr()?,
+            peer: None,
+            mtu: self.mtu,
+            queue_cap: self.queue_cap,
+            batch: self.batch,
+            sndbuf: self.sndbuf,
+            rcvbuf: self.rcvbuf,
+            force_fallback: self.force_fallback,
+        };
         let (sndbuf, rcvbuf) = sys::configure_buffers(&sock, self.sndbuf, self.rcvbuf);
         let stats = UdpChannelSnapshot {
             sndbuf,
@@ -294,6 +384,7 @@ impl UdpChannelBuilder {
             .collect();
         Ok(UdpChannel {
             sock,
+            spec,
             mtu: self.mtu,
             queue: VecDeque::new(),
             recycle,
@@ -310,8 +401,8 @@ impl UdpChannelBuilder {
     /// A connected pair of loopback channels — one striped channel's two
     /// endpoints, for tests, examples and benches.
     pub fn pair(&self) -> io::Result<(UdpChannel, UdpChannel)> {
-        let a = self.bind_loopback()?;
-        let b = self.bind_loopback()?;
+        let mut a = self.bind_loopback()?;
+        let mut b = self.bind_loopback()?;
         a.connect(b.local_addr()?)?;
         b.connect(a.local_addr()?)?;
         Ok((a, b))
@@ -324,6 +415,8 @@ impl UdpChannelBuilder {
 #[derive(Debug)]
 pub struct UdpChannel {
     sock: UdpSocket,
+    /// How to rebuild the socket from scratch (see [`ChannelSpec`]).
+    spec: ChannelSpec,
     mtu: usize,
     queue: VecDeque<Vec<u8>>,
     recycle: Vec<Vec<u8>>,
@@ -359,9 +452,12 @@ impl UdpChannel {
 
     /// Connect to the peer endpoint: from here on, `send`/`recv` use this
     /// single 5-tuple and stray datagrams from other sources are filtered
-    /// by the kernel.
-    pub fn connect(&self, peer: SocketAddr) -> io::Result<()> {
-        self.sock.connect(peer)
+    /// by the kernel. The peer is remembered so a socket rebuild
+    /// ([`revive`](DatagramLink::revive)) can reconnect.
+    pub fn connect(&mut self, peer: SocketAddr) -> io::Result<()> {
+        self.sock.connect(peer)?;
+        self.spec.peer = Some(peer);
+        Ok(())
     }
 
     /// The local socket address (to tell the peer).
@@ -472,9 +568,14 @@ impl UdpChannel {
     }
 
     /// Inbound traffic arrived: the peer demonstrably lives, so refusal
-    /// evidence decays.
+    /// evidence decays — and a rebuilt socket that was still probing has
+    /// now heard the path end to end, completing its revival.
     fn note_alive(&mut self) {
         self.refused_score = self.refused_score.saturating_sub(1);
+        if self.stats.lifecycle == LifecycleState::Probing {
+            self.stats.lifecycle = LifecycleState::Live;
+            self.stats.rejoins += 1;
+        }
     }
 
     /// One `ECONNREFUSED` echo. Returns `true` while still transient.
@@ -512,17 +613,106 @@ impl UdpChannel {
         }
     }
 
-    /// Point of no return: fail sends fast and hand the queued frames'
-    /// storage back to the recycle pool (counted, never silently).
+    /// The socket has failed: fail sends fast and hand the queued
+    /// frames' storage back to the recycle pool (counted, never
+    /// silently). Not a point of no return since the lifecycle work:
+    /// [`revive`](DatagramLink::revive) rebuilds the socket after the
+    /// reactor's cooldown.
     fn declare_dead(&mut self) {
         if self.dead {
             return;
         }
         self.dead = true;
+        self.stats.lifecycle = LifecycleState::Dead;
         while let Some(buf) = self.queue.pop_front() {
             self.stats.dropped_error += 1;
             self.recycle.push(buf);
         }
+    }
+
+    /// Kill the socket from outside, exactly as a fatal-errno streak
+    /// would from inside: sends fail fast, the queue drains into the
+    /// recycle pool, [`DatagramLink::link_dead`] raises. The chaos/ops
+    /// hook the flap soak uses to force real die→rejoin cycles (the
+    /// in-crate tests use the same path via `force_dead`).
+    pub fn inject_socket_death(&mut self) {
+        self.declare_dead();
+    }
+
+    /// The rebuild recipe captured at bind/connect time.
+    pub(crate) fn spec(&self) -> &ChannelSpec {
+        &self.spec
+    }
+
+    /// Rebuild a channel from its spec — the shard supervisor's path
+    /// when a panicked worker took the old `UdpChannel` down with its
+    /// stack. `generation` seeds the new channel's generation gauge so
+    /// the telemetry keeps counting across incarnations; a non-zero
+    /// generation starts in [`LifecycleState::Probing`] (it must
+    /// re-prove the path), generation 0 is an original socket.
+    pub(crate) fn from_spec(spec: &ChannelSpec, generation: u64) -> io::Result<UdpChannel> {
+        let builder = UdpChannelBuilder {
+            mtu: spec.mtu,
+            queue_cap: spec.queue_cap,
+            batch: spec.batch,
+            sndbuf: spec.sndbuf,
+            rcvbuf: spec.rcvbuf,
+            force_fallback: spec.force_fallback,
+        };
+        let mut chan = builder.bind(spec.local)?;
+        if let Some(peer) = spec.peer {
+            chan.connect(peer)?;
+        }
+        chan.stats.generation = generation;
+        if generation > 0 {
+            chan.stats.lifecycle = LifecycleState::Probing;
+        }
+        Ok(chan)
+    }
+
+    /// Swap in a fresh connected socket on the same local port and
+    /// reset every generation-scoped penalty: refusal score, fatal
+    /// streak, ENOBUFS backoff, the EMSGSIZE MTU clamp, and (via the
+    /// fresh [`BatchIo`]) the GSO demotion. The channel comes back in
+    /// [`LifecycleState::Probing`] — alive for I/O but unproven until
+    /// the first inbound frame. Reviving a channel that never died is
+    /// a no-op. On error the channel stays dead (the old socket is
+    /// already gone; the lifecycle backs off and retries).
+    pub fn revive_socket(&mut self) -> io::Result<()> {
+        if !self.dead {
+            return Ok(());
+        }
+        self.stats.revive_attempts += 1;
+        // Free our local port *first*: as long as the old (broken)
+        // socket lives, rebinding its port fails. Park a throwaway
+        // unbound-equivalent socket in its place so `self.sock` stays
+        // valid even if the rebind fails.
+        let dummy = UdpSocket::bind(SocketAddr::from(([127, 0, 0, 1], 0)))?;
+        drop(std::mem::replace(&mut self.sock, dummy));
+        let fresh = UdpSocket::bind(self.spec.local)?;
+        fresh.set_nonblocking(true)?;
+        let (sndbuf, rcvbuf) = sys::configure_buffers(&fresh, self.spec.sndbuf, self.spec.rcvbuf);
+        self.stats.sndbuf = sndbuf;
+        self.stats.rcvbuf = rcvbuf;
+        // A fresh BatchIo starts with GSO enabled again: offload
+        // demotion was evidence about the *old* path.
+        let mut io = BatchIo::new(self.spec.batch, self.spec.force_fallback);
+        if io.batched() {
+            io.set_gro(sys::configure_offload(&fresh));
+        }
+        if let Some(peer) = self.spec.peer {
+            fresh.connect(peer)?;
+        }
+        self.sock = fresh;
+        self.io = io;
+        self.mtu = self.spec.mtu;
+        self.refused_score = 0;
+        self.hard_streak = 0;
+        self.backoff_flushes = 0;
+        self.dead = false;
+        self.stats.generation += 1;
+        self.stats.lifecycle = LifecycleState::Probing;
+        Ok(())
     }
 
     #[cfg(test)]
@@ -832,6 +1022,10 @@ impl DatagramLink for UdpChannel {
     fn link_dead(&self) -> bool {
         self.dead
     }
+
+    fn revive(&mut self) -> bool {
+        self.revive_socket().is_ok()
+    }
 }
 
 #[cfg(test)]
@@ -1114,6 +1308,84 @@ mod tests {
         let mut buf = [0u8; 256];
         assert!(recv_poll(&mut a, &mut buf).is_some());
         assert_eq!(a.refused_score(), 3);
+    }
+
+    #[test]
+    fn revive_rebuilds_the_socket_on_the_same_port() {
+        let (mut a, mut b) = UdpChannel::pair(256, 64).unwrap();
+        let port = a.local_addr().unwrap().port();
+        a.send_frame_deferred(&[1u8; 8]).unwrap();
+        a.force_dead();
+        assert!(a.link_dead());
+        assert_eq!(a.stats().lifecycle, LifecycleState::Dead);
+
+        assert!(a.revive(), "loopback rebind must succeed");
+        assert!(!a.link_dead());
+        assert_eq!(a.local_addr().unwrap().port(), port, "same 5-tuple");
+        let s = a.stats();
+        assert_eq!(s.lifecycle, LifecycleState::Probing);
+        assert_eq!(s.generation, 1);
+        assert_eq!(s.revive_attempts, 1);
+        assert_eq!(s.rejoins, 0, "unproven until the peer is heard");
+
+        // Traffic flows both ways on the rebuilt socket, and the first
+        // inbound frame completes the revival.
+        a.send_frame(&[7u8; 8]).unwrap();
+        let mut buf = [0u8; 256];
+        assert_eq!(recv_poll(&mut b, &mut buf), Some(8));
+        b.send_frame(&[9u8; 8]).unwrap();
+        assert_eq!(recv_poll(&mut a, &mut buf), Some(8));
+        let s = a.stats();
+        assert_eq!(s.lifecycle, LifecycleState::Live);
+        assert_eq!(s.rejoins, 1);
+    }
+
+    #[test]
+    fn revive_resets_generation_scoped_penalties() {
+        let (mut a, _b) = UdpChannel::pair(2048, 64).unwrap();
+        let base_gso = a.gso_offload();
+        // Acquire every penalty the old socket can carry.
+        a.force_refused();
+        a.force_backoff();
+        a.note_msgsize(1000); // clamps mtu to 999, demotes GSO
+        assert_eq!(a.mtu(), 999);
+        assert!(!a.gso_offload());
+        a.force_dead();
+
+        assert!(a.revive());
+        assert_eq!(a.refused_score(), 0, "refusal score is per generation");
+        assert_eq!(a.mtu(), 2048, "EMSGSIZE clamp is per generation");
+        assert_eq!(
+            a.gso_offload(),
+            base_gso,
+            "GSO demotion is per generation: the fresh socket re-probes"
+        );
+        // The backoff reset is observable through flush not skipping.
+        a.send_frame_deferred(&[3u8; 16]).unwrap();
+        assert_eq!(a.flush(), 1, "no inherited ENOBUFS backoff");
+    }
+
+    #[test]
+    fn reviving_a_live_channel_is_a_noop() {
+        let (mut a, _b) = UdpChannel::pair(256, 8).unwrap();
+        assert!(a.revive());
+        let s = a.stats();
+        assert_eq!((s.generation, s.revive_attempts), (0, 0));
+        assert_eq!(s.lifecycle, LifecycleState::Live);
+    }
+
+    #[test]
+    fn from_spec_rebuilds_a_connected_channel() {
+        let (a, mut b) = UdpChannel::pair(256, 8).unwrap();
+        let spec = a.spec().clone();
+        drop(a); // frees the local port for the rebuild
+        let mut a2 = UdpChannel::from_spec(&spec, 3).unwrap();
+        let s = a2.stats();
+        assert_eq!(s.generation, 3);
+        assert_eq!(s.lifecycle, LifecycleState::Probing);
+        a2.send_frame(&[5u8; 8]).unwrap();
+        let mut buf = [0u8; 256];
+        assert_eq!(recv_poll(&mut b, &mut buf), Some(8), "peer still reachable");
     }
 
     /// Loopback UDP can reorder across *sockets* but a single connected

@@ -12,19 +12,24 @@
 
 use std::time::{Duration, Instant};
 
-use stripe::core::control::Control;
 use stripe::core::receiver::RxBatch;
 use stripe::core::sched::Srr;
 use stripe::core::sender::MarkerConfig;
 use stripe::link::DatagramLink;
-use stripe::net::{NetLogicalReceiver, NetStripedPath, SenderReactor, ShardConfig, UdpChannel};
+use stripe::net::{
+    membership_announced, NetLogicalReceiver, NetStripedPath, SenderReactor, ShardConfig,
+    UdpChannel,
+};
 use stripe::netsim::{SimDuration, SimTime};
 use stripe::transport::failover::{FailoverConfig, FailoverDriver};
 use stripe::transport::TxBatch;
 
 const QUANTUM: i64 = 1500;
 /// Probes effectively disabled: only link-layer evidence may declare
-/// death in these tests, never the silence deadline.
+/// death in these tests, never the silence deadline. The lifecycle
+/// machine derives its cooldowns from the same interval, so no rebind
+/// fires within the test horizon either — death stays terminal *here*,
+/// by configuration; the full die → rejoin walk is `flap_soak.rs`.
 const SLOW_PROBE_NS: u64 = 1_000_000_000_000;
 
 fn payload(byte: u8) -> bytes::Bytes {
@@ -101,9 +106,7 @@ fn worker_panic_ends_in_failover_not_abort() {
         );
         now_us += 100;
         let reports = reactor.poll(SimTime::from_micros(now_us));
-        announced = reports
-            .iter()
-            .any(|r| matches!(r.ctl, Control::Membership { .. }));
+        announced = membership_announced(&reports);
         rx.sweep(SimTime::from_micros(now_us));
         std::thread::yield_now();
     }
@@ -178,9 +181,7 @@ fn refused_socket_ends_in_failover_not_abort() {
             .path_mut()
             .send_batch(SimTime::from_micros(i * 100), &mut pkts, &mut out);
         let reports = reactor.poll(SimTime::from_micros(i * 100));
-        announced |= reports
-            .iter()
-            .any(|r| matches!(r.ctl, Control::Membership { .. }));
+        announced |= membership_announced(&reports);
         if announced {
             break;
         }

@@ -176,4 +176,95 @@ proptest! {
         }
         prop_assert_eq!(applied.len(), 2, "both changes applied exactly once");
     }
+
+    /// The lifecycle rejoin path: a membership *grow* announced while
+    /// its own shrink is still in flight (the channel flapped faster
+    /// than the wire). Whatever the interleaving and however many
+    /// retransmits, the grow applies exactly once per epoch, a
+    /// retransmit storm after convergence is pure AckOnly, and the
+    /// responder ends on the sender's epoch and full mask.
+    #[test]
+    fn grow_applies_once_against_in_flight_shrink(
+        shrink_mask in 1u16..15, // at least one bit clear of 0b1111
+        lens in prop::collection::vec(40usize..1500, 60..160),
+        dup in 0usize..3,
+        retransmits in 1usize..3,
+        grow_first in any::<bool>(),
+        lead in 1u64..4,
+    ) {
+        let mut tx = Srr::equal(N, 1500);
+        let mut rx = Srr::equal(N, 1500);
+        let mut sender = MembershipSender::new(N);
+        let mut responder = MembershipResponder::new();
+        let mut applied: Vec<(u32, u16)> = Vec::new();
+
+        // A channel dies: shrink announced, applied to the sender's own
+        // scheduler, but **not yet delivered**.
+        let shrink_live = mask_to_vec(shrink_mask, N);
+        let eff_shrink = tx.round() + lead;
+        let shrink_msgs = sender.announce(&shrink_live, eff_shrink);
+        tx.schedule_mask(eff_shrink, &shrink_live);
+        let shrink_epoch = sender.epoch();
+
+        // The channel probes back before the shrink lands: grow
+        // announced on top, newer epoch, later effective round.
+        let grow_live = vec![true; N];
+        let eff_grow = eff_shrink + lead;
+        let grow_msgs = sender.announce(&grow_live, eff_grow);
+        tx.schedule_mask(eff_grow, &grow_live);
+        let grow_epoch = sender.epoch();
+        prop_assert_ne!(grow_epoch, shrink_epoch);
+
+        // Both hit the receiver in either order, each retransmitted.
+        let bags = if grow_first {
+            [&grow_msgs, &shrink_msgs]
+        } else {
+            [&shrink_msgs, &grow_msgs]
+        };
+        for _ in 0..retransmits {
+            for bag in bags {
+                deliver(&mut responder, &mut rx, bag, dup, &mut applied);
+            }
+        }
+
+        // The grow applied exactly once, and as the final word — a
+        // shrink arriving after it (reordered or retransmitted) is
+        // stale and must not un-apply the rejoin.
+        prop_assert_eq!(
+            applied.iter().filter(|&&(e, _)| e == grow_epoch).count(),
+            1,
+            "grow must apply exactly once"
+        );
+        let grow_pos = applied.iter().position(|&(e, _)| e == grow_epoch).unwrap();
+        prop_assert_eq!(grow_pos, applied.len() - 1, "stale shrink applied after the grow");
+        prop_assert_eq!(responder.epoch(), sender.epoch());
+        prop_assert_eq!(applied.last().unwrap().1, vec_to_mask(sender.live()));
+
+        // Retransmit storm after convergence: pure AckOnly, no re-apply.
+        let before = applied.len();
+        for bag in bags {
+            deliver(&mut responder, &mut rx, bag, dup + 1, &mut applied);
+        }
+        prop_assert_eq!(applied.len(), before, "retransmit re-applied a change");
+
+        // In the common wire order (shrink heard first), both changes sit
+        // queued at once and the receiver simulation stays in per-packet
+        // lockstep through the whole two-change window.
+        if !grow_first {
+            for (i, &len) in lens.iter().enumerate() {
+                prop_assert_eq!(tx.current(), rx.current(), "diverged at packet {}", i);
+                prop_assert_eq!(tx.round(), rx.round());
+                for c in 0..N {
+                    prop_assert_eq!(
+                        CausalScheduler::live(&tx, c),
+                        CausalScheduler::live(&rx, c),
+                        "live mask diverged at packet {}",
+                        i
+                    );
+                }
+                tx.advance(len);
+                rx.advance(len);
+            }
+        }
+    }
 }
