@@ -1,0 +1,312 @@
+//! Multi-flow bench: thousands of logical flows striped over a shared
+//! set of kernel loopback UDP channels through the [`StripeServer`] /
+//! [`FlowDemux`] pair.
+//!
+//! Each cell opens `flows` flows on one server over 4 loopback
+//! channels, offers every flow the same packet count, and drives the
+//! two-level scheduler (DRR across flows, SRR per flow within its own
+//! sub-stream) to exhaustion. Reported per cell:
+//!
+//! - **aggregate Mpkt/s** — delivered packets across all flows over the
+//!   measured wall clock;
+//! - **Jain's fairness index** — `(Σx)² / (n·Σx²)` over per-flow
+//!   delivered counts: 1.0 is perfectly even service, `1/n` is one flow
+//!   starving all others. The CI gate holds the 1k-flow cell at ≥ 0.95.
+//! - **allocs/pkt** — from the counting global allocator; the per-flow
+//!   slab, queues, and buffer pools must all reach their high-water
+//!   marks during warm-up (the multi-flow zero-allocation story).
+//!
+//! Writes `BENCH_multiflow.json` at the repo root. Set
+//! `STRIPE_BENCH_SMOKE=1` for a fast CI smoke run and
+//! `STRIPE_NET_FALLBACK=1` to force the portable per-frame syscall path.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use stripe_bench::alloc::CountingAlloc;
+use stripe_bench::table::Table;
+use stripe_core::receiver::RxBatch;
+use stripe_core::sched::Srr;
+use stripe_core::sender::MarkerConfig;
+use stripe_net::{
+    FlowDemux, FlowHandle, PooledBuf, PumpEvent, StripeServer, UdpChannel, WallClock,
+};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const CHANNELS: usize = 4;
+const QUANTUM: i64 = 1500;
+/// Flows served per burst window (rotating over the whole population).
+const WINDOW: usize = 128;
+const SOCK_BUF: usize = 1 << 22;
+
+struct Run {
+    pkts_per_sec: f64,
+    jain: f64,
+    allocs_per_pkt: f64,
+    delivered: u64,
+    offered: u64,
+    wall_secs: f64,
+    flows_active: u64,
+}
+
+/// Jain's fairness index over per-flow delivered counts.
+fn jain_index(counts: &[u64]) -> f64 {
+    let n = counts.len() as f64;
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    if sq == 0.0 {
+        return 0.0;
+    }
+    (sum * sum) / (n * sq)
+}
+
+fn run_cell(flows: usize, payload: usize, per_flow: u64) -> Run {
+    let mut tx_links = Vec::new();
+    let mut rx_links = Vec::new();
+    for _ in 0..CHANNELS {
+        let (a, b) = UdpChannel::builder(2048)
+            .queue_cap(1 << 12)
+            .sndbuf(SOCK_BUF)
+            .rcvbuf(SOCK_BUF)
+            .pair()
+            .expect("bind loopback");
+        tx_links.push(a);
+        rx_links.push(b);
+    }
+    let mut server: StripeServer<Srr, UdpChannel> = StripeServer::builder()
+        .scheduler(Srr::equal(CHANNELS, QUANTUM))
+        .markers(MarkerConfig::every_rounds(4))
+        .links(tx_links)
+        .max_flows(flows)
+        .queue_frames(64)
+        .build();
+    let handles: Vec<FlowHandle> = (0..flows)
+        .map(|_| server.open_flow().expect("under the admission cap"))
+        .collect();
+    let mut demux: FlowDemux<Srr, UdpChannel> = FlowDemux::builder()
+        .scheduler(Srr::equal(CHANNELS, QUANTUM))
+        .links(rx_links)
+        .pool_buffers(1 << 10)
+        .max_flows(flows)
+        .build();
+    for f in 0..flows {
+        demux.touch_flow(f as u32);
+    }
+
+    let clock = WallClock::start();
+    let mut events: Vec<PumpEvent> = Vec::new();
+    let mut batch = RxBatch::with_capacity(4096);
+    let mut sent = vec![0u64; flows];
+    let mut got = vec![0u64; flows];
+    let mut payload_buf = vec![0u8; payload];
+
+    // One rotating burst window: enqueue a packet on each of WINDOW
+    // consecutive flows, pump everything affordable, sweep the far
+    // side, and poll exactly the flows that could have received.
+    let mut cursor = 0usize;
+    let drive = |cursor: &mut usize,
+                 sent: &mut Vec<u64>,
+                 got: &mut Vec<u64>,
+                 server: &mut StripeServer<Srr, UdpChannel>,
+                 demux: &mut FlowDemux<Srr, UdpChannel>,
+                 events: &mut Vec<PumpEvent>,
+                 batch: &mut RxBatch<PooledBuf>,
+                 payload_buf: &mut Vec<u8>,
+                 limit: u64| {
+        let w = WINDOW.min(flows);
+        for i in 0..w {
+            let f = (*cursor + i) % flows;
+            if sent[f] >= limit {
+                continue;
+            }
+            payload_buf[..4].copy_from_slice(&(f as u32).to_be_bytes());
+            payload_buf[4..12].copy_from_slice(&sent[f].to_be_bytes());
+            if server.enqueue(handles[f], payload_buf).is_ok() {
+                sent[f] += 1;
+            }
+        }
+        server.pump_into(clock.now(), usize::MAX, events);
+        server.flush();
+        demux.sweep(clock.now());
+        for i in 0..w {
+            let f = (*cursor + i) % flows;
+            demux.poll_flow_into(f as u32, batch);
+            for pb in batch.drain() {
+                let s = pb.as_slice();
+                let flow = u32::from_be_bytes(s[..4].try_into().unwrap()) as usize;
+                assert_eq!(flow, f, "cross-flow delivery in bench");
+                got[f] += 1;
+                demux.recycle(pb);
+            }
+        }
+        *cursor = (*cursor + w) % flows;
+    };
+
+    // Warm-up: several full rotations over every flow so the slab,
+    // queues, event vec, pools — and the per-flow marker path, which
+    // first fires rounds into a rotation — all reach their high-water
+    // marks.
+    let warm: u64 = 32;
+    let warm_deadline = Instant::now() + Duration::from_secs(20);
+    while sent.iter().any(|&s| s < warm) && Instant::now() < warm_deadline {
+        drive(
+            &mut cursor,
+            &mut sent,
+            &mut got,
+            &mut server,
+            &mut demux,
+            &mut events,
+            &mut batch,
+            &mut payload_buf,
+            warm,
+        );
+    }
+
+    // Measured window.
+    let limit = warm + per_flow;
+    let alloc0 = CountingAlloc::allocations();
+    let t0 = Instant::now();
+    while sent.iter().any(|&s| s < limit) {
+        drive(
+            &mut cursor,
+            &mut sent,
+            &mut got,
+            &mut server,
+            &mut demux,
+            &mut events,
+            &mut batch,
+            &mut payload_buf,
+            limit,
+        );
+    }
+    // Drain: sweep until everything offered has been delivered or the
+    // deadline passes (loopback kernel drops are possible, not expected).
+    let total_sent: u64 = sent.iter().sum();
+    let drain_deadline = Instant::now() + Duration::from_secs(20);
+    let mut spins = 0u32;
+    while got.iter().sum::<u64>() < total_sent && Instant::now() < drain_deadline {
+        spins += 1;
+        if spins.is_multiple_of(64) {
+            server.send_idle_markers_into(clock.now(), &mut events);
+        }
+        server.flush();
+        demux.sweep(clock.now());
+        for (f, g) in got.iter_mut().enumerate() {
+            demux.poll_flow_into(f as u32, &mut batch);
+            for pb in batch.drain() {
+                *g += 1;
+                demux.recycle(pb);
+            }
+        }
+        std::thread::yield_now();
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = CountingAlloc::allocations() - alloc0;
+
+    let delivered: u64 = got.iter().sum();
+    let offered: u64 = sent.iter().sum();
+    Run {
+        pkts_per_sec: delivered as f64 / wall,
+        jain: jain_index(&got),
+        allocs_per_pkt: allocs as f64 / delivered.max(1) as f64,
+        delivered,
+        offered,
+        wall_secs: wall,
+        flows_active: server.stats().flows_active,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("STRIPE_BENCH_SMOKE").is_ok_and(|v| v == "1");
+
+    println!("== multi-flow striping over kernel loopback UDP ==");
+    println!(
+        "   ({CHANNELS} channels, DRR across flows + SRR per flow, window {WINDOW}, \
+         {} syscall path)\n",
+        if stripe_net::sys::fallback_forced() {
+            "forced per-frame fallback"
+        } else {
+            "batched mmsg"
+        }
+    );
+
+    let mut table = Table::new(&[
+        "flows",
+        "payload",
+        "Mpkt/s",
+        "jain",
+        "alloc/pkt",
+        "delivered",
+        "offered",
+        "wall s",
+    ]);
+    let mut json = String::from("{\n  \"bench\": \"multiflow\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"results\": [\n");
+
+    // (flows, payload, per-flow packets in the measured window)
+    let cells: &[(usize, usize, u64)] = if smoke {
+        &[(1_000, 256, 4), (10_000, 256, 2)]
+    } else {
+        &[(1_000, 256, 512), (10_000, 256, 64), (10_000, 1200, 24)]
+    };
+    let mut first = true;
+    let mut headline: Option<(f64, f64)> = None;
+    for &(flows, payload, per_flow) in cells {
+        let r = run_cell(flows, payload, per_flow);
+        if flows == 10_000 && payload == 256 {
+            headline = Some((r.pkts_per_sec, r.jain));
+        }
+        table.row_owned(vec![
+            flows.to_string(),
+            payload.to_string(),
+            format!("{:.3}", r.pkts_per_sec / 1e6),
+            format!("{:.4}", r.jain),
+            format!("{:.3}", r.allocs_per_pkt),
+            r.delivered.to_string(),
+            r.offered.to_string(),
+            format!("{:.2}", r.wall_secs),
+        ]);
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            json,
+            "    {{\"flows\": {flows}, \"payload\": {payload}, \
+             \"pkts_per_sec\": {:.0}, \"jain_index\": {:.6}, \
+             \"allocs_per_packet\": {:.4}, \"delivered\": {}, \
+             \"offered\": {}, \"wall_secs\": {:.4}, \"flows_active\": {}}}",
+            r.pkts_per_sec,
+            r.jain,
+            r.allocs_per_pkt,
+            r.delivered,
+            r.offered,
+            r.wall_secs,
+            r.flows_active,
+        );
+    }
+    json.push_str("\n  ],\n");
+    let (agg, jain) = headline.expect("the 10k-flow cell always runs");
+    let _ = writeln!(json, "  \"pkts_per_sec_10kflows_256B\": {agg:.0},");
+    let _ = writeln!(json, "  \"jain_index_10kflows_256B\": {jain:.6},");
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"metric\": \"pkts_per_sec_10kflows_256B\", \
+         \"value\": {agg:.0}, \"units\": \"packets/sec\", \
+         \"jain_index\": {jain:.6}}}"
+    );
+    json.push_str("}\n");
+
+    println!("{}", table.render());
+    println!(
+        "\nheadline (10k flows, 4 channels, 256B): {:.2} Mpkt/s aggregate, Jain {jain:.4}",
+        agg / 1e6
+    );
+
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multiflow.json");
+    std::fs::write(out_path, &json).expect("write BENCH_multiflow.json");
+    println!("wrote {out_path}");
+}

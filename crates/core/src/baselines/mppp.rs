@@ -94,7 +94,7 @@ impl<P> MpppRx<P> {
     }
 
     /// Underlying resequencer statistics.
-    pub fn stats(&self) -> crate::seqno::ResequencerStats {
+    pub fn stats(&self) -> crate::seqno::ResequencerSnapshot {
         self.reseq.stats()
     }
 }

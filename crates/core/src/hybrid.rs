@@ -18,8 +18,8 @@
 //!    detected on the very next packet (far faster than waiting for a
 //!    marker) and the resequencer absorbs the disorder.
 //!
-//! The "avoided sorting" is measurable: [`HybridStats::confirmed`] counts
-//! fast-path deliveries and [`HybridStats::max_parked`] the worst
+//! The "avoided sorting" is measurable: [`HybridSnapshot::confirmed`] counts
+//! fast-path deliveries and [`HybridSnapshot::max_parked`] the worst
 //! resequencer depth — compare against a seqno-only receiver under skew,
 //! where *every* packet crosses the sorting structure
 //! (`hybrid_ablation` bench).
@@ -77,7 +77,7 @@ impl HybridSender {
 /// Counters distinguishing the fast (confirmation) path from the slow
 /// (resequencing) path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct HybridStats {
+pub struct HybridSnapshot {
     /// Deliveries where the logical order was already correct — the
     /// sequence number acted as pure confirmation.
     pub confirmed: u64,
@@ -90,13 +90,18 @@ pub struct HybridStats {
     pub max_parked: usize,
 }
 
+/// The pre-convention name for [`HybridSnapshot`], kept as an alias while
+/// external callers migrate.
+#[deprecated(since = "0.1.0", note = "renamed to `HybridSnapshot`")]
+pub type HybridStats = HybridSnapshot;
+
 /// Guaranteed-FIFO receiver: logical reception fast path, sequence-number
 /// safety net.
 #[derive(Debug)]
 pub struct HybridReceiver<S: CausalScheduler, P> {
     lr: LogicalReceiver<S, SequencedPacket<P>>,
     reseq: SeqResequencer<P>,
-    stats: HybridStats,
+    stats: HybridSnapshot,
 }
 
 impl<S: CausalScheduler, P: WireLen> HybridReceiver<S, P> {
@@ -110,7 +115,7 @@ impl<S: CausalScheduler, P: WireLen> HybridReceiver<S, P> {
         Self {
             lr: LogicalReceiver::new(sched, lr_buffer),
             reseq: SeqResequencer::new(parking),
-            stats: HybridStats::default(),
+            stats: HybridSnapshot::default(),
         }
     }
 
@@ -155,8 +160,8 @@ impl<S: CausalScheduler, P: WireLen> HybridReceiver<S, P> {
 
     /// Path statistics. `declared_lost` reflects the underlying
     /// resequencer (gaps skipped mid-stream or at flush).
-    pub fn stats(&self) -> HybridStats {
-        HybridStats {
+    pub fn stats(&self) -> HybridSnapshot {
+        HybridSnapshot {
             declared_lost: self.reseq.stats().declared_lost,
             ..self.stats
         }
@@ -180,7 +185,7 @@ mod tests {
         markers: MarkerConfig,
         n: usize,
         count: u64,
-    ) -> (Vec<u64>, HybridStats) {
+    ) -> (Vec<u64>, HybridSnapshot) {
         let sched = Srr::equal(n, 1500);
         let mut stx = StripingSender::new(sched.clone(), markers);
         let mut htx = HybridSender::new();

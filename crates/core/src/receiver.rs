@@ -69,6 +69,7 @@ pub struct ReceiverSnapshot {
 
 /// The pre-convention name for [`ReceiverSnapshot`], kept as an alias while
 /// external callers migrate.
+#[deprecated(since = "0.1.0", note = "renamed to `ReceiverSnapshot`")]
 pub type ReceiverStats = ReceiverSnapshot;
 
 /// A reusable batch of logically received packets: the receive-side
@@ -166,7 +167,7 @@ pub struct LogicalReceiver<S: CausalScheduler, P> {
     cap_per_channel: usize,
     stall_timeout_ns: Option<u64>,
     stall: Option<StallState>,
-    stats: ReceiverStats,
+    stats: ReceiverSnapshot,
 }
 
 impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
@@ -185,7 +186,7 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
             cap_per_channel,
             stall_timeout_ns: None,
             stall: None,
-            stats: ReceiverStats::default(),
+            stats: ReceiverSnapshot::default(),
         }
     }
 
@@ -347,7 +348,7 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
     /// or when the whole stripe is simply idle.
     ///
     /// Call periodically with a monotone clock; each stall episode bumps
-    /// [`ReceiverStats::stalls`] once.
+    /// [`ReceiverSnapshot::stalls`] once.
     pub fn stalled(&mut self, now_ns: u64) -> Option<ChannelId> {
         let timeout = self.stall_timeout_ns?;
         let c = self.sched.current();
@@ -396,7 +397,7 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
     }
 
     /// Counters.
-    pub fn stats(&self) -> ReceiverStats {
+    pub fn stats(&self) -> ReceiverSnapshot {
         self.stats
     }
 
@@ -428,7 +429,7 @@ impl<S: CausalScheduler, P: WireLen> LogicalReceiver<S, P> {
         }
         self.drained.clear();
         self.stall = None;
-        self.stats = ReceiverStats::default();
+        self.stats = ReceiverSnapshot::default();
     }
 }
 
@@ -444,7 +445,7 @@ mod tests {
         cfg: MarkerConfig,
         lens: impl IntoIterator<Item = usize>,
         lose: impl Fn(u64, ChannelId) -> bool,
-    ) -> (Vec<u64>, ReceiverStats) {
+    ) -> (Vec<u64>, ReceiverSnapshot) {
         let mut tx = StripingSender::new(sched.clone(), cfg);
         let mut rx = LogicalReceiver::new(sched, 4096);
         let mut out = Vec::new();
@@ -824,7 +825,7 @@ mod tests {
         rx.push(0, Arrival::Data(TestPacket::new(0, 100)));
         rx.poll();
         rx.reset();
-        assert_eq!(rx.stats(), ReceiverStats::default());
+        assert_eq!(rx.stats(), ReceiverSnapshot::default());
         assert_eq!(rx.buffered_total(), 0);
         assert_eq!(rx.expected_channel(), 0);
     }

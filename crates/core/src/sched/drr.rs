@@ -1,0 +1,334 @@
+//! Deficit Round Robin over a *dynamic* set of flows — the inter-flow
+//! half of the two-level scheduler.
+//!
+//! [`Srr`](super::Srr) answers "which **channel** carries the next
+//! packet of this flow"; [`Drr`] answers "which **flow** gets to send
+//! next" when thousands of logical flows share one channel set. The two
+//! compose: a server pops a flow from the DRR ring, lets it spend up to
+//! one quantum of bytes through its own per-flow SRR, and re-queues it
+//! while it stays backlogged. Classic DRR (Shreedhar & Varghese)
+//! guarantees each backlogged flow a `quantum_i / Σ quantum` share of
+//! the aggregate regardless of packet sizes, which is exactly the
+//! fairness regime the multi-flow bench pins with Jain's index.
+//!
+//! Unlike the channel schedulers this one is *not* causal and is never
+//! simulated by a receiver: inter-flow order is invisible to correctness
+//! (each flow is independently quasi-FIFO via its own SRR + markers), so
+//! the serve order here only shapes fairness and latency.
+//!
+//! The flow set churns: flows register when opened, activate when they
+//! gain backlog, deactivate when they drain, and unregister when closed.
+//! All operations are O(1) except [`unregister`](Drr::unregister), which
+//! compacts the active ring (rare — close-time only).
+
+use std::collections::VecDeque;
+
+/// Per-flow scheduling state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    /// The flow exists (registered and not yet unregistered).
+    registered: bool,
+    /// The flow is in the active ring (has backlog or is mid-turn).
+    queued: bool,
+    /// Bytes credited each time the flow's turn comes up.
+    quantum: i64,
+    /// Unspent credit carried while the flow stays backlogged.
+    deficit: i64,
+}
+
+/// Deficit Round Robin across flows, indexed by dense flow id.
+#[derive(Debug, Clone, Default)]
+pub struct Drr {
+    slots: Vec<Slot>,
+    /// Round-robin ring of active flow ids.
+    active: VecDeque<usize>,
+    default_quantum: i64,
+    /// Flows currently registered.
+    registered: usize,
+}
+
+impl Drr {
+    /// A scheduler whose flows each get `default_quantum` cost units
+    /// (bytes, under byte accounting) per turn unless registered with an
+    /// explicit weight.
+    ///
+    /// # Panics
+    /// Panics on a non-positive quantum — a flow with no credit would
+    /// never progress.
+    pub fn new(default_quantum: i64) -> Self {
+        assert!(default_quantum > 0, "quantum must be positive");
+        Self {
+            slots: Vec::new(),
+            active: VecDeque::new(),
+            default_quantum,
+            registered: 0,
+        }
+    }
+
+    /// Register flow `id` with the default quantum.
+    pub fn register(&mut self, id: usize) {
+        self.register_weighted(id, self.default_quantum);
+    }
+
+    /// Register flow `id` with an explicit per-turn quantum (a weighted
+    /// flow: twice the quantum is twice the steady-state share).
+    ///
+    /// # Panics
+    /// Panics if `quantum <= 0` or the id is already registered.
+    pub fn register_weighted(&mut self, id: usize, quantum: i64) {
+        assert!(quantum > 0, "quantum must be positive");
+        if self.slots.len() <= id {
+            self.slots.resize(id + 1, Slot::default());
+        }
+        let s = &mut self.slots[id];
+        assert!(!s.registered, "flow {id} already registered");
+        *s = Slot {
+            registered: true,
+            queued: false,
+            quantum,
+            deficit: 0,
+        };
+        self.registered += 1;
+    }
+
+    /// Remove flow `id` entirely (flow close). Also drops it from the
+    /// active ring if queued.
+    pub fn unregister(&mut self, id: usize) {
+        let Some(s) = self.slots.get_mut(id) else {
+            return;
+        };
+        if !s.registered {
+            return;
+        }
+        let was_queued = s.queued;
+        *s = Slot::default();
+        self.registered -= 1;
+        if was_queued {
+            self.active.retain(|&q| q != id);
+        }
+    }
+
+    /// Flow `id` gained backlog: enter the active ring (idempotent).
+    pub fn activate(&mut self, id: usize) {
+        let s = &mut self.slots[id];
+        assert!(s.registered, "activate of unregistered flow {id}");
+        if !s.queued {
+            s.queued = true;
+            self.active.push_back(id);
+        }
+    }
+
+    /// Start the next flow's turn: pop the ring head and credit it one
+    /// quantum. Returns `None` when no flow is active. The caller serves
+    /// packets while [`deficit`](Self::deficit) covers their cost
+    /// (charging each via [`charge`](Self::charge)) and must finish with
+    /// [`end_turn`](Self::end_turn).
+    pub fn begin_turn(&mut self) -> Option<usize> {
+        let id = self.active.pop_front()?;
+        let s = &mut self.slots[id];
+        debug_assert!(s.registered && s.queued);
+        s.deficit += s.quantum;
+        Some(id)
+    }
+
+    /// Credit left in flow `id`'s current turn.
+    pub fn deficit(&self, id: usize) -> i64 {
+        self.slots[id].deficit
+    }
+
+    /// Spend `cost` of flow `id`'s credit for one served packet.
+    pub fn charge(&mut self, id: usize, cost: i64) {
+        self.slots[id].deficit -= cost;
+    }
+
+    /// Close flow `id`'s turn. A still-backlogged flow re-enters the
+    /// ring tail keeping its unspent deficit (a frame bigger than one
+    /// quantum accumulates credit across turns); a drained flow leaves
+    /// the ring and — per classic DRR — forfeits its deficit, so idle
+    /// flows cannot hoard credit.
+    pub fn end_turn(&mut self, id: usize, backlogged: bool) {
+        let s = &mut self.slots[id];
+        if backlogged {
+            self.active.push_back(id);
+        } else {
+            s.queued = false;
+            s.deficit = 0;
+        }
+    }
+
+    /// Flows currently in the active ring (including any mid-turn).
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Flows currently registered.
+    pub fn registered_len(&self) -> usize {
+        self.registered
+    }
+
+    /// Whether flow `id` is registered.
+    pub fn is_registered(&self, id: usize) -> bool {
+        self.slots.get(id).is_some_and(|s| s.registered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serve greedily from per-flow FIFO backlogs until everything
+    /// drains; returns per-flow served byte counts.
+    fn drain(drr: &mut Drr, backlogs: &mut [VecDeque<usize>]) -> Vec<i64> {
+        let mut served = vec![0i64; backlogs.len()];
+        while let Some(f) = drr.begin_turn() {
+            while let Some(&len) = backlogs[f].front() {
+                if drr.deficit(f) < len as i64 {
+                    break;
+                }
+                drr.charge(f, len as i64);
+                served[f] += len as i64;
+                backlogs[f].pop_front();
+            }
+            drr.end_turn(f, !backlogs[f].is_empty());
+        }
+        served
+    }
+
+    #[test]
+    fn equal_quanta_share_equally_despite_packet_sizes() {
+        let mut drr = Drr::new(1500);
+        // Flow 0 sends jumbo frames, flow 1 tiny ones, same total offer.
+        let mut backlogs = vec![
+            std::iter::repeat_n(1400usize, 100).collect::<VecDeque<_>>(),
+            std::iter::repeat_n(100usize, 1400).collect::<VecDeque<_>>(),
+        ];
+        for f in 0..2 {
+            drr.register(f);
+            drr.activate(f);
+        }
+        let served = drain(&mut drr, &mut backlogs);
+        assert_eq!(served, vec![140_000, 140_000]);
+    }
+
+    /// While both flows stay backlogged, the served-byte gap never
+    /// exceeds one quantum plus one max packet — the DRR fairness bound.
+    #[test]
+    fn backlogged_gap_bounded_by_quantum_plus_mtu() {
+        let mut drr = Drr::new(1500);
+        let mut backlogs = [
+            std::iter::repeat_n(1400usize, 1000).collect::<VecDeque<_>>(),
+            std::iter::repeat_n(137usize, 10000).collect::<VecDeque<_>>(),
+        ];
+        for f in 0..2 {
+            drr.register(f);
+            drr.activate(f);
+        }
+        let mut served = [0i64; 2];
+        for _ in 0..200 {
+            let f = drr.begin_turn().unwrap();
+            while let Some(&len) = backlogs[f].front() {
+                if drr.deficit(f) < len as i64 {
+                    break;
+                }
+                drr.charge(f, len as i64);
+                served[f] += len as i64;
+                backlogs[f].pop_front();
+            }
+            drr.end_turn(f, !backlogs[f].is_empty());
+            assert!(
+                (served[0] - served[1]).abs() <= 1500 + 1400,
+                "gap {} past the bound",
+                (served[0] - served[1]).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_flows_split_proportionally() {
+        let mut drr = Drr::new(1000);
+        let mut backlogs = [
+            std::iter::repeat_n(500usize, 600).collect::<VecDeque<_>>(),
+            std::iter::repeat_n(500usize, 600).collect::<VecDeque<_>>(),
+        ];
+        drr.register_weighted(0, 3000);
+        drr.register_weighted(1, 1000);
+        drr.activate(0);
+        drr.activate(1);
+        // Serve a fixed number of turns; flow 0 must get ~3x the bytes.
+        let mut served = [0i64; 2];
+        for _ in 0..100 {
+            let Some(f) = drr.begin_turn() else { break };
+            while let Some(&len) = backlogs[f].front() {
+                if drr.deficit(f) < len as i64 {
+                    break;
+                }
+                drr.charge(f, len as i64);
+                served[f] += len as i64;
+                backlogs[f].pop_front();
+            }
+            drr.end_turn(f, !backlogs[f].is_empty());
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((2.5..=3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// A frame larger than the quantum accumulates deficit across turns
+    /// instead of deadlocking.
+    #[test]
+    fn oversized_frame_accumulates_credit() {
+        let mut drr = Drr::new(100);
+        let mut backlogs = vec![VecDeque::from(vec![950usize])];
+        drr.register(0);
+        drr.activate(0);
+        let served = drain(&mut drr, &mut backlogs);
+        assert_eq!(served, vec![950]);
+    }
+
+    /// Draining forfeits deficit: an idle flow re-activating starts from
+    /// zero credit, it cannot hoard.
+    #[test]
+    fn drained_flow_forfeits_deficit() {
+        let mut drr = Drr::new(1000);
+        drr.register(0);
+        drr.activate(0);
+        let f = drr.begin_turn().unwrap();
+        drr.charge(f, 10);
+        drr.end_turn(f, false);
+        assert_eq!(drr.deficit(0), 0);
+        assert_eq!(drr.active_len(), 0);
+        drr.activate(0);
+        let f = drr.begin_turn().unwrap();
+        assert_eq!(drr.deficit(f), 1000, "exactly one fresh quantum");
+        drr.end_turn(f, false);
+    }
+
+    #[test]
+    fn unregister_removes_from_ring() {
+        let mut drr = Drr::new(1000);
+        for f in 0..3 {
+            drr.register(f);
+            drr.activate(f);
+        }
+        drr.unregister(1);
+        assert_eq!(drr.active_len(), 2);
+        assert_eq!(drr.registered_len(), 2);
+        assert_eq!(drr.begin_turn(), Some(0));
+        drr.end_turn(0, false);
+        assert_eq!(drr.begin_turn(), Some(2));
+        drr.end_turn(2, false);
+        assert_eq!(drr.begin_turn(), None);
+        // A recycled id starts clean.
+        drr.register(1);
+        assert!(drr.is_registered(1));
+        assert_eq!(drr.deficit(1), 0);
+    }
+
+    #[test]
+    fn activate_is_idempotent() {
+        let mut drr = Drr::new(1000);
+        drr.register(0);
+        drr.activate(0);
+        drr.activate(0);
+        assert_eq!(drr.active_len(), 1);
+    }
+}

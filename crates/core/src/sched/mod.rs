@@ -16,9 +16,11 @@
 //! - in its **original** fair-queuing direction over multiple queues
 //!   ([`crate::fq`]), which is how the paper demonstrates the duality.
 
+mod drr;
 mod rfq;
 mod srr;
 
+pub use drr::Drr;
 pub use rfq::Rfq;
 pub use srr::{CostModel, Srr};
 

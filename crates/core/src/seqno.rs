@@ -38,7 +38,7 @@ impl SeqSender {
 
 /// Statistics for the resequencer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ResequencerStats {
+pub struct ResequencerSnapshot {
     /// Packets delivered in order.
     pub delivered: u64,
     /// Sequence numbers declared lost (skipped over).
@@ -46,6 +46,11 @@ pub struct ResequencerStats {
     /// Duplicate or stale arrivals discarded.
     pub stale_dropped: u64,
 }
+
+/// The pre-convention name for [`ResequencerSnapshot`], kept as an alias
+/// while external callers migrate.
+#[deprecated(since = "0.1.0", note = "renamed to `ResequencerSnapshot`")]
+pub type ResequencerStats = ResequencerSnapshot;
 
 /// Receive-side resequencer: releases packets in strictly increasing
 /// sequence order, never inverting two delivered packets.
@@ -60,7 +65,7 @@ pub struct SeqResequencer<P> {
     next_expected: u64,
     buffer: BTreeMap<u64, P>,
     max_buffered: usize,
-    stats: ResequencerStats,
+    stats: ResequencerSnapshot,
 }
 
 impl<P> SeqResequencer<P> {
@@ -76,7 +81,7 @@ impl<P> SeqResequencer<P> {
             next_expected: 0,
             buffer: BTreeMap::new(),
             max_buffered,
-            stats: ResequencerStats::default(),
+            stats: ResequencerSnapshot::default(),
         }
     }
 
@@ -138,7 +143,7 @@ impl<P> SeqResequencer<P> {
     }
 
     /// Counters.
-    pub fn stats(&self) -> ResequencerStats {
+    pub fn stats(&self) -> ResequencerSnapshot {
         self.stats
     }
 }

@@ -9,7 +9,7 @@
 //! resequenced by logical reception before entering IP input.
 
 use bytes::Bytes;
-use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverStats};
+use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverSnapshot};
 use stripe_core::sched::Srr;
 use stripe_core::sender::{MarkerConfig, StripingSender};
 use stripe_core::types::{ChannelId, WireLen};
@@ -238,7 +238,7 @@ impl StripeRxInterface {
     }
 
     /// Resequencer counters.
-    pub fn stats(&self) -> ReceiverStats {
+    pub fn stats(&self) -> ReceiverSnapshot {
         self.rx.stats()
     }
 }

@@ -78,7 +78,7 @@ impl FaultPlan {
 
 /// Counters for what the fault layer actually did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultStats {
+pub struct FaultSnapshot {
     /// Transmissions refused because the link was down.
     pub dropped_down: u64,
     /// Deliveries corrupted.
@@ -86,6 +86,11 @@ pub struct FaultStats {
     /// Deliveries duplicated.
     pub duplicated: u64,
 }
+
+/// The pre-convention name for [`FaultSnapshot`], kept as an alias while
+/// external callers migrate.
+#[deprecated(since = "0.1.0", note = "renamed to `FaultSnapshot`")]
+pub type FaultStats = FaultSnapshot;
 
 /// A [`FifoLink`] wrapper injecting the faults of a [`FaultPlan`].
 ///
@@ -96,7 +101,7 @@ pub struct FaultyLink<L: FifoLink> {
     inner: L,
     plan: FaultPlan,
     rng: DetRng,
-    stats: FaultStats,
+    stats: FaultSnapshot,
 }
 
 impl<L: FifoLink> FaultyLink<L> {
@@ -107,7 +112,7 @@ impl<L: FifoLink> FaultyLink<L> {
             inner,
             plan,
             rng: DetRng::new(seed),
-            stats: FaultStats::default(),
+            stats: FaultSnapshot::default(),
         }
     }
 
@@ -127,7 +132,7 @@ impl<L: FifoLink> FaultyLink<L> {
     }
 
     /// What the fault layer has done so far.
-    pub fn stats(&self) -> FaultStats {
+    pub fn stats(&self) -> FaultSnapshot {
         self.stats
     }
 }
@@ -220,7 +225,7 @@ mod tests {
             let now = t(i);
             assert_eq!(plain.transmit(now, 500), faulty.transmit(now, 500));
         }
-        assert_eq!(faulty.stats(), FaultStats::default());
+        assert_eq!(faulty.stats(), FaultSnapshot::default());
     }
 
     #[test]

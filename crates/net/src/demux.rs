@@ -1,0 +1,600 @@
+//! The multi-flow receive side: one socket sweep demultiplexing
+//! flow-tagged frames into per-flow resequencers.
+//!
+//! [`FlowDemux`] is the receive-side twin of
+//! [`StripeServer`](crate::server::StripeServer). It owns the N links
+//! and a slab of per-flow replicas — each an independent
+//! [`StripedSink`] whose scheduler is a fresh clone of the shared
+//! prototype, exactly as the sender clones its own prototype per flow.
+//! Flow lookup on the hot path is one slab index: O(1) per frame.
+//!
+//! Replicas are created *lazily*, on the first frame naming a flow id
+//! (data or marker — both carry the varint tag). At creation the demux
+//! applies the last announced membership mask one round ahead, the same
+//! rule [`StripeServer::open_flow`](crate::server::StripeServer::open_flow)
+//! uses, so both fresh simulations start in lockstep. Population is
+//! bounded by [`max_flows`](FlowDemuxBuilder::max_flows); frames naming
+//! flows past the cap are counted `dropped_admission` and discarded.
+//!
+//! Global control (probes, membership, quantum updates) arrives as
+//! untagged version-1 frames and is handled once at the demux — applied
+//! to *every* replica — so the failover plane stays flow-agnostic:
+//! an epoch change is one announcement, not one per flow.
+//!
+//! Buffers cycle through one shared [`BufPool`] for all flows; data
+//! payloads travel as zero-copy [`PooledBuf`] views and come back via
+//! [`recycle`](FlowDemux::recycle). Steady state allocates nothing.
+
+use stripe_core::control::Control;
+use stripe_core::receiver::{Arrival, ReceiverSnapshot, RxBatch};
+use stripe_core::sched::CausalScheduler;
+use stripe_core::types::ChannelId;
+use stripe_link::DatagramLink;
+use stripe_netsim::SimTime;
+use stripe_transport::StripedSink;
+
+use crate::frame::{self, Frame};
+use crate::pool::{BufPool, PooledBuf};
+use crate::server::FlowId;
+
+/// Demux-wide receive counters (per-flow resequencer counters live in
+/// each flow's [`ReceiverSnapshot`], see [`FlowDemux::flow_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowDemuxSnapshot {
+    /// Frames received across all channels and flows.
+    pub frames: u64,
+    /// Data frames routed into some flow's resequencer.
+    pub data_frames: u64,
+    /// Control frames (markers included) decoded.
+    pub control_frames: u64,
+    /// Frames that failed to decode (bad magic, version, kind, varint,
+    /// or control body).
+    pub dropped_malformed: u64,
+    /// Summed data frames whose CRC-8 trailer did not match.
+    pub dropped_corrupt: u64,
+    /// Frames naming a flow the demux refused to create (population at
+    /// [`max_flows`](FlowDemuxBuilder::max_flows)).
+    pub dropped_admission: u64,
+    /// Flow replicas currently instantiated.
+    pub flows_active: u64,
+    /// Control replies transmitted on the reverse path.
+    pub replies_sent: u64,
+    /// Control replies that could not be transmitted (backpressure).
+    pub replies_lost: u64,
+}
+
+/// Builder for [`FlowDemux`] — same vocabulary as the other builders:
+/// `scheduler` / `links` / capacity knobs.
+#[derive(Debug)]
+pub struct FlowDemuxBuilder<S: CausalScheduler, L: DatagramLink> {
+    proto: Option<S>,
+    links: Vec<L>,
+    cap_per_channel: usize,
+    pool_initial: usize,
+    stall_timeout_ns: Option<u64>,
+    max_flows: usize,
+}
+
+impl<S: CausalScheduler, L: DatagramLink> Default for FlowDemuxBuilder<S, L> {
+    fn default() -> Self {
+        Self {
+            proto: None,
+            links: Vec::new(),
+            cap_per_channel: 1 << 14,
+            pool_initial: 64,
+            stall_timeout_ns: None,
+            max_flows: 1 << 16,
+        }
+    }
+}
+
+impl<S: CausalScheduler, L: DatagramLink> FlowDemuxBuilder<S, L> {
+    /// The *prototype* simulation scheduler: every flow replica gets an
+    /// identically configured fresh clone — matching the sender's
+    /// per-flow clones. Required.
+    pub fn scheduler(mut self, proto: S) -> Self {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// The member links, one per scheduler channel. Required.
+    pub fn links(mut self, links: Vec<L>) -> Self {
+        self.links = links;
+        self
+    }
+
+    /// Append a single member link.
+    pub fn link(mut self, link: L) -> Self {
+        self.links.push(link);
+        self
+    }
+
+    /// Per-channel resequencer buffer depth, per flow. Defaults to
+    /// 16384 (rings grow lazily, so idle flows cost almost nothing).
+    pub fn capacity_per_channel(mut self, cap: usize) -> Self {
+        self.cap_per_channel = cap;
+        self
+    }
+
+    /// Receive buffers to pre-allocate in the shared pool. Defaults
+    /// to 64.
+    pub fn pool_buffers(mut self, n: usize) -> Self {
+        self.pool_initial = n;
+        self
+    }
+
+    /// Arm each flow's head-of-line stall detector (see
+    /// [`stripe_core::receiver::LogicalReceiver::set_stall_timeout`]).
+    pub fn stall_timeout_ns(mut self, timeout_ns: u64) -> Self {
+        self.stall_timeout_ns = Some(timeout_ns);
+        self
+    }
+
+    /// Cap on instantiated flow replicas; frames naming flows past it
+    /// are dropped (`dropped_admission`). Defaults to 65536.
+    pub fn max_flows(mut self, n: usize) -> Self {
+        self.max_flows = n;
+        self
+    }
+
+    /// Assemble the demux with no flows instantiated. Pool buffers are
+    /// sized to the largest link MTU.
+    ///
+    /// # Panics
+    /// Panics if no scheduler was supplied or the link count differs
+    /// from the scheduler's channel count.
+    pub fn build(self) -> FlowDemux<S, L> {
+        let proto = self.proto.expect("FlowDemuxBuilder needs a scheduler");
+        assert_eq!(
+            self.links.len(),
+            proto.channels(),
+            "one link per scheduler channel"
+        );
+        let buf_len = self
+            .links
+            .iter()
+            .map(|l| l.mtu())
+            .max()
+            .expect("non-empty links");
+        let channels = self.links.len();
+        FlowDemux {
+            proto,
+            links: self.links,
+            pool: BufPool::new(buf_len, self.pool_initial),
+            cap_per_channel: self.cap_per_channel,
+            stall_timeout_ns: self.stall_timeout_ns,
+            max_flows: self.max_flows,
+            flows: Vec::new(),
+            last_mask: None,
+            membership: stripe_core::membership::MembershipResponder::new(),
+            ctl_buf: Vec::new(),
+            recv_bufs: Vec::new(),
+            recv_lens: Vec::new(),
+            stats: FlowDemuxSnapshot::default(),
+            malformed_by_channel: vec![0; channels],
+            corrupt_by_channel: vec![0; channels],
+        }
+    }
+}
+
+/// Per-flow replica: the resequencer behind its sink.
+#[derive(Debug)]
+struct RxFlow<S: CausalScheduler> {
+    sink: StripedSink<S, PooledBuf>,
+}
+
+/// Flow-aware physical reception over real sockets. See the module docs.
+#[derive(Debug)]
+pub struct FlowDemux<S: CausalScheduler, L: DatagramLink> {
+    /// Prototype scheduler, cloned per flow replica.
+    proto: S,
+    links: Vec<L>,
+    pool: BufPool,
+    cap_per_channel: usize,
+    stall_timeout_ns: Option<u64>,
+    max_flows: usize,
+    /// The flow slab: O(1) lookup by flow id, `None` in untouched slots.
+    flows: Vec<Option<RxFlow<S>>>,
+    /// Last applied membership mask, replayed onto replicas created
+    /// after an epoch change (mirrors the sender's `open_flow` rule).
+    last_mask: Option<Vec<bool>>,
+    /// Demux-level membership responder: one epoch, all flows.
+    membership: stripe_core::membership::MembershipResponder,
+    ctl_buf: Vec<u8>,
+    recv_bufs: Vec<Vec<u8>>,
+    recv_lens: Vec<usize>,
+    stats: FlowDemuxSnapshot,
+    /// Per-channel undecodable-frame counts.
+    malformed_by_channel: Vec<u64>,
+    /// Per-channel checksum-discard counts.
+    corrupt_by_channel: Vec<u64>,
+}
+
+impl<S: CausalScheduler + Clone, L: DatagramLink> FlowDemux<S, L> {
+    /// Instantiate flow `id`'s replica now if absent (it is normally
+    /// created lazily by the first tagged frame). Returns `false` when
+    /// the population cap refuses it.
+    pub fn touch_flow(&mut self, id: FlowId) -> bool {
+        self.ensure_flow(id)
+    }
+
+    fn ensure_flow(&mut self, id: FlowId) -> bool {
+        let idx = id as usize;
+        if idx < self.flows.len() && self.flows[idx].is_some() {
+            return true;
+        }
+        if self.stats.flows_active as usize >= self.max_flows {
+            return false;
+        }
+        if self.flows.len() <= idx {
+            self.flows.resize_with(idx + 1, || None);
+        }
+        let mut builder = StripedSink::builder()
+            .scheduler(self.proto.clone())
+            .capacity_per_channel(self.cap_per_channel);
+        if let Some(t) = self.stall_timeout_ns {
+            builder = builder.stall_timeout_ns(t);
+        }
+        let mut sink = builder.build();
+        if let Some(mask) = &self.last_mask {
+            // Same rule as the sender's open_flow: a flow born after an
+            // epoch change schedules the current mask one round ahead of
+            // its fresh scheduler, keeping both simulations in lockstep.
+            let eff = sink.receiver().scheduler().round() + 1;
+            sink.receiver_mut().apply_membership(eff, mask);
+        }
+        self.flows[idx] = Some(RxFlow { sink });
+        self.stats.flows_active += 1;
+        true
+    }
+
+    /// One readiness pass at `now`: drain every channel's socket in
+    /// batches (the `recvmmsg` seam), route each frame to its flow,
+    /// answer global control on the reverse path. Returns the number of
+    /// frames received.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let _ = now; // reserved for receive-timestamp plumbing
+        while self.recv_bufs.len() < Self::RECV_RUN {
+            self.recv_bufs.push(self.pool.take());
+            self.recv_lens.push(0);
+        }
+        let mut received = 0;
+        for c in 0..self.links.len() {
+            loop {
+                let got = self.links[c].recv_run(&mut self.recv_bufs, &mut self.recv_lens);
+                for i in 0..got {
+                    let buf = std::mem::replace(&mut self.recv_bufs[i], self.pool.take());
+                    let n = self.recv_lens[i];
+                    received += 1;
+                    self.stats.frames += 1;
+                    self.route_frame(c, buf, n);
+                }
+                if got < Self::RECV_RUN {
+                    break;
+                }
+            }
+        }
+        received
+    }
+
+    /// Route one received frame to its flow's resequencer (data and
+    /// markers) or through the demux-level responders (global control).
+    fn route_frame(&mut self, c: ChannelId, buf: Vec<u8>, n: usize) {
+        match frame::try_decode_flow(&buf[..n]) {
+            Ok((flow, Frame::Data(body))) => {
+                let len = body.len();
+                let offset = frame::body_offset(&buf[..n]).expect("decoded frame has a body");
+                if !self.ensure_flow(flow) {
+                    self.stats.dropped_admission += 1;
+                    self.pool.put(buf);
+                    return;
+                }
+                self.stats.data_frames += 1;
+                let pb = PooledBuf::new(buf, offset, len);
+                let sink = &mut self.flows[flow as usize].as_mut().expect("ensured").sink;
+                // On overflow the resequencer drops the arrival (counted
+                // in that flow's snapshot); the buffer is freed with it.
+                let _ = sink.on_arrival(c, Arrival::Data(pb));
+            }
+            Ok((flow, Frame::Control(Control::Marker(mk)))) => {
+                self.stats.control_frames += 1;
+                self.pool.put(buf);
+                if !self.ensure_flow(flow) {
+                    self.stats.dropped_admission += 1;
+                    return;
+                }
+                let sink = &mut self.flows[flow as usize].as_mut().expect("ensured").sink;
+                sink.on_arrival(c, Arrival::Marker(mk));
+            }
+            Ok((_, Frame::Control(ctl))) => {
+                self.stats.control_frames += 1;
+                self.pool.put(buf);
+                self.on_global_control(c, &ctl);
+            }
+            Err(frame::DecodeError::Corrupt) => {
+                self.stats.dropped_corrupt += 1;
+                self.corrupt_by_channel[c] += 1;
+                self.pool.put(buf);
+            }
+            Err(frame::DecodeError::Malformed) => {
+                self.stats.dropped_malformed += 1;
+                self.malformed_by_channel[c] += 1;
+                self.pool.put(buf);
+            }
+        }
+    }
+
+    /// Handle an untagged control frame once, for every flow: probes are
+    /// acked, membership changes are applied to all replicas and
+    /// remembered for future ones, quantum updates fan out likewise.
+    fn on_global_control(&mut self, c: ChannelId, ctl: &Control) {
+        match ctl {
+            Control::Probe { nonce } => {
+                self.reply(c, &Control::ProbeAck { nonce: *nonce });
+            }
+            Control::Membership {
+                epoch,
+                live_mask,
+                effective_round,
+            } => {
+                let n = self.links.len();
+                use stripe_core::membership::MembershipAction;
+                match self
+                    .membership
+                    .on_membership(c, *epoch, *live_mask, *effective_round, n)
+                {
+                    MembershipAction::Apply {
+                        channel,
+                        effective_round,
+                        live,
+                        ack,
+                    } => {
+                        for f in self.flows.iter_mut().flatten() {
+                            f.sink
+                                .receiver_mut()
+                                .apply_membership(effective_round, &live);
+                        }
+                        self.last_mask = Some(live);
+                        self.reply(channel, &ack);
+                    }
+                    MembershipAction::AckOnly { channel, ack } => self.reply(channel, &ack),
+                    MembershipAction::Ignore => {}
+                }
+            }
+            Control::QuantumUpdate {
+                effective_round,
+                quanta,
+            } => {
+                for f in self.flows.iter_mut().flatten() {
+                    f.sink
+                        .receiver_mut()
+                        .schedule_quanta(*effective_round, quanta);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn reply(&mut self, c: ChannelId, ctl: &Control) {
+        frame::encode_control_into(ctl, &mut self.ctl_buf);
+        match self.links[c].send_frame(&self.ctl_buf) {
+            Ok(()) => self.stats.replies_sent += 1,
+            Err(_) => self.stats.replies_lost += 1,
+        }
+    }
+}
+
+impl<S: CausalScheduler, L: DatagramLink> FlowDemux<S, L> {
+    /// Start building: `FlowDemux::builder().scheduler(…).links(…)
+    /// .build()`.
+    pub fn builder() -> FlowDemuxBuilder<S, L> {
+        FlowDemuxBuilder::default()
+    }
+
+    /// Frames per [`DatagramLink::recv_run`] call in a sweep.
+    const RECV_RUN: usize = 32;
+
+    /// Drain flow `id`'s deliverable packets into `out` (cleared first).
+    /// Returns the number delivered; 0 for uninstantiated flows.
+    pub fn poll_flow_into(&mut self, id: FlowId, out: &mut RxBatch<PooledBuf>) -> usize {
+        match self.flows.get_mut(id as usize).and_then(|f| f.as_mut()) {
+            Some(f) => f.sink.poll_into(out),
+            None => {
+                out.clear();
+                0
+            }
+        }
+    }
+
+    /// Deliver flow `id`'s next in-order packet, if any.
+    pub fn poll_flow(&mut self, id: FlowId) -> Option<PooledBuf> {
+        self.flows
+            .get_mut(id as usize)
+            .and_then(|f| f.as_mut())?
+            .sink
+            .poll()
+    }
+
+    /// Flow `id`'s head-of-line stall probe (see
+    /// [`stripe_core::receiver::LogicalReceiver::stalled`]).
+    pub fn flow_stalled(&mut self, id: FlowId, now: SimTime) -> Option<ChannelId> {
+        self.flows
+            .get_mut(id as usize)
+            .and_then(|f| f.as_mut())?
+            .sink
+            .stalled(now)
+    }
+
+    /// Return a consumed packet's storage to the shared receive pool.
+    pub fn recycle(&mut self, pkt: PooledBuf) {
+        self.pool.put(pkt.into_inner());
+    }
+
+    /// Pre-size flow `id`'s resequencer rings (see
+    /// [`stripe_core::receiver::LogicalReceiver::reserve`]). No-op for
+    /// uninstantiated flows.
+    pub fn reserve_flow(&mut self, id: FlowId, per_channel: usize) {
+        if let Some(f) = self.flows.get_mut(id as usize).and_then(|f| f.as_mut()) {
+            f.sink.receiver_mut().reserve(per_channel);
+        }
+    }
+
+    /// Flow `id`'s resequencer counters, if instantiated.
+    pub fn flow_stats(&self, id: FlowId) -> Option<ReceiverSnapshot> {
+        self.flows
+            .get(id as usize)
+            .and_then(|f| f.as_ref())
+            .map(|f| f.sink.stats())
+    }
+
+    /// Flow `id`'s sink (resequencer + responders), if instantiated.
+    pub fn flow_sink(&self, id: FlowId) -> Option<&StripedSink<S, PooledBuf>> {
+        self.flows
+            .get(id as usize)
+            .and_then(|f| f.as_ref())
+            .map(|f| &f.sink)
+    }
+
+    /// Mutable access to flow `id`'s sink, if instantiated.
+    pub fn flow_sink_mut(&mut self, id: FlowId) -> Option<&mut StripedSink<S, PooledBuf>> {
+        self.flows
+            .get_mut(id as usize)
+            .and_then(|f| f.as_mut())
+            .map(|f| &mut f.sink)
+    }
+
+    /// One past the highest instantiated flow id (slab length) — the
+    /// iteration bound for per-flow polling.
+    pub fn flow_slots(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Demux-wide counters.
+    pub fn net_stats(&self) -> FlowDemuxSnapshot {
+        self.stats
+    }
+
+    /// Per-channel undecodable-frame counts (indexed by channel id).
+    pub fn malformed_by_channel(&self) -> &[u64] {
+        &self.malformed_by_channel
+    }
+
+    /// Per-channel checksum-discard counts (indexed by channel id).
+    pub fn corrupt_by_channel(&self) -> &[u64] {
+        &self.corrupt_by_channel
+    }
+
+    /// The member links.
+    pub fn links(&self) -> &[L] {
+        &self.links
+    }
+
+    /// Mutable access to the member links.
+    pub fn links_mut(&mut self) -> &mut [L] {
+        &mut self.links
+    }
+
+    /// The shared receive buffer pool (for high-water-mark inspection).
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::StripeServer;
+    use stripe_core::sched::Srr;
+    use stripe_core::sender::MarkerConfig;
+    use stripe_link::{datagram_pair, TestDatagramLink};
+
+    fn linked(
+        flows_cap: usize,
+    ) -> (
+        StripeServer<Srr, TestDatagramLink>,
+        FlowDemux<Srr, TestDatagramLink>,
+    ) {
+        let (a0, b0) = datagram_pair(2048, 1 << 12);
+        let (a1, b1) = datagram_pair(2048, 1 << 12);
+        let srv = StripeServer::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .markers(MarkerConfig::every_rounds(4))
+            .links(vec![a0, a1])
+            .build();
+        let demux = FlowDemux::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(vec![b0, b1])
+            .max_flows(flows_cap)
+            .build();
+        (srv, demux)
+    }
+
+    /// Interleaved flows arrive FIFO *per flow*, payloads intact and
+    /// never cross-delivered.
+    #[test]
+    fn per_flow_fifo_across_interleaving() {
+        let (mut srv, mut demux) = linked(16);
+        let flows: Vec<_> = (0..3).map(|_| srv.open_flow().unwrap()).collect();
+        let mut events = Vec::new();
+        for round in 0..50u64 {
+            for (fi, h) in flows.iter().enumerate() {
+                let mut payload = vec![fi as u8; 64 + (round as usize % 7) * 100];
+                payload[1..9].copy_from_slice(&round.to_be_bytes());
+                srv.enqueue(*h, &payload).unwrap();
+            }
+            srv.pump_into(SimTime::from_millis(round), usize::MAX, &mut events);
+            demux.sweep(SimTime::from_millis(round));
+        }
+        let mut batch = RxBatch::new();
+        for (fi, h) in flows.iter().enumerate() {
+            let mut seen = Vec::new();
+            demux.poll_flow_into(h.id(), &mut batch);
+            for pb in batch.drain() {
+                let bytes = pb.as_slice();
+                assert_eq!(bytes[0] as usize, fi, "cross-flow delivery");
+                seen.push(u64::from_be_bytes(bytes[1..9].try_into().unwrap()));
+                demux.recycle(pb);
+            }
+            assert_eq!(seen, (0..50).collect::<Vec<_>>(), "flow {fi} not FIFO");
+        }
+        assert_eq!(demux.net_stats().flows_active, 3);
+        assert_eq!(demux.net_stats().dropped_malformed, 0);
+    }
+
+    /// Flows past the demux population cap are counted, dropped, and do
+    /// not disturb admitted flows.
+    #[test]
+    fn admission_cap_bounds_replicas() {
+        let (mut srv, mut demux) = linked(2);
+        let flows: Vec<_> = (0..4).map(|_| srv.open_flow().unwrap()).collect();
+        let mut events = Vec::new();
+        for h in &flows {
+            srv.enqueue(*h, &[9; 100]).unwrap();
+        }
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        demux.sweep(SimTime::ZERO);
+        let s = demux.net_stats();
+        assert_eq!(s.flows_active, 2);
+        assert_eq!(s.dropped_admission, 2);
+        assert_eq!(s.data_frames, 2);
+        let mut batch = RxBatch::new();
+        assert_eq!(demux.poll_flow_into(flows[0].id(), &mut batch), 1);
+    }
+
+    /// A probe reaching the demux is acked on the reverse path exactly
+    /// as the single-flow receiver does.
+    #[test]
+    fn probe_acked_at_demux_level() {
+        use stripe_transport::ControlPath;
+        let (mut srv, mut demux) = linked(4);
+        ControlPath::transmit_control(&mut srv, SimTime::ZERO, 1, Control::Probe { nonce: 0xABCD });
+        demux.sweep(SimTime::ZERO);
+        assert_eq!(demux.net_stats().replies_sent, 1);
+        let mut buf = [0u8; 2048];
+        let n = srv.links_mut()[1].recv_frame(&mut buf).expect("ack");
+        assert_eq!(
+            frame::decode(&buf[..n]),
+            Some(Frame::Control(Control::ProbeAck { nonce: 0xABCD }))
+        );
+    }
+}

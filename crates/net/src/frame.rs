@@ -31,8 +31,20 @@ use stripe_core::control::Control;
 /// magic (`0x53`) nor common text, so misdirected traffic fails loudly.
 pub const FRAME_MAGIC: u8 = 0xC5;
 
-/// Current (and only) wire-format version.
+/// The original (single-flow) wire-format version: the body follows the
+/// 3-byte header directly and the frame implicitly belongs to flow 0.
 pub const FRAME_VERSION: u8 = 1;
+
+/// The multi-flow wire-format version: a LEB128 varint flow id sits
+/// between the 3-byte header and the body, for every kind. Kind
+/// codepoints and body encodings are unchanged from version 1 — the
+/// version bump is *only* the flow-id field, so a version-1 frame is
+/// exactly a version-2 frame with the flow id elided (the legacy decode
+/// path in [`try_decode_flow`] maps it to flow 0).
+pub const FRAME_VERSION_FLOW: u8 = 2;
+
+/// Longest LEB128 encoding of a `u32` flow id.
+pub const MAX_FLOW_ID_LEN: usize = 5;
 
 /// Frame-kind codepoint for application data.
 pub const KIND_DATA: u8 = 0;
@@ -119,6 +131,53 @@ fn push_header(kind: u8, out: &mut Vec<u8>) {
     out.push(kind);
 }
 
+/// Append the version-2 header plus the varint flow id to `out`.
+fn push_flow_header(kind: u8, flow: u32, out: &mut Vec<u8>) {
+    out.push(FRAME_MAGIC);
+    out.push(FRAME_VERSION_FLOW);
+    out.push(kind);
+    let mut v = flow;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Encoded length of a flow id's LEB128 varint.
+pub fn flow_id_len(flow: u32) -> usize {
+    match flow {
+        0..=0x7F => 1,
+        0x80..=0x3FFF => 2,
+        0x4000..=0x1F_FFFF => 3,
+        0x20_0000..=0xFFF_FFFF => 4,
+        _ => 5,
+    }
+}
+
+/// Parse a LEB128 flow id from the start of `body`; returns the id and
+/// the number of bytes it occupied. `None` on truncation or a varint
+/// longer than [`MAX_FLOW_ID_LEN`] (a `u32` never needs more).
+fn take_flow_id(body: &[u8]) -> Option<(u32, usize)> {
+    let mut flow: u32 = 0;
+    for (i, &b) in body.iter().enumerate().take(MAX_FLOW_ID_LEN) {
+        let payload = (b & 0x7F) as u32;
+        // The fifth byte may only carry the top 4 bits of a u32.
+        if i == MAX_FLOW_ID_LEN - 1 && b & 0xF0 != 0 {
+            return None;
+        }
+        flow |= payload << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((flow, i + 1));
+        }
+    }
+    None
+}
+
 /// Encode a data frame into `out` (cleared first, capacity kept): the
 /// steady-state path encodes every frame into a recycled buffer.
 pub fn encode_data_into(payload: &[u8], out: &mut Vec<u8>) {
@@ -165,9 +224,70 @@ pub fn encode_control_padded_into(ctl: &Control, wire_len: usize, out: &mut Vec<
     }
 }
 
+/// Encode a flow-tagged data frame (version 2) into `out` (cleared
+/// first, capacity kept).
+pub fn encode_data_flow_into(flow: u32, payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    push_flow_header(KIND_DATA, flow, out);
+    out.extend_from_slice(payload);
+}
+
+/// Encode a flow-tagged checksummed data frame (version 2) into `out`.
+/// The CRC-8 trailer covers the payload only, exactly as in version 1 —
+/// the flow id is header, not body.
+pub fn encode_data_summed_flow_into(flow: u32, payload: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    push_flow_header(KIND_DATA_SUMMED, flow, out);
+    out.extend_from_slice(payload);
+    out.push(crc8(payload));
+}
+
+/// Encode a flow-tagged control frame (version 2) into `out`.
+pub fn encode_control_flow_into(flow: u32, ctl: &Control, out: &mut Vec<u8>) {
+    out.clear();
+    push_flow_header(KIND_CONTROL, flow, out);
+    ctl.encode_into(out);
+}
+
+/// Encode a flow-tagged control frame padded out to exactly `wire_len`
+/// bytes (version 2) — the GSO-train trick of
+/// [`encode_control_padded_into`], flow-tagged.
+pub fn encode_control_padded_flow_into(
+    flow: u32,
+    ctl: &Control,
+    wire_len: usize,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    push_flow_header(KIND_CONTROL_PADDED, flow, out);
+    let prefix_at = out.len();
+    out.extend_from_slice(&[0, 0]); // length prefix, patched below
+    ctl.encode_into(out);
+    let body = (out.len() - prefix_at - PAD_LEN_PREFIX) as u16;
+    out[prefix_at..prefix_at + PAD_LEN_PREFIX].copy_from_slice(&body.to_le_bytes());
+    if out.len() < wire_len {
+        out.resize(wire_len, 0);
+    }
+}
+
 /// On-wire length of a data frame carrying `payload_len` body bytes.
 pub fn data_frame_len(payload_len: usize) -> usize {
     FRAME_HEADER_LEN + payload_len
+}
+
+/// On-wire length of a flow-tagged data frame.
+pub fn data_flow_frame_len(flow: u32, payload_len: usize) -> usize {
+    FRAME_HEADER_LEN + flow_id_len(flow) + payload_len
+}
+
+/// On-wire length of a flow-tagged checksummed data frame.
+pub fn summed_flow_frame_len(flow: u32, payload_len: usize) -> usize {
+    FRAME_HEADER_LEN + flow_id_len(flow) + payload_len + SUM_TRAILER_LEN
+}
+
+/// On-wire length of a flow-tagged control frame.
+pub fn control_flow_frame_len(flow: u32, ctl: &Control) -> usize {
+    FRAME_HEADER_LEN + flow_id_len(flow) + ctl.wire_len()
 }
 
 /// On-wire length of a *checksummed* data frame carrying `payload_len`
@@ -187,7 +307,7 @@ pub fn control_frame_len(ctl: &Control) -> usize {
 pub fn is_data_frame(frame: &[u8]) -> bool {
     frame.len() >= FRAME_HEADER_LEN
         && frame[0] == FRAME_MAGIC
-        && frame[1] == FRAME_VERSION
+        && (frame[1] == FRAME_VERSION || frame[1] == FRAME_VERSION_FLOW)
         && (frame[2] == KIND_DATA || frame[2] == KIND_DATA_SUMMED)
 }
 
@@ -204,15 +324,10 @@ pub enum DecodeError {
     Corrupt,
 }
 
-/// Decode one received frame, reporting *why* rejects were rejected.
-/// Never panics, whatever the input — see the fuzz proptest in
-/// `tests/net_loopback.rs`.
-pub fn try_decode(frame: &[u8]) -> Result<Frame<'_>, DecodeError> {
-    if frame.len() < FRAME_HEADER_LEN || frame[0] != FRAME_MAGIC || frame[1] != FRAME_VERSION {
-        return Err(DecodeError::Malformed);
-    }
-    let body = &frame[FRAME_HEADER_LEN..];
-    match frame[2] {
+/// Decode a frame body given its kind — shared by the version-1 and
+/// version-2 paths, which differ only in what precedes the body.
+fn decode_body(kind: u8, body: &[u8]) -> Result<Frame<'_>, DecodeError> {
+    match kind {
         KIND_DATA => Ok(Frame::Data(body)),
         KIND_DATA_SUMMED => {
             let (&trailer, payload) = body.split_last().ok_or(DecodeError::Malformed)?;
@@ -236,6 +351,57 @@ pub fn try_decode(frame: &[u8]) -> Result<Frame<'_>, DecodeError> {
                 .ok_or(DecodeError::Malformed)
         }
         _ => Err(DecodeError::Malformed),
+    }
+}
+
+/// Decode one received frame, reporting *why* rejects were rejected.
+/// Never panics, whatever the input — see the fuzz proptest in
+/// `tests/net_loopback.rs`.
+///
+/// Version-1 only: a single-flow receiver must *not* silently accept
+/// flow-tagged traffic it would misattribute to its one flow. Endpoints
+/// that speak both versions use [`try_decode_flow`].
+pub fn try_decode(frame: &[u8]) -> Result<Frame<'_>, DecodeError> {
+    if frame.len() < FRAME_HEADER_LEN || frame[0] != FRAME_MAGIC || frame[1] != FRAME_VERSION {
+        return Err(DecodeError::Malformed);
+    }
+    decode_body(frame[2], &frame[FRAME_HEADER_LEN..])
+}
+
+/// Decode one received frame of *either* version, returning the flow it
+/// belongs to: a version-2 frame's varint flow id, or flow 0 for a
+/// legacy version-1 frame. This is the receive path of a multi-flow
+/// demultiplexer, which stays wire-compatible with single-flow senders.
+pub fn try_decode_flow(frame: &[u8]) -> Result<(u32, Frame<'_>), DecodeError> {
+    if frame.len() < FRAME_HEADER_LEN || frame[0] != FRAME_MAGIC {
+        return Err(DecodeError::Malformed);
+    }
+    match frame[1] {
+        FRAME_VERSION => decode_body(frame[2], &frame[FRAME_HEADER_LEN..]).map(|f| (0, f)),
+        FRAME_VERSION_FLOW => {
+            let (flow, used) =
+                take_flow_id(&frame[FRAME_HEADER_LEN..]).ok_or(DecodeError::Malformed)?;
+            decode_body(frame[2], &frame[FRAME_HEADER_LEN + used..]).map(|f| (flow, f))
+        }
+        _ => Err(DecodeError::Malformed),
+    }
+}
+
+/// Byte offset of a decoded frame's body: where the payload of a data
+/// frame starts inside the datagram. [`FRAME_HEADER_LEN`] for version 1;
+/// header plus varint for version 2. `None` if the frame is too short to
+/// tell. Receivers use this to keep payloads zero-copy in their pooled
+/// buffers whichever version arrived.
+pub fn body_offset(frame: &[u8]) -> Option<usize> {
+    if frame.len() < FRAME_HEADER_LEN {
+        return None;
+    }
+    match frame[1] {
+        FRAME_VERSION => Some(FRAME_HEADER_LEN),
+        FRAME_VERSION_FLOW => {
+            take_flow_id(&frame[FRAME_HEADER_LEN..]).map(|(_, used)| FRAME_HEADER_LEN + used)
+        }
+        _ => None,
     }
 }
 
@@ -462,6 +628,134 @@ mod tests {
         assert_eq!(try_decode(&buf), Err(DecodeError::Corrupt));
         // decode() folds both reject reasons into None.
         assert_eq!(decode(&buf), None);
+    }
+
+    #[test]
+    fn flow_data_roundtrips_zero_copy_at_varint_boundaries() {
+        let payload = [1u8, 2, 3, 4, 5];
+        for flow in [0u32, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 0x1F_FFFF, u32::MAX] {
+            let mut buf = Vec::new();
+            encode_data_flow_into(flow, &payload, &mut buf);
+            assert_eq!(buf.len(), data_flow_frame_len(flow, payload.len()));
+            match try_decode_flow(&buf) {
+                Ok((f, Frame::Data(body))) => {
+                    assert_eq!(f, flow);
+                    assert_eq!(body, &payload);
+                    // Zero-copy: the body aliases the frame buffer.
+                    let off = body_offset(&buf).unwrap();
+                    assert!(std::ptr::eq(body.as_ptr(), buf[off..].as_ptr()));
+                }
+                other => panic!("flow {flow}: {other:?}"),
+            }
+            // A v1-only decoder must reject flow-tagged frames outright.
+            assert_eq!(try_decode(&buf), Err(DecodeError::Malformed));
+        }
+    }
+
+    #[test]
+    fn flow_summed_data_roundtrips_and_catches_flips() {
+        let payload: Vec<u8> = (0..40).collect();
+        let mut buf = Vec::new();
+        encode_data_summed_flow_into(9000, &payload, &mut buf);
+        assert_eq!(buf.len(), summed_flow_frame_len(9000, payload.len()));
+        assert_eq!(try_decode_flow(&buf), Ok((9000, Frame::Data(&payload[..]))));
+        let off = body_offset(&buf).unwrap();
+        let mut evil = buf.clone();
+        evil[off + 3] ^= 0x04;
+        assert_eq!(try_decode_flow(&evil), Err(DecodeError::Corrupt));
+    }
+
+    #[test]
+    fn flow_control_and_padded_roundtrip() {
+        let ctl = Control::Marker(Marker::sync(2, ChannelMark { round: 7, dc: -1 }));
+        let mut buf = Vec::new();
+        encode_control_flow_into(777, &ctl, &mut buf);
+        assert_eq!(buf.len(), control_flow_frame_len(777, &ctl));
+        assert_eq!(
+            try_decode_flow(&buf),
+            Ok((777, Frame::Control(ctl.clone())))
+        );
+        assert!(!is_data_frame(&buf));
+        for wire_len in [0, 64, 1200] {
+            let mut padded = Vec::new();
+            encode_control_padded_flow_into(777, &ctl, wire_len, &mut padded);
+            assert!(padded.len() >= wire_len);
+            assert_eq!(
+                try_decode_flow(&padded),
+                Ok((777, Frame::Control(ctl.clone()))),
+                "target {wire_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_decode_flow_accepts_legacy_as_flow_zero() {
+        let mut data = Vec::new();
+        encode_data_into(&[5, 6], &mut data);
+        assert_eq!(try_decode_flow(&data), Ok((0, Frame::Data(&[5, 6][..]))));
+        let mut ctl = Vec::new();
+        encode_control_into(&Control::Probe { nonce: 3 }, &mut ctl);
+        assert_eq!(
+            try_decode_flow(&ctl),
+            Ok((0, Frame::Control(Control::Probe { nonce: 3 })))
+        );
+        assert_eq!(body_offset(&data), Some(FRAME_HEADER_LEN));
+    }
+
+    #[test]
+    fn flow_id_encoding_is_canonical_leb128() {
+        for flow in [0u32, 0x7F, 0x80, 0x3FFF, 0x4000, u32::MAX] {
+            let mut buf = Vec::new();
+            encode_data_flow_into(flow, &[], &mut buf);
+            assert_eq!(buf.len() - FRAME_HEADER_LEN, flow_id_len(flow), "{flow}");
+        }
+    }
+
+    #[test]
+    fn truncated_or_overlong_flow_id_is_malformed() {
+        // Header promising a varint that never terminates.
+        let truncated = [FRAME_MAGIC, FRAME_VERSION_FLOW, KIND_DATA, 0x80];
+        assert_eq!(try_decode_flow(&truncated), Err(DecodeError::Malformed));
+        // Six continuation bytes: longer than any u32 varint.
+        let overlong = [
+            FRAME_MAGIC,
+            FRAME_VERSION_FLOW,
+            KIND_DATA,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x01,
+        ];
+        assert_eq!(try_decode_flow(&overlong), Err(DecodeError::Malformed));
+        // Fifth byte carrying bits a u32 cannot hold.
+        let overflow = [
+            FRAME_MAGIC,
+            FRAME_VERSION_FLOW,
+            KIND_DATA,
+            0xFF,
+            0xFF,
+            0xFF,
+            0xFF,
+            0x7F,
+        ];
+        assert_eq!(try_decode_flow(&overflow), Err(DecodeError::Malformed));
+        // Unknown version for both decoders.
+        assert_eq!(
+            try_decode_flow(&[FRAME_MAGIC, 3, KIND_DATA, 1]),
+            Err(DecodeError::Malformed)
+        );
+    }
+
+    #[test]
+    fn is_data_frame_accepts_both_versions() {
+        let mut v2 = Vec::new();
+        encode_data_flow_into(12, &[1], &mut v2);
+        assert!(is_data_frame(&v2));
+        let mut v2c = Vec::new();
+        encode_control_flow_into(12, &Control::Probe { nonce: 1 }, &mut v2c);
+        assert!(!is_data_frame(&v2c));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   (magic, version, kind) in front of either a raw payload or a
 //!   [`Control`](stripe_core::control::Control) body encoded by the one
 //!   shared codec. The simulator's control messages and the wire's are
-//!   byte-identical by construction.
+//!   byte-identical by construction. Version 2 adds a varint flow ID to
+//!   data and marker frames (control stays untagged); one shared entry
+//!   point decodes both, landing version-1 frames on flow 0.
 //! - [`udp`] — [`UdpChannel`], one connected non-blocking UDP socket
 //!   per striped channel, with a bounded, buffer-recycling local queue
 //!   absorbing kernel backpressure and a run-amortized
@@ -22,9 +24,20 @@
 //! - [`recv`] — [`NetLogicalReceiver`], the receiver: pooled buffers in
 //!   from the sockets, payload views through the shared resequencer,
 //!   storage recycled on consumption.
-//! - [`reactor`] — [`SenderReactor`], the poll loop: flushes backlogs,
-//!   sweeps the reverse path, ticks the PR-1 failover driver. No async
-//!   runtime, no threads, no new dependencies.
+//! - [`server`] — [`StripeServer`], the multi-flow sender: thousands of
+//!   logical flows over one shared channel set, per-flow state in a
+//!   slab behind generation-checked [`FlowHandle`]s, DRR across flows
+//!   feeding each flow's own causal SRR, bounded admission.
+//!   [`NetStripedPath`] is this with one flow.
+//! - [`demux`] — [`FlowDemux`], the multi-flow receiver: flow-tagged
+//!   frames routed to per-flow resequencers (each simulating its own
+//!   flow's SRR), one shared buffer pool, per-flow FIFO delivery.
+//!   [`NetLogicalReceiver`] is this with one flow.
+//! - [`reactor`] — [`PathReactor`], the poll loop: flushes backlogs,
+//!   sweeps the reverse path, ticks the PR-1 failover driver — generic
+//!   over any [`ReactorPath`] ([`SenderReactor`] drives the single-flow
+//!   path, [`ServerReactor`] the multi-flow server). No async runtime,
+//!   no threads, no new dependencies.
 //! - [`clock`] — [`WallClock`], mapping `std::time::Instant` onto
 //!   [`SimTime`](stripe_netsim::SimTime) nanoseconds so every
 //!   timer-driven component runs on either clock.
@@ -63,6 +76,7 @@
 
 pub mod chaos;
 pub mod clock;
+pub mod demux;
 pub mod fault;
 pub mod frame;
 pub mod lifecycle;
@@ -71,12 +85,14 @@ pub mod pool;
 pub mod reactor;
 pub mod recv;
 pub mod ring;
+pub mod server;
 pub mod shard;
 pub mod sys;
 pub mod udp;
 
 pub use chaos::{ChaosPlan, ChaosSnapshot, ImpairedLink};
 pub use clock::WallClock;
+pub use demux::{FlowDemux, FlowDemuxBuilder, FlowDemuxSnapshot};
 pub use fault::{DropLink, DropPolicy};
 pub use frame::{Frame, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
 pub use lifecycle::{
@@ -84,9 +100,16 @@ pub use lifecycle::{
 };
 pub use path::{NetStripedPath, NetStripedPathBuilder};
 pub use pool::{BufPool, PooledBuf};
-pub use reactor::{membership_announced, Periodic, ReactorSnapshot, SenderReactor};
+pub use reactor::{
+    membership_announced, PathReactor, Periodic, ReactorPath, ReactorSnapshot, SenderReactor,
+    ServerReactor,
+};
 pub use recv::{NetLogicalReceiver, NetLogicalReceiverBuilder, NetRxSnapshot};
 pub use ring::{spsc, Consumer, Producer};
+pub use server::{
+    FlowError, FlowHandle, FlowId, FlowSnapshot, PumpEvent, StripeServer, StripeServerBuilder,
+    StripeServerSnapshot,
+};
 pub use shard::{ShardConfig, ShardedUdpChannel};
 pub use sys::BatchIo;
 pub use udp::{UdpChannel, UdpChannelBuilder, UdpChannelSnapshot};

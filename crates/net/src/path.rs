@@ -1,47 +1,47 @@
 //! The real-socket striping sender: [`NetStripedPath`] is the
-//! [`StripedPath`] of the kernel-network world.
+//! [`StripedPath`] of the kernel-network world — implemented, since the
+//! multi-flow redesign, as the *single-flow special case* of
+//! [`StripeServer`](crate::server::StripeServer).
 //!
-//! Same engine, different substrate. The scheduler, marker emission,
-//! membership masks and run-grouping logic are all shared with the
-//! simulated path (they live in `stripe-core` and are driven
-//! identically); what changes is the last inch — instead of asking an
-//! analytic [`FifoLink`] *when* a packet of this length would arrive,
-//! the net path **encodes a frame and hands it to a
-//! [`DatagramLink`]** right now. Consequently:
+//! The path owns a one-flow server in legacy-frame mode: flow 0, an
+//! unbounded flow queue, untagged version-1 frames on the wire. A
+//! [`send_batch`](NetStripedPath::send_batch) enqueues the burst on the
+//! single flow and pumps it to completion; with one flow, the server's
+//! inter-flow DRR degenerates to strict FIFO and everything observable —
+//! channel decisions, marker interleaving points, GSO pad targets, the
+//! single end-of-batch flush, the [`PathSnapshot`] counters, and the
+//! bytes on the wire — is identical to the dedicated single-flow
+//! datapath this type used to be. The PR 2–6 test suites run against
+//! this wrapper unmodified.
+//!
+//! The contract, unchanged:
 //!
 //! - `arrival: Some(now)` in a [`Transmission`] means "handed to the
 //!   network at this instant". The real arrival time is unknowable; the
 //!   far end finds out when the frame shows up. `None` still means the
 //!   frame never left ([`TxError::QueueFull`] backpressure and friends).
-//! - The batch path reuses a pool of encode buffers and offers each
+//! - The batch path encodes into recycled buffers and offers each
 //!   same-channel run through [`DatagramLink::send_run_owned`] — the
-//!   zero-copy `sendmmsg` seam: links that defer (the UDP channels) take
-//!   the frames' storage into their bounded queues and the **single
-//!   end-of-batch flush** submits each channel's whole accumulated burst
-//!   as one `mmsghdr` batch, so syscall batch occupancy tracks the burst
-//!   size rather than the per-channel run length (SRR runs at large
-//!   payloads are only a frame or two long). A steady-state sender still
-//!   performs **zero heap allocations per packet**: taken storage is
-//!   replaced with recycled buffers that flow back through the pool.
+//!   zero-copy `sendmmsg` seam, with one end-of-batch flush submitting
+//!   each channel's whole accumulated burst as one `mmsghdr` batch. A
+//!   steady-state sender performs **zero heap allocations per packet**.
 //! - [`ControlPath`] is implemented, so the PR-1
 //!   [`FailoverDriver`](stripe_transport::FailoverDriver) drives
 //!   liveness probes and membership handshakes over real sockets
 //!   unchanged.
 //!
 //! [`StripedPath`]: stripe_transport::StripedPath
-//! [`FifoLink`]: stripe_link::FifoLink
 
 use stripe_core::control::Control;
 use stripe_core::receiver::Arrival;
 use stripe_core::sched::CausalScheduler;
 use stripe_core::sender::{MarkerConfig, StripingSender};
 use stripe_core::types::{ChannelId, WireLen};
-use stripe_core::Marker;
-use stripe_link::{DatagramLink, TxError};
+use stripe_link::DatagramLink;
 use stripe_netsim::SimTime;
 use stripe_transport::{ControlPath, ControlTransmission, PathSnapshot, Transmission, TxBatch};
 
-use crate::frame::{self, FRAME_HEADER_LEN};
+use crate::server::{FlowHandle, PumpEvent, StripeServer};
 
 /// Builder for [`NetStripedPath`], mirroring
 /// [`StripedPathBuilder`](stripe_transport::StripedPathBuilder).
@@ -99,8 +99,11 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPathBuilder<S, L> {
         self.integrity = on;
         self
     }
+}
 
-    /// Assemble the path.
+impl<S: CausalScheduler + Clone, L: DatagramLink> NetStripedPathBuilder<S, L> {
+    /// Assemble the path: a one-flow [`StripeServer`] in legacy-frame
+    /// mode with flow 0 pre-opened.
     ///
     /// # Panics
     /// Panics if no scheduler was supplied or if the link count differs
@@ -112,41 +115,33 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPathBuilder<S, L> {
             sched.channels(),
             "one link per scheduler channel"
         );
+        let mut server = StripeServer::builder()
+            .scheduler(sched)
+            .markers(self.markers)
+            .links(self.links)
+            .integrity(self.integrity)
+            .legacy_frames(true)
+            .max_flows(1)
+            .park_capacity(0)
+            .queue_frames(usize::MAX)
+            .build();
+        let handle = server.open_flow().expect("a fresh server admits flow 0");
         NetStripedPath {
-            links: self.links,
-            tx: StripingSender::new(sched, self.markers),
-            integrity: self.integrity,
-            stats: PathSnapshot::default(),
-            scratch_lens: Vec::new(),
-            scratch_channels: Vec::new(),
-            scratch_markers: Vec::new(),
-            scratch_idle_markers: Vec::new(),
-            frame_bufs: Vec::new(),
-            run_results: Vec::new(),
-            ctl_buf: Vec::new(),
+            server,
+            handle,
+            events: Vec::new(),
         }
     }
 }
 
-/// A striping sender bound to real datagram channels.
+/// A striping sender bound to real datagram channels — flow 0 of a
+/// one-flow [`StripeServer`].
 #[derive(Debug)]
 pub struct NetStripedPath<S: CausalScheduler, L: DatagramLink> {
-    links: Vec<L>,
-    tx: StripingSender<S>,
-    /// Data frames carry a CRC-8 trailer (see
-    /// [`NetStripedPathBuilder::integrity`]).
-    integrity: bool,
-    stats: PathSnapshot,
-    // Scratch buffers, all reused so the steady state allocates nothing.
-    scratch_lens: Vec<usize>,
-    scratch_channels: Vec<ChannelId>,
-    scratch_markers: Vec<(usize, ChannelId, Marker)>,
-    scratch_idle_markers: Vec<(ChannelId, Marker)>,
-    /// Recycled frame-encode buffers, one per packet of the largest
-    /// batch seen so far (the high-water mark).
-    frame_bufs: Vec<Vec<u8>>,
-    run_results: Vec<Result<(), TxError>>,
-    ctl_buf: Vec<u8>,
+    server: StripeServer<S, L>,
+    handle: FlowHandle,
+    /// Recycled pump-event scratch (steady state allocates nothing).
+    events: Vec<PumpEvent>,
 }
 
 impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
@@ -159,13 +154,7 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
     /// The striped *payload* MTU: the minimum member frame MTU minus the
     /// frame header (§6.1's minimum-MTU rule, net of framing).
     pub fn max_payload(&self) -> usize {
-        let min_mtu = self.links.iter().map(|l| l.mtu()).min().expect("non-empty");
-        let overhead = if self.integrity {
-            FRAME_HEADER_LEN + frame::SUM_TRAILER_LEN
-        } else {
-            FRAME_HEADER_LEN
-        };
-        min_mtu.saturating_sub(overhead)
+        self.server.max_payload()
     }
 
     /// Stripe a whole burst at `now` into a caller-owned batch with zero
@@ -185,174 +174,64 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
         out: &mut TxBatch<P>,
     ) {
         out.clear();
-        self.scratch_lens.clear();
-        self.scratch_lens.extend(pkts.iter().map(WireLen::wire_len));
-        self.tx.send_batch(
-            &self.scratch_lens,
-            &mut self.scratch_channels,
-            &mut self.scratch_markers,
-        );
-
-        let n = pkts.len();
-        self.stats.sent += n as u64;
-        // Encode every frame up front into recycled buffers; the run
-        // loop then offers contiguous slices of them.
-        while self.frame_bufs.len() < n {
-            self.frame_bufs.push(Vec::new());
+        for pkt in pkts.iter() {
+            self.server
+                .enqueue(self.handle, pkt.as_ref())
+                .expect("the single flow's queue is unbounded");
         }
-        for (k, pkt) in pkts.iter().enumerate() {
-            if self.integrity {
-                frame::encode_data_summed_into(pkt.as_ref(), &mut self.frame_bufs[k]);
-            } else {
-                frame::encode_data_into(pkt.as_ref(), &mut self.frame_bufs[k]);
-            }
-        }
-
+        // One flow: the DRR degenerates to FIFO, so the pump serves this
+        // exact burst in order, markers interleaved at the SRR's
+        // boundaries, one flush at the end — the legacy batch, restated.
+        self.server.pump_into(now, usize::MAX, &mut self.events);
         let mut pkt_iter = pkts.drain(..);
-        let mut m = 0; // next marker batch to emit
-        let mut i = 0;
-        while i < n {
-            let ch = self.scratch_channels[i];
-            // A run extends while the channel repeats and no marker batch
-            // is due inside it — markers due after packet `b` must reach
-            // the link before packet `b + 1` does, preserving the
-            // per-channel FIFO the receiver's recovery relies on.
-            let boundary = self.scratch_markers.get(m).map(|&(at, _, _)| at);
-            let mut j = i + 1;
-            while j < n && self.scratch_channels[j] == ch && boundary.is_none_or(|b| j <= b) {
-                j += 1;
-            }
-            self.run_results.clear();
-            self.links[ch].send_run_owned(&mut self.frame_bufs[i..j], &mut self.run_results);
-            for k in 0..(j - i) {
-                let pkt = pkt_iter.next().expect("one packet per send result");
-                let (arrival, error) = match self.run_results[k] {
-                    Ok(()) => (Some(now), None),
-                    Err(e) => {
-                        match e {
-                            TxError::QueueFull => self.stats.dropped_queue += 1,
-                            _ => self.stats.dropped_lost += 1,
-                        }
-                        (None, Some(e))
-                    }
-                };
-                out.push(Transmission {
-                    channel: ch,
-                    arrival,
-                    item: Arrival::Data(pkt),
+        for ev in self.events.drain(..) {
+            match ev {
+                PumpEvent::Data { channel, error, .. } => {
+                    let pkt = pkt_iter.next().expect("one packet per data event");
+                    out.push(Transmission {
+                        channel,
+                        arrival: if error.is_none() { Some(now) } else { None },
+                        item: Arrival::Data(pkt),
+                        error,
+                    });
+                }
+                PumpEvent::Marker {
+                    channel,
+                    marker,
                     error,
-                });
+                    ..
+                } => {
+                    out.push(Transmission {
+                        channel,
+                        arrival: if error.is_none() { Some(now) } else { None },
+                        item: Arrival::Marker(marker),
+                        error,
+                    });
+                }
             }
-            while m < self.scratch_markers.len() && self.scratch_markers[m].0 < j {
-                let (at, c, mk) = self.scratch_markers[m];
-                m += 1;
-                // On links that coalesce equal-length frames into single
-                // kernel submissions (GSO), pad the marker to the length
-                // of the last data frame sent on its channel: the parked
-                // burst then stays one unbroken segmentation train
-                // instead of being cut at every marker (GSO permits only
-                // one shorter trailing segment per train).
-                let pad_to = if self.links[c].coalesce_hint() {
-                    (0..=at)
-                        .rev()
-                        .find(|&k| self.scratch_channels[k] == c)
-                        .map(|k| {
-                            if self.integrity {
-                                frame::summed_frame_len(self.scratch_lens[k])
-                            } else {
-                                frame::data_frame_len(self.scratch_lens[k])
-                            }
-                        })
-                        .unwrap_or(0)
-                } else {
-                    0
-                };
-                // Deferred like the data frames around it: the marker
-                // joins channel `c`'s parked burst (FIFO preserved) and
-                // the end-of-batch flush below submits it in the same
-                // mmsg batch instead of splitting the burst per marker.
-                let t = self.transmit_marker(now, c, mk, true, pad_to);
-                out.push(t);
-            }
-            i = j;
         }
-        // One flush per link per batch: links that deferred their frames
-        // (the UDP channels) submit the whole burst as mmsg batches here.
-        for l in &mut self.links {
-            l.flush();
-        }
+        debug_assert!(pkt_iter.next().is_none(), "every packet was served");
     }
 
     /// Emit a full marker batch into a caller-owned buffer (timer-driven
     /// markers during idle periods). `out` is cleared first.
     pub fn send_markers_into<P>(&mut self, now: SimTime, out: &mut TxBatch<P>) {
         out.clear();
-        self.scratch_idle_markers.clear();
-        self.tx.make_markers_into(&mut self.scratch_idle_markers);
-        for k in 0..self.scratch_idle_markers.len() {
-            let (c, mk) = self.scratch_idle_markers[k];
-            // Idle markers have no adjacent data frames to match, so
-            // padding them buys nothing: pad target 0 (never pad).
-            let t = self.transmit_marker(now, c, mk, false, 0);
-            out.push(t);
-        }
-    }
-
-    /// `deferred` markers (mid-batch) join the channel's parked burst for
-    /// the end-of-batch flush; eager ones (idle timers) go out now.
-    /// `pad_to > 0` requests the padded control encoding stretched to
-    /// that wire length (ignored when it wouldn't fit the marker or the
-    /// link's MTU) — see `send_batch` for why.
-    fn transmit_marker<P>(
-        &mut self,
-        now: SimTime,
-        c: ChannelId,
-        mk: Marker,
-        deferred: bool,
-        pad_to: usize,
-    ) -> Transmission<P> {
-        self.stats.markers_sent += 1;
-        let ctl = Control::Marker(mk);
-        if pad_to >= frame::control_frame_len(&ctl) + frame::PAD_LEN_PREFIX
-            && pad_to <= self.links[c].mtu()
-        {
-            frame::encode_control_padded_into(&ctl, pad_to, &mut self.ctl_buf);
-        } else {
-            frame::encode_control_into(&ctl, &mut self.ctl_buf);
-        }
-        let r = if deferred {
-            self.links[c].send_frame_deferred(&self.ctl_buf)
-        } else {
-            self.links[c].send_frame(&self.ctl_buf)
-        };
-        let (arrival, error) = match r {
-            Ok(()) => (Some(now), None),
-            Err(e) => {
-                self.stats.markers_lost += 1;
-                (None, Some(e))
-            }
-        };
-        Transmission {
-            channel: c,
-            arrival,
-            item: Arrival::Marker(mk),
-            error,
-        }
-    }
-
-    fn transmit_control_impl(
-        &mut self,
-        now: SimTime,
-        c: ChannelId,
-        ctl: &Control,
-    ) -> (Option<SimTime>, Option<TxError>) {
-        self.stats.control_sent += 1;
-        frame::encode_control_into(ctl, &mut self.ctl_buf);
-        match self.links[c].send_frame(&self.ctl_buf) {
-            Ok(()) => (Some(now), None),
-            Err(e) => {
-                self.stats.control_lost += 1;
-                (None, Some(e))
+        self.server.send_idle_markers_into(now, &mut self.events);
+        for ev in self.events.drain(..) {
+            if let PumpEvent::Marker {
+                channel,
+                marker,
+                error,
+                ..
+            } = ev
+            {
+                out.push(Transmission {
+                    channel,
+                    arrival: if error.is_none() { Some(now) } else { None },
+                    item: Arrival::Marker(marker),
+                    error,
+                });
             }
         }
     }
@@ -360,57 +239,66 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
     /// Try to drain every link's local backlog (after kernel
     /// backpressure). Returns the total number of frames that left.
     pub fn flush(&mut self) -> usize {
-        self.links.iter_mut().map(|l| l.flush()).sum()
+        self.server.flush()
     }
 
     /// Frames parked across all link backlogs.
     pub fn backlog(&self) -> usize {
-        self.links.iter().map(|l| l.backlog()).sum()
+        self.server.backlog()
     }
 
     /// Loss/overhead counters (shared shape with the simulated path).
     pub fn stats(&self) -> PathSnapshot {
-        self.stats
+        self.server.stats().path
     }
 
     /// The member links.
     pub fn links(&self) -> &[L] {
-        &self.links
+        self.server.links()
     }
 
     /// Mutable access to the member links (the reactor's receive sweep).
     pub fn links_mut(&mut self) -> &mut [L] {
-        &mut self.links
+        self.server.links_mut()
     }
 
     /// Take the links back out, consuming the path — endpoint teardown
     /// wants its sockets (and their final counters) returned.
     pub fn into_links(self) -> Vec<L> {
-        self.links
+        self.server.into_links()
     }
 
-    /// The sender engine (fairness ledgers, marker counts).
+    /// The sender engine (fairness ledgers, marker counts) — flow 0's.
     pub fn sender(&self) -> &StripingSender<S> {
-        &self.tx
+        self.server
+            .flow_sender(self.handle)
+            .expect("flow 0 never closes")
     }
 
     /// Mutable access to the sender engine (membership, resets).
     pub fn sender_mut(&mut self) -> &mut StripingSender<S> {
-        &mut self.tx
+        self.server
+            .flow_sender_mut(self.handle)
+            .expect("flow 0 never closes")
+    }
+
+    /// The underlying one-flow server.
+    pub fn server(&self) -> &StripeServer<S, L> {
+        &self.server
     }
 }
 
 impl<S: CausalScheduler, L: DatagramLink> ControlPath for NetStripedPath<S, L> {
     fn channels(&self) -> usize {
-        self.links.len()
+        ControlPath::channels(&self.server)
     }
 
     fn current_round(&self) -> u64 {
-        self.tx.scheduler().round()
+        ControlPath::current_round(&self.server)
     }
 
     fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
-        self.tx.schedule_mask(effective_round, live);
+        ControlPath::schedule_mask(&mut self.server, effective_round, live);
     }
 
     fn transmit_control(
@@ -419,14 +307,7 @@ impl<S: CausalScheduler, L: DatagramLink> ControlPath for NetStripedPath<S, L> {
         c: ChannelId,
         ctl: Control,
     ) -> ControlTransmission {
-        let (arrival, error) = self.transmit_control_impl(now, c, &ctl);
-        ControlTransmission {
-            channel: c,
-            arrival,
-            duplicate: None,
-            ctl,
-            error,
-        }
+        ControlPath::transmit_control(&mut self.server, now, c, ctl)
     }
 
     fn transmit_control_ref(
@@ -435,24 +316,17 @@ impl<S: CausalScheduler, L: DatagramLink> ControlPath for NetStripedPath<S, L> {
         c: ChannelId,
         ctl: &Control,
     ) -> ControlTransmission {
-        let (arrival, error) = self.transmit_control_impl(now, c, ctl);
-        ControlTransmission {
-            channel: c,
-            arrival,
-            duplicate: None,
-            ctl: ctl.clone(),
-            error,
-        }
+        ControlPath::transmit_control_ref(&mut self.server, now, c, ctl)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::Frame;
+    use crate::frame::{self, Frame, FRAME_HEADER_LEN};
     use bytes::Bytes;
     use stripe_core::sched::Srr;
-    use stripe_link::{datagram_pair, TestDatagramLink};
+    use stripe_link::{datagram_pair, TestDatagramLink, TxError};
 
     fn two_channel_path(
         markers: MarkerConfig,

@@ -24,16 +24,62 @@
 //!
 //! [`FailoverDriver`]: stripe_transport::FailoverDriver
 
+use std::marker::PhantomData;
+
 use stripe_core::control::Control;
 use stripe_core::liveness::ChannelHealth;
 use stripe_core::sched::CausalScheduler;
 use stripe_link::DatagramLink;
 use stripe_netsim::{SimDuration, SimTime};
-use stripe_transport::{ControlTransmission, FailoverDriver};
+use stripe_transport::{ControlPath, ControlTransmission, FailoverDriver};
 
 use crate::frame::{self, Frame};
 use crate::lifecycle::{ChannelLifecycle, LifecycleAction, LifecycleConfig, LifecycleState};
 use crate::path::NetStripedPath;
+use crate::server::StripeServer;
+
+/// What the reactor needs from a datapath, beyond the control-plane
+/// surface it already presents as a [`ControlPath`]: direct access to
+/// the member links (to sweep the reverse path and execute lifecycle
+/// rebinds) and a backlog flush.
+///
+/// Both [`NetStripedPath`] (one flow) and [`StripeServer`] (many flows
+/// over the same channel set) implement it, so one reactor — sweep,
+/// death evidence, probe/rejoin lifecycle, failover tick — serves both.
+/// Failover and channel lifecycle thereby stay flow-agnostic: they see
+/// channels, never flows.
+pub trait ReactorPath<L: DatagramLink>: ControlPath {
+    /// The member links, indexed by channel id.
+    fn reactor_links(&self) -> &[L];
+    /// Mutable access to the member links.
+    fn reactor_links_mut(&mut self) -> &mut [L];
+    /// Retry parked frames toward the kernel; returns frames drained.
+    fn flush_backlog(&mut self) -> usize;
+}
+
+impl<S: CausalScheduler, L: DatagramLink> ReactorPath<L> for NetStripedPath<S, L> {
+    fn reactor_links(&self) -> &[L] {
+        self.links()
+    }
+    fn reactor_links_mut(&mut self) -> &mut [L] {
+        self.links_mut()
+    }
+    fn flush_backlog(&mut self) -> usize {
+        self.flush()
+    }
+}
+
+impl<S: CausalScheduler, L: DatagramLink> ReactorPath<L> for StripeServer<S, L> {
+    fn reactor_links(&self) -> &[L] {
+        self.links()
+    }
+    fn reactor_links_mut(&mut self) -> &mut [L] {
+        self.links_mut()
+    }
+    fn flush_backlog(&mut self) -> usize {
+        self.flush()
+    }
+}
 
 /// A fixed-interval timer in simulation/wall time.
 ///
@@ -112,11 +158,11 @@ pub fn membership_announced(reports: &[ControlTransmission]) -> bool {
         .any(|r| matches!(r.ctl, Control::Membership { .. }))
 }
 
-/// Poll-driven harness around a [`NetStripedPath`] and its failover
-/// control plane.
+/// Poll-driven harness around any [`ReactorPath`] datapath and its
+/// failover control plane.
 #[derive(Debug)]
-pub struct SenderReactor<S: CausalScheduler, L: DatagramLink> {
-    path: NetStripedPath<S, L>,
+pub struct PathReactor<P, L> {
+    path: P,
     driver: Option<FailoverDriver>,
     tick: Periodic,
     /// Scratch buffers for batched reverse-path receives. The reverse
@@ -127,22 +173,29 @@ pub struct SenderReactor<S: CausalScheduler, L: DatagramLink> {
     /// One recovery state machine per channel (see [`crate::lifecycle`]).
     lifecycle: Vec<ChannelLifecycle>,
     stats: ReactorSnapshot,
+    _link: PhantomData<fn() -> L>,
 }
+
+/// The single-flow reactor: a [`PathReactor`] over [`NetStripedPath`].
+pub type SenderReactor<S, L> = PathReactor<NetStripedPath<S, L>, L>;
+
+/// The multi-flow reactor: a [`PathReactor`] over [`StripeServer`].
+pub type ServerReactor<S, L> = PathReactor<StripeServer<S, L>, L>;
 
 /// Reverse-path receive batch width.
 const REVERSE_RUN: usize = 8;
 
-impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
+impl<P: ReactorPath<L>, L: DatagramLink> PathReactor<P, L> {
     /// Wrap `path`, ticking `driver` (when present) every
     /// `tick_interval` starting from `now`.
     pub fn new(
-        path: NetStripedPath<S, L>,
+        path: P,
         driver: Option<FailoverDriver>,
         now: SimTime,
         tick_interval: SimDuration,
     ) -> Self {
         let buf_len = path
-            .links()
+            .reactor_links()
             .iter()
             .map(|l| l.mtu())
             .max()
@@ -154,7 +207,7 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
             .as_ref()
             .map(|d| LifecycleConfig::with_probe_interval(d.liveness().config().probe_interval_ns))
             .unwrap_or_default();
-        let channels = path.links().len();
+        let channels = path.reactor_links().len();
         Self {
             path,
             driver,
@@ -165,6 +218,7 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
                 .map(|_| ChannelLifecycle::new(lifecycle_cfg))
                 .collect(),
             stats: ReactorSnapshot::default(),
+            _link: PhantomData,
         }
     }
 
@@ -198,13 +252,13 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
     /// and `Vec::new()` never allocates.
     pub fn poll(&mut self, now: SimTime) -> Vec<ControlTransmission> {
         self.stats.polls += 1;
-        self.stats.flushed += self.path.flush() as u64;
+        self.stats.flushed += self.path.flush_backlog() as u64;
         let mut reports = Vec::new();
-        for c in 0..self.path.links().len() {
+        for c in 0..self.path.reactor_links().len() {
             self.report_link_death(c, now, &mut reports);
             loop {
-                let got =
-                    self.path.links_mut()[c].recv_run(&mut self.recv_bufs, &mut self.recv_lens);
+                let got = self.path.reactor_links_mut()[c]
+                    .recv_run(&mut self.recv_bufs, &mut self.recv_lens);
                 for i in 0..got {
                     let n = self.recv_lens[i];
                     let ctl = match frame::decode(&self.recv_bufs[i][..n]) {
@@ -253,7 +307,7 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
         now: SimTime,
         reports: &mut Vec<ControlTransmission>,
     ) {
-        if !self.path.links()[c].link_dead() {
+        if !self.path.reactor_links()[c].link_dead() {
             return;
         }
         if let Some(driver) = self.driver.as_mut() {
@@ -282,7 +336,7 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
             }
         }
         if self.lifecycle[c].advance(now_ns) == LifecycleAction::Rebind {
-            if self.path.links_mut()[c].revive() {
+            if self.path.reactor_links_mut()[c].revive() {
                 self.lifecycle[c].rebind_ok(now_ns);
             } else {
                 self.lifecycle[c].rebind_failed(now_ns);
@@ -300,7 +354,7 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
         );
         if dead_side
             && driver.liveness().health(c) == ChannelHealth::Live
-            && !self.path.links()[c].link_dead()
+            && !self.path.reactor_links()[c].link_dead()
         {
             lc.on_recovered(now_ns);
             self.stats.grow_announcements += 1;
@@ -314,12 +368,12 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
     }
 
     /// The wrapped path.
-    pub fn path(&self) -> &NetStripedPath<S, L> {
+    pub fn path(&self) -> &P {
         &self.path
     }
 
     /// Mutable access to the wrapped path (to send batches through).
-    pub fn path_mut(&mut self) -> &mut NetStripedPath<S, L> {
+    pub fn path_mut(&mut self) -> &mut P {
         &mut self.path
     }
 
@@ -334,7 +388,7 @@ impl<S: CausalScheduler, L: DatagramLink> SenderReactor<S, L> {
     }
 
     /// Take the path (and driver) back out.
-    pub fn into_inner(self) -> (NetStripedPath<S, L>, Option<FailoverDriver>) {
+    pub fn into_inner(self) -> (P, Option<FailoverDriver>) {
         (self.path, self.driver)
     }
 }

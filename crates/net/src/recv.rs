@@ -1,14 +1,16 @@
 //! The real-socket logical receiver: physical reception off N datagram
-//! links into the shared resequencing engine.
+//! links into the shared resequencing engine — implemented, since the
+//! multi-flow redesign, as *flow 0* of a
+//! [`FlowDemux`](crate::demux::FlowDemux).
 //!
-//! [`NetLogicalReceiver`] owns one [`DatagramLink`] per striped channel
-//! and a [`StripedSink`] (the PR-1 receiver endpoint: a
-//! [`LogicalReceiver`] plus the probe/membership responders). A
-//! [`sweep`](NetLogicalReceiver::sweep) is one readiness pass: drain
-//! every socket, decode each frame with the shared codec, route data
-//! and markers into the resequencer, answer control on the reverse path
-//! of the same link. Then [`poll_into`](NetLogicalReceiver::poll_into)
-//! drains whatever became logically deliverable.
+//! [`NetLogicalReceiver`] wraps a demux whose population is capped at
+//! one flow, pre-instantiated at build. Version-1 (untagged) frames
+//! route to flow 0 by definition of the codec, so a legacy sender's
+//! traffic lands exactly where it always did: data and markers into the
+//! flow's resequencer, probes/membership answered on the reverse path
+//! of the same link. Behaviour, counters, and the zero-allocation story
+//! are unchanged from the dedicated single-flow receiver — the PR 2–6
+//! test suites run against this wrapper unmodified.
 //!
 //! The zero-allocation story: every datagram lands in a buffer taken
 //! from a [`BufPool`]; data payloads travel through the resequencer as
@@ -17,16 +19,16 @@
 //! buffer back immediately after decode. Steady state, nothing
 //! allocates — measured by the `alloc_counting` integration test.
 //!
-//! [`LogicalReceiver`]: stripe_core::receiver::LogicalReceiver
+//! [`BufPool`]: crate::pool::BufPool
 
-use stripe_core::receiver::{Arrival, ReceiverSnapshot, RxBatch};
+use stripe_core::receiver::{ReceiverSnapshot, RxBatch};
 use stripe_core::sched::CausalScheduler;
 use stripe_core::types::ChannelId;
 use stripe_link::DatagramLink;
 use stripe_netsim::SimTime;
 use stripe_transport::StripedSink;
 
-use crate::frame::{self, Frame, FRAME_HEADER_LEN};
+use crate::demux::FlowDemux;
 use crate::pool::{BufPool, PooledBuf};
 
 /// Receive-side network counters, complementing the resequencer's own
@@ -114,9 +116,12 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiverBuilder<S, L> {
         self.stall_timeout_ns = Some(timeout_ns);
         self
     }
+}
 
-    /// Assemble the receiver. Pool buffers are sized to the largest link
-    /// MTU so any frame fits.
+impl<S: CausalScheduler + Clone, L: DatagramLink> NetLogicalReceiverBuilder<S, L> {
+    /// Assemble the receiver: a one-flow [`FlowDemux`] with flow 0
+    /// pre-instantiated. Pool buffers are sized to the largest link MTU
+    /// so any frame fits.
     ///
     /// # Panics
     /// Panics if no scheduler was supplied or the link count differs
@@ -125,57 +130,26 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiverBuilder<S, L> {
         let sched = self
             .sched
             .expect("NetLogicalReceiverBuilder needs a scheduler");
-        assert_eq!(
-            self.links.len(),
-            sched.channels(),
-            "one link per scheduler channel"
-        );
-        let buf_len = self
-            .links
-            .iter()
-            .map(|l| l.mtu())
-            .max()
-            .expect("non-empty links");
-        let mut sink_builder = StripedSink::builder()
+        let mut demux_builder = FlowDemux::builder()
             .scheduler(sched)
-            .capacity_per_channel(self.cap_per_channel);
+            .links(self.links)
+            .capacity_per_channel(self.cap_per_channel)
+            .pool_buffers(self.pool_initial)
+            .max_flows(1);
         if let Some(t) = self.stall_timeout_ns {
-            sink_builder = sink_builder.stall_timeout_ns(t);
+            demux_builder = demux_builder.stall_timeout_ns(t);
         }
-        let channels = self.links.len();
-        NetLogicalReceiver {
-            sink: sink_builder.build(),
-            links: self.links,
-            pool: BufPool::new(buf_len, self.pool_initial),
-            ctl_buf: Vec::new(),
-            recv_bufs: Vec::new(),
-            recv_lens: Vec::new(),
-            stats: NetRxSnapshot::default(),
-            malformed_by_channel: vec![0; channels],
-            corrupt_by_channel: vec![0; channels],
-        }
+        let mut demux = demux_builder.build();
+        assert!(demux.touch_flow(0), "a fresh demux admits flow 0");
+        NetLogicalReceiver { demux }
     }
 }
 
 /// Physical reception over real sockets, feeding the shared logical
-/// resequencer.
+/// resequencer — flow 0 of a one-flow [`FlowDemux`].
 #[derive(Debug)]
 pub struct NetLogicalReceiver<S: CausalScheduler, L: DatagramLink> {
-    sink: StripedSink<S, PooledBuf>,
-    links: Vec<L>,
-    pool: BufPool,
-    ctl_buf: Vec<u8>,
-    /// Scratch buffer array for batched receives (`recvmmsg` seam):
-    /// pool buffers waiting to be filled, refilled as frames are routed.
-    recv_bufs: Vec<Vec<u8>>,
-    recv_lens: Vec<usize>,
-    stats: NetRxSnapshot,
-    /// Per-channel undecodable-frame counts — a single noisy channel
-    /// (a flaky NIC, a corrupting middlebox) shows up here long before
-    /// it shifts the aggregate.
-    malformed_by_channel: Vec<u64>,
-    /// Per-channel checksum-discard counts (summed data frames only).
-    corrupt_by_channel: Vec<u64>,
+    demux: FlowDemux<S, L>,
 }
 
 impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
@@ -185,165 +159,111 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
         NetLogicalReceiverBuilder::default()
     }
 
-    /// Frames per [`DatagramLink::recv_run`] call in a sweep — the
-    /// receive-side syscall batch width on mmsg-capable links.
-    const RECV_RUN: usize = 32;
-
-    /// One readiness pass at `now`: drain every channel's socket in
-    /// [`Self::RECV_RUN`]-frame batches (the `recvmmsg` seam), route
-    /// each frame, transmit any control replies on the reverse path.
-    /// Returns the number of frames received.
-    pub fn sweep(&mut self, now: SimTime) -> usize {
-        let _ = now; // reserved for receive-timestamp plumbing
-        while self.recv_bufs.len() < Self::RECV_RUN {
-            self.recv_bufs.push(self.pool.take());
-            self.recv_lens.push(0);
-        }
-        let mut received = 0;
-        for c in 0..self.links.len() {
-            loop {
-                let got = self.links[c].recv_run(&mut self.recv_bufs, &mut self.recv_lens);
-                for i in 0..got {
-                    // Swap a fresh pool buffer into the batch array and
-                    // route the filled one (data keeps it, control and
-                    // malformed return it) — still zero steady-state
-                    // allocations, the pool just cycles.
-                    let buf = std::mem::replace(&mut self.recv_bufs[i], self.pool.take());
-                    let n = self.recv_lens[i];
-                    received += 1;
-                    self.stats.frames += 1;
-                    self.route_frame(c, buf, n);
-                }
-                if got < Self::RECV_RUN {
-                    break;
-                }
-            }
-        }
-        received
-    }
-
-    /// Route one received frame: data into the resequencer (keeping the
-    /// pooled buffer), control through the sink's responders (returning
-    /// the buffer at once).
-    fn route_frame(&mut self, c: ChannelId, buf: Vec<u8>, n: usize) {
-        match frame::try_decode(&buf[..n]) {
-            Ok(Frame::Data(body)) => {
-                // The body is a view into `buf` (summed frames exclude
-                // their trailer); capture its extent, then keep the
-                // storage as the packet.
-                let len = body.len();
-                self.stats.data_frames += 1;
-                let pb = PooledBuf::new(buf, FRAME_HEADER_LEN, len);
-                // On overflow the resequencer drops the arrival (counted
-                // in its own snapshot); the buffer is freed with it.
-                let _ = self.sink.on_arrival(c, Arrival::Data(pb));
-            }
-            Ok(Frame::Control(ctl)) => {
-                self.stats.control_frames += 1;
-                self.pool.put(buf);
-                // Markers return no replies (and allocate nothing);
-                // probes and membership answer on the reverse path.
-                for (rc, reply) in self.sink.on_control(c, &ctl) {
-                    frame::encode_control_into(&reply, &mut self.ctl_buf);
-                    match self.links[rc].send_frame(&self.ctl_buf) {
-                        Ok(()) => self.stats.replies_sent += 1,
-                        Err(_) => self.stats.replies_lost += 1,
-                    }
-                }
-            }
-            Err(frame::DecodeError::Corrupt) => {
-                self.stats.dropped_corrupt += 1;
-                self.corrupt_by_channel[c] += 1;
-                self.pool.put(buf);
-            }
-            Err(frame::DecodeError::Malformed) => {
-                self.stats.dropped_malformed += 1;
-                self.malformed_by_channel[c] += 1;
-                self.pool.put(buf);
-            }
-        }
-    }
-
     /// Drain every logically deliverable packet into `out` (cleared
     /// first, capacity kept). Returns the number delivered. Hand each
     /// consumed packet's storage back with [`recycle`](Self::recycle).
     pub fn poll_into(&mut self, out: &mut RxBatch<PooledBuf>) -> usize {
-        self.sink.poll_into(out)
+        self.demux.poll_flow_into(0, out)
     }
 
     /// Deliver the next in-order packet, if any.
     pub fn poll(&mut self) -> Option<PooledBuf> {
-        self.sink.poll()
+        self.demux.poll_flow(0)
     }
 
     /// Return a consumed packet's storage to the receive pool — the
     /// step that closes the zero-allocation cycle.
     pub fn recycle(&mut self, pkt: PooledBuf) {
-        self.pool.put(pkt.into_inner());
+        self.demux.recycle(pkt);
     }
 
     /// Pre-size the resequencer rings and the pool for steady-state
     /// operation at `per_channel` buffered arrivals (see
     /// [`stripe_core::receiver::LogicalReceiver::reserve`]).
     pub fn reserve(&mut self, per_channel: usize) {
-        self.sink.receiver_mut().reserve(per_channel);
+        self.demux.reserve_flow(0, per_channel);
     }
 
     /// The head-of-line stall probe (see
     /// [`stripe_core::receiver::LogicalReceiver::stalled`]).
     pub fn stalled(&mut self, now: SimTime) -> Option<ChannelId> {
-        self.sink.stalled(now)
+        self.demux.flow_stalled(0, now)
     }
 
     /// Network-side counters.
     pub fn net_stats(&self) -> NetRxSnapshot {
-        self.stats
+        let s = self.demux.net_stats();
+        NetRxSnapshot {
+            frames: s.frames,
+            data_frames: s.data_frames,
+            control_frames: s.control_frames,
+            dropped_malformed: s.dropped_malformed,
+            dropped_corrupt: s.dropped_corrupt,
+            replies_sent: s.replies_sent,
+            replies_lost: s.replies_lost,
+        }
     }
 
     /// Per-channel undecodable-frame counts (indexed by channel id).
     pub fn malformed_by_channel(&self) -> &[u64] {
-        &self.malformed_by_channel
+        self.demux.malformed_by_channel()
     }
 
     /// Per-channel checksum-discard counts (indexed by channel id).
     pub fn corrupt_by_channel(&self) -> &[u64] {
-        &self.corrupt_by_channel
+        self.demux.corrupt_by_channel()
     }
 
     /// Resequencer counters.
     pub fn stats(&self) -> ReceiverSnapshot {
-        self.sink.stats()
+        self.demux.flow_stats(0).expect("flow 0 always exists")
     }
 
-    /// The wrapped sink (resequencer + responders).
+    /// The wrapped sink (resequencer + responders) — flow 0's.
     pub fn sink(&self) -> &StripedSink<S, PooledBuf> {
-        &self.sink
+        self.demux.flow_sink(0).expect("flow 0 always exists")
     }
 
     /// Mutable access to the wrapped sink.
     pub fn sink_mut(&mut self) -> &mut StripedSink<S, PooledBuf> {
-        &mut self.sink
+        self.demux.flow_sink_mut(0).expect("flow 0 always exists")
     }
 
     /// The member links.
     pub fn links(&self) -> &[L] {
-        &self.links
+        self.demux.links()
     }
 
     /// Mutable access to the member links.
     pub fn links_mut(&mut self) -> &mut [L] {
-        &mut self.links
+        self.demux.links_mut()
     }
 
     /// The receive buffer pool (for high-water-mark inspection).
     pub fn pool(&self) -> &BufPool {
-        &self.pool
+        self.demux.pool()
+    }
+
+    /// The underlying one-flow demux.
+    pub fn demux(&self) -> &FlowDemux<S, L> {
+        &self.demux
+    }
+}
+
+impl<S: CausalScheduler + Clone, L: DatagramLink> NetLogicalReceiver<S, L> {
+    /// One readiness pass at `now`: drain every channel's socket in
+    /// batches (the `recvmmsg` seam), route each frame, transmit any
+    /// control replies on the reverse path. Returns the number of frames
+    /// received.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        self.demux.sweep(now)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::{self, Frame, FRAME_HEADER_LEN};
     use crate::path::NetStripedPath;
     use bytes::Bytes;
     use stripe_core::control::Control;

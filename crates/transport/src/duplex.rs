@@ -18,7 +18,7 @@
 //! transmissions for the experiment's channels, `on_arrival` consumes
 //! them, `poll` yields in-order inbound packets.
 
-use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverStats};
+use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverSnapshot};
 use stripe_core::sched::CausalScheduler;
 use stripe_core::sender::{MarkerConfig, StripingSender};
 use stripe_core::types::{ChannelId, WireLen};
@@ -157,7 +157,7 @@ impl<S: CausalScheduler, P: WireLen> DuplexEndpoint<S, P> {
     }
 
     /// Inbound receiver statistics.
-    pub fn rx_stats(&self) -> ReceiverStats {
+    pub fn rx_stats(&self) -> ReceiverSnapshot {
         self.rx.stats()
     }
 

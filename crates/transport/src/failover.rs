@@ -265,7 +265,10 @@ impl<S: CausalScheduler, P: WireLen> StripedSinkBuilder<S, P> {
         if let Some(t) = self.stall_timeout_ns {
             rx.set_stall_timeout(t);
         }
-        StripedSink::new(rx)
+        StripedSink {
+            rx,
+            membership: MembershipResponder::new(),
+        }
     }
 }
 
@@ -285,6 +288,11 @@ impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
     }
 
     /// Wrap a logical receiver.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `StripedSink::builder()` — the one construction vocabulary \
+                across path, sink, server, and demux"
+    )]
     pub fn new(rx: LogicalReceiver<S, P>) -> Self {
         Self {
             rx,

@@ -70,6 +70,7 @@ pub struct PathSnapshot {
 
 /// The pre-convention name for [`PathSnapshot`], kept as an alias while
 /// external callers migrate.
+#[deprecated(since = "0.1.0", note = "renamed to `PathSnapshot`")]
 pub type PathStats = PathSnapshot;
 
 /// One control-plane transmission: what was sent, where, and its fate.
@@ -303,6 +304,11 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
     ///
     /// # Panics
     /// Panics if `links.len()` differs from the scheduler's channel count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `StripedPath::builder()` — the one construction vocabulary \
+                across path, sink, server, and demux"
+    )]
     pub fn new(sched: S, marker_cfg: MarkerConfig, links: Vec<L>) -> Self {
         Self::builder()
             .scheduler(sched)
@@ -784,6 +790,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "one link per scheduler channel")]
+    #[allow(deprecated)]
     fn link_count_mismatch_panics() {
         let _: StripedPath<_, EthLink> = StripedPath::new(
             Srr::equal(3, 1500),
@@ -803,6 +810,7 @@ mod tests {
     /// `builder` and `new` produce identical paths; `link` composes with
     /// `links`.
     #[test]
+    #[allow(deprecated)]
     fn builder_matches_new() {
         let sched = Srr::equal(2, 1500);
         let mut a = StripedPath::new(

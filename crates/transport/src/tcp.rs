@@ -129,7 +129,7 @@ const MAX_RTO: SimDuration = SimDuration::from_secs(60);
 
 /// Counters for the experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct TcpSenderStats {
+pub struct TcpSenderSnapshot {
     /// Segments sent (including retransmissions).
     pub segments_sent: u64,
     /// Fast retransmits triggered by 3 duplicate ACKs.
@@ -139,6 +139,11 @@ pub struct TcpSenderStats {
     /// Duplicate ACKs received.
     pub dup_acks: u64,
 }
+
+/// The pre-convention name for [`TcpSenderSnapshot`], kept as an alias
+/// while external callers migrate.
+#[deprecated(since = "0.1.0", note = "renamed to `TcpSenderSnapshot`")]
+pub type TcpSenderStats = TcpSenderSnapshot;
 
 /// The sending side of a TCP-lite connection.
 ///
@@ -187,7 +192,7 @@ pub struct TcpSender {
     /// reproduce the original boundaries.
     seg_lens: BTreeMap<u64, usize>,
 
-    stats: TcpSenderStats,
+    stats: TcpSenderSnapshot,
 }
 
 impl TcpSender {
@@ -218,7 +223,7 @@ impl TcpSender {
             sizer: SegmentSizer::Mss,
             seg_index: 0,
             seg_lens: BTreeMap::new(),
-            stats: TcpSenderStats::default(),
+            stats: TcpSenderSnapshot::default(),
         }
     }
 
@@ -268,7 +273,7 @@ impl TcpSender {
     }
 
     /// Counters.
-    pub fn stats(&self) -> TcpSenderStats {
+    pub fn stats(&self) -> TcpSenderSnapshot {
         self.stats
     }
 

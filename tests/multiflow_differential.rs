@@ -1,0 +1,158 @@
+//! Differential properties of the versioned (flow-tagged) wire format
+//! against the legacy one.
+//!
+//! Two claims pin the redesign to the PR 2–6 behavior:
+//!
+//! 1. **Datapath equivalence.** A one-flow [`StripeServer`] in
+//!    flow-tagged mode makes exactly the same striping decisions as the
+//!    legacy [`NetStripedPath`] datapath — same channels, same
+//!    payloads, same marker schedule — and its frames differ on the
+//!    wire *only* in the version byte and the inserted flow-ID varint.
+//!    Strip those and the byte streams are identical.
+//! 2. **Codec coexistence.** A mixed stream of version-1 and version-2
+//!    frames decodes under the one shared [`try_decode_flow`] entry:
+//!    v1 frames land on flow 0, v2 frames on their tagged flow, and the
+//!    body survives byte-for-byte either way.
+//!
+//! [`try_decode_flow`]: stripe::net::frame::try_decode_flow
+
+use proptest::prelude::*;
+
+use bytes::Bytes;
+use stripe::core::sched::Srr;
+use stripe::core::sender::MarkerConfig;
+use stripe::link::{datagram_pair, DatagramLink, TestDatagramLink};
+use stripe::net::frame::{self, Frame, FRAME_HEADER_LEN, FRAME_VERSION, FRAME_VERSION_FLOW};
+use stripe::net::{NetStripedPath, StripeServer};
+use stripe::netsim::SimTime;
+use stripe::transport::TxBatch;
+
+/// Split a wire frame into (kind, flow id, body) regardless of version.
+fn normalize(buf: &[u8]) -> (u8, u32, Vec<u8>) {
+    let kind = buf[2];
+    match buf[1] {
+        FRAME_VERSION => (kind, 0, buf[FRAME_HEADER_LEN..].to_vec()),
+        FRAME_VERSION_FLOW => {
+            let decoded = frame::try_decode_flow(buf).expect("well-formed v2 frame");
+            let off = frame::body_offset(buf).expect("v2 frame has a body offset");
+            (kind, decoded.0, buf[off..].to_vec())
+        }
+        v => panic!("unknown frame version {v}"),
+    }
+}
+
+/// Drain every queued frame from a receiver-side link.
+fn drain(link: &mut TestDatagramLink) -> Vec<Vec<u8>> {
+    let mut buf = [0u8; 4096];
+    let mut out = Vec::new();
+    while let Some(n) = link.recv_frame(&mut buf) {
+        out.push(buf[..n].to_vec());
+    }
+    out
+}
+
+proptest! {
+    /// One flow through the multi-flow server, in flow-tagged mode,
+    /// against the legacy path: identical channel sequences, identical
+    /// bodies, the only wire difference the version byte and the
+    /// one-byte flow-0 varint.
+    #[test]
+    fn one_flow_server_matches_legacy_path_on_the_wire(
+        lens in prop::collection::vec(1usize..1200, 1..120),
+        quantum in 300i64..4000,
+        marker_rounds in 1u64..8,
+    ) {
+        let channels = 3;
+        let (s0, mut sr0) = datagram_pair(2048, 1 << 16);
+        let (s1, mut sr1) = datagram_pair(2048, 1 << 16);
+        let (s2, mut sr2) = datagram_pair(2048, 1 << 16);
+        let (l0, mut lr0) = datagram_pair(2048, 1 << 16);
+        let (l1, mut lr1) = datagram_pair(2048, 1 << 16);
+        let (l2, mut lr2) = datagram_pair(2048, 1 << 16);
+
+        let mut server = StripeServer::builder()
+            .scheduler(Srr::equal(channels, quantum))
+            .markers(MarkerConfig::every_rounds(marker_rounds))
+            .links(vec![s0, s1, s2])
+            .build();
+        let flow = server.open_flow().expect("fresh server admits a flow");
+
+        let mut legacy = NetStripedPath::builder()
+            .scheduler(Srr::equal(channels, quantum))
+            .markers(MarkerConfig::every_rounds(marker_rounds))
+            .links(vec![l0, l1, l2])
+            .build();
+
+        let mut events = Vec::new();
+        let mut pkts = Vec::new();
+        let mut out = TxBatch::new();
+        for (i, &len) in lens.iter().enumerate() {
+            let payload = vec![(i % 251) as u8; len];
+            server.enqueue(flow, &payload).expect("unbounded enough");
+            pkts.push(Bytes::from(payload));
+        }
+        server.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        legacy.send_batch(SimTime::ZERO, &mut pkts, &mut out);
+
+        for (c, (sl, ll)) in [(&mut sr0, &mut lr0), (&mut sr1, &mut lr1), (&mut sr2, &mut lr2)]
+            .into_iter()
+            .enumerate()
+        {
+            let vs = drain(sl);
+            let vl = drain(ll);
+            prop_assert_eq!(
+                vs.len(), vl.len(),
+                "channel {} frame counts diverge", c
+            );
+            for (fs, fl) in vs.iter().zip(vl.iter()) {
+                prop_assert_eq!(fs[1], FRAME_VERSION_FLOW, "server emits v2");
+                prop_assert_eq!(fl[1], FRAME_VERSION, "legacy emits v1");
+                let (ks, flow_s, body_s) = normalize(fs);
+                let (kl, flow_l, body_l) = normalize(fl);
+                prop_assert_eq!(ks, kl, "kinds match");
+                prop_assert_eq!(flow_s, 0u32, "the first flow is flow 0");
+                prop_assert_eq!(flow_l, 0u32);
+                prop_assert_eq!(body_s, body_l, "bodies byte-identical");
+            }
+        }
+    }
+
+    /// Mixed v1/v2 streams decode under the shared entry point: flow ids
+    /// route, bodies survive, and versions never confuse each other.
+    #[test]
+    fn mixed_version_frames_decode_to_their_flow(
+        items in prop::collection::vec(
+            (any::<bool>(), 0u32..1 << 21, prop::collection::vec(any::<u8>(), 0..600)),
+            1..60
+        ),
+    ) {
+        let mut wire = Vec::new();
+        for (tagged, flow, payload) in &items {
+            let mut buf = Vec::new();
+            if *tagged {
+                frame::encode_data_flow_into(*flow, payload, &mut buf);
+            } else {
+                frame::encode_data_into(payload, &mut buf);
+            }
+            wire.push(buf);
+        }
+        for (buf, (tagged, flow, payload)) in wire.iter().zip(items.iter()) {
+            let (got_flow, decoded) =
+                frame::try_decode_flow(buf).expect("clean frames decode");
+            let want_flow = if *tagged { *flow } else { 0 };
+            prop_assert_eq!(got_flow, want_flow);
+            match decoded {
+                Frame::Data(body) => prop_assert_eq!(body, &payload[..]),
+                other => prop_assert!(false, "data decoded as {:?}", other),
+            }
+            // The v1-only entry must reject v2 frames rather than
+            // misreading the varint as payload.
+            let v1 = frame::try_decode(buf);
+            if *tagged {
+                prop_assert!(v1.is_err(), "v1 decoder must reject v2 frames");
+            } else {
+                prop_assert!(v1.is_ok());
+            }
+        }
+    }
+}
