@@ -218,6 +218,171 @@ fn run_cell(flows: usize, payload: usize, per_flow: u64) -> Run {
     }
 }
 
+struct ChurnRun {
+    cycles: u64,
+    cycles_per_sec: f64,
+    allocs_per_pkt: f64,
+    delivered: u64,
+    wall_secs: f64,
+}
+
+/// Open/close churn under load: every cycle drives a burst window
+/// across the population, then retires one flow — drain, close (both
+/// sides), reopen into the same slot under a fresh generation. Exercises
+/// the slab, the generation check, and the sender/receiver flow pools;
+/// the measured window must not allocate at all (the CI gate holds
+/// `churn.allocs_per_packet` at zero).
+fn run_churn(flows: usize, payload: usize, cycles: u64) -> ChurnRun {
+    let mut tx_links = Vec::new();
+    let mut rx_links = Vec::new();
+    for _ in 0..CHANNELS {
+        let (a, b) = UdpChannel::builder(2048)
+            .queue_cap(1 << 12)
+            .sndbuf(SOCK_BUF)
+            .rcvbuf(SOCK_BUF)
+            .pair()
+            .expect("bind loopback");
+        tx_links.push(a);
+        rx_links.push(b);
+    }
+    let mut server: StripeServer<Srr, UdpChannel> = StripeServer::builder()
+        .scheduler(Srr::equal(CHANNELS, QUANTUM))
+        .markers(MarkerConfig::every_rounds(4))
+        .links(tx_links)
+        .max_flows(flows)
+        .queue_frames(64)
+        .build();
+    let mut handles: Vec<FlowHandle> = (0..flows)
+        .map(|_| server.open_flow().expect("under the admission cap"))
+        .collect();
+    let mut demux: FlowDemux<Srr, UdpChannel> = FlowDemux::builder()
+        .scheduler(Srr::equal(CHANNELS, QUANTUM))
+        .links(rx_links)
+        .pool_buffers(1 << 10)
+        .max_flows(flows)
+        .build();
+    for f in 0..flows {
+        demux.touch_flow(f as u32);
+    }
+
+    let clock = WallClock::start();
+    let mut events: Vec<PumpEvent> = Vec::new();
+    let mut batch = RxBatch::with_capacity(4096);
+    // Per-incarnation counters: reset when the slot is recycled.
+    let mut sent = vec![0u64; flows];
+    let mut got = vec![0u64; flows];
+    let mut payload_buf = vec![0u8; payload];
+    let mut cursor = 0usize;
+    let mut delivered = 0u64;
+
+    let cycle = |cursor: &mut usize,
+                 handles: &mut Vec<FlowHandle>,
+                 sent: &mut Vec<u64>,
+                 got: &mut Vec<u64>,
+                 server: &mut StripeServer<Srr, UdpChannel>,
+                 demux: &mut FlowDemux<Srr, UdpChannel>,
+                 events: &mut Vec<PumpEvent>,
+                 batch: &mut RxBatch<PooledBuf>,
+                 payload_buf: &mut Vec<u8>,
+                 delivered: &mut u64| {
+        let w = WINDOW.min(flows);
+        for i in 0..w {
+            let f = (*cursor + i) % flows;
+            payload_buf[..4].copy_from_slice(&(f as u32).to_be_bytes());
+            payload_buf[4..12].copy_from_slice(&sent[f].to_be_bytes());
+            if server.enqueue(handles[f], payload_buf).is_ok() {
+                sent[f] += 1;
+            }
+        }
+        server.pump_into(clock.now(), usize::MAX, events);
+        server.flush();
+        demux.sweep(clock.now());
+        for i in 0..w {
+            let f = (*cursor + i) % flows;
+            demux.poll_flow_into(f as u32, batch);
+            for pb in batch.drain() {
+                let flow = u32::from_be_bytes(pb.as_slice()[..4].try_into().unwrap()) as usize;
+                assert_eq!(flow, f, "cross-flow delivery in churn bench");
+                got[f] += 1;
+                *delivered += 1;
+                demux.recycle(pb);
+            }
+        }
+        // Retire the cursor flow: drain, close both sides, reopen the
+        // slot under a fresh generation.
+        let v = *cursor;
+        let mut spins = 0u32;
+        while got[v] < sent[v] {
+            spins += 1;
+            assert!(spins < 1 << 20, "victim flow {v} never drained");
+            if spins.is_multiple_of(64) {
+                server.send_idle_markers_into(clock.now(), events);
+                server.flush();
+            }
+            demux.sweep(clock.now());
+            demux.poll_flow_into(v as u32, batch);
+            for pb in batch.drain() {
+                got[v] += 1;
+                *delivered += 1;
+                demux.recycle(pb);
+            }
+        }
+        server.close_flow(handles[v]).expect("live handle");
+        demux.close_flow(v as u32);
+        let h = server.open_flow().expect("slot just freed");
+        assert_eq!(h.id() as usize, v, "freed slot must be reused");
+        handles[v] = h;
+        demux.touch_flow(v as u32);
+        sent[v] = 0;
+        got[v] = 0;
+        *cursor = (*cursor + 1) % flows;
+    };
+
+    // Warm-up: churn every slot once so the slab, generation counters,
+    // flow pools, and buffer pools all reach their high-water marks.
+    for _ in 0..flows as u64 {
+        cycle(
+            &mut cursor,
+            &mut handles,
+            &mut sent,
+            &mut got,
+            &mut server,
+            &mut demux,
+            &mut events,
+            &mut batch,
+            &mut payload_buf,
+            &mut delivered,
+        );
+    }
+
+    delivered = 0;
+    let alloc0 = CountingAlloc::allocations();
+    let t0 = Instant::now();
+    for _ in 0..cycles {
+        cycle(
+            &mut cursor,
+            &mut handles,
+            &mut sent,
+            &mut got,
+            &mut server,
+            &mut demux,
+            &mut events,
+            &mut batch,
+            &mut payload_buf,
+            &mut delivered,
+        );
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = CountingAlloc::allocations() - alloc0;
+    ChurnRun {
+        cycles,
+        cycles_per_sec: cycles as f64 / wall,
+        allocs_per_pkt: allocs as f64 / delivered.max(1) as f64,
+        delivered,
+        wall_secs: wall,
+    }
+}
+
 fn main() {
     let smoke = std::env::var("STRIPE_BENCH_SMOKE").is_ok_and(|v| v == "1");
 
@@ -289,6 +454,24 @@ fn main() {
         );
     }
     json.push_str("\n  ],\n");
+
+    // Open/close churn under load: slab + generation + flow-pool
+    // machinery; the measured window must be allocation-free.
+    let (churn_flows, churn_cycles) = if smoke { (64, 96) } else { (256, 1024) };
+    let c = run_churn(churn_flows, 256, churn_cycles);
+    println!(
+        "churn ({churn_flows} flows, window {WINDOW}): {:.0} cycles/s, \
+         {:.4} alloc/pkt, {} delivered in {:.2}s",
+        c.cycles_per_sec, c.allocs_per_pkt, c.delivered, c.wall_secs
+    );
+    let _ = writeln!(
+        json,
+        "  \"churn\": {{\"flows\": {churn_flows}, \"cycles\": {}, \
+         \"cycles_per_sec\": {:.0}, \"allocs_per_packet\": {:.4}, \
+         \"delivered\": {}, \"wall_secs\": {:.4}}},",
+        c.cycles, c.cycles_per_sec, c.allocs_per_pkt, c.delivered, c.wall_secs
+    );
+
     let (agg, jain) = headline.expect("the 10k-flow cell always runs");
     let _ = writeln!(json, "  \"pkts_per_sec_10kflows_256B\": {agg:.0},");
     let _ = writeln!(json, "  \"jain_index_10kflows_256B\": {jain:.6},");

@@ -90,6 +90,28 @@ pub enum Control {
         /// The epoch being acknowledged.
         epoch: Epoch,
     },
+    /// Epoch-stamped live retune: both ends switch to `quanta` when
+    /// their global round reaches `effective_round`. The adaptive
+    /// tuner's announcement — a [`Control::QuantumUpdate`] with the
+    /// membership handshake's reliability: the epoch makes duplicated
+    /// or reordered announcements harmless and the matching
+    /// [`Control::QuantumAck`] closes the retransmit loop, so the
+    /// fairness bound holds across every mid-stream retune.
+    QuantumAnnounce {
+        /// The retune generation being established (same epoch space
+        /// discipline as membership, tracked independently).
+        epoch: Epoch,
+        /// Round at which the new quanta take effect.
+        effective_round: u64,
+        /// New per-channel quanta (≤ 16 channels on the wire).
+        quanta: Vec<i64>,
+    },
+    /// Receiver confirms it has scheduled the retune for `epoch`.
+    /// Travels on the reverse path.
+    QuantumAck {
+        /// The epoch being acknowledged.
+        epoch: Epoch,
+    },
 }
 
 const TYPE_MARKER: u8 = 1;
@@ -100,9 +122,12 @@ const TYPE_PROBE: u8 = 5;
 const TYPE_PROBE_ACK: u8 = 6;
 const TYPE_MEMBERSHIP: u8 = 7;
 const TYPE_MEMBERSHIP_ACK: u8 = 8;
+const TYPE_QUANTUM_ANNOUNCE: u8 = 9;
+const TYPE_QUANTUM_ACK: u8 = 10;
 
-/// Largest encoded control message (quantum update for 16 channels).
-pub const CONTROL_MAX_WIRE_LEN: usize = 1 + 8 + 1 + 16 * 8;
+/// Largest encoded control message (epoch'd quantum announce for 16
+/// channels).
+pub const CONTROL_MAX_WIRE_LEN: usize = 1 + 4 + 8 + 1 + 16 * 8;
 
 impl Control {
     /// Encode to wire bytes.
@@ -172,6 +197,24 @@ impl Control {
                 out.push(TYPE_MEMBERSHIP_ACK);
                 out.extend_from_slice(&epoch.to_be_bytes());
             }
+            Control::QuantumAnnounce {
+                epoch,
+                effective_round,
+                quanta,
+            } => {
+                assert!(quanta.len() <= 16, "wire format caps at 16 channels");
+                out.push(TYPE_QUANTUM_ANNOUNCE);
+                out.extend_from_slice(&epoch.to_be_bytes());
+                out.extend_from_slice(&effective_round.to_be_bytes());
+                out.push(quanta.len() as u8);
+                for q in quanta {
+                    out.extend_from_slice(&q.to_be_bytes());
+                }
+            }
+            Control::QuantumAck { epoch } => {
+                out.push(TYPE_QUANTUM_ACK);
+                out.extend_from_slice(&epoch.to_be_bytes());
+            }
         }
     }
 
@@ -186,6 +229,8 @@ impl Control {
             Control::Probe { .. } | Control::ProbeAck { .. } => 1 + 8,
             Control::Membership { .. } => 1 + 4 + 2 + 8,
             Control::MembershipAck { .. } => 1 + 4,
+            Control::QuantumAnnounce { quanta, .. } => 1 + 4 + 8 + 1 + quanta.len() * 8,
+            Control::QuantumAck { .. } => 1 + 4,
         }
     }
 
@@ -248,6 +293,32 @@ impl Control {
                 let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
                 Some(Control::MembershipAck { epoch })
             }
+            TYPE_QUANTUM_ANNOUNCE => {
+                let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
+                let effective_round = u64::from_be_bytes(rest.get(4..12)?.try_into().ok()?);
+                let n = *rest.get(12)? as usize;
+                if n > 16 {
+                    return None;
+                }
+                let mut quanta = Vec::with_capacity(n);
+                for i in 0..n {
+                    let off = 13 + i * 8;
+                    let q = i64::from_be_bytes(rest.get(off..off + 8)?.try_into().ok()?);
+                    if q <= 0 {
+                        return None; // a zero quantum would wedge the scan
+                    }
+                    quanta.push(q);
+                }
+                Some(Control::QuantumAnnounce {
+                    epoch,
+                    effective_round,
+                    quanta,
+                })
+            }
+            TYPE_QUANTUM_ACK => {
+                let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
+                Some(Control::QuantumAck { epoch })
+            }
             _ => None,
         }
     }
@@ -282,6 +353,47 @@ mod tests {
             quanta: vec![1500, 4500, 9000],
         };
         assert_eq!(Control::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn quantum_announce_roundtrips() {
+        for c in [
+            Control::QuantumAnnounce {
+                epoch: 0,
+                effective_round: 1 << 40,
+                quanta: vec![1500, 4500, 9000],
+            },
+            Control::QuantumAnnounce {
+                epoch: u32::MAX,
+                effective_round: 0,
+                quanta: vec![1; 16],
+            },
+            Control::QuantumAck { epoch: 12345 },
+        ] {
+            assert_eq!(Control::decode(&c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn quantum_announce_rejects_bad_bodies() {
+        let c = Control::QuantumAnnounce {
+            epoch: 3,
+            effective_round: 5,
+            quanta: vec![1500, 3000],
+        };
+        let enc = c.encode();
+        assert_eq!(Control::decode(&enc[..enc.len() - 1]), None, "truncated");
+        let mut bad = enc.clone();
+        let n = bad.len();
+        bad[n - 8..].copy_from_slice(&0i64.to_be_bytes());
+        assert_eq!(Control::decode(&bad), None, "zero quantum");
+        assert!(enc.len() <= CONTROL_MAX_WIRE_LEN);
+        let max = Control::QuantumAnnounce {
+            epoch: 1,
+            effective_round: 1,
+            quanta: vec![1500; 16],
+        };
+        assert_eq!(max.wire_len(), CONTROL_MAX_WIRE_LEN, "the new max message");
     }
 
     #[test]
@@ -349,6 +461,17 @@ mod tests {
                 effective_round: 6,
             },
             Control::MembershipAck { epoch: 7 },
+            Control::QuantumAnnounce {
+                epoch: 8,
+                effective_round: 9,
+                quanta: vec![1500, 4500, 9000],
+            },
+            Control::QuantumAnnounce {
+                epoch: 8,
+                effective_round: 9,
+                quanta: vec![1500; 16],
+            },
+            Control::QuantumAck { epoch: 10 },
         ] {
             assert_eq!(c.wire_len(), c.encode().len(), "{c:?}");
         }

@@ -87,6 +87,7 @@ pub mod marker;
 pub mod membership;
 pub mod receiver;
 pub mod reset;
+pub mod retune;
 pub mod sched;
 pub mod sender;
 pub mod seqno;
@@ -94,6 +95,6 @@ pub mod types;
 
 pub use marker::Marker;
 pub use receiver::{Arrival, LogicalReceiver, ReceiverSnapshot, RxBatch};
-pub use sched::{CausalScheduler, ChannelMark, Srr};
+pub use sched::{CausalScheduler, ChannelMark, QuantumTuner, Sprinkler, Srr};
 pub use sender::{MarkerConfig, MarkerPosition, SendDecision, StripingSender};
 pub use types::{ChannelId, TestPacket, WireLen};

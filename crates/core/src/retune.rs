@@ -1,0 +1,376 @@
+//! Live quantum retuning: the epoch'd announce/ack handshake.
+//!
+//! The adaptive tuner ([`crate::sched::tuner`]) turns rate estimates into
+//! new per-channel quanta, but a quantum change is only safe when *both*
+//! ends switch at the same stream point — otherwise the receiver's SRR
+//! simulation diverges from the sender and quasi-FIFO order is lost. This
+//! module carries that agreement, with exactly the structure of the
+//! membership handshake in [`crate::membership`]: the sender floods a
+//! [`Control::QuantumAnnounce`] (new epoch, quanta vector, effective
+//! round) over every live channel; the receiver applies it once per epoch
+//! via
+//! [`CausalScheduler::schedule_quanta`](crate::sched::CausalScheduler::schedule_quanta)
+//! and acks on the channel the announcement arrived on. Retransmission
+//! plus the epoch counter make the handshake idempotent under loss,
+//! duplication and reordering.
+//!
+//! A retune is a *same-membership epoch change*: the live set does not
+//! move, only the per-channel credit. Because both ends schedule the
+//! change at the same round boundary, the Theorem 3.2 fairness bound
+//! holds across the switch — each round is played entirely under one
+//! quanta vector or the other, never a mixture.
+//!
+//! [`Control::QuantumAnnounce`]: crate::control::Control::QuantumAnnounce
+
+use crate::control::{epoch_newer, Control, Epoch};
+use crate::types::ChannelId;
+
+/// Progress of an in-flight quantum announcement, from the sender's point
+/// of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetuneProgress {
+    /// Acks still outstanding on some live channel.
+    Pending,
+    /// Every channel the announcement was flooded on has acked.
+    Complete,
+    /// The ack was stale (old epoch) or redundant; nothing changed.
+    Ignored,
+}
+
+/// Sender half of the retune handshake.
+///
+/// Drives announcements and collects acks; the caller owns retransmission
+/// timing (call [`RetuneSender::retransmit`] on a timer while
+/// [`in_progress`](RetuneSender::in_progress) holds).
+#[derive(Debug, Clone)]
+pub struct RetuneSender {
+    channels: usize,
+    epoch: Epoch,
+    quanta: Vec<i64>,
+    effective_round: u64,
+    awaiting: Vec<bool>,
+}
+
+impl RetuneSender {
+    /// A sender for `channels` channels at epoch 0 with no handshake in
+    /// flight.
+    ///
+    /// # Panics
+    /// Panics on zero channels or more than 16 (the wire cap).
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0 && channels <= 16, "1..=16 channels");
+        Self {
+            channels,
+            epoch: 0,
+            quanta: Vec::new(),
+            effective_round: 0,
+            awaiting: vec![false; channels],
+        }
+    }
+
+    /// Start announcing new quanta taking effect at `effective_round`,
+    /// flooded over the channels live in `live` (dead channels cannot
+    /// carry the news, and their quanta are irrelevant until they rejoin).
+    /// Returns the `(channel, message)` pairs to transmit. Supersedes any
+    /// handshake still in flight.
+    ///
+    /// # Panics
+    /// Panics if `quanta` or `live` does not cover every channel, if no
+    /// channel is live, or if any quantum is non-positive (the wire codec
+    /// rejects those).
+    pub fn announce(
+        &mut self,
+        quanta: &[i64],
+        effective_round: u64,
+        live: &[bool],
+    ) -> Vec<(ChannelId, Control)> {
+        self.begin_announce(quanta, effective_round, live);
+        self.announcements()
+    }
+
+    /// Start a new announcement without materializing the messages: the
+    /// shared-frame counterpart of [`announce`](Self::announce). Read the
+    /// single message back with
+    /// [`current_announcement`](Self::current_announcement) and the
+    /// addressees with [`awaiting_channels`](Self::awaiting_channels).
+    ///
+    /// # Panics
+    /// Same conditions as [`announce`](Self::announce).
+    pub fn begin_announce(&mut self, quanta: &[i64], effective_round: u64, live: &[bool]) {
+        assert_eq!(
+            quanta.len(),
+            self.channels,
+            "quanta must cover every channel"
+        );
+        assert_eq!(live.len(), self.channels, "mask must cover every channel");
+        assert!(live.iter().any(|&l| l), "at least one channel must be live");
+        assert!(quanta.iter().all(|&q| q > 0), "quanta must be positive");
+        self.epoch = self.epoch.wrapping_add(1);
+        self.quanta.clear();
+        self.quanta.extend_from_slice(quanta);
+        self.effective_round = effective_round;
+        self.awaiting.clear();
+        self.awaiting.extend_from_slice(live);
+    }
+
+    /// The in-flight announcement as one shared message, or `None` when no
+    /// handshake is in flight. Built once per call; send it to every
+    /// channel in [`awaiting_channels`](Self::awaiting_channels).
+    pub fn current_announcement(&self) -> Option<Control> {
+        self.in_progress().then(|| Control::QuantumAnnounce {
+            epoch: self.epoch,
+            effective_round: self.effective_round,
+            quanta: self.quanta.clone(),
+        })
+    }
+
+    /// Channels still awaiting the current announcement's ack.
+    pub fn awaiting_channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        self.awaiting
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w)
+            .map(|(c, _)| c)
+    }
+
+    /// The current announcement, addressed to every channel still awaiting
+    /// an ack. Empty when no handshake is in flight.
+    pub fn retransmit(&self) -> Vec<(ChannelId, Control)> {
+        self.announcements()
+    }
+
+    fn announcements(&self) -> Vec<(ChannelId, Control)> {
+        let msg = Control::QuantumAnnounce {
+            epoch: self.epoch,
+            effective_round: self.effective_round,
+            quanta: self.quanta.clone(),
+        };
+        self.awaiting
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w)
+            .map(|(c, _)| (c, msg.clone()))
+            .collect()
+    }
+
+    /// A [`Control::QuantumAck`](crate::control::Control::QuantumAck)
+    /// arrived on `channel`.
+    pub fn on_ack(&mut self, channel: ChannelId, epoch: Epoch) -> RetuneProgress {
+        if epoch != self.epoch || channel >= self.channels || !self.awaiting[channel] {
+            return RetuneProgress::Ignored;
+        }
+        self.awaiting[channel] = false;
+        if self.awaiting.iter().any(|&w| w) {
+            RetuneProgress::Pending
+        } else {
+            RetuneProgress::Complete
+        }
+    }
+
+    /// Whether an announcement is still awaiting acks.
+    pub fn in_progress(&self) -> bool {
+        self.awaiting.iter().any(|&w| w)
+    }
+
+    /// The most recently announced quanta (empty before the first
+    /// announcement).
+    pub fn quanta(&self) -> &[i64] {
+        &self.quanta
+    }
+
+    /// The current retune epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The round at which the current quanta take (took) effect.
+    pub fn effective_round(&self) -> u64 {
+        self.effective_round
+    }
+}
+
+/// What the responder wants done with an incoming announcement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetuneAction {
+    /// A new epoch: apply the quanta to the local scheduler *and* send the
+    /// ack back on the channel the announcement arrived on.
+    Apply {
+        /// Channel to send the ack on.
+        channel: ChannelId,
+        /// Round at which the new quanta take effect.
+        effective_round: u64,
+        /// The quanta vector to pass to `schedule_quanta`.
+        quanta: Vec<i64>,
+        /// The ack message.
+        ack: Control,
+    },
+    /// A duplicate of the current epoch (a retransmission, or the same
+    /// flood arriving on another channel): re-ack, do not re-apply.
+    AckOnly {
+        /// Channel to send the ack on.
+        channel: ChannelId,
+        /// The ack message.
+        ack: Control,
+    },
+    /// Stale (older epoch) or malformed: drop silently.
+    Ignore,
+}
+
+/// Receiver half of the retune handshake.
+#[derive(Debug, Clone, Default)]
+pub struct RetuneResponder {
+    epoch: Epoch,
+    applied_any: bool,
+}
+
+impl RetuneResponder {
+    /// A responder that has applied nothing yet (epoch 0, so the sender's
+    /// first announcement — epoch 1 — is newer).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A [`Control::QuantumAnnounce`](crate::control::Control::QuantumAnnounce)
+    /// arrived on `channel`. `channels` is the striping-set width, used to
+    /// reject vectors of the wrong arity (the codec already rejects
+    /// non-positive quanta).
+    pub fn on_announce(
+        &mut self,
+        channel: ChannelId,
+        epoch: Epoch,
+        effective_round: u64,
+        quanta: &[i64],
+        channels: usize,
+    ) -> RetuneAction {
+        if quanta.len() != channels || quanta.iter().any(|&q| q <= 0) {
+            return RetuneAction::Ignore;
+        }
+        let ack = Control::QuantumAck { epoch };
+        if epoch_newer(epoch, self.epoch) || !self.applied_any {
+            self.epoch = epoch;
+            self.applied_any = true;
+            RetuneAction::Apply {
+                channel,
+                effective_round,
+                quanta: quanta.to_vec(),
+                ack,
+            }
+        } else if epoch == self.epoch {
+            RetuneAction::AckOnly { channel, ack }
+        } else {
+            RetuneAction::Ignore
+        }
+    }
+
+    /// The newest epoch applied so far.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retune_handshake_completes_on_live_acks_only() {
+        let mut s = RetuneSender::new(3);
+        let msgs = s.announce(&[6000, 3000, 1500], 42, &[true, false, true]);
+        // Flooded on the two live channels only.
+        assert_eq!(msgs.iter().map(|(c, _)| *c).collect::<Vec<_>>(), vec![0, 2]);
+        let Control::QuantumAnnounce {
+            epoch,
+            effective_round,
+            ref quanta,
+        } = msgs[0].1
+        else {
+            panic!("not a quantum announcement");
+        };
+        assert_eq!((epoch, effective_round), (1, 42));
+        assert_eq!(quanta, &vec![6000, 3000, 1500]);
+        assert!(s.in_progress());
+        assert_eq!(s.on_ack(0, epoch), RetuneProgress::Pending);
+        // Ack from the dead channel's id is ignored (it was never awaited).
+        assert_eq!(s.on_ack(1, epoch), RetuneProgress::Ignored);
+        assert_eq!(s.on_ack(2, epoch), RetuneProgress::Complete);
+        assert!(!s.in_progress());
+        assert!(s.retransmit().is_empty());
+    }
+
+    #[test]
+    fn stale_and_duplicate_acks_are_ignored() {
+        let mut s = RetuneSender::new(2);
+        s.announce(&[500, 500], 10, &[true, false]);
+        assert_eq!(s.on_ack(0, 0), RetuneProgress::Ignored); // stale epoch
+        assert_eq!(s.on_ack(0, 1), RetuneProgress::Complete);
+        assert_eq!(s.on_ack(0, 1), RetuneProgress::Ignored); // duplicate
+    }
+
+    #[test]
+    fn superseding_announcement_restarts_the_handshake() {
+        let mut s = RetuneSender::new(2);
+        s.announce(&[500, 500], 10, &[true, true]);
+        assert_eq!(s.on_ack(0, 1), RetuneProgress::Pending);
+        // A newer proposal before the old one completes: new epoch, both
+        // channels awaited again, stale ack for epoch 1 now ignored.
+        s.announce(&[800, 200], 20, &[true, true]);
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.awaiting_channels().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(s.on_ack(1, 1), RetuneProgress::Ignored);
+        assert_eq!(s.on_ack(0, 2), RetuneProgress::Pending);
+        assert_eq!(s.on_ack(1, 2), RetuneProgress::Complete);
+    }
+
+    #[test]
+    fn responder_applies_once_per_epoch() {
+        let mut r = RetuneResponder::new();
+        let a = r.on_announce(0, 1, 42, &[600, 300], 2);
+        let RetuneAction::Apply {
+            channel,
+            effective_round,
+            ref quanta,
+            ..
+        } = a
+        else {
+            panic!("first sighting must apply, got {a:?}");
+        };
+        assert_eq!((channel, effective_round), (0, 42));
+        assert_eq!(quanta, &vec![600, 300]);
+        // The same flood arriving on another channel: ack, no re-apply.
+        let b = r.on_announce(1, 1, 42, &[600, 300], 2);
+        assert!(
+            matches!(b, RetuneAction::AckOnly { channel: 1, .. }),
+            "{b:?}"
+        );
+        // An older epoch after a newer one: silent drop.
+        let mut r2 = RetuneResponder::new();
+        r2.on_announce(0, 5, 0, &[1, 1], 2);
+        assert_eq!(r2.on_announce(0, 4, 0, &[1, 1], 2), RetuneAction::Ignore);
+    }
+
+    #[test]
+    fn responder_survives_epoch_wraparound() {
+        let mut r = RetuneResponder::new();
+        r.on_announce(0, u32::MAX, 0, &[1, 1], 2);
+        assert_eq!(r.epoch(), u32::MAX);
+        // The wrapped successor is newer.
+        assert!(matches!(
+            r.on_announce(0, 0, 5, &[2, 2], 2),
+            RetuneAction::Apply { .. }
+        ));
+        assert_eq!(r.epoch(), 0);
+    }
+
+    #[test]
+    fn malformed_announcements_are_dropped() {
+        let mut r = RetuneResponder::new();
+        // Wrong arity for the striping set.
+        assert_eq!(r.on_announce(0, 1, 0, &[500], 2), RetuneAction::Ignore);
+        assert_eq!(
+            r.on_announce(0, 1, 0, &[500, 500, 500], 2),
+            RetuneAction::Ignore
+        );
+        // Non-positive quantum (belt and braces over the codec check).
+        assert_eq!(r.on_announce(0, 1, 0, &[500, 0], 2), RetuneAction::Ignore);
+    }
+}

@@ -18,11 +18,15 @@
 
 mod drr;
 mod rfq;
+mod sprinkler;
 mod srr;
+pub mod tuner;
 
 pub use drr::Drr;
 pub use rfq::Rfq;
+pub use sprinkler::Sprinkler;
 pub use srr::{CostModel, Srr};
+pub use tuner::QuantumTuner;
 
 use crate::types::ChannelId;
 

@@ -248,7 +248,9 @@ impl CausalScheduler for Srr {
         self.cur = 0;
         self.g = 1;
         self.pending_quanta = None;
-        self.quantum = self.initial_quantum.clone();
+        // clone_from, not clone: reset runs on every pooled-flow reuse
+        // in the churn path and must not touch the allocator.
+        self.quantum.clone_from(&self.initial_quantum);
         for l in &mut self.live {
             *l = true;
         }
@@ -266,12 +268,13 @@ impl CausalScheduler for Srr {
             "quantum update must cover every channel"
         );
         assert!(quanta.iter().all(|&q| q > 0), "all quanta must be positive");
-        assert!(
-            effective_round > self.g,
-            "effective round {effective_round} not in the future (round {})",
-            self.g
-        );
-        self.pending_quanta = Some((effective_round, quanta.to_vec()));
+        // Like membership changes, quantum changes can race the scan (a
+        // live retune announcement may reach a receiver whose simulation
+        // has already passed the nominal round): a round already passed is
+        // clamped to the next boundary rather than rejected, and markers
+        // mop up any residual skew.
+        let round = effective_round.max(self.g + 1);
+        self.pending_quanta = Some((round, quanta.to_vec()));
     }
 
     fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
@@ -644,10 +647,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in the future")]
-    fn quanta_update_must_be_future() {
+    fn stale_quanta_round_clamps_to_next_boundary() {
+        // A retune whose nominal round has already passed (the local scan
+        // raced ahead of the announcement) is clamped to the next round
+        // boundary, not rejected: a remote announcement must never panic
+        // the simulating end.
         let mut s = Srr::equal(2, 500);
-        s.schedule_quanta(1, &[500, 500]);
+        for _ in 0..8 {
+            s.advance(500); // g is now well past 1
+        }
+        let g = s.round();
+        s.schedule_quanta(1, &[800, 200]);
+        // Still on the old quantum through the rest of this round...
+        while s.round() == g {
+            assert_eq!(s.quantum(s.current()), 500);
+            s.advance(500);
+        }
+        // ...and on the new quanta from the next round boundary.
+        assert_eq!(s.quantum(0), 800);
+        assert_eq!(s.quantum(1), 200);
     }
 
     #[test]

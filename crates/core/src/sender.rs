@@ -276,6 +276,16 @@ impl<S: CausalScheduler> StripingSender<S> {
             .collect()
     }
 
+    /// Schedule a quantum change on the local scheduler: from
+    /// `effective_round` the scan credits channels with the new quanta.
+    /// The receiver must apply the identical change at the same round —
+    /// see [`crate::retune`] for the epoch'd handshake that carries it.
+    /// Unlike [`announce_quanta`](Self::announce_quanta) this builds no
+    /// messages; the retune layer owns announcement and retransmission.
+    pub fn schedule_quanta(&mut self, effective_round: u64, quanta: &[i64]) {
+        self.sched.schedule_quanta(effective_round, quanta);
+    }
+
     /// Schedule a membership change on the local scheduler: from
     /// `effective_round` the scan visits exactly the channels with
     /// `live[c] == true`. The receiver must apply the identical change

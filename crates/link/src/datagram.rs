@@ -23,6 +23,23 @@ use std::rc::Rc;
 
 use crate::TxError;
 
+/// Cumulative transmit-side evidence a link can surface for online
+/// rate estimation: how much it has actually *carried* toward the
+/// network, and how much it destroyed itself (queue overflow, policer,
+/// socket errors). Monotone counters — estimators difference
+/// successive samples, so absolute origins don't matter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxEvidence {
+    /// Frames the link carried (handed to or queued for the network).
+    pub frames: u64,
+    /// Wire bytes of those frames.
+    pub bytes: u64,
+    /// Frames the link itself destroyed and knows about — local queue
+    /// overflow, rate policing, hard socket errors. Loss *in flight*
+    /// is invisible here by definition.
+    pub dropped: u64,
+}
+
 /// A non-blocking datagram channel carrying real frame bytes.
 ///
 /// One `DatagramLink` is one striped channel: data frames, markers, and
@@ -145,6 +162,15 @@ pub trait DatagramLink {
     /// lifecycle keeps them parked in cooldown rather than spinning.
     fn revive(&mut self) -> bool {
         false
+    }
+
+    /// Cumulative carried-traffic counters for rate estimation, when
+    /// the link keeps them. The adaptive tuner samples this each poll
+    /// and differences successive snapshots into goodput/loss
+    /// estimates; `None` (the default) means the link offers no
+    /// evidence and estimation falls back to protocol-level signals.
+    fn tx_evidence(&self) -> Option<TxEvidence> {
+        None
     }
 }
 

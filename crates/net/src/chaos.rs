@@ -32,6 +32,16 @@
 //! clock. While a partition window is active **everything** is dropped,
 //! control frames included, which is exactly what starves the liveness
 //! tracker and drives failover.
+//!
+//! Rate shaping ([`ChaosPlan::shape`]) is a token-bucket *policer* in
+//! the same deterministic clock family: the bucket refills once per
+//! [`DatagramLink::flush`] (the once-per-pump cadence of both the
+//! server and the reactor), data frames spend wire bytes, and a frame
+//! the bucket cannot cover is dropped and counted (`dropped_shaped`) —
+//! exactly like congestive loss at a capacity bottleneck. Control
+//! frames are exempt, so liveness survives a saturated link. Scripting
+//! asymmetric rates (e.g. 4:2:1 across three channels) gives the
+//! adaptive estimator reproducible heterogeneous goodput ground truth.
 
 use std::collections::VecDeque;
 
@@ -115,6 +125,8 @@ pub struct ChaosPlan {
     partitions: Vec<(u64, u64)>,
     active_from: u64,
     active_to: u64,
+    shape_rate: u64,
+    shape_burst: u64,
 }
 
 impl Default for ChaosPlan {
@@ -131,6 +143,8 @@ impl Default for ChaosPlan {
             partitions: Vec::new(),
             active_from: 0,
             active_to: u64::MAX,
+            shape_rate: 0,
+            shape_burst: 0,
         }
     }
 }
@@ -240,6 +254,37 @@ impl ChaosPlan {
         self
     }
 
+    /// Token-bucket rate shaping (a policer, not a queue): the bucket
+    /// starts full at `burst` bytes, refills `rate` bytes once per
+    /// [`DatagramLink::flush`], and every *data* frame spends its wire
+    /// length. A frame the bucket cannot cover is dropped and counted
+    /// as `dropped_shaped` — the deterministic analogue of congestive
+    /// loss at a capacity bottleneck, and the scriptable ground truth
+    /// for heterogeneous-goodput estimation (e.g. rates 4R/2R/R across
+    /// three channels). Control frames are exempt so liveness probes
+    /// survive saturation.
+    ///
+    /// # Panics
+    /// Panics if `rate == 0` or `burst < rate` (credit above the cap
+    /// would be wasted every refill).
+    pub fn shape(mut self, rate: u64, burst: u64) -> Self {
+        assert!(rate > 0, "shaping rate must be positive");
+        assert!(burst >= rate, "shaping burst below rate wastes refill");
+        self.shape_rate = rate;
+        self.shape_burst = burst;
+        self
+    }
+
+    /// Whether token-bucket shaping is in force.
+    pub fn shaped(&self) -> bool {
+        self.shape_rate > 0
+    }
+
+    /// The shaping refill rate in bytes per flush (`0` when off).
+    pub fn shape_rate(&self) -> u64 {
+        self.shape_rate
+    }
+
     fn in_partition(&self, index: u64) -> bool {
         self.partitions
             .iter()
@@ -260,6 +305,7 @@ impl ChaosPlan {
             && self.reorder_ppm == 0
             && self.jitter_ppm == 0
             && self.partitions.is_empty()
+            && self.shape_rate == 0
     }
 }
 
@@ -268,8 +314,8 @@ impl ChaosPlan {
 /// The drop counters partition the offered data frames (fates are
 /// exclusive), so for a quiesced link with an empty hold queue:
 /// `seen_data == forwarded + dropped_loss + dropped_partition +
-/// dropped_release`, where `forwarded` frames all reached the inner
-/// link (corrupted and duplicated ones included).
+/// dropped_shaped + dropped_release`, where `forwarded` frames all
+/// reached the inner link (corrupted and duplicated ones included).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChaosSnapshot {
     /// Data frames offered to the wrapper.
@@ -280,6 +326,11 @@ pub struct ChaosSnapshot {
     pub dropped_loss: u64,
     /// Frames (data *and* control) swallowed by partition windows.
     pub dropped_partition: u64,
+    /// Data frames the token-bucket policer could not cover.
+    pub dropped_shaped: u64,
+    /// Data-frame wire bytes the policer let through (carried load —
+    /// the shaping ground truth the estimator should converge to).
+    pub shaped_bytes: u64,
     /// Data frames forwarded with one body bit flipped.
     pub corrupted: u64,
     /// Data frames forwarded twice.
@@ -297,7 +348,7 @@ pub struct ChaosSnapshot {
 impl ChaosSnapshot {
     /// All frames the chaos layer destroyed (never reached the wire).
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_loss + self.dropped_partition + self.dropped_release
+        self.dropped_loss + self.dropped_partition + self.dropped_shaped + self.dropped_release
     }
 }
 
@@ -314,6 +365,7 @@ enum Fate {
     Forward,
     DropLoss,
     DropPartition,
+    DropShaped,
     Corrupt,
     Duplicate,
     Hold { ticks: u32, jitter: bool },
@@ -333,12 +385,15 @@ pub struct ImpairedLink<L: DatagramLink> {
     held: VecDeque<Held>,
     spare: Vec<Vec<u8>>,
     stats: ChaosSnapshot,
+    /// Token-bucket credit in bytes (shaping only; starts at burst).
+    tokens: u64,
 }
 
 impl<L: DatagramLink> ImpairedLink<L> {
     /// Wrap `inner` under `plan`; `seed` drives every probabilistic
     /// draw, so equal seeds replay equal impairment sequences.
     pub fn new(inner: L, plan: ChaosPlan, seed: u64) -> Self {
+        let tokens = plan.shape_burst;
         Self {
             inner,
             plan,
@@ -346,6 +401,7 @@ impl<L: DatagramLink> ImpairedLink<L> {
             held: VecDeque::new(),
             spare: Vec::new(),
             stats: ChaosSnapshot::default(),
+            tokens,
         }
     }
 
@@ -366,6 +422,9 @@ impl<L: DatagramLink> ImpairedLink<L> {
     /// membership mask dropped it, then lifting the partition to let
     /// the lifecycle machine probe its way back.
     pub fn set_plan(&mut self, plan: ChaosPlan) {
+        // A plan swap refills the bucket to the new burst: scripted
+        // rate changes start from a deterministic, full-credit state.
+        self.tokens = plan.shape_burst;
         self.plan = plan;
     }
 
@@ -423,12 +482,23 @@ impl<L: DatagramLink> ImpairedLink<L> {
         ppm > 0 && self.rng.range_u64(0, PPM_SCALE as u64) < ppm as u64
     }
 
-    fn fate_for_data(&mut self, index: u64) -> Fate {
+    fn fate_for_data(&mut self, index: u64, wire_len: usize) -> Fate {
         if self.plan.in_partition(index) {
             return Fate::DropPartition;
         }
         if self.plan.loss.drops(index) {
             return Fate::DropLoss;
+        }
+        if self.plan.shaped() {
+            // Policer: a frame the bucket cannot cover is congestive
+            // loss; a covered frame spends its wire bytes even if a
+            // later fate corrupts or holds it — it transits the link
+            // either way.
+            if self.tokens < wire_len as u64 {
+                return Fate::DropShaped;
+            }
+            self.tokens -= wire_len as u64;
+            self.stats.shaped_bytes += wire_len as u64;
         }
         if !self.plan.in_active(index) {
             return Fate::Forward;
@@ -514,7 +584,7 @@ impl<L: DatagramLink> ImpairedLink<L> {
         }
         let index = self.stats.seen_data;
         self.stats.seen_data += 1;
-        match self.fate_for_data(index) {
+        match self.fate_for_data(index, frame.len()) {
             Fate::Forward => self.send_inner(frame, deferred),
             Fate::DropLoss => {
                 // Swallowed in flight: the sender sees success, nothing
@@ -524,6 +594,10 @@ impl<L: DatagramLink> ImpairedLink<L> {
             }
             Fate::DropPartition => {
                 self.stats.dropped_partition += 1;
+                Ok(())
+            }
+            Fate::DropShaped => {
+                self.stats.dropped_shaped += 1;
                 Ok(())
             }
             Fate::Corrupt => {
@@ -655,6 +729,12 @@ impl<L: DatagramLink> DatagramLink for ImpairedLink<L> {
 
     fn flush(&mut self) -> usize {
         self.tick_held();
+        // Refill the shaping bucket: flush is the wrapper's pump-cadence
+        // clock (once per server pump / reactor poll), so `rate` is
+        // "bytes of capacity per pump" — deterministic, no wall clock.
+        if self.plan.shaped() {
+            self.tokens = (self.tokens + self.plan.shape_rate).min(self.plan.shape_burst);
+        }
         self.inner.flush()
     }
 
@@ -672,6 +752,26 @@ impl<L: DatagramLink> DatagramLink for ImpairedLink<L> {
         // so a rejoined channel flows straight back into the same
         // chaos schedule.
         self.inner.revive()
+    }
+
+    fn tx_evidence(&self) -> Option<stripe_link::TxEvidence> {
+        if !self.plan.shaped() {
+            // Transparent for capacity purposes: the inner link's
+            // counters (if any) are the best evidence, but the chaos
+            // layer's own drops are real carried-traffic loss.
+            return self.inner.tx_evidence().map(|mut ev| {
+                ev.dropped += self.stats.dropped_total();
+                ev
+            });
+        }
+        // Shaped: the policer knows the carried load exactly — this is
+        // the ground truth the estimator must converge to.
+        let s = &self.stats;
+        Some(stripe_link::TxEvidence {
+            frames: s.seen_data - s.dropped_loss - s.dropped_partition - s.dropped_shaped,
+            bytes: s.shaped_bytes,
+            dropped: s.dropped_total(),
+        })
     }
 }
 
@@ -882,22 +982,123 @@ mod tests {
     }
 
     #[test]
+    fn shaping_polices_to_the_bucket() {
+        let (a, mut b) = datagram_pair(256, 4096);
+        let frame = data_frame(0);
+        let wire = frame.len() as u64;
+        // Bucket of exactly 3 frames, refill of 2 frames per flush.
+        let plan = ChaosPlan::none().shape(2 * wire, 3 * wire);
+        let mut link = ImpairedLink::new(a, plan, 1);
+        for _ in 0..10 {
+            link.send_frame(&frame).unwrap();
+        }
+        let s = link.snapshot();
+        assert_eq!(s.dropped_shaped, 7, "burst of 3 passes, rest policed");
+        assert_eq!(s.shaped_bytes, 3 * wire);
+        assert_eq!(drain(&mut b).len(), 3);
+        // One flush refills 2 frames of credit; the next burst carries
+        // exactly 2 more.
+        link.flush();
+        for _ in 0..10 {
+            link.send_frame(&frame).unwrap();
+        }
+        let s = link.snapshot();
+        assert_eq!(s.dropped_shaped, 7 + 8);
+        assert_eq!(s.shaped_bytes, 5 * wire);
+        assert_eq!(drain(&mut b).len(), 2);
+        assert_eq!(s.seen_data, 20);
+        assert_eq!(s.dropped_total(), 15);
+    }
+
+    #[test]
+    fn shaping_exempts_control_frames() {
+        let (a, mut b) = datagram_pair(256, 4096);
+        let frame = data_frame(0);
+        let plan = ChaosPlan::none().shape(1, frame.len() as u64);
+        let mut link = ImpairedLink::new(a, plan, 1);
+        let mut ctl = Vec::new();
+        encode_control_into(&Control::Probe { nonce: 7 }, &mut ctl);
+        link.send_frame(&frame).unwrap(); // spends the whole bucket
+        link.send_frame(&frame).unwrap(); // policed
+        for _ in 0..5 {
+            link.send_frame(&ctl).unwrap(); // control rides free
+        }
+        let s = link.snapshot();
+        assert_eq!(s.dropped_shaped, 1);
+        assert_eq!(s.seen_control, 5);
+        assert_eq!(drain(&mut b).len(), 6, "1 data + 5 control arrive");
+    }
+
+    #[test]
+    fn asymmetric_shaping_reproduces_capacity_split() {
+        // Two links, 2:1 rates, identical offered load and flush
+        // cadence: carried bytes must split exactly 2:1 once past the
+        // initial burst transient.
+        let frame = data_frame(0);
+        let wire = frame.len() as u64;
+        let carried = |rate_frames: u64| {
+            let (a, _b) = datagram_pair(256, 1 << 14);
+            let plan = ChaosPlan::none().shape(rate_frames * wire, rate_frames * wire);
+            let mut link = ImpairedLink::new(a, plan, 1);
+            for _ in 0..100 {
+                for _ in 0..8 {
+                    link.send_frame(&frame).unwrap();
+                }
+                link.flush();
+            }
+            link.snapshot().shaped_bytes
+        };
+        let fast = carried(4);
+        let slow = carried(2);
+        assert_eq!(fast, slow * 2, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn send_run_owned_shapes_like_per_frame() {
+        let frame_len = data_frame(0).len() as u64;
+        let plan = || ChaosPlan::none().shape(2 * frame_len, 3 * frame_len);
+        let make = || (0..20u8).map(data_frame).collect::<Vec<_>>();
+        let (a1, mut b1) = datagram_pair(256, 4096);
+        let (a2, mut b2) = datagram_pair(256, 4096);
+        let mut per_frame = ImpairedLink::new(a1, plan(), 3);
+        let mut batched = ImpairedLink::new(a2, plan(), 3);
+        for f in &make() {
+            per_frame.send_frame(f).unwrap();
+        }
+        let mut owned = make();
+        let mut out = Vec::new();
+        batched.send_run_owned(&mut owned, &mut out);
+        assert!(out.iter().all(|r| r.is_ok()));
+        assert_eq!(per_frame.snapshot(), batched.snapshot());
+        assert!(per_frame.snapshot().dropped_shaped > 0);
+        assert_eq!(drain(&mut b1), drain(&mut b2));
+    }
+
+    #[test]
     fn conservation_accounting_closes() {
         let (a, mut b) = datagram_pair(2048, 1 << 15);
         let plan = ChaosPlan::none()
             .loss_bernoulli(100_000)
             .duplicate(50_000)
             .reorder(100_000, 5)
-            .partition(200, 240);
+            .partition(200, 240)
+            .shape(32, 64);
         let mut link = ImpairedLink::new(a, plan, 13);
         const N: u64 = 1_000;
         for i in 0..N {
             link.send_frame(&data_frame(i as u8)).unwrap();
+            if i % 8 == 0 {
+                link.flush();
+            }
         }
         link.drain_held();
         let s = link.snapshot();
         let arrived = drain(&mut b).len() as u64;
         assert_eq!(s.seen_data, N);
+        assert!(
+            s.dropped_shaped > 0,
+            "plan must exercise the policer: {s:?}"
+        );
         assert_eq!(
             arrived,
             N - s.dropped_total() + s.duplicated,

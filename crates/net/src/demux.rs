@@ -165,8 +165,11 @@ impl<S: CausalScheduler, L: DatagramLink> FlowDemuxBuilder<S, L> {
             stall_timeout_ns: self.stall_timeout_ns,
             max_flows: self.max_flows,
             flows: Vec::new(),
+            flow_pool: Vec::new(),
             last_mask: None,
+            last_quanta: None,
             membership: stripe_core::membership::MembershipResponder::new(),
+            retune: stripe_core::retune::RetuneResponder::new(),
             ctl_buf: Vec::new(),
             recv_bufs: Vec::new(),
             recv_lens: Vec::new(),
@@ -195,11 +198,20 @@ pub struct FlowDemux<S: CausalScheduler, L: DatagramLink> {
     max_flows: usize,
     /// The flow slab: O(1) lookup by flow id, `None` in untouched slots.
     flows: Vec<Option<RxFlow<S>>>,
+    /// Closed flows' replicas, reset and reused by the next
+    /// instantiation — the receive half of the sender's flow pool, so
+    /// open/close churn cycles replicas without touching the allocator.
+    flow_pool: Vec<RxFlow<S>>,
     /// Last applied membership mask, replayed onto replicas created
     /// after an epoch change (mirrors the sender's `open_flow` rule).
     last_mask: Option<Vec<bool>>,
+    /// Last applied quanta, replayed onto replicas created after a live
+    /// retune (mirrors the sender's `open_flow` rule).
+    last_quanta: Option<Vec<i64>>,
     /// Demux-level membership responder: one epoch, all flows.
     membership: stripe_core::membership::MembershipResponder,
+    /// Demux-level retune responder: one epoch, all flows.
+    retune: stripe_core::retune::RetuneResponder,
     ctl_buf: Vec<u8>,
     recv_bufs: Vec<Vec<u8>>,
     recv_lens: Vec<usize>,
@@ -229,19 +241,31 @@ impl<S: CausalScheduler + Clone, L: DatagramLink> FlowDemux<S, L> {
         if self.flows.len() <= idx {
             self.flows.resize_with(idx + 1, || None);
         }
-        let mut builder = StripedSink::builder()
-            .scheduler(self.proto.clone())
-            .capacity_per_channel(self.cap_per_channel);
-        if let Some(t) = self.stall_timeout_ns {
-            builder = builder.stall_timeout_ns(t);
-        }
-        let mut sink = builder.build();
+        // Reuse a closed flow's replica when one is pooled (it was reset
+        // at close, so it is indistinguishable from a fresh build).
+        let mut sink = match self.flow_pool.pop() {
+            Some(f) => f.sink,
+            None => {
+                let mut builder = StripedSink::builder()
+                    .scheduler(self.proto.clone())
+                    .capacity_per_channel(self.cap_per_channel);
+                if let Some(t) = self.stall_timeout_ns {
+                    builder = builder.stall_timeout_ns(t);
+                }
+                builder.build()
+            }
+        };
         if let Some(mask) = &self.last_mask {
             // Same rule as the sender's open_flow: a flow born after an
             // epoch change schedules the current mask one round ahead of
             // its fresh scheduler, keeping both simulations in lockstep.
             let eff = sink.receiver().scheduler().round() + 1;
             sink.receiver_mut().apply_membership(eff, mask);
+        }
+        if let Some(quanta) = &self.last_quanta {
+            // Same replay rule for quanta after a live retune.
+            let eff = sink.receiver().scheduler().round() + 1;
+            sink.receiver_mut().schedule_quanta(eff, quanta);
         }
         self.flows[idx] = Some(RxFlow { sink });
         self.stats.flows_active += 1;
@@ -371,6 +395,35 @@ impl<S: CausalScheduler + Clone, L: DatagramLink> FlowDemux<S, L> {
                         .schedule_quanta(*effective_round, quanta);
                 }
             }
+            Control::QuantumAnnounce {
+                epoch,
+                effective_round,
+                quanta,
+            } => {
+                let n = self.links.len();
+                use stripe_core::retune::RetuneAction;
+                match self
+                    .retune
+                    .on_announce(c, *epoch, *effective_round, quanta, n)
+                {
+                    RetuneAction::Apply {
+                        channel,
+                        effective_round,
+                        quanta,
+                        ack,
+                    } => {
+                        for f in self.flows.iter_mut().flatten() {
+                            f.sink
+                                .receiver_mut()
+                                .schedule_quanta(effective_round, &quanta);
+                        }
+                        self.last_quanta = Some(quanta);
+                        self.reply(channel, &ack);
+                    }
+                    RetuneAction::AckOnly { channel, ack } => self.reply(channel, &ack),
+                    RetuneAction::Ignore => {}
+                }
+            }
             _ => {}
         }
     }
@@ -393,6 +446,26 @@ impl<S: CausalScheduler, L: DatagramLink> FlowDemux<S, L> {
 
     /// Frames per [`DatagramLink::recv_run`] call in a sweep.
     const RECV_RUN: usize = 32;
+
+    /// Tear down flow `id`'s replica, freeing its resequencer state.
+    /// Call when the application knows the flow is finished (the sender
+    /// closed it): the slot becomes reusable, and a later frame naming
+    /// the same id instantiates a *fresh* replica instead of continuing
+    /// the old simulation — which is what keeps a recycled flow id from
+    /// delivering against a stale scheduler state. Undelivered packets
+    /// still buffered for the flow are dropped with it. Returns whether
+    /// a replica existed.
+    pub fn close_flow(&mut self, id: FlowId) -> bool {
+        match self.flows.get_mut(id as usize).and_then(|f| f.take()) {
+            Some(mut f) => {
+                f.sink.reset();
+                self.flow_pool.push(f);
+                self.stats.flows_active -= 1;
+                true
+            }
+            None => false,
+        }
+    }
 
     /// Drain flow `id`'s deliverable packets into `out` (cleared first).
     /// Returns the number delivered; 0 for uninstantiated flows.
@@ -579,6 +652,102 @@ mod tests {
         assert_eq!(s.data_frames, 2);
         let mut batch = RxBatch::new();
         assert_eq!(demux.poll_flow_into(flows[0].id(), &mut batch), 1);
+    }
+
+    /// A quantum announcement reaching the demux is applied to every
+    /// replica, remembered for late-created ones, and acked exactly once
+    /// per epoch on the reverse path.
+    #[test]
+    fn quantum_announce_fans_out_and_acks_once_per_epoch() {
+        use stripe_transport::ControlPath;
+        let (mut srv, mut demux) = linked(8);
+        let f0 = srv.open_flow().unwrap();
+        srv.enqueue(f0, &[1; 100]).unwrap();
+        let mut events = Vec::new();
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        demux.sweep(SimTime::ZERO); // replica 0 exists now
+        let announce = Control::QuantumAnnounce {
+            epoch: 1,
+            effective_round: 50,
+            quanta: vec![4000, 1000],
+        };
+        ControlPath::transmit_control(&mut srv, SimTime::ZERO, 0, announce.clone());
+        // The same flood on the other channel: ack only, no re-apply.
+        ControlPath::transmit_control(&mut srv, SimTime::ZERO, 1, announce);
+        demux.sweep(SimTime::ZERO);
+        assert_eq!(demux.net_stats().replies_sent, 2);
+        let mut buf = [0u8; 2048];
+        for c in 0..2 {
+            let n = srv.links_mut()[c].recv_frame(&mut buf).expect("ack");
+            assert_eq!(
+                frame::decode(&buf[..n]),
+                Some(Frame::Control(Control::QuantumAck { epoch: 1 }))
+            );
+        }
+        // A replica created after the retune inherits the quanta: its
+        // simulation must match a sender flow that replayed the same
+        // schedule, so frames keep resequencing FIFO. Exercise it by
+        // running a fresh flow through the tuned demux.
+        ControlPath::schedule_quanta(&mut srv, 50, &[4000, 1000]);
+        let f1 = srv.open_flow().unwrap();
+        for round in 0..30u64 {
+            let mut payload = vec![7u8; 200 + (round as usize % 5) * 137];
+            payload[1..9].copy_from_slice(&round.to_be_bytes());
+            srv.enqueue(f1, &payload).unwrap();
+            srv.pump_into(SimTime::from_millis(round), usize::MAX, &mut events);
+            demux.sweep(SimTime::from_millis(round));
+        }
+        let mut batch = RxBatch::new();
+        let mut seen = Vec::new();
+        demux.poll_flow_into(f1.id(), &mut batch);
+        for pb in batch.drain() {
+            seen.push(u64::from_be_bytes(pb.as_slice()[1..9].try_into().unwrap()));
+            demux.recycle(pb);
+        }
+        assert_eq!(seen, (0..30).collect::<Vec<_>>(), "tuned flow not FIFO");
+    }
+
+    /// Closing a replica frees its slot; a later frame naming the same
+    /// id gets a *fresh* simulation, so a recycled flow id delivers FIFO
+    /// from scratch instead of against stale scheduler state.
+    #[test]
+    fn closed_flow_slot_restarts_fresh() {
+        let (mut srv, mut demux) = linked(8);
+        let f0 = srv.open_flow().unwrap();
+        let mut events = Vec::new();
+        for _ in 0..20 {
+            srv.enqueue(f0, &[5; 300]).unwrap();
+        }
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        demux.sweep(SimTime::ZERO);
+        let mut batch = RxBatch::new();
+        assert_eq!(demux.poll_flow_into(f0.id(), &mut batch), 20);
+        for pb in batch.drain() {
+            demux.recycle(pb);
+        }
+        // Sender closes; app tells the demux. The replica (mid-round
+        // scheduler state and all) is gone.
+        srv.close_flow(f0).unwrap();
+        assert!(demux.close_flow(f0.id()));
+        assert!(!demux.close_flow(f0.id()), "double close finds nothing");
+        assert_eq!(demux.net_stats().flows_active, 0);
+        // The same id reused by a fresh sender flow resequences FIFO.
+        let f0b = srv.open_flow().unwrap();
+        assert_eq!(f0b.id(), f0.id());
+        for round in 0..20u64 {
+            let mut payload = vec![6u8; 64 + (round as usize % 7) * 100];
+            payload[1..9].copy_from_slice(&round.to_be_bytes());
+            srv.enqueue(f0b, &payload).unwrap();
+        }
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        demux.sweep(SimTime::ZERO);
+        let mut seen = Vec::new();
+        demux.poll_flow_into(f0b.id(), &mut batch);
+        for pb in batch.drain() {
+            seen.push(u64::from_be_bytes(pb.as_slice()[1..9].try_into().unwrap()));
+            demux.recycle(pb);
+        }
+        assert_eq!(seen, (0..20).collect::<Vec<_>>(), "reused id not FIFO");
     }
 
     /// A probe reaching the demux is acked on the reverse path exactly

@@ -74,9 +74,11 @@
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod chaos;
 pub mod clock;
 pub mod demux;
+pub mod est;
 pub mod fault;
 pub mod frame;
 pub mod lifecycle;
@@ -90,9 +92,11 @@ pub mod shard;
 pub mod sys;
 pub mod udp;
 
+pub use adapt::{AdaptiveConfig, AdaptiveSnapshot, AdaptiveTuner};
 pub use chaos::{ChaosPlan, ChaosSnapshot, ImpairedLink};
 pub use clock::WallClock;
 pub use demux::{FlowDemux, FlowDemuxBuilder, FlowDemuxSnapshot};
+pub use est::{rate_shares, ChannelEstimator, Ewma};
 pub use fault::{DropLink, DropPolicy};
 pub use frame::{Frame, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
 pub use lifecycle::{

@@ -301,6 +301,10 @@ impl<S: CausalScheduler, L: DatagramLink> ControlPath for NetStripedPath<S, L> {
         ControlPath::schedule_mask(&mut self.server, effective_round, live);
     }
 
+    fn schedule_quanta(&mut self, effective_round: u64, quanta: &[i64]) {
+        ControlPath::schedule_quanta(&mut self.server, effective_round, quanta);
+    }
+
     fn transmit_control(
         &mut self,
         now: SimTime,

@@ -82,20 +82,27 @@ pub enum FlowError {
     /// it cannot send yet.
     Parked,
     /// The flow's bounded frame queue is full — per-flow backpressure.
-    Backpressure,
+    Backpressure {
+        /// How many of the flow's queued frames must be pumped out before
+        /// an enqueue can succeed (always at least 1). A producer can use
+        /// it to size its retry: wait until `queue_len` has dropped by
+        /// this many, or just until the next pump.
+        resume_hint: usize,
+    },
     /// The handle does not name an open flow (closed, or never valid).
     Closed,
 }
 
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            FlowError::AdmissionRejected => "admission rejected: flow caps exhausted",
-            FlowError::Parked => "flow is parked awaiting an active slot",
-            FlowError::Backpressure => "flow queue full",
-            FlowError::Closed => "stale flow handle",
-        };
-        f.write_str(s)
+        match self {
+            FlowError::AdmissionRejected => f.write_str("admission rejected: flow caps exhausted"),
+            FlowError::Parked => f.write_str("flow is parked awaiting an active slot"),
+            FlowError::Backpressure { resume_hint } => {
+                write!(f, "flow queue full ({resume_hint} frame(s) must drain)")
+            }
+            FlowError::Closed => f.write_str("stale flow handle"),
+        }
     }
 }
 
@@ -326,8 +333,11 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServerBuilder<S, L> {
             parked_order: VecDeque::new(),
             mask: vec![true; channels],
             mask_dirty: false,
+            last_quanta: Vec::new(),
+            quanta_dirty: false,
             stats: StripeServerSnapshot::default(),
             buf_pool: Vec::new(),
+            flow_pool: Vec::new(),
             turn_bufs: Vec::new(),
             turn_lens: Vec::new(),
             turn_frame_lens: Vec::new(),
@@ -368,9 +378,18 @@ pub struct StripeServer<S: CausalScheduler, L: DatagramLink> {
     /// creates the matching replica, so both simulations agree).
     mask: Vec<bool>,
     mask_dirty: bool,
+    /// Latest per-channel quanta — applied to flows created after a live
+    /// retune, mirroring `mask`/`mask_dirty` (the receiver replays the
+    /// same quanta when it lazily creates the matching replica).
+    last_quanta: Vec<i64>,
+    quanta_dirty: bool,
     stats: StripeServerSnapshot,
     // Scratch, all recycled: the steady state allocates nothing.
     buf_pool: Vec<Vec<u8>>,
+    /// Closed flows' state, reset and reused by the next open: under
+    /// open/close churn the slab reaches a high-water mark of engines
+    /// and queues and then cycles them without touching the allocator.
+    flow_pool: Vec<FlowState<S>>,
     turn_bufs: Vec<Vec<u8>>,
     turn_lens: Vec<usize>,
     turn_frame_lens: Vec<usize>,
@@ -399,23 +418,42 @@ impl<S: CausalScheduler + Clone, L: DatagramLink> StripeServer<S, L> {
             self.gens.push(0);
             (self.flows.len() - 1) as FlowId
         });
-        let mut tx = StripingSender::new(self.proto.clone(), self.markers);
+        // Reuse a closed flow's engine and queue when one is pooled: a
+        // reset sender is indistinguishable from a fresh clone, and the
+        // churn path (open → traffic → close → open …) stays off the
+        // allocator once the slab's high-water mark is reached.
+        let mut f = match self.flow_pool.pop() {
+            Some(mut f) => {
+                f.tx.reset();
+                f.stats = FlowSnapshot::default();
+                f
+            }
+            None => FlowState {
+                gen: 0,
+                tx: StripingSender::new(self.proto.clone(), self.markers),
+                queue: VecDeque::new(),
+                stats: FlowSnapshot::default(),
+                parked: false,
+            },
+        };
         if self.mask_dirty {
             // Same rule the receiver uses when it lazily creates this
             // flow's replica: schedule the mask one round ahead of the
             // fresh scheduler. Both sides clamp identically, so the
             // simulations stay in lockstep; any race with an in-flight
             // epoch change is healed by markers.
-            let eff = tx.scheduler().round() + 1;
-            tx.schedule_mask(eff, &self.mask);
+            let eff = f.tx.scheduler().round() + 1;
+            f.tx.schedule_mask(eff, &self.mask);
         }
-        self.flows[id as usize] = Some(FlowState {
-            gen: self.gens[id as usize],
-            tx,
-            queue: VecDeque::new(),
-            stats: FlowSnapshot::default(),
-            parked: park,
-        });
+        if self.quanta_dirty {
+            // Same replay rule for quanta: a flow born after a retune
+            // starts under the tuned quanta from its first full round.
+            let eff = f.tx.scheduler().round() + 1;
+            f.tx.schedule_quanta(eff, &self.last_quanta);
+        }
+        f.gen = self.gens[id as usize];
+        f.parked = park;
+        self.flows[id as usize] = Some(f);
         if park {
             self.parked_order.push_back(id);
             self.stats.flows_parked += 1;
@@ -457,7 +495,9 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServer<S, L> {
         self.gens[h.id as usize] = self.gens[h.id as usize].wrapping_add(1);
         self.free_ids.push(h.id);
         self.stats.flows_closed += 1;
-        if f.parked {
+        let parked = f.parked;
+        self.flow_pool.push(f);
+        if parked {
             self.stats.flows_parked -= 1;
             self.parked_order.retain(|&p| p != h.id);
             return Ok(());
@@ -489,6 +529,14 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServer<S, L> {
         self.state_of(h).map(|f| f.queue.len())
     }
 
+    /// Whether the next [`enqueue`](Self::enqueue) on this flow would be
+    /// refused — parked, or its queue at the bound. Lets a producer probe
+    /// backpressure without paying for an encode-and-refuse round trip.
+    pub fn would_block(&self, h: FlowHandle) -> Result<bool, FlowError> {
+        self.state_of(h)
+            .map(|f| f.parked || f.queue.len() >= self.queue_frames)
+    }
+
     /// Queue one payload on a flow: the frame is encoded here, once,
     /// into a recycled buffer (flow-tagged version 2, or version 1 under
     /// [`legacy_frames`](StripeServerBuilder::legacy_frames)), and waits
@@ -500,10 +548,11 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServer<S, L> {
             return Err(FlowError::Parked);
         }
         if f.queue.len() >= self.queue_frames {
+            let resume_hint = f.queue.len() + 1 - self.queue_frames;
             self.stats.dropped_backpressure += 1;
             let f = self.flows[h.id as usize].as_mut().expect("validated");
             f.stats.dropped_backpressure += 1;
-            return Err(FlowError::Backpressure);
+            return Err(FlowError::Backpressure { resume_hint });
         }
         let mut buf = self.buf_pool.pop().unwrap_or_default();
         match (self.legacy_frames, self.integrity) {
@@ -837,6 +886,15 @@ impl<S: CausalScheduler, L: DatagramLink> ControlPath for StripeServer<S, L> {
         }
     }
 
+    fn schedule_quanta(&mut self, effective_round: u64, quanta: &[i64]) {
+        self.last_quanta.clear();
+        self.last_quanta.extend_from_slice(quanta);
+        self.quanta_dirty = true;
+        for f in self.flows.iter_mut().flatten() {
+            f.tx.schedule_quanta(effective_round, quanta);
+        }
+    }
+
     fn transmit_control(
         &mut self,
         now: SimTime,
@@ -966,14 +1024,53 @@ mod tests {
         let (mut srv, _peers) = server(8, 0, 2);
         let f0 = srv.open_flow().unwrap();
         let f1 = srv.open_flow().unwrap();
+        assert_eq!(srv.would_block(f0), Ok(false));
         srv.enqueue(f0, &[0; 10]).unwrap();
         srv.enqueue(f0, &[0; 10]).unwrap();
-        assert_eq!(srv.enqueue(f0, &[0; 10]), Err(FlowError::Backpressure));
+        assert_eq!(srv.would_block(f0), Ok(true));
+        assert_eq!(
+            srv.enqueue(f0, &[0; 10]),
+            Err(FlowError::Backpressure { resume_hint: 1 })
+        );
         // The sibling flow is untouched by f0's backpressure.
+        assert_eq!(srv.would_block(f1), Ok(false));
         srv.enqueue(f1, &[0; 10]).unwrap();
         assert_eq!(srv.stats().dropped_backpressure, 1);
         assert_eq!(srv.flow_stats(f0).unwrap().dropped_backpressure, 1);
         assert_eq!(srv.flow_stats(f1).unwrap().dropped_backpressure, 0);
+        // Draining the queue clears the signal.
+        let mut events = Vec::new();
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        assert_eq!(srv.would_block(f0), Ok(false));
+        srv.enqueue(f0, &[0; 10]).unwrap();
+    }
+
+    /// A retune fans out to every open flow, and flows opened afterwards
+    /// inherit the tuned quanta — both simulations (sender and the
+    /// receiver's lazily created replica) replay the same schedule.
+    #[test]
+    fn retune_fans_out_and_late_flows_inherit_quanta() {
+        let (mut srv, mut peers) = server(8, 0, 4096);
+        let f0 = srv.open_flow().unwrap();
+        // 4:1 in channel 0's favour, effective as soon as each flow's
+        // clamp allows.
+        ControlPath::schedule_quanta(&mut srv, 0, &[4000, 1000]);
+        let f1 = srv.open_flow().unwrap(); // born after the retune
+        for _ in 0..50 {
+            srv.enqueue(f0, &[3; 500]).unwrap();
+            srv.enqueue(f1, &[4; 500]).unwrap();
+        }
+        let mut events = Vec::new();
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        let on0 = drain(&mut peers[0]).len();
+        let on1 = drain(&mut peers[1]).len();
+        // Round 1 still runs under the prototype's equal quanta (the
+        // change clamps to the next boundary); everything after splits
+        // 4:1, so channel 0 must carry well over half.
+        assert!(
+            on0 > on1 * 2,
+            "channel split {on0}:{on1} does not reflect 4:1 quanta"
+        );
     }
 
     #[test]

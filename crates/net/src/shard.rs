@@ -652,6 +652,15 @@ impl DatagramLink for ShardedUdpChannel {
     fn revive(&mut self) -> bool {
         self.respawn()
     }
+
+    fn tx_evidence(&self) -> Option<stripe_link::TxEvidence> {
+        let s = self.stats();
+        Some(stripe_link::TxEvidence {
+            frames: s.sent_frames,
+            bytes: s.sent_bytes,
+            dropped: s.dropped_queue + s.dropped_error,
+        })
+    }
 }
 
 /// The worker loop: owns the channel, drains the tx ring into eager

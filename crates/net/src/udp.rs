@@ -1026,6 +1026,14 @@ impl DatagramLink for UdpChannel {
     fn revive(&mut self) -> bool {
         self.revive_socket().is_ok()
     }
+
+    fn tx_evidence(&self) -> Option<stripe_link::TxEvidence> {
+        Some(stripe_link::TxEvidence {
+            frames: self.stats.sent_frames,
+            bytes: self.stats.sent_bytes,
+            dropped: self.stats.dropped_queue + self.stats.dropped_error,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ use stripe_core::control::Control;
 use stripe_core::liveness::{LivenessConfig, LivenessEvent, LivenessTracker};
 use stripe_core::membership::{MembershipAction, MembershipResponder, MembershipSender};
 use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverSnapshot, RxBatch};
+use stripe_core::retune::{RetuneAction, RetuneResponder};
 use stripe_core::sched::CausalScheduler;
 use stripe_core::types::{ChannelId, WireLen};
 use stripe_netsim::SimTime;
@@ -268,16 +269,18 @@ impl<S: CausalScheduler, P: WireLen> StripedSinkBuilder<S, P> {
         StripedSink {
             rx,
             membership: MembershipResponder::new(),
+            retune: RetuneResponder::new(),
         }
     }
 }
 
 /// Receiver-side endpoint: logical reception plus the responder halves of
-/// the probe and membership protocols.
+/// the probe, membership, and retune protocols.
 #[derive(Debug)]
 pub struct StripedSink<S: CausalScheduler, P> {
     rx: LogicalReceiver<S, P>,
     membership: MembershipResponder,
+    retune: RetuneResponder,
 }
 
 impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
@@ -297,7 +300,19 @@ impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
         Self {
             rx,
             membership: MembershipResponder::new(),
+            retune: RetuneResponder::new(),
         }
+    }
+
+    /// Reset to the initial state (endpoint restart, §5): the
+    /// resequencer restarts its simulation and the responder halves
+    /// forget their epochs. Buffered packets are dropped. Touches no
+    /// allocator state, so a pooled sink can be cycled through
+    /// close/reopen churn for free.
+    pub fn reset(&mut self) {
+        self.rx.reset();
+        self.membership = MembershipResponder::new();
+        self.retune = RetuneResponder::new();
     }
 
     /// A data packet or marker arrived on `channel`.
@@ -348,6 +363,29 @@ impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
             } => {
                 self.rx.schedule_quanta(*effective_round, quanta);
                 Vec::new()
+            }
+            Control::QuantumAnnounce {
+                epoch,
+                effective_round,
+                quanta,
+            } => {
+                let n = self.rx.scheduler().channels();
+                match self
+                    .retune
+                    .on_announce(channel, *epoch, *effective_round, quanta, n)
+                {
+                    RetuneAction::Apply {
+                        channel,
+                        effective_round,
+                        quanta,
+                        ack,
+                    } => {
+                        self.rx.schedule_quanta(effective_round, &quanta);
+                        vec![(channel, ack)]
+                    }
+                    RetuneAction::AckOnly { channel, ack } => vec![(channel, ack)],
+                    RetuneAction::Ignore => Vec::new(),
+                }
             }
             _ => Vec::new(),
         }

@@ -184,6 +184,14 @@ pub trait ControlPath {
     /// [`stripe_core::sender::StripingSender::schedule_mask`]).
     fn schedule_mask(&mut self, effective_round: u64, live: &[bool]);
 
+    /// Schedule a quantum change on the local scheduler (see
+    /// [`stripe_core::sender::StripingSender::schedule_quanta`]). The
+    /// default is a no-op for paths whose schedulers carry no per-channel
+    /// quanta; paths that support live retuning override it.
+    fn schedule_quanta(&mut self, effective_round: u64, quanta: &[i64]) {
+        let _ = (effective_round, quanta);
+    }
+
     /// Transmit one control message on channel `c` at `now`.
     fn transmit_control(&mut self, now: SimTime, c: ChannelId, ctl: Control)
         -> ControlTransmission;
@@ -617,6 +625,10 @@ impl<S: CausalScheduler, L: FifoLink> ControlPath for StripedPath<S, L> {
 
     fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
         self.tx.schedule_mask(effective_round, live);
+    }
+
+    fn schedule_quanta(&mut self, effective_round: u64, quanta: &[i64]) {
+        self.tx.schedule_quanta(effective_round, quanta);
     }
 
     fn transmit_control(

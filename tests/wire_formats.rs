@@ -48,6 +48,19 @@ fn arb_control() -> impl Strategy<Value = Control> {
             }
         ),
         any::<u32>().prop_map(|epoch| Control::MembershipAck { epoch }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            prop::collection::vec(1i64..1 << 40, 1..16)
+        )
+            .prop_map(
+                |(epoch, effective_round, quanta)| Control::QuantumAnnounce {
+                    epoch,
+                    effective_round,
+                    quanta,
+                }
+            ),
+        any::<u32>().prop_map(|epoch| Control::QuantumAck { epoch }),
     ]
 }
 
@@ -76,6 +89,12 @@ fn every_control_variant() -> Vec<Control> {
             effective_round: 12,
         },
         Control::MembershipAck { epoch: 7 },
+        Control::QuantumAnnounce {
+            epoch: 11,
+            effective_round: 52,
+            quanta: vec![6000, 3000, 1500],
+        },
+        Control::QuantumAck { epoch: 11 },
     ]
 }
 
@@ -89,6 +108,8 @@ fn variant_index(c: &Control) -> usize {
         Control::ProbeAck { .. } => 5,
         Control::Membership { .. } => 6,
         Control::MembershipAck { .. } => 7,
+        Control::QuantumAnnounce { .. } => 8,
+        Control::QuantumAck { .. } => 9,
     }
 }
 
@@ -99,7 +120,7 @@ fn variant_index(c: &Control) -> usize {
 #[test]
 fn control_wire_len_matches_encoding_for_every_variant() {
     let samples = every_control_variant();
-    let mut seen = [false; 8];
+    let mut seen = [false; 10];
     for c in &samples {
         seen[variant_index(c)] = true;
         let enc = c.encode();
