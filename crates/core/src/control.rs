@@ -70,6 +70,11 @@ pub enum Control {
     ProbeAck {
         /// The echoed nonce.
         nonce: u64,
+        /// The responding endpoint's incarnation: a random value chosen
+        /// once per process start. A sender that sees it *change* knows
+        /// the peer restarted — its epoch, flow, and resequencer state
+        /// are garbage — and must drive a §5 reset before resuming.
+        incarnation: u64,
     },
     /// Both ends shrink or grow the striping set to `live_mask` when their
     /// global round reaches `effective_round` — the dynamic-membership
@@ -112,6 +117,16 @@ pub enum Control {
         /// The epoch being acknowledged.
         epoch: Epoch,
     },
+    /// Receiver-side escalation on the reverse path: its
+    /// [`DesyncDetector`](crate::reset::DesyncDetector) tripped (silent
+    /// state corruption — persistent misordering or unbounded backlog
+    /// growth), so the sender should drive a §5 reset even though no
+    /// crash was observed.
+    DesyncAlert {
+        /// The alerting endpoint's incarnation, so a stale alert from a
+        /// previous receiver life cannot trigger a redundant reset.
+        incarnation: u64,
+    },
 }
 
 const TYPE_MARKER: u8 = 1;
@@ -124,6 +139,7 @@ const TYPE_MEMBERSHIP: u8 = 7;
 const TYPE_MEMBERSHIP_ACK: u8 = 8;
 const TYPE_QUANTUM_ANNOUNCE: u8 = 9;
 const TYPE_QUANTUM_ACK: u8 = 10;
+const TYPE_DESYNC_ALERT: u8 = 11;
 
 /// Largest encoded control message (epoch'd quantum announce for 16
 /// channels).
@@ -178,9 +194,10 @@ impl Control {
                 out.push(TYPE_PROBE);
                 out.extend_from_slice(&nonce.to_be_bytes());
             }
-            Control::ProbeAck { nonce } => {
+            Control::ProbeAck { nonce, incarnation } => {
                 out.push(TYPE_PROBE_ACK);
                 out.extend_from_slice(&nonce.to_be_bytes());
+                out.extend_from_slice(&incarnation.to_be_bytes());
             }
             Control::Membership {
                 epoch,
@@ -215,6 +232,10 @@ impl Control {
                 out.push(TYPE_QUANTUM_ACK);
                 out.extend_from_slice(&epoch.to_be_bytes());
             }
+            Control::DesyncAlert { incarnation } => {
+                out.push(TYPE_DESYNC_ALERT);
+                out.extend_from_slice(&incarnation.to_be_bytes());
+            }
         }
     }
 
@@ -226,7 +247,8 @@ impl Control {
             Control::Marker(_) => 1 + MARKER_WIRE_LEN,
             Control::ResetRequest { .. } | Control::ResetAck { .. } => 1 + 4,
             Control::QuantumUpdate { quanta, .. } => 1 + 8 + 1 + quanta.len() * 8,
-            Control::Probe { .. } | Control::ProbeAck { .. } => 1 + 8,
+            Control::Probe { .. } | Control::DesyncAlert { .. } => 1 + 8,
+            Control::ProbeAck { .. } => 1 + 8 + 8,
             Control::Membership { .. } => 1 + 4 + 2 + 8,
             Control::MembershipAck { .. } => 1 + 4,
             Control::QuantumAnnounce { quanta, .. } => 1 + 4 + 8 + 1 + quanta.len() * 8,
@@ -274,7 +296,8 @@ impl Control {
             }
             TYPE_PROBE_ACK => {
                 let nonce = u64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
-                Some(Control::ProbeAck { nonce })
+                let incarnation = u64::from_be_bytes(rest.get(8..16)?.try_into().ok()?);
+                Some(Control::ProbeAck { nonce, incarnation })
             }
             TYPE_MEMBERSHIP => {
                 let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
@@ -318,6 +341,10 @@ impl Control {
             TYPE_QUANTUM_ACK => {
                 let epoch = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?);
                 Some(Control::QuantumAck { epoch })
+            }
+            TYPE_DESYNC_ALERT => {
+                let incarnation = u64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
+                Some(Control::DesyncAlert { incarnation })
             }
             _ => None,
         }
@@ -403,16 +430,46 @@ mod tests {
             Control::Probe {
                 nonce: (3u64 << 48) | 7,
             },
-            Control::ProbeAck { nonce: u64::MAX },
+            Control::ProbeAck {
+                nonce: u64::MAX,
+                incarnation: 0,
+            },
+            Control::ProbeAck {
+                nonce: 7,
+                incarnation: u64::MAX,
+            },
             Control::Membership {
                 epoch: 9,
                 live_mask: 0b101,
                 effective_round: 1 << 33,
             },
             Control::MembershipAck { epoch: u32::MAX },
+            Control::DesyncAlert { incarnation: 0 },
+            Control::DesyncAlert {
+                incarnation: u64::MAX,
+            },
         ] {
             assert_eq!(Control::decode(&c.encode()), Some(c));
         }
+    }
+
+    /// A ProbeAck truncated to the old (pre-incarnation) length must be
+    /// rejected, not misread: there is exactly one wire format per type.
+    #[test]
+    fn truncated_probe_ack_rejected() {
+        let enc = Control::ProbeAck {
+            nonce: 42,
+            incarnation: 43,
+        }
+        .encode();
+        assert_eq!(Control::decode(&enc[..9]), None, "nonce only");
+        assert_eq!(Control::decode(&enc[..enc.len() - 1]), None);
+    }
+
+    #[test]
+    fn truncated_desync_alert_rejected() {
+        let enc = Control::DesyncAlert { incarnation: 99 }.encode();
+        assert_eq!(Control::decode(&enc[..enc.len() - 1]), None);
     }
 
     #[test]
@@ -454,7 +511,11 @@ mod tests {
                 quanta: vec![1500; 16],
             },
             Control::Probe { nonce: 3 },
-            Control::ProbeAck { nonce: 4 },
+            Control::ProbeAck {
+                nonce: 4,
+                incarnation: 5,
+            },
+            Control::DesyncAlert { incarnation: 6 },
             Control::Membership {
                 epoch: 5,
                 live_mask: 0b11,

@@ -90,11 +90,6 @@ pub struct HybridSnapshot {
     pub max_parked: usize,
 }
 
-/// The pre-convention name for [`HybridSnapshot`], kept as an alias while
-/// external callers migrate.
-#[deprecated(since = "0.1.0", note = "renamed to `HybridSnapshot`")]
-pub type HybridStats = HybridSnapshot;
-
 /// Guaranteed-FIFO receiver: logical reception fast path, sequence-number
 /// safety net.
 #[derive(Debug)]

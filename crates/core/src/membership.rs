@@ -23,15 +23,52 @@
 use crate::control::{epoch_newer, Control, Epoch};
 use crate::types::ChannelId;
 
-/// Pack a live vector into the 16-bit wire mask (bit `c` = channel `c`).
-///
-/// # Panics
-/// Panics if more than 16 channels are given.
-pub fn vec_to_mask(live: &[bool]) -> u16 {
-    assert!(live.len() <= 16, "wire mask holds at most 16 channels");
-    live.iter()
+/// A malformed membership mask, reported instead of panicking so a
+/// failover driver can surface it through its own diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipError {
+    /// More channels than the 16-bit wire mask can carry.
+    TooManyChannels {
+        /// How many channels were given.
+        got: usize,
+    },
+    /// A live vector that does not cover every channel of the set.
+    MaskLength {
+        /// The striping-set width.
+        expected: usize,
+        /// The length of the vector that was given.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooManyChannels { got } => {
+                write!(f, "wire mask holds at most 16 channels, got {got}")
+            }
+            Self::MaskLength { expected, got } => {
+                write!(
+                    f,
+                    "mask must cover every channel: expected {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+/// Pack a live vector into the 16-bit wire mask (bit `c` = channel `c`),
+/// or report [`MembershipError::TooManyChannels`] if it cannot fit.
+pub fn vec_to_mask(live: &[bool]) -> Result<u16, MembershipError> {
+    if live.len() > 16 {
+        return Err(MembershipError::TooManyChannels { got: live.len() });
+    }
+    Ok(live
+        .iter()
         .enumerate()
-        .fold(0u16, |m, (c, &l)| if l { m | (1 << c) } else { m })
+        .fold(0u16, |m, (c, &l)| if l { m | (1 << c) } else { m }))
 }
 
 /// Unpack a 16-bit wire mask into a live vector over `channels` channels.
@@ -87,11 +124,17 @@ impl MembershipSender {
     /// announcement per channel live in the *new* mask (dead channels
     /// cannot carry the news). Supersedes any handshake still in flight.
     ///
-    /// # Panics
-    /// Panics if `live` does not cover every channel or keeps none alive.
-    pub fn announce(&mut self, live: &[bool], effective_round: u64) -> Vec<(ChannelId, Control)> {
-        self.begin_announce(live, effective_round);
-        self.announcements()
+    /// An all-dead mask is legal: it is the *parked* state of a total
+    /// blackout (§5). Nothing can carry the announcement, so no handshake
+    /// starts and no messages are returned; the epoch still advances, and
+    /// the next grow announcement re-teaches the receiver from scratch.
+    pub fn announce(
+        &mut self,
+        live: &[bool],
+        effective_round: u64,
+    ) -> Result<Vec<(ChannelId, Control)>, MembershipError> {
+        self.begin_announce(live, effective_round)?;
+        Ok(self.announcements())
     }
 
     /// Start a new announcement without materializing the messages: the
@@ -101,15 +144,28 @@ impl MembershipSender {
     /// addressees with [`awaiting_channels`](Self::awaiting_channels) —
     /// one `Control` built once, however many channels carry it.
     ///
-    /// # Panics
-    /// Panics if `live` does not cover every channel or keeps none alive.
-    pub fn begin_announce(&mut self, live: &[bool], effective_round: u64) {
-        assert_eq!(live.len(), self.channels, "mask must cover every channel");
-        assert!(live.iter().any(|&l| l), "mask must keep one channel live");
+    /// Like [`announce`](Self::announce), an all-dead mask parks the
+    /// handshake instead of failing: the epoch advances but nothing is
+    /// awaited.
+    pub fn begin_announce(
+        &mut self,
+        live: &[bool],
+        effective_round: u64,
+    ) -> Result<(), MembershipError> {
+        if live.len() != self.channels {
+            return Err(MembershipError::MaskLength {
+                expected: self.channels,
+                got: live.len(),
+            });
+        }
         self.epoch = self.epoch.wrapping_add(1);
         self.live = live.to_vec();
         self.effective_round = effective_round;
+        // With an all-dead mask this is all-false: `in_progress()` is
+        // immediately false and no announcement is ever built, so a zero
+        // mask never reaches the wire (the codec rejects it there).
         self.awaiting = live.to_vec();
+        Ok(())
     }
 
     /// The in-flight announcement as one shared message, or `None` when no
@@ -118,7 +174,7 @@ impl MembershipSender {
     pub fn current_announcement(&self) -> Option<Control> {
         self.in_progress().then(|| Control::Membership {
             epoch: self.epoch,
-            live_mask: vec_to_mask(&self.live),
+            live_mask: vec_to_mask(&self.live).expect("channel cap enforced at construction"),
             effective_round: self.effective_round,
         })
     }
@@ -139,9 +195,12 @@ impl MembershipSender {
     }
 
     fn announcements(&self) -> Vec<(ChannelId, Control)> {
+        if !self.in_progress() {
+            return Vec::new();
+        }
         let msg = Control::Membership {
             epoch: self.epoch,
-            live_mask: vec_to_mask(&self.live),
+            live_mask: vec_to_mask(&self.live).expect("channel cap enforced at construction"),
             effective_round: self.effective_round,
         };
         self.awaiting
@@ -272,14 +331,57 @@ mod tests {
     #[test]
     fn mask_roundtrip() {
         let v = vec![true, false, true, true];
-        assert_eq!(vec_to_mask(&v), 0b1101);
+        assert_eq!(vec_to_mask(&v), Ok(0b1101));
         assert_eq!(mask_to_vec(0b1101, 4), v);
+    }
+
+    #[test]
+    fn oversized_mask_is_an_error_not_a_panic() {
+        let v = vec![true; 17];
+        assert_eq!(
+            vec_to_mask(&v),
+            Err(MembershipError::TooManyChannels { got: 17 })
+        );
+    }
+
+    #[test]
+    fn wrong_length_mask_is_an_error_not_a_panic() {
+        let mut s = MembershipSender::new(3);
+        assert_eq!(
+            s.announce(&[true, false], 10),
+            Err(MembershipError::MaskLength {
+                expected: 3,
+                got: 2
+            })
+        );
+        // The failed announce changed nothing.
+        assert_eq!(s.epoch(), 0);
+        assert!(!s.in_progress());
+    }
+
+    /// Total blackout: an all-dead mask is the legal parked state — the
+    /// epoch advances, nothing is awaited, nothing hits the wire, and the
+    /// next grow announcement restarts the handshake from scratch.
+    #[test]
+    fn all_dead_mask_parks_instead_of_panicking() {
+        let mut s = MembershipSender::new(2);
+        let msgs = s.announce(&[false, false], 7).expect("legal parked state");
+        assert!(msgs.is_empty(), "no channel can carry the news");
+        assert!(!s.in_progress());
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.current_announcement(), None);
+        assert!(s.retransmit().is_empty());
+        // Recovery: one channel comes back; a normal grow handshake runs.
+        let msgs = s.announce(&[true, false], 9).expect("grow");
+        assert_eq!(msgs.iter().map(|(c, _)| *c).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.on_ack(0, 2), MembershipProgress::Complete);
     }
 
     #[test]
     fn shrink_handshake_completes_on_live_acks_only() {
         let mut s = MembershipSender::new(3);
-        let msgs = s.announce(&[true, false, true], 42);
+        let msgs = s.announce(&[true, false, true], 42).expect("valid mask");
         // Announced on the two surviving channels only.
         assert_eq!(msgs.iter().map(|(c, _)| *c).collect::<Vec<_>>(), vec![0, 2]);
         let Control::Membership {
@@ -303,7 +405,7 @@ mod tests {
     #[test]
     fn stale_and_duplicate_acks_are_ignored() {
         let mut s = MembershipSender::new(2);
-        s.announce(&[true, false], 10);
+        s.announce(&[true, false], 10).expect("valid mask");
         assert_eq!(s.on_ack(0, 0), MembershipProgress::Ignored); // stale epoch
         assert_eq!(s.on_ack(0, 1), MembershipProgress::Complete);
         assert_eq!(s.on_ack(0, 1), MembershipProgress::Ignored); // duplicate

@@ -67,11 +67,6 @@ pub struct ReceiverSnapshot {
     pub stalls: u64,
 }
 
-/// The pre-convention name for [`ReceiverSnapshot`], kept as an alias while
-/// external callers migrate.
-#[deprecated(since = "0.1.0", note = "renamed to `ReceiverSnapshot`")]
-pub type ReceiverStats = ReceiverSnapshot;
-
 /// A reusable batch of logically received packets: the receive-side
 /// counterpart of the sender's `TxBatch`. Drain the receiver into one with
 /// [`LogicalReceiver::poll_into`]; the buffer is cleared on each refill but

@@ -74,12 +74,28 @@ impl ResetSender {
     /// [`ResetProgress::Complete`]. Calling this while a reset is already
     /// in flight supersedes it (a newer epoch).
     pub fn start_reset(&mut self) -> Vec<(ChannelId, Control)> {
+        self.start_reset_masked(&vec![true; self.channels])
+    }
+
+    /// Begin a reset awaiting acks only from the channels with
+    /// `live[c] == true` — the variant a failover driver uses when part of
+    /// the set is dead: flooding a dead channel is harmless but *waiting*
+    /// on it would wedge the handshake forever. With no live channel at
+    /// all, nothing is sent and the handshake does not start (the caller
+    /// is parked; a reset can only be driven once a channel returns).
+    ///
+    /// # Panics
+    /// Panics if `live` does not cover every channel.
+    pub fn start_reset_masked(&mut self, live: &[bool]) -> Vec<(ChannelId, Control)> {
+        assert_eq!(live.len(), self.channels, "mask must cover every channel");
+        if !live.iter().any(|&l| l) {
+            return Vec::new();
+        }
         self.epoch = self.epoch.wrapping_add(1);
         self.in_progress = true;
-        for a in &mut self.awaiting {
-            *a = true;
-        }
+        self.awaiting.copy_from_slice(live);
         (0..self.channels)
+            .filter(|&c| live[c])
             .map(|c| (c, Control::ResetRequest { epoch: self.epoch }))
             .collect()
     }
@@ -98,7 +114,7 @@ impl ResetSender {
 
     /// An ack arrived on `channel`.
     pub fn on_ack(&mut self, channel: ChannelId, epoch: Epoch) -> ResetProgress {
-        if !self.in_progress || epoch != self.epoch {
+        if !self.in_progress || epoch != self.epoch || channel >= self.channels {
             return ResetProgress::Ignored;
         }
         self.awaiting[channel] = false;
@@ -337,9 +353,69 @@ impl DesyncDetector {
     }
 }
 
+/// A fresh, nonzero endpoint incarnation: unique per process start (and
+/// per call), so a peer comparing incarnations across probe acks can tell
+/// a restarted endpoint from a merely quiet one. Mixes wall-clock nanos
+/// with a process-wide counter; deterministic tests should pin their own
+/// value instead.
+pub fn fresh_incarnation() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mixed = nanos
+        .rotate_left(17)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(COUNTER.fetch_add(1, Ordering::Relaxed));
+    mixed.max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The masked reset floods and awaits only live channels: an ack from
+    /// a dead channel is a no-op, and the handshake completes on the live
+    /// subset alone (waiting on a dead channel would wedge it forever).
+    #[test]
+    fn masked_reset_completes_on_live_subset() {
+        let mut tx = ResetSender::new(3);
+        let reqs = tx.start_reset_masked(&[true, false, true]);
+        assert_eq!(reqs.iter().map(|(c, _)| *c).collect::<Vec<_>>(), vec![0, 2]);
+        assert!(tx.in_progress());
+        let epoch = tx.epoch();
+        // Retransmits cover the same live subset.
+        assert_eq!(tx.retransmit().len(), 2);
+        assert_eq!(tx.on_ack(0, epoch), ResetProgress::Pending);
+        // The dead channel's id was never awaited; also out-of-range ids
+        // must not panic.
+        assert_eq!(tx.on_ack(1, epoch), ResetProgress::Pending);
+        assert_eq!(tx.on_ack(7, epoch), ResetProgress::Ignored);
+        assert_eq!(tx.on_ack(2, epoch), ResetProgress::Complete);
+        assert!(!tx.in_progress());
+        assert_eq!(tx.resets_completed(), 1);
+    }
+
+    /// With no live channel at all there is nothing to reset over: the
+    /// call is a no-op, not a wedged handshake.
+    #[test]
+    fn masked_reset_with_no_live_channels_is_a_noop() {
+        let mut tx = ResetSender::new(2);
+        assert!(tx.start_reset_masked(&[false, false]).is_empty());
+        assert!(!tx.in_progress());
+        assert_eq!(tx.epoch(), 0, "no epoch burned on an impossible reset");
+    }
+
+    #[test]
+    fn fresh_incarnations_are_nonzero_and_distinct() {
+        let a = fresh_incarnation();
+        let b = fresh_incarnation();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
 
     #[test]
     fn handshake_completes_when_all_channels_ack() {

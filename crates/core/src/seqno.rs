@@ -47,11 +47,6 @@ pub struct ResequencerSnapshot {
     pub stale_dropped: u64,
 }
 
-/// The pre-convention name for [`ResequencerSnapshot`], kept as an alias
-/// while external callers migrate.
-#[deprecated(since = "0.1.0", note = "renamed to `ResequencerSnapshot`")]
-pub type ResequencerStats = ResequencerSnapshot;
-
 /// Receive-side resequencer: releases packets in strictly increasing
 /// sequence order, never inverting two delivered packets.
 ///

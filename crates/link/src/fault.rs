@@ -87,11 +87,6 @@ pub struct FaultSnapshot {
     pub duplicated: u64,
 }
 
-/// The pre-convention name for [`FaultSnapshot`], kept as an alias while
-/// external callers migrate.
-#[deprecated(since = "0.1.0", note = "renamed to `FaultSnapshot`")]
-pub type FaultStats = FaultSnapshot;
-
 /// A [`FifoLink`] wrapper injecting the faults of a [`FaultPlan`].
 ///
 /// Composes with the inner link's own loss model: the plan's faults apply

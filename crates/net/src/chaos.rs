@@ -387,6 +387,11 @@ pub struct ImpairedLink<L: DatagramLink> {
     stats: ChaosSnapshot,
     /// Token-bucket credit in bytes (shaping only; starts at burst).
     tokens: u64,
+    /// Scripted total partition, control included (see
+    /// [`ImpairedLink::partition_now`]). Orthogonal to the plan's
+    /// frame-indexed windows so a harness can flip it mid-run without
+    /// knowing the current send index.
+    blackout: bool,
 }
 
 impl<L: DatagramLink> ImpairedLink<L> {
@@ -402,7 +407,30 @@ impl<L: DatagramLink> ImpairedLink<L> {
             spare: Vec::new(),
             stats: ChaosSnapshot::default(),
             tokens,
+            blackout: false,
         }
+    }
+
+    /// Start a total partition *now*: every subsequent frame — control
+    /// included — is swallowed (counted as `dropped_partition`) until
+    /// [`ImpairedLink::heal`]. Unlike [`ChaosPlan::partition`] this is
+    /// keyed on wall-clock script order rather than the data-frame send
+    /// index, which freezes the moment the membership mask drops the
+    /// channel — exactly when a correlated-blackout script needs to
+    /// keep the dark window open.
+    pub fn partition_now(&mut self) {
+        self.blackout = true;
+    }
+
+    /// Lift a scripted partition started by
+    /// [`ImpairedLink::partition_now`].
+    pub fn heal(&mut self) {
+        self.blackout = false;
+    }
+
+    /// Whether a scripted total partition is in force.
+    pub fn blacked_out(&self) -> bool {
+        self.blackout
     }
 
     /// Everything injected so far.
@@ -576,7 +604,7 @@ impl<L: DatagramLink> ImpairedLink<L> {
     fn offer(&mut self, frame: &[u8], deferred: bool) -> Result<(), TxError> {
         if !is_data_frame(frame) {
             self.stats.seen_control += 1;
-            if self.plan.in_partition(self.stats.seen_data) {
+            if self.blackout || self.plan.in_partition(self.stats.seen_data) {
                 self.stats.dropped_partition += 1;
                 return Ok(());
             }
@@ -584,6 +612,10 @@ impl<L: DatagramLink> ImpairedLink<L> {
         }
         let index = self.stats.seen_data;
         self.stats.seen_data += 1;
+        if self.blackout {
+            self.stats.dropped_partition += 1;
+            return Ok(());
+        }
         match self.fate_for_data(index, frame.len()) {
             Fate::Forward => self.send_inner(frame, deferred),
             Fate::DropLoss => {
@@ -664,7 +696,7 @@ impl<L: DatagramLink> DatagramLink for ImpairedLink<L> {
     fn send_run_owned(&mut self, frames: &mut [Vec<u8>], out: &mut Vec<Result<(), TxError>>) {
         self.tick_held();
         out.reserve(frames.len());
-        if !self.plan.pure_drop() {
+        if self.blackout || !self.plan.pure_drop() {
             // General plans resolve a fate per frame; storage is never
             // taken (the contract allows taking none) — held and
             // corrupted frames are copied into recycled spares.

@@ -61,6 +61,11 @@ pub struct FlowDemuxSnapshot {
     pub replies_sent: u64,
     /// Control replies that could not be transmitted (backpressure).
     pub replies_lost: u64,
+    /// §5 flushes performed in response to sender reset requests: every
+    /// replica reinitialized, remembered mask/quanta forgotten.
+    pub resets: u64,
+    /// Desync alerts escalated to the sender (armed detector only).
+    pub desync_alerts_sent: u64,
 }
 
 /// Builder for [`FlowDemux`] — same vocabulary as the other builders:
@@ -73,6 +78,8 @@ pub struct FlowDemuxBuilder<S: CausalScheduler, L: DatagramLink> {
     pool_initial: usize,
     stall_timeout_ns: Option<u64>,
     max_flows: usize,
+    incarnation: Option<u64>,
+    desync: Option<stripe_core::reset::DesyncDetector>,
 }
 
 impl<S: CausalScheduler, L: DatagramLink> Default for FlowDemuxBuilder<S, L> {
@@ -84,6 +91,8 @@ impl<S: CausalScheduler, L: DatagramLink> Default for FlowDemuxBuilder<S, L> {
             pool_initial: 64,
             stall_timeout_ns: None,
             max_flows: 1 << 16,
+            incarnation: None,
+            desync: None,
         }
     }
 }
@@ -137,6 +146,27 @@ impl<S: CausalScheduler, L: DatagramLink> FlowDemuxBuilder<S, L> {
         self
     }
 
+    /// Pin the incarnation nonce this endpoint reports in probe acks.
+    /// Defaults to a fresh [`fresh_incarnation`] value, so a sender
+    /// comparing acks across a process restart sees the change and
+    /// drives the §5 reset.
+    ///
+    /// [`fresh_incarnation`]: stripe_core::reset::fresh_incarnation
+    pub fn incarnation(mut self, incarnation: u64) -> Self {
+        self.incarnation = Some(incarnation);
+        self
+    }
+
+    /// Arm the self-stabilization monitor: each sweep samples the total
+    /// buffered-arrival backlog into `detector`, and a trip (sustained
+    /// backlog growth — the §5 "silent state corruption" symptom on an
+    /// opaque-payload path) floods a
+    /// [`Control::DesyncAlert`] to the sender on every channel.
+    pub fn desync_detector(mut self, detector: stripe_core::reset::DesyncDetector) -> Self {
+        self.desync = Some(detector);
+        self
+    }
+
     /// Assemble the demux with no flows instantiated. Pool buffers are
     /// sized to the largest link MTU.
     ///
@@ -170,6 +200,12 @@ impl<S: CausalScheduler, L: DatagramLink> FlowDemuxBuilder<S, L> {
             last_quanta: None,
             membership: stripe_core::membership::MembershipResponder::new(),
             retune: stripe_core::retune::RetuneResponder::new(),
+            reset_resp: stripe_core::reset::ResetResponder::new(),
+            incarnation: self
+                .incarnation
+                .unwrap_or_else(stripe_core::reset::fresh_incarnation),
+            desync: self.desync,
+            desync_tick: 0,
             ctl_buf: Vec::new(),
             recv_bufs: Vec::new(),
             recv_lens: Vec::new(),
@@ -212,6 +248,16 @@ pub struct FlowDemux<S: CausalScheduler, L: DatagramLink> {
     membership: stripe_core::membership::MembershipResponder,
     /// Demux-level retune responder: one epoch, all flows.
     retune: stripe_core::retune::RetuneResponder,
+    /// Demux-level §5 reset responder: one epoch, all flows. Survives
+    /// the flush it gates (a retransmitted request must ack, not
+    /// re-flush).
+    reset_resp: stripe_core::reset::ResetResponder,
+    /// Reported in every probe ack; a restart produces a fresh one.
+    incarnation: u64,
+    /// The armed self-stabilization monitor, if any.
+    desync: Option<stripe_core::reset::DesyncDetector>,
+    /// Monotone sweep counter feeding the detector's window clock.
+    desync_tick: u64,
     ctl_buf: Vec<u8>,
     recv_bufs: Vec<Vec<u8>>,
     recv_lens: Vec<usize>,
@@ -298,7 +344,36 @@ impl<S: CausalScheduler + Clone, L: DatagramLink> FlowDemux<S, L> {
                 }
             }
         }
+        self.sample_desync();
         received
+    }
+
+    /// Feed the armed desync detector one sweep's worth of evidence: the
+    /// total buffered-arrival backlog across every replica. Healthy
+    /// backlogs drain to (near) empty every marker interval; a corrupted
+    /// simulation consumes channels at the wrong rates and its backlog
+    /// floor only climbs. A trip floods a [`Control::DesyncAlert`] on
+    /// every channel — the sender deduplicates and drives the §5 reset.
+    fn sample_desync(&mut self) {
+        let Some(det) = self.desync.as_mut() else {
+            return;
+        };
+        let backlog: u64 = self
+            .flows
+            .iter()
+            .flatten()
+            .map(|f| f.sink.receiver().buffered_total() as u64)
+            .sum();
+        self.desync_tick += 1;
+        if det.observe(self.desync_tick, backlog) {
+            let alert = Control::DesyncAlert {
+                incarnation: self.incarnation,
+            };
+            for c in 0..self.links.len() {
+                self.reply(c, &alert);
+            }
+            self.stats.desync_alerts_sent += 1;
+        }
     }
 
     /// Route one received frame to its flow's resequencer (data and
@@ -354,7 +429,38 @@ impl<S: CausalScheduler + Clone, L: DatagramLink> FlowDemux<S, L> {
     fn on_global_control(&mut self, c: ChannelId, ctl: &Control) {
         match ctl {
             Control::Probe { nonce } => {
-                self.reply(c, &Control::ProbeAck { nonce: *nonce });
+                self.reply(
+                    c,
+                    &Control::ProbeAck {
+                        nonce: *nonce,
+                        incarnation: self.incarnation,
+                    },
+                );
+            }
+            Control::ResetRequest { epoch } => {
+                use stripe_core::reset::ResponderAction;
+                match self.reset_resp.on_request(c, *epoch) {
+                    ResponderAction::FlushAndAck { channel, ack } => {
+                        // §5 flush: every replica restarts its simulation
+                        // and the epoch'd responders forget their state —
+                        // the sender is (or believes we are) starting
+                        // over, so remembered masks and quanta are stale.
+                        for f in self.flows.iter_mut().flatten() {
+                            f.sink.reset();
+                        }
+                        self.last_mask = None;
+                        self.last_quanta = None;
+                        self.membership = stripe_core::membership::MembershipResponder::new();
+                        self.retune = stripe_core::retune::RetuneResponder::new();
+                        if let Some(det) = self.desync.as_mut() {
+                            det.acknowledge_reset();
+                        }
+                        self.stats.resets += 1;
+                        self.reply(channel, &ack);
+                    }
+                    ResponderAction::AckOnly { channel, ack } => self.reply(channel, &ack),
+                    ResponderAction::Ignore => {}
+                }
             }
             Control::Membership {
                 epoch,
@@ -557,6 +663,11 @@ impl<S: CausalScheduler, L: DatagramLink> FlowDemux<S, L> {
         &self.corrupt_by_channel
     }
 
+    /// The incarnation nonce this demux reports in probe acks.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
     /// The member links.
     pub fn links(&self) -> &[L] {
         &self.links
@@ -565,6 +676,14 @@ impl<S: CausalScheduler, L: DatagramLink> FlowDemux<S, L> {
     /// Mutable access to the member links.
     pub fn links_mut(&mut self) -> &mut [L] {
         &mut self.links
+    }
+
+    /// Take the links back out, consuming the demux — an in-process
+    /// endpoint restart keeps its sockets (the kernel side of the
+    /// channels survives) while every replica, responder epoch, and the
+    /// incarnation die with the old instance.
+    pub fn into_links(self) -> Vec<L> {
+        self.links
     }
 
     /// The shared receive buffer pool (for high-water-mark inspection).
@@ -598,6 +717,7 @@ mod tests {
             .scheduler(Srr::equal(2, 1500))
             .links(vec![b0, b1])
             .max_flows(flows_cap)
+            .incarnation(7)
             .build();
         (srv, demux)
     }
@@ -763,7 +883,160 @@ mod tests {
         let n = srv.links_mut()[1].recv_frame(&mut buf).expect("ack");
         assert_eq!(
             frame::decode(&buf[..n]),
-            Some(Frame::Control(Control::ProbeAck { nonce: 0xABCD }))
+            Some(Frame::Control(Control::ProbeAck {
+                nonce: 0xABCD,
+                incarnation: 7
+            }))
         );
+    }
+
+    /// A reset request flushes every replica exactly once per epoch,
+    /// forgets remembered mask/quanta, and acks on the reverse path —
+    /// a retransmitted request acks again without a second flush.
+    #[test]
+    fn reset_request_flushes_replicas_once_per_epoch() {
+        use stripe_transport::ControlPath;
+        let (mut srv, mut demux) = linked(8);
+        let f0 = srv.open_flow().unwrap();
+        let mut events = Vec::new();
+        for _ in 0..10 {
+            srv.enqueue(f0, &[3; 400]).unwrap();
+        }
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        demux.sweep(SimTime::ZERO);
+        // Packets are buffered/deliverable before the reset…
+        let req = Control::ResetRequest { epoch: 1 };
+        ControlPath::transmit_control(&mut srv, SimTime::ZERO, 0, req.clone());
+        ControlPath::transmit_control(&mut srv, SimTime::ZERO, 1, req);
+        demux.sweep(SimTime::ZERO);
+        // …and gone after it: the flush dropped them with the replica
+        // state, and the retransmitted request did not flush twice.
+        let mut batch = RxBatch::new();
+        assert_eq!(demux.poll_flow_into(f0.id(), &mut batch), 0);
+        assert_eq!(demux.net_stats().resets, 1);
+        let mut buf = [0u8; 2048];
+        let mut acks = 0;
+        for c in 0..2 {
+            while let Some(n) = srv.links_mut()[c].recv_frame(&mut buf) {
+                if let Some(Frame::Control(Control::ResetAck { epoch })) = frame::decode(&buf[..n])
+                {
+                    assert_eq!(epoch, 1);
+                    acks += 1;
+                }
+            }
+        }
+        assert_eq!(acks, 2, "one ack per request, flush or no flush");
+        // Delivery restarts cleanly under the new epoch.
+        for round in 0..12u64 {
+            let mut payload = vec![4u8; 120];
+            payload[1..9].copy_from_slice(&round.to_be_bytes());
+            srv.enqueue(f0, &payload).unwrap();
+        }
+        // The sender flow's engine must flush too (the reactor does this
+        // via reset_flows); mirror it here.
+        srv.reset_flows();
+        for round in 0..12u64 {
+            let mut payload = vec![4u8; 120];
+            payload[1..9].copy_from_slice(&round.to_be_bytes());
+            srv.enqueue(f0, &payload).unwrap();
+        }
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        demux.sweep(SimTime::ZERO);
+        let mut seen = Vec::new();
+        demux.poll_flow_into(f0.id(), &mut batch);
+        for pb in batch.drain() {
+            seen.push(u64::from_be_bytes(pb.as_slice()[1..9].try_into().unwrap()));
+            demux.recycle(pb);
+        }
+        assert_eq!(seen, (0..12).collect::<Vec<_>>(), "post-reset not FIFO");
+    }
+
+    /// A channel going dark mid-burst head-of-line blocks every flow:
+    /// each armed stall detector must report the dark channel once the
+    /// timeout elapses, and clear once markers walk the replicas past
+    /// the hole after the blackout lifts.
+    #[test]
+    fn every_flow_stall_detector_fires_during_blackout_and_clears() {
+        let (a0, b0) = datagram_pair(2048, 1 << 12);
+        let (a1, b1) = datagram_pair(2048, 1 << 12);
+        let mut srv = StripeServer::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .markers(MarkerConfig::every_rounds(4))
+            .links(vec![a0, a1])
+            .build();
+        let mut demux = FlowDemux::builder()
+            .scheduler(Srr::equal(2, 1500))
+            .links(vec![b0, b1])
+            .max_flows(8)
+            .incarnation(7)
+            .stall_timeout_ns(1_000_000)
+            .build();
+        let flows: Vec<_> = (0..3).map(|_| srv.open_flow().unwrap()).collect();
+        let mut events = Vec::new();
+        let mut batch = RxBatch::new();
+
+        // Channel 0 goes dark; a burst per flow straddles the hole.
+        for h in &flows {
+            for round in 0..16u64 {
+                let mut payload = vec![0u8; 300];
+                payload[1..9].copy_from_slice(&round.to_be_bytes());
+                srv.enqueue(*h, &payload).unwrap();
+            }
+        }
+        srv.pump_into(SimTime::ZERO, usize::MAX, &mut events);
+        let mut buf = [0u8; 2048];
+        while demux.links_mut()[0].recv_frame(&mut buf).is_some() {}
+        demux.sweep(SimTime::ZERO);
+        for h in &flows {
+            demux.poll_flow_into(h.id(), &mut batch);
+            for pb in batch.drain() {
+                demux.recycle(pb);
+            }
+        }
+        // Before the timeout: blocked but silent.
+        for h in &flows {
+            assert_eq!(
+                demux.flow_stalled(h.id(), SimTime::from_micros(500)),
+                None,
+                "stall reported before the timeout"
+            );
+        }
+        // After it: every flow names the dark channel.
+        for h in &flows {
+            assert_eq!(
+                demux.flow_stalled(h.id(), SimTime::from_micros(1_500)),
+                Some(0),
+                "flow {} missed the head-of-line stall",
+                h.id()
+            );
+            assert_eq!(demux.flow_stats(h.id()).unwrap().stalls, 1);
+        }
+
+        // Blackout over: idle markers walk every replica past the lost
+        // frames, the buffered tail delivers, and the stall clears.
+        srv.send_idle_markers_into(SimTime::from_micros(2_000), &mut events);
+        demux.sweep(SimTime::from_micros(2_000));
+        for h in &flows {
+            demux.poll_flow_into(h.id(), &mut batch);
+            let mut last = None;
+            for pb in batch.drain() {
+                let round = u64::from_be_bytes(pb.as_slice()[1..9].try_into().unwrap());
+                if let Some(prev) = last {
+                    assert!(round > prev, "post-recovery inversion on flow {}", h.id());
+                }
+                last = Some(round);
+                demux.recycle(pb);
+            }
+            assert!(
+                last.is_some(),
+                "flow {} delivered nothing after recovery",
+                h.id()
+            );
+            assert_eq!(
+                demux.flow_stalled(h.id(), SimTime::from_micros(9_000)),
+                None,
+                "stall must clear once delivery resumes"
+            );
+        }
     }
 }

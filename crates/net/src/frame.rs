@@ -455,7 +455,13 @@ mod tests {
                 quanta: vec![1500, 4500],
             },
             Control::Probe { nonce: 0xDEAD },
-            Control::ProbeAck { nonce: 0xDEAD },
+            Control::ProbeAck {
+                nonce: 0xDEAD,
+                incarnation: 0xFEED_FACE,
+            },
+            Control::DesyncAlert {
+                incarnation: 0xFEED_FACE,
+            },
             Control::Membership {
                 epoch: 2,
                 live_mask: 0b101,

@@ -174,6 +174,20 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
         out: &mut TxBatch<P>,
     ) {
         out.clear();
+        if self.server.parked() {
+            // Total blackout or §5 reset in flight: fail the whole burst
+            // fast instead of queueing into a parked flow. Same shape as
+            // the simulated path — no arrival, `LinkDown` per packet.
+            for pkt in pkts.drain(..) {
+                out.push(Transmission {
+                    channel: 0,
+                    arrival: None,
+                    item: Arrival::Data(pkt),
+                    error: Some(stripe_link::TxError::LinkDown),
+                });
+            }
+            return;
+        }
         for pkt in pkts.iter() {
             self.server
                 .enqueue(self.handle, pkt.as_ref())
@@ -280,6 +294,19 @@ impl<S: CausalScheduler, L: DatagramLink> NetStripedPath<S, L> {
         self.server
             .flow_sender_mut(self.handle)
             .expect("flow 0 never closes")
+    }
+
+    /// Is the path parked (total blackout or §5 reset in flight)? Data
+    /// sends fail fast with `LinkDown`; control still flows.
+    pub fn parked(&self) -> bool {
+        self.server.parked()
+    }
+
+    /// Flush the sender engine after a completed §5 reset: scheduler,
+    /// fairness ledgers, and marker cadence restart from zero, matching
+    /// the receiver's flushed state.
+    pub fn reset_engine(&mut self) {
+        self.server.reset_flows();
     }
 
     /// The underlying one-flow server.

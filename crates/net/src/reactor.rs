@@ -57,6 +57,11 @@ pub trait ReactorPath<L: DatagramLink>: ControlPath {
     fn reactor_links_mut(&mut self) -> &mut [L];
     /// Retry parked frames toward the kernel; returns frames drained.
     fn flush_backlog(&mut self) -> usize;
+    /// Flush every flow's sender-side engine state — schedulers,
+    /// accountants, marker cadence, queued-but-unsent packets — after a
+    /// completed §5 reset. The receiver flushed its half when it acked;
+    /// both ends restart the simulation from the same zero.
+    fn reset_flows(&mut self);
 }
 
 impl<S: CausalScheduler, L: DatagramLink> ReactorPath<L> for NetStripedPath<S, L> {
@@ -69,6 +74,9 @@ impl<S: CausalScheduler, L: DatagramLink> ReactorPath<L> for NetStripedPath<S, L
     fn flush_backlog(&mut self) -> usize {
         self.flush()
     }
+    fn reset_flows(&mut self) {
+        self.reset_engine();
+    }
 }
 
 impl<S: CausalScheduler, L: DatagramLink> ReactorPath<L> for StripeServer<S, L> {
@@ -80,6 +88,9 @@ impl<S: CausalScheduler, L: DatagramLink> ReactorPath<L> for StripeServer<S, L> 
     }
     fn flush_backlog(&mut self) -> usize {
         self.flush()
+    }
+    fn reset_flows(&mut self) {
+        self.reset_flows();
     }
 }
 
@@ -153,6 +164,21 @@ pub struct ReactorSnapshot {
     pub retune_acks: u64,
     /// Retune handshakes fully acked.
     pub retunes_complete: u64,
+    /// Is the datapath currently parked (total blackout, or a §5 reset
+    /// awaiting acks)? Data sends fail fast; control keeps flowing.
+    pub parked: bool,
+    /// Transitions into total blackout (every channel dead at once).
+    pub blackouts: u64,
+    /// Nanoseconds spent parked, accumulated over completed parks.
+    pub park_ns: u64,
+    /// Peer restarts detected via incarnation changes in probe acks.
+    pub restarts_detected: u64,
+    /// §5 resets initiated by the failover driver.
+    pub resets_started: u64,
+    /// §5 resets fully acknowledged and flushed on both ends.
+    pub resets_completed: u64,
+    /// Receiver desync alerts read off the reverse path.
+    pub desync_alerts: u64,
 }
 
 /// Whether any control transmission in a poll's report carries a
@@ -183,6 +209,10 @@ pub struct PathReactor<P, L> {
     /// The adaptive quantum control loop, when attached (see
     /// [`attach_adaptive`](Self::attach_adaptive)).
     adaptive: Option<AdaptiveTuner>,
+    /// When the current park began (blackout or reset), if one is open.
+    park_since_ns: Option<u64>,
+    /// Edge detector for blackout transitions.
+    was_blackout: bool,
     stats: ReactorSnapshot,
     _link: PhantomData<fn() -> L>,
 }
@@ -229,6 +259,8 @@ impl<P: ReactorPath<L>, L: DatagramLink> PathReactor<P, L> {
                 .map(|_| ChannelLifecycle::new(lifecycle_cfg))
                 .collect(),
             adaptive: None,
+            park_since_ns: None,
+            was_blackout: false,
             stats: ReactorSnapshot::default(),
             _link: PhantomData,
         }
@@ -306,9 +338,12 @@ impl<P: ReactorPath<L>, L: DatagramLink> PathReactor<P, L> {
                             continue;
                         }
                     };
+                    if let Control::DesyncAlert { .. } = ctl {
+                        self.stats.desync_alerts += 1;
+                    }
                     if let Some(ad) = self.adaptive.as_mut() {
                         match &ctl {
-                            Control::ProbeAck { nonce } => {
+                            Control::ProbeAck { nonce, .. } => {
                                 ad.on_probe_ack(c, *nonce, now.as_nanos());
                             }
                             Control::QuantumAck { epoch } => {
@@ -349,8 +384,40 @@ impl<P: ReactorPath<L>, L: DatagramLink> PathReactor<P, L> {
                 reports.extend(driver.tick(&mut self.path, now));
             }
         }
+        if let Some(driver) = self.driver.as_mut() {
+            // A completed §5 reset: the receiver has flushed and acked,
+            // so flush the sender-side engines and re-announce to
+            // unpark — both ends restart the simulation from zero.
+            if driver.take_pending_engine_reset() {
+                self.path.reset_flows();
+                reports.extend(driver.reannounce(&mut self.path, now));
+            }
+            let (parked, blackout) = (driver.parked(), driver.blackout());
+            self.stats.restarts_detected = driver.restarts_detected();
+            self.stats.resets_started = driver.resets_started();
+            self.stats.resets_completed = driver.resets_completed();
+            self.observe_park(parked, blackout, now);
+        }
         self.step_adaptive(now, &mut reports);
         reports
+    }
+
+    /// Track park state for the snapshot: blackout rising edges count as
+    /// blackouts, and completed parks accumulate their duration.
+    fn observe_park(&mut self, parked: bool, blackout: bool, now: SimTime) {
+        if blackout && !self.was_blackout {
+            self.stats.blackouts += 1;
+        }
+        self.was_blackout = blackout;
+        match (parked, self.park_since_ns) {
+            (true, None) => self.park_since_ns = Some(now.as_nanos()),
+            (false, Some(since)) => {
+                self.stats.park_ns += now.as_nanos().saturating_sub(since);
+                self.park_since_ns = None;
+            }
+            _ => {}
+        }
+        self.stats.parked = parked;
     }
 
     /// Drive the adaptive quantum loop one step: record probes the
@@ -604,7 +671,13 @@ mod tests {
             // Ack channel 0's probes by hand; channel 1 stays silent.
             while let Some(n) = b0.recv_frame(&mut buf) {
                 if let Some(Frame::Control(Control::Probe { nonce })) = frame::decode(&buf[..n]) {
-                    crate::frame::encode_control_into(&Control::ProbeAck { nonce }, &mut ctl_buf);
+                    crate::frame::encode_control_into(
+                        &Control::ProbeAck {
+                            nonce,
+                            incarnation: 1,
+                        },
+                        &mut ctl_buf,
+                    );
                     b0.send_frame(&ctl_buf).unwrap();
                 }
             }
@@ -791,9 +864,10 @@ mod tests {
             for b in [&mut b0, &mut b1] {
                 while let Some(n) = b.recv_frame(&mut buf) {
                     let reply = match frame::decode(&buf[..n]) {
-                        Some(Frame::Control(Control::Probe { nonce })) => {
-                            Some(Control::ProbeAck { nonce })
-                        }
+                        Some(Frame::Control(Control::Probe { nonce })) => Some(Control::ProbeAck {
+                            nonce,
+                            incarnation: 1,
+                        }),
                         Some(Frame::Control(Control::Membership { epoch, .. })) => {
                             Some(Control::MembershipAck { epoch })
                         }

@@ -53,6 +53,10 @@ pub struct NetRxSnapshot {
     pub replies_sent: u64,
     /// Control replies that could not be transmitted (backpressure).
     pub replies_lost: u64,
+    /// §5 flushes performed in response to sender reset requests.
+    pub resets: u64,
+    /// Desync alerts escalated to the sender (armed detector only).
+    pub desync_alerts_sent: u64,
 }
 
 /// Builder for [`NetLogicalReceiver`].
@@ -63,6 +67,8 @@ pub struct NetLogicalReceiverBuilder<S: CausalScheduler, L: DatagramLink> {
     cap_per_channel: usize,
     pool_initial: usize,
     stall_timeout_ns: Option<u64>,
+    incarnation: Option<u64>,
+    desync: Option<stripe_core::reset::DesyncDetector>,
 }
 
 impl<S: CausalScheduler, L: DatagramLink> Default for NetLogicalReceiverBuilder<S, L> {
@@ -73,6 +79,8 @@ impl<S: CausalScheduler, L: DatagramLink> Default for NetLogicalReceiverBuilder<
             cap_per_channel: 1 << 14,
             pool_initial: 64,
             stall_timeout_ns: None,
+            incarnation: None,
+            desync: None,
         }
     }
 }
@@ -116,6 +124,21 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiverBuilder<S, L> {
         self.stall_timeout_ns = Some(timeout_ns);
         self
     }
+
+    /// Pin the incarnation nonce reported in probe acks (see
+    /// [`FlowDemuxBuilder::incarnation`](crate::demux::FlowDemuxBuilder::incarnation)).
+    /// Defaults to a fresh [`stripe_core::reset::fresh_incarnation`].
+    pub fn incarnation(mut self, incarnation: u64) -> Self {
+        self.incarnation = Some(incarnation);
+        self
+    }
+
+    /// Arm the self-stabilization monitor (see
+    /// [`FlowDemuxBuilder::desync_detector`](crate::demux::FlowDemuxBuilder::desync_detector)).
+    pub fn desync_detector(mut self, detector: stripe_core::reset::DesyncDetector) -> Self {
+        self.desync = Some(detector);
+        self
+    }
 }
 
 impl<S: CausalScheduler + Clone, L: DatagramLink> NetLogicalReceiverBuilder<S, L> {
@@ -138,6 +161,12 @@ impl<S: CausalScheduler + Clone, L: DatagramLink> NetLogicalReceiverBuilder<S, L
             .max_flows(1);
         if let Some(t) = self.stall_timeout_ns {
             demux_builder = demux_builder.stall_timeout_ns(t);
+        }
+        if let Some(inc) = self.incarnation {
+            demux_builder = demux_builder.incarnation(inc);
+        }
+        if let Some(det) = self.desync {
+            demux_builder = demux_builder.desync_detector(det);
         }
         let mut demux = demux_builder.build();
         assert!(demux.touch_flow(0), "a fresh demux admits flow 0");
@@ -201,6 +230,8 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
             dropped_corrupt: s.dropped_corrupt,
             replies_sent: s.replies_sent,
             replies_lost: s.replies_lost,
+            resets: s.resets,
+            desync_alerts_sent: s.desync_alerts_sent,
         }
     }
 
@@ -237,6 +268,18 @@ impl<S: CausalScheduler, L: DatagramLink> NetLogicalReceiver<S, L> {
     /// Mutable access to the member links.
     pub fn links_mut(&mut self) -> &mut [L] {
         self.demux.links_mut()
+    }
+
+    /// The incarnation nonce this receiver reports in probe acks.
+    pub fn incarnation(&self) -> u64 {
+        self.demux.incarnation()
+    }
+
+    /// Take the links back out, consuming the receiver — the in-process
+    /// endpoint-restart move: sockets survive, every resequencer state,
+    /// responder epoch, and the incarnation die with the old instance.
+    pub fn into_links(self) -> Vec<L> {
+        self.demux.into_links()
     }
 
     /// The receive buffer pool (for high-water-mark inspection).
@@ -288,6 +331,7 @@ mod tests {
         let rx = NetLogicalReceiver::builder()
             .scheduler(Srr::equal(2, 1500))
             .links(vec![b0, b1])
+            .incarnation(9)
             .build();
         (path, rx)
     }
@@ -341,7 +385,10 @@ mod tests {
         let n = path.links_mut()[1].recv_frame(&mut buf).expect("ack frame");
         assert_eq!(
             frame::decode(&buf[..n]),
-            Some(Frame::Control(Control::ProbeAck { nonce: 0xBEEF }))
+            Some(Frame::Control(Control::ProbeAck {
+                nonce: 0xBEEF,
+                incarnation: 9
+            }))
         );
     }
 

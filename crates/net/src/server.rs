@@ -333,6 +333,7 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServerBuilder<S, L> {
             parked_order: VecDeque::new(),
             mask: vec![true; channels],
             mask_dirty: false,
+            path_parked: false,
             last_quanta: Vec::new(),
             quanta_dirty: false,
             stats: StripeServerSnapshot::default(),
@@ -378,6 +379,13 @@ pub struct StripeServer<S: CausalScheduler, L: DatagramLink> {
     /// creates the matching replica, so both simulations agree).
     mask: Vec<bool>,
     mask_dirty: bool,
+    /// Path-wide park: every channel is dead (total blackout) or a §5
+    /// reset is gating resume. Distinct from per-flow admission parking
+    /// — here *no* flow may send, enqueues see backpressure, and the
+    /// flows' schedulers freeze on their last live mask (a scheduler
+    /// must never scan an empty mask). Control still flows, so probes
+    /// can observe recovery. Cleared by the next non-empty mask.
+    path_parked: bool,
     /// Latest per-channel quanta — applied to flows created after a live
     /// retune, mirroring `mask`/`mask_dirty` (the receiver replays the
     /// same quanta when it lazily creates the matching replica).
@@ -534,7 +542,7 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServer<S, L> {
     /// backpressure without paying for an encode-and-refuse round trip.
     pub fn would_block(&self, h: FlowHandle) -> Result<bool, FlowError> {
         self.state_of(h)
-            .map(|f| f.parked || f.queue.len() >= self.queue_frames)
+            .map(|f| self.path_parked || f.parked || f.queue.len() >= self.queue_frames)
     }
 
     /// Queue one payload on a flow: the frame is encoded here, once,
@@ -544,6 +552,15 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServer<S, L> {
     /// reports [`FlowError::Backpressure`] without touching the payload.
     pub fn enqueue(&mut self, h: FlowHandle, payload: &[u8]) -> Result<(), FlowError> {
         let f = self.state_of(h)?;
+        if self.path_parked {
+            // Blackout/reset park: bounded buffers stop admitting. The
+            // hint is 1 — "try again after the next unpark", there is no
+            // queue position to wait out.
+            self.stats.dropped_backpressure += 1;
+            let f = self.flows[h.id as usize].as_mut().expect("validated");
+            f.stats.dropped_backpressure += 1;
+            return Err(FlowError::Backpressure { resume_hint: 1 });
+        }
         if f.parked {
             return Err(FlowError::Parked);
         }
@@ -580,6 +597,9 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServer<S, L> {
     pub fn pump_into(&mut self, now: SimTime, budget: usize, events: &mut Vec<PumpEvent>) -> usize {
         let _ = now; // reserved for pacing
         events.clear();
+        if self.path_parked {
+            return 0;
+        }
         for v in &mut self.last_data_len {
             *v = 0;
         }
@@ -702,6 +722,9 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServer<S, L> {
     pub fn send_idle_markers_into(&mut self, now: SimTime, events: &mut Vec<PumpEvent>) {
         let _ = now;
         events.clear();
+        if self.path_parked {
+            return;
+        }
         for fid in 0..self.flows.len() {
             {
                 let Some(f) = self.flows[fid].as_mut() else {
@@ -844,6 +867,37 @@ impl<S: CausalScheduler, L: DatagramLink> StripeServer<S, L> {
         Ok(&mut self.flows[h.id as usize].as_mut().expect("validated").tx)
     }
 
+    /// Is the server path-parked (total blackout, or a §5 reset gating
+    /// resume)? While parked, enqueues report backpressure and pumps
+    /// serve nothing; control still flows.
+    pub fn parked(&self) -> bool {
+        self.path_parked
+    }
+
+    /// Flush every flow's sender-side engine after a completed §5
+    /// reset: schedulers, fairness ledgers, and marker clocks restart
+    /// from zero, and pre-reset queued frames are discarded (the
+    /// receiver flushed its replicas when it acked — old-epoch state
+    /// must not leak into the new one). Flow handles stay valid; the
+    /// post-reset re-announce re-teaches the current mask.
+    pub fn reset_flows(&mut self) {
+        for f in self.flows.iter_mut().flatten() {
+            f.tx.reset();
+            for q in f.queue.drain(..) {
+                f.stats.dropped_lost += 1;
+                self.buf_pool.push(q.buf);
+            }
+        }
+        // Fresh engines start all-live on their original quanta, so the
+        // replay state for late-opened flows resets with them.
+        for m in &mut self.mask {
+            *m = true;
+        }
+        self.mask_dirty = false;
+        self.last_quanta.clear();
+        self.quanta_dirty = false;
+    }
+
     /// The member links.
     pub fn links(&self) -> &[L] {
         &self.links
@@ -878,6 +932,16 @@ impl<S: CausalScheduler, L: DatagramLink> ControlPath for StripeServer<S, L> {
     }
 
     fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
+        if !live.iter().any(|&l| l) {
+            // The park contract (see [`ControlPath::schedule_mask`]):
+            // an all-dead mask parks the whole server. The per-flow
+            // schedulers never see it — they freeze on their last live
+            // mask — and the stored replay mask stays non-empty so a
+            // flow opened mid-blackout starts from the last live state.
+            self.path_parked = true;
+            return;
+        }
+        self.path_parked = false;
         self.mask.clear();
         self.mask.extend_from_slice(live);
         self.mask_dirty = live.iter().any(|&l| !l);

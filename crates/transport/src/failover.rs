@@ -33,8 +33,11 @@
 
 use stripe_core::control::Control;
 use stripe_core::liveness::{LivenessConfig, LivenessEvent, LivenessTracker};
-use stripe_core::membership::{MembershipAction, MembershipResponder, MembershipSender};
+use stripe_core::membership::{
+    MembershipAction, MembershipError, MembershipResponder, MembershipSender,
+};
 use stripe_core::receiver::{Arrival, LogicalReceiver, ReceiverSnapshot, RxBatch};
+use stripe_core::reset::{ResetProgress, ResetResponder, ResetSender, ResponderAction};
 use stripe_core::retune::{RetuneAction, RetuneResponder};
 use stripe_core::sched::CausalScheduler;
 use stripe_core::types::{ChannelId, WireLen};
@@ -77,8 +80,27 @@ impl FailoverConfig {
 pub struct FailoverDriver {
     live: LivenessTracker,
     membership: MembershipSender,
+    reset: ResetSender,
     cfg: FailoverConfig,
     last_retransmit_ns: u64,
+    last_reset_retransmit_ns: u64,
+    /// Every channel is dead: the path is parked. Legal, not fatal —
+    /// flows see backpressure, probes keep flowing, the first ack
+    /// regrows the set.
+    blackout: bool,
+    /// The receiver's incarnation as last reported in a probe ack.
+    /// `None` until the first ack arrives.
+    peer_incarnation: Option<u64>,
+    /// A completed §5 reset is waiting for the datapath to flush its
+    /// per-flow engine state; drained by [`take_pending_engine_reset`].
+    ///
+    /// [`take_pending_engine_reset`]: FailoverDriver::take_pending_engine_reset
+    pending_engine_reset: bool,
+    restarts_detected: u64,
+    resets_started: u64,
+    desync_resets: u64,
+    membership_errors: u64,
+    last_membership_error: Option<MembershipError>,
 }
 
 impl FailoverDriver {
@@ -87,9 +109,27 @@ impl FailoverDriver {
         Self {
             live: LivenessTracker::new(channels, cfg.liveness, now.as_nanos()),
             membership: MembershipSender::new(channels),
+            reset: ResetSender::new(channels),
             cfg,
             last_retransmit_ns: now.as_nanos(),
+            last_reset_retransmit_ns: now.as_nanos(),
+            blackout: false,
+            peer_incarnation: None,
+            pending_engine_reset: false,
+            restarts_detected: 0,
+            resets_started: 0,
+            desync_resets: 0,
+            membership_errors: 0,
+            last_membership_error: None,
         }
+    }
+
+    /// Park the datapath: an all-dead mask stops data sends fast while
+    /// the schedulers hold their last live mask (see
+    /// [`ControlPath::schedule_mask`]).
+    fn park_path<P: ControlPath>(&self, path: &mut P) {
+        let parked = vec![false; self.live.live_mask().len()];
+        path.schedule_mask(path.current_round(), &parked);
     }
 
     fn announce_current_mask<P: ControlPath>(
@@ -98,15 +138,32 @@ impl FailoverDriver {
         now: SimTime,
     ) -> Vec<ControlTransmission> {
         let mask = self.live.live_mask();
-        if !mask.iter().any(|&l| l) {
-            // Total outage: nothing can carry the announcement and no
-            // subset can serve traffic. Keep probing; reintegration of the
-            // first recovered channel will re-announce.
+        let eff = path.current_round() + self.cfg.announce_lead_rounds;
+        if let Err(e) = self.membership.begin_announce(&mask, eff) {
+            // Cannot happen for masks derived from our own tracker, but
+            // a typed error beats a panic on the datapath: record it and
+            // keep the last good membership.
+            self.membership_errors += 1;
+            self.last_membership_error = Some(e);
             return Vec::new();
         }
-        let eff = path.current_round() + self.cfg.announce_lead_rounds;
-        self.membership.begin_announce(&mask, eff);
-        path.schedule_mask(eff, &mask);
+        self.blackout = !mask.iter().any(|&l| l);
+        if self.blackout {
+            // Total outage: park. The epoch bump above keeps the
+            // membership history monotone; nothing travels because no
+            // channel could carry it. Probes keep flowing (backed off);
+            // the first recovered channel re-announces and unparks.
+            self.park_path(path);
+            return Vec::new();
+        }
+        if self.reset.in_progress() {
+            // A §5 reset gates data resume: announce the new membership
+            // (the receiver needs it) but keep the datapath parked until
+            // the reset acks land and the engines are flushed.
+            self.park_path(path);
+        } else {
+            path.schedule_mask(eff, &mask);
+        }
         self.last_retransmit_ns = now.as_nanos();
         // One shared announcement, borrowed into every channel's transmit:
         // the frame is built once, never re-materialized per channel.
@@ -116,6 +173,29 @@ impl FailoverDriver {
             out.push(path.transmit_control_ref(now, c, &msg));
         }
         out
+    }
+
+    /// Start (or supersede) a §5 two-phase reset: flood `ResetRequest`
+    /// on every live channel and park the datapath until the acks land.
+    /// During a blackout there is nothing to flood — the park already
+    /// holds and the reset is deferred to the restart detection that
+    /// fires when the first ack returns.
+    pub fn begin_reset<P: ControlPath>(
+        &mut self,
+        path: &mut P,
+        now: SimTime,
+    ) -> Vec<ControlTransmission> {
+        let mask = self.live.live_mask();
+        let reqs = self.reset.start_reset_masked(&mask);
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        self.resets_started += 1;
+        self.last_reset_retransmit_ns = now.as_nanos();
+        self.park_path(path);
+        reqs.into_iter()
+            .map(|(c, ctl)| path.transmit_control(now, c, ctl))
+            .collect()
     }
 
     /// Drive timers: emit due probes (dead channels included — that is how
@@ -135,6 +215,12 @@ impl FailoverDriver {
         }
         if died {
             out.extend(self.announce_current_mask(path, now));
+            if self.reset.in_progress() {
+                // A channel died mid-reset; its ack will never come.
+                // Supersede with a fresh reset over the survivors so the
+                // handshake cannot wedge on a dead channel.
+                out.extend(self.begin_reset(path, now));
+            }
         } else if self.membership.in_progress()
             && now.as_nanos().saturating_sub(self.last_retransmit_ns)
                 >= self.cfg.retransmit_interval_ns
@@ -144,6 +230,15 @@ impl FailoverDriver {
                 for c in self.membership.awaiting_channels() {
                     out.push(path.transmit_control_ref(now, c, &msg));
                 }
+            }
+        }
+        if self.reset.in_progress()
+            && now.as_nanos().saturating_sub(self.last_reset_retransmit_ns)
+                >= self.cfg.retransmit_interval_ns
+        {
+            self.last_reset_retransmit_ns = now.as_nanos();
+            for (c, ctl) in self.reset.retransmit() {
+                out.push(path.transmit_control(now, c, ctl));
             }
         }
         out
@@ -178,21 +273,129 @@ impl FailoverDriver {
         now: SimTime,
     ) -> Vec<ControlTransmission> {
         match ctl {
-            Control::ProbeAck { nonce } => {
-                if let Some(LivenessEvent::ChannelRecovered(_)) =
-                    self.live.on_probe_ack(channel, *nonce, now.as_nanos())
-                {
+            Control::ProbeAck { nonce, incarnation } => {
+                let recovered = matches!(
+                    self.live.on_probe_ack(channel, *nonce, now.as_nanos()),
+                    Some(LivenessEvent::ChannelRecovered(_))
+                );
+                let restarted = match self.peer_incarnation {
+                    None => {
+                        self.peer_incarnation = Some(*incarnation);
+                        false
+                    }
+                    Some(prev) if prev != *incarnation => {
+                        self.peer_incarnation = Some(*incarnation);
+                        true
+                    }
+                    Some(_) => false,
+                };
+                let mut out = Vec::new();
+                if recovered {
                     // Grow the set back: same handshake, bit restored.
-                    return self.announce_current_mask(path, now);
+                    out.extend(self.announce_current_mask(path, now));
                 }
-                Vec::new()
+                if restarted {
+                    // The peer came back with a different incarnation:
+                    // everything it knew — membership epochs, retune
+                    // epochs, resequencer state — is gone. Drive the §5
+                    // reset; data stays parked until the acks land.
+                    self.restarts_detected += 1;
+                    out.extend(self.begin_reset(path, now));
+                }
+                out
             }
             Control::MembershipAck { epoch } => {
                 self.membership.on_ack(channel, *epoch);
                 Vec::new()
             }
+            Control::ResetAck { epoch } => {
+                if let ResetProgress::Complete = self.reset.on_ack(channel, *epoch) {
+                    // Both ends have flushed in-flight state; the caller
+                    // now resets the local engines and re-announces to
+                    // resume data (see `take_pending_engine_reset`).
+                    self.pending_engine_reset = true;
+                }
+                Vec::new()
+            }
+            Control::DesyncAlert { incarnation } => {
+                // The receiver's self-check believes its state diverged.
+                // Deduplicate: a reset already in flight will flush it,
+                // and an alert from a previous incarnation is moot.
+                if self.reset.in_progress() {
+                    return Vec::new();
+                }
+                if let Some(prev) = self.peer_incarnation {
+                    if prev != *incarnation {
+                        return Vec::new();
+                    }
+                }
+                self.desync_resets += 1;
+                self.begin_reset(path, now)
+            }
             _ => Vec::new(),
         }
+    }
+
+    /// A completed reset is waiting for the engine flush. Returns `true`
+    /// at most once per completed reset; on `true` the caller must reset
+    /// its datapath engines (sender state, per-flow schedulers) and then
+    /// call [`reannounce`](FailoverDriver::reannounce) to re-teach the
+    /// receiver the current membership and unpark data.
+    pub fn take_pending_engine_reset(&mut self) -> bool {
+        core::mem::take(&mut self.pending_engine_reset)
+    }
+
+    /// Re-announce the current live mask — the post-reset resume step,
+    /// and a recovery hook after a recorded membership error.
+    pub fn reannounce<P: ControlPath>(
+        &mut self,
+        path: &mut P,
+        now: SimTime,
+    ) -> Vec<ControlTransmission> {
+        self.announce_current_mask(path, now)
+    }
+
+    /// Is the datapath parked — every channel dead, or a §5 reset still
+    /// awaiting acks? Control (probes, announcements) keeps flowing
+    /// while parked; data sends fail fast.
+    pub fn parked(&self) -> bool {
+        self.blackout || self.reset.in_progress()
+    }
+
+    /// Is the park specifically a total blackout (all channels dead)?
+    pub fn blackout(&self) -> bool {
+        self.blackout
+    }
+
+    /// Peer restarts detected via incarnation changes in probe acks.
+    pub fn restarts_detected(&self) -> u64 {
+        self.restarts_detected
+    }
+
+    /// §5 resets initiated (restart-driven plus desync-driven).
+    pub fn resets_started(&self) -> u64 {
+        self.resets_started
+    }
+
+    /// §5 resets fully acknowledged.
+    pub fn resets_completed(&self) -> u64 {
+        self.reset.resets_completed()
+    }
+
+    /// Resets initiated because of a receiver [`Control::DesyncAlert`].
+    pub fn desync_resets(&self) -> u64 {
+        self.desync_resets
+    }
+
+    /// Membership operations rejected with a typed error instead of a
+    /// panic (mask length drift — a wiring bug, not a network fault).
+    pub fn membership_errors(&self) -> u64 {
+        self.membership_errors
+    }
+
+    /// The most recent membership error, if any.
+    pub fn last_membership_error(&self) -> Option<&MembershipError> {
+        self.last_membership_error.as_ref()
     }
 
     /// The liveness tracker (health inspection).
@@ -203,6 +406,11 @@ impl FailoverDriver {
     /// The membership sender (epoch/mask inspection).
     pub fn membership(&self) -> &MembershipSender {
         &self.membership
+    }
+
+    /// The reset sender (§5 epoch inspection).
+    pub fn reset_state(&self) -> &ResetSender {
+        &self.reset
     }
 }
 
@@ -222,6 +430,7 @@ pub struct StripedSinkBuilder<S: CausalScheduler, P> {
     sched: Option<S>,
     cap_per_channel: usize,
     stall_timeout_ns: Option<u64>,
+    incarnation: Option<u64>,
     _packet: core::marker::PhantomData<fn() -> P>,
 }
 
@@ -231,6 +440,7 @@ impl<S: CausalScheduler, P> Default for StripedSinkBuilder<S, P> {
             sched: None,
             cap_per_channel: 1 << 14,
             stall_timeout_ns: None,
+            incarnation: None,
             _packet: core::marker::PhantomData,
         }
     }
@@ -256,6 +466,17 @@ impl<S: CausalScheduler, P: WireLen> StripedSinkBuilder<S, P> {
         self
     }
 
+    /// Pin the incarnation nonce this endpoint reports in probe acks.
+    /// Defaults to a fresh [`fresh_incarnation`] value — the nonce a
+    /// restarted process cannot accidentally repeat, which is how the
+    /// sender notices the restart.
+    ///
+    /// [`fresh_incarnation`]: stripe_core::reset::fresh_incarnation
+    pub fn incarnation(mut self, incarnation: u64) -> Self {
+        self.incarnation = Some(incarnation);
+        self
+    }
+
     /// Assemble the sink.
     ///
     /// # Panics
@@ -270,6 +491,10 @@ impl<S: CausalScheduler, P: WireLen> StripedSinkBuilder<S, P> {
             rx,
             membership: MembershipResponder::new(),
             retune: RetuneResponder::new(),
+            reset_resp: ResetResponder::new(),
+            incarnation: self
+                .incarnation
+                .unwrap_or_else(stripe_core::reset::fresh_incarnation),
         }
     }
 }
@@ -281,6 +506,10 @@ pub struct StripedSink<S: CausalScheduler, P> {
     rx: LogicalReceiver<S, P>,
     membership: MembershipResponder,
     retune: RetuneResponder,
+    /// Survives [`reset`](StripedSink::reset): the §5 epoch must outlive
+    /// the flush it gates, or a retransmitted request would flush twice.
+    reset_resp: ResetResponder,
+    incarnation: u64,
 }
 
 impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
@@ -290,23 +519,11 @@ impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
         StripedSinkBuilder::default()
     }
 
-    /// Wrap a logical receiver.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `StripedSink::builder()` — the one construction vocabulary \
-                across path, sink, server, and demux"
-    )]
-    pub fn new(rx: LogicalReceiver<S, P>) -> Self {
-        Self {
-            rx,
-            membership: MembershipResponder::new(),
-            retune: RetuneResponder::new(),
-        }
-    }
-
-    /// Reset to the initial state (endpoint restart, §5): the
-    /// resequencer restarts its simulation and the responder halves
-    /// forget their epochs. Buffered packets are dropped. Touches no
+    /// Reset to the initial state (§5 flush): the resequencer restarts
+    /// its simulation and the membership/retune responders forget their
+    /// epochs. Buffered packets are dropped. The reset responder's epoch
+    /// and the incarnation survive — they distinguish this flush from a
+    /// whole-process restart, which builds a new sink. Touches no
     /// allocator state, so a pooled sink can be cycled through
     /// close/reopen churn for free.
     pub fn reset(&mut self) {
@@ -329,8 +546,22 @@ impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
                 Vec::new()
             }
             Control::Probe { nonce } => {
-                vec![(channel, Control::ProbeAck { nonce: *nonce })]
+                vec![(
+                    channel,
+                    Control::ProbeAck {
+                        nonce: *nonce,
+                        incarnation: self.incarnation,
+                    },
+                )]
             }
+            Control::ResetRequest { epoch } => match self.reset_resp.on_request(channel, *epoch) {
+                ResponderAction::FlushAndAck { channel, ack } => {
+                    self.reset();
+                    vec![(channel, ack)]
+                }
+                ResponderAction::AckOnly { channel, ack } => vec![(channel, ack)],
+                ResponderAction::Ignore => Vec::new(),
+            },
             Control::Membership {
                 epoch,
                 live_mask,
@@ -410,6 +641,16 @@ impl<S: CausalScheduler, P: WireLen> StripedSink<S, P> {
     /// Receiver counters.
     pub fn stats(&self) -> ReceiverSnapshot {
         self.rx.stats()
+    }
+
+    /// The incarnation nonce this sink reports in probe acks.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// §5 flushes performed in response to reset requests.
+    pub fn reset_flushes(&self) -> u64 {
+        self.reset_resp.flushes()
     }
 
     /// The wrapped receiver.

@@ -68,11 +68,6 @@ pub struct PathSnapshot {
     pub control_lost: u64,
 }
 
-/// The pre-convention name for [`PathSnapshot`], kept as an alias while
-/// external callers migrate.
-#[deprecated(since = "0.1.0", note = "renamed to `PathSnapshot`")]
-pub type PathStats = PathSnapshot;
-
 /// One control-plane transmission: what was sent, where, and its fate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ControlTransmission {
@@ -182,6 +177,12 @@ pub trait ControlPath {
 
     /// Schedule a membership mask on the local scheduler (see
     /// [`stripe_core::sender::StripingSender::schedule_mask`]).
+    ///
+    /// An **all-dead mask parks the path** (total blackout, §5): data
+    /// sends fail fast, schedulers freeze on their last live mask, and
+    /// control keeps flowing so probes can observe recovery. A later
+    /// non-empty mask unparks. Implementations must never forward an
+    /// empty mask to a scheduler — its scan would wedge.
     fn schedule_mask(&mut self, effective_round: u64, live: &[bool]);
 
     /// Schedule a quantum change on the local scheduler (see
@@ -274,6 +275,7 @@ impl<S: CausalScheduler, L: FifoLink> StripedPathBuilder<S, L> {
             links: self.links,
             tx: StripingSender::new(sched, self.markers),
             stats: PathSnapshot::default(),
+            parked: false,
             scratch_lens: Vec::new(),
             scratch_channels: Vec::new(),
             scratch_markers: Vec::new(),
@@ -289,6 +291,11 @@ pub struct StripedPath<S: CausalScheduler, L: FifoLink> {
     links: Vec<L>,
     tx: StripingSender<S>,
     stats: PathSnapshot,
+    /// Total blackout: every channel is dead, so the scheduler must not
+    /// run (an all-dead mask would wedge its scan). Data sends fail fast
+    /// with [`TxError::LinkDown`]; control still flows (probes must keep
+    /// going out so recovery can be observed).
+    parked: bool,
     // Scratch buffers for the batch path, all payload-independent so one
     // path instance serves any packet type with zero steady-state allocs.
     scratch_lens: Vec<usize>,
@@ -303,26 +310,6 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
     /// .markers(…).links(…).build()`.
     pub fn builder() -> StripedPathBuilder<S, L> {
         StripedPathBuilder::default()
-    }
-
-    /// Bind a scheduler and marker policy to `links`. The striped MTU is
-    /// the *minimum* member MTU (the §6.1 rule). Delegates to
-    /// [`builder`](Self::builder), which is the preferred construction
-    /// surface.
-    ///
-    /// # Panics
-    /// Panics if `links.len()` differs from the scheduler's channel count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `StripedPath::builder()` — the one construction vocabulary \
-                across path, sink, server, and demux"
-    )]
-    pub fn new(sched: S, marker_cfg: MarkerConfig, links: Vec<L>) -> Self {
-        Self::builder()
-            .scheduler(sched)
-            .markers(marker_cfg)
-            .links(links)
-            .build()
     }
 
     /// The striped path MTU: the minimum across members (§6.1: "our model
@@ -391,6 +378,16 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
     /// [`send_batch`](Self::send_batch), which makes identical decisions
     /// without allocating per packet.
     pub fn send<P: WireLen + Clone>(&mut self, now: SimTime, pkt: P) -> Vec<Transmission<P>> {
+        if self.parked {
+            self.stats.sent += 1;
+            self.stats.dropped_lost += 1;
+            return vec![Transmission {
+                channel: 0,
+                arrival: None,
+                item: Arrival::Data(pkt),
+                error: Some(TxError::LinkDown),
+            }];
+        }
         let wire_len = pkt.wire_len();
         let decision = self.tx.send(wire_len);
         let mut out = Vec::with_capacity(1 + decision.markers.len());
@@ -423,6 +420,17 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
         out: &mut TxBatch<P>,
     ) {
         out.txs.clear();
+        if self.parked {
+            self.stats.sent += pkts.len() as u64;
+            self.stats.dropped_lost += pkts.len() as u64;
+            out.txs.extend(pkts.drain(..).map(|pkt| Transmission {
+                channel: 0,
+                arrival: None,
+                item: Arrival::Data(pkt),
+                error: Some(TxError::LinkDown),
+            }));
+            return;
+        }
         self.scratch_lens.clear();
         self.scratch_lens.extend(pkts.iter().map(WireLen::wire_len));
         self.tx.send_batch(
@@ -482,6 +490,9 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
     /// `out` is cleared first, capacity kept.
     pub fn send_markers_into<P>(&mut self, now: SimTime, out: &mut TxBatch<P>) {
         out.txs.clear();
+        if self.parked {
+            return;
+        }
         self.scratch_idle_markers.clear();
         self.tx.make_markers_into(&mut self.scratch_idle_markers);
         for k in 0..self.scratch_idle_markers.len() {
@@ -603,6 +614,12 @@ impl<S: CausalScheduler, L: FifoLink> StripedPath<S, L> {
         &mut self.links
     }
 
+    /// Whether the path is parked: every channel dead, scheduler frozen,
+    /// data sends failing fast until a non-empty mask is scheduled.
+    pub fn parked(&self) -> bool {
+        self.parked
+    }
+
     /// The sender engine (for fairness ledgers etc.).
     pub fn sender(&self) -> &StripingSender<S> {
         &self.tx
@@ -624,6 +641,14 @@ impl<S: CausalScheduler, L: FifoLink> ControlPath for StripedPath<S, L> {
     }
 
     fn schedule_mask(&mut self, effective_round: u64, live: &[bool]) {
+        // An all-dead mask is the parked state: the scheduler must never
+        // see it (its scan would wedge), so the park is held here and the
+        // engine keeps its last live mask until recovery unparks it.
+        if !live.iter().any(|&l| l) {
+            self.parked = true;
+            return;
+        }
+        self.parked = false;
         self.tx.schedule_mask(effective_round, live);
     }
 
@@ -802,13 +827,12 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "one link per scheduler channel")]
-    #[allow(deprecated)]
     fn link_count_mismatch_panics() {
-        let _: StripedPath<_, EthLink> = StripedPath::new(
-            Srr::equal(3, 1500),
-            MarkerConfig::disabled(),
-            vec![eth(10, 1, LossModel::None)],
-        );
+        let _: StripedPath<_, EthLink> = StripedPath::builder()
+            .scheduler(Srr::equal(3, 1500))
+            .markers(MarkerConfig::disabled())
+            .links(vec![eth(10, 1, LossModel::None)])
+            .build();
     }
 
     #[test]
@@ -819,17 +843,18 @@ mod tests {
             .build();
     }
 
-    /// `builder` and `new` produce identical paths; `link` composes with
-    /// `links`.
+    /// `links` and repeated `link` calls produce identical paths.
     #[test]
-    #[allow(deprecated)]
-    fn builder_matches_new() {
+    fn builder_link_composes_with_links() {
         let sched = Srr::equal(2, 1500);
-        let mut a = StripedPath::new(
-            sched.clone(),
-            MarkerConfig::every_rounds(8),
-            vec![eth(10, 1, LossModel::None), eth(10, 2, LossModel::None)],
-        );
+        let mut a = StripedPath::builder()
+            .scheduler(sched.clone())
+            .markers(MarkerConfig::every_rounds(8))
+            .links(vec![
+                eth(10, 1, LossModel::None),
+                eth(10, 2, LossModel::None),
+            ])
+            .build();
         let mut b = StripedPath::builder()
             .scheduler(sched)
             .markers(MarkerConfig::every_rounds(8))

@@ -140,11 +140,6 @@ pub struct TcpSenderSnapshot {
     pub dup_acks: u64,
 }
 
-/// The pre-convention name for [`TcpSenderSnapshot`], kept as an alias
-/// while external callers migrate.
-#[deprecated(since = "0.1.0", note = "renamed to `TcpSenderSnapshot`")]
-pub type TcpSenderStats = TcpSenderSnapshot;
-
 /// The sending side of a TCP-lite connection.
 ///
 /// Drive it with three calls:

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Validate the shared `headline` object in every BENCH_*.json.
+
+Every bench harness writes its one-line summary as
+
+    "headline": {"metric": <non-empty str>, "value": <finite number>,
+                 "units": <non-empty str>, ...extras}
+
+so dashboards and PR diffs can read a single well-known shape instead
+of per-bench schemas. This gate fails CI when a bench drops, renames,
+or malforms that object (extras are allowed; the three core keys are
+not negotiable).
+
+Usage: check_bench_headlines.py [FILE...]
+With no arguments, checks every BENCH_*.json in the current directory.
+"""
+
+import glob
+import json
+import math
+import sys
+
+
+def check(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is {type(doc).__name__}, expected object"]
+
+    h = doc.get("headline")
+    if h is None:
+        return [f"{path}: missing \"headline\" object"]
+    if not isinstance(h, dict):
+        return [f"{path}: \"headline\" is {type(h).__name__}, expected object"]
+
+    for key in ("metric", "units"):
+        v = h.get(key)
+        if not isinstance(v, str) or not v.strip():
+            errors.append(f"{path}: headline.{key} must be a non-empty string, got {v!r}")
+
+    v = h.get("value")
+    # bool is an int subclass; a true/false "value" is a schema bug.
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        errors.append(f"{path}: headline.value must be a number, got {v!r}")
+    elif isinstance(v, float) and not math.isfinite(v):
+        errors.append(f"{path}: headline.value must be finite, got {v!r}")
+
+    return errors
+
+
+def main(argv):
+    paths = argv[1:] or sorted(glob.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failures = []
+    for path in paths:
+        errs = check(path)
+        failures.extend(errs)
+        status = "FAIL" if errs else "ok"
+        print(f"{status:4} {path}")
+    for e in failures:
+        print(e, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

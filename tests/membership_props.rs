@@ -63,7 +63,7 @@ proptest! {
         let mut bag: Vec<(usize, Control)> = Vec::new();
         for (i, &m) in masks.iter().enumerate() {
             let live = mask_to_vec(m, N);
-            let msgs = sender.announce(&live, (i as u64 + 1) * 10);
+            let msgs = sender.announce(&live, (i as u64 + 1) * 10).expect("valid mask");
             for _ in 0..=dup[i % dup.len()] {
                 bag.extend(msgs.iter().cloned());
             }
@@ -90,7 +90,7 @@ proptest! {
         // Convergence: the responder ends on the sender's current state.
         prop_assert_eq!(responder.epoch(), sender.epoch());
         let (_, final_mask) = applied.last().expect("newest epoch must apply");
-        prop_assert_eq!(*final_mask, vec_to_mask(sender.live()));
+        prop_assert_eq!(*final_mask, vec_to_mask(sender.live()).expect("mask fits"));
     }
 
     /// Epoch wraparound: a sequence of epochs marching through u32::MAX,
@@ -149,7 +149,7 @@ proptest! {
                 // Shrink to an arbitrary proper subset.
                 let live = mask_to_vec(shrink_mask, N);
                 let eff = tx.round() + lead;
-                let msgs = sender.announce(&live, eff);
+                let msgs = sender.announce(&live, eff).expect("valid mask");
                 tx.schedule_mask(eff, &live);
                 deliver(&mut responder, &mut rx, &msgs, dup, &mut applied);
             }
@@ -157,7 +157,7 @@ proptest! {
                 // Grow back to the full set.
                 let live = vec![true; N];
                 let eff = tx.round() + lead;
-                let msgs = sender.announce(&live, eff);
+                let msgs = sender.announce(&live, eff).expect("valid mask");
                 tx.schedule_mask(eff, &live);
                 deliver(&mut responder, &mut rx, &msgs, dup, &mut applied);
             }
@@ -202,7 +202,7 @@ proptest! {
         // scheduler, but **not yet delivered**.
         let shrink_live = mask_to_vec(shrink_mask, N);
         let eff_shrink = tx.round() + lead;
-        let shrink_msgs = sender.announce(&shrink_live, eff_shrink);
+        let shrink_msgs = sender.announce(&shrink_live, eff_shrink).expect("valid mask");
         tx.schedule_mask(eff_shrink, &shrink_live);
         let shrink_epoch = sender.epoch();
 
@@ -210,7 +210,7 @@ proptest! {
         // announced on top, newer epoch, later effective round.
         let grow_live = vec![true; N];
         let eff_grow = eff_shrink + lead;
-        let grow_msgs = sender.announce(&grow_live, eff_grow);
+        let grow_msgs = sender.announce(&grow_live, eff_grow).expect("valid mask");
         tx.schedule_mask(eff_grow, &grow_live);
         let grow_epoch = sender.epoch();
         prop_assert_ne!(grow_epoch, shrink_epoch);
@@ -238,7 +238,7 @@ proptest! {
         let grow_pos = applied.iter().position(|&(e, _)| e == grow_epoch).unwrap();
         prop_assert_eq!(grow_pos, applied.len() - 1, "stale shrink applied after the grow");
         prop_assert_eq!(responder.epoch(), sender.epoch());
-        prop_assert_eq!(applied.last().unwrap().1, vec_to_mask(sender.live()));
+        prop_assert_eq!(applied.last().unwrap().1, vec_to_mask(sender.live()).expect("mask fits"));
 
         // Retransmit storm after convergence: pure AckOnly, no re-apply.
         let before = applied.len();

@@ -344,7 +344,9 @@ fn arb_control() -> impl Strategy<Value = Control> {
             }
         ),
         any::<u64>().prop_map(|nonce| Control::Probe { nonce }),
-        any::<u64>().prop_map(|nonce| Control::ProbeAck { nonce }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(nonce, incarnation)| Control::ProbeAck { nonce, incarnation }),
+        any::<u64>().prop_map(|incarnation| Control::DesyncAlert { incarnation }),
         (any::<u32>(), 1u16..=u16::MAX, any::<u64>()).prop_map(
             |(epoch, live_mask, effective_round)| Control::Membership {
                 epoch,

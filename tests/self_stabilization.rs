@@ -4,6 +4,7 @@
 //! a snapshot and then doing a reset; we deal with sender or receiver
 //! node crashes by doing a reset").
 
+use proptest::prelude::*;
 use stripe::core::control::Control;
 use stripe::core::receiver::{Arrival, LogicalReceiver};
 use stripe::core::reset::{
@@ -184,4 +185,143 @@ fn no_spurious_resets_under_ordinary_loss() {
         trips, 0,
         "3% loss with markers every 4 rounds must not look like corruption"
     );
+}
+
+/// Feed one full window with exactly `ooo` out-of-order deliveries (the
+/// rest in-order above the running max), returning whether the detector
+/// tripped at the window boundary. `hi` carries the in-order id counter
+/// across windows.
+fn feed_window(det: &mut DesyncDetector, window: u32, ooo: u32, hi: &mut u64) -> bool {
+    let mut tripped = false;
+    for i in 0..window {
+        let fired = if i < ooo {
+            det.on_delivery(0)
+        } else {
+            *hi += 1;
+            det.on_delivery(*hi)
+        };
+        if fired {
+            assert_eq!(i, window - 1, "detector fired off a window boundary");
+            tripped = true;
+        }
+    }
+    tripped
+}
+
+proptest! {
+    /// The OOO trip condition is *strictly greater than* the threshold,
+    /// evaluated per window, with `patience` consecutive bad windows
+    /// required. Pin the threshold between two adjacent representable
+    /// fractions — `(bad - 1)/window < threshold < bad/window` — so the
+    /// boundary is exact regardless of float rounding, and check every
+    /// edge: at-threshold windows never trip, above-threshold windows
+    /// trip exactly at the `patience`-th boundary, and a single clean
+    /// window resets the consecutive count.
+    #[test]
+    fn desync_ooo_threshold_boundary(
+        window in 4u32..=64,
+        patience in 1u32..=4,
+        bad_frac in 1u32..=10,
+    ) {
+        // `bad` OOO per window is the smallest tripping count.
+        let bad = (window * bad_frac).div_ceil(10).max(1);
+        let threshold = (bad as f64 - 0.5) / window as f64;
+        prop_assume!(threshold > 0.0 && threshold < 1.0);
+        let mut det = DesyncDetector::new(window, threshold, patience);
+        let mut hi = 1_000_000u64;
+
+        // Prime the running max so later `0` ids count out-of-order.
+        prop_assert!(!feed_window(&mut det, window, 0, &mut hi));
+
+        // Exactly at the boundary from below: frac == (bad-1)/window <
+        // threshold, never bad, never trips — for any number of windows.
+        for _ in 0..patience + 2 {
+            prop_assert!(!feed_window(&mut det, window, bad - 1, &mut hi));
+        }
+        prop_assert_eq!(det.trips(), 0);
+
+        // One OOO more per window crosses the strict boundary: silent
+        // for `patience - 1` windows, tripping exactly at the next.
+        for _ in 0..patience - 1 {
+            prop_assert!(!feed_window(&mut det, window, bad, &mut hi));
+        }
+        prop_assert!(feed_window(&mut det, window, bad, &mut hi));
+        prop_assert_eq!(det.trips(), 1);
+
+        // Patience is *consecutive*: one clean window between two
+        // almost-complete bad streaks keeps the detector quiet…
+        for _ in 0..patience - 1 {
+            prop_assert!(!feed_window(&mut det, window, bad, &mut hi));
+        }
+        prop_assert!(!feed_window(&mut det, window, bad - 1, &mut hi));
+        for _ in 0..patience - 1 {
+            prop_assert!(!feed_window(&mut det, window, bad, &mut hi));
+        }
+        prop_assert_eq!(det.trips(), 1);
+        // …and completing the streak trips again.
+        prop_assert!(feed_window(&mut det, window, bad, &mut hi));
+        prop_assert_eq!(det.trips(), 2);
+    }
+
+    /// The backlog-growth trip condition is *strictly greater than*
+    /// `prev_low + window/4`, with the same consecutive-`patience`
+    /// gating: a backlog climbing by exactly `window/4` per window never
+    /// trips, one byte more per window trips at the `patience`-th
+    /// boundary, and `acknowledge_reset` clears the streak.
+    #[test]
+    fn desync_backlog_growth_boundary(
+        window in 4u32..=64,
+        patience in 1u32..=4,
+    ) {
+        let step = (window / 4) as u64;
+        // The threshold is irrelevant here (all deliveries in-order);
+        // any valid value do.
+        let mut det = DesyncDetector::new(window, 0.5, patience);
+        let mut hi = 0u64;
+        let mut feed = |det: &mut DesyncDetector, backlog: u64| -> bool {
+            let mut tripped = false;
+            for _ in 0..window {
+                hi += 1;
+                if det.observe(hi, backlog) {
+                    tripped = true;
+                }
+            }
+            tripped
+        };
+
+        // Rising by exactly `window/4` per window: at the boundary, not
+        // over it. Never trips.
+        let mut backlog = 0u64;
+        prop_assert!(!feed(&mut det, backlog)); // baseline window
+        for _ in 0..patience + 2 {
+            backlog += step;
+            prop_assert!(!feed(&mut det, backlog));
+        }
+        prop_assert_eq!(det.trips(), 0);
+
+        // One over the boundary per window: trips exactly at the
+        // `patience`-th consecutive growth window.
+        for _ in 0..patience - 1 {
+            backlog += step + 1;
+            prop_assert!(!feed(&mut det, backlog));
+        }
+        backlog += step + 1;
+        prop_assert!(feed(&mut det, backlog));
+        prop_assert_eq!(det.trips(), 1);
+
+        // After the protocol reset the detector is told to forget: the
+        // first window only re-establishes the baseline, then the same
+        // growth pattern must again need a full `patience` streak.
+        det.acknowledge_reset();
+        backlog += step + 1;
+        prop_assert!(!feed(&mut det, backlog)); // baseline, not growth
+        for _ in 0..patience - 1 {
+            backlog += step + 1;
+            prop_assert!(!feed(&mut det, backlog));
+        }
+        prop_assert_eq!(det.trips(), 1);
+        backlog += step + 1;
+        prop_assert!(feed(&mut det, backlog));
+        prop_assert_eq!(det.trips(), 2);
+    }
 }

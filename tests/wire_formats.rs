@@ -39,7 +39,9 @@ fn arb_control() -> impl Strategy<Value = Control> {
             }
         ),
         any::<u64>().prop_map(|nonce| Control::Probe { nonce }),
-        any::<u64>().prop_map(|nonce| Control::ProbeAck { nonce }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(nonce, incarnation)| Control::ProbeAck { nonce, incarnation }),
+        any::<u64>().prop_map(|incarnation| Control::DesyncAlert { incarnation }),
         (any::<u32>(), 1u16..=u16::MAX, any::<u64>()).prop_map(
             |(epoch, live_mask, effective_round)| Control::Membership {
                 epoch,
@@ -82,7 +84,13 @@ fn every_control_variant() -> Vec<Control> {
             quanta: vec![1500, 9000, 64],
         },
         Control::Probe { nonce: 0xDEAD_BEEF },
-        Control::ProbeAck { nonce: u64::MAX },
+        Control::ProbeAck {
+            nonce: u64::MAX,
+            incarnation: 0xFEED_FACE,
+        },
+        Control::DesyncAlert {
+            incarnation: 0xFEED_FACE,
+        },
         Control::Membership {
             epoch: 7,
             live_mask: 0b1011,
@@ -110,6 +118,7 @@ fn variant_index(c: &Control) -> usize {
         Control::MembershipAck { .. } => 7,
         Control::QuantumAnnounce { .. } => 8,
         Control::QuantumAck { .. } => 9,
+        Control::DesyncAlert { .. } => 10,
     }
 }
 
@@ -120,7 +129,7 @@ fn variant_index(c: &Control) -> usize {
 #[test]
 fn control_wire_len_matches_encoding_for_every_variant() {
     let samples = every_control_variant();
-    let mut seen = [false; 10];
+    let mut seen = [false; 11];
     for c in &samples {
         seen[variant_index(c)] = true;
         let enc = c.encode();
